@@ -1,0 +1,102 @@
+"""E9 — Section IV-D ablation: dual clock vs single clock.
+
+The dual-clock design exists to eliminate false positives on concurrent
+read-only accesses.  The benchmark runs both detectors over the same traces —
+a read-heavy random workload and the Figure 4 scenario — and checks the shape
+the paper claims: the single-clock detector reports a superset of findings,
+and the excess is exactly the read/read pairs the dual-clock detector never
+reports.
+"""
+
+from conftest import record
+
+from repro.detectors.postmortem import PostMortemDualClockDetector
+from repro.detectors.single_clock import SingleClockDetector
+from repro.workloads.figures import figure4_concurrent_reads
+from repro.workloads.random_access import RandomAccessWorkload
+
+
+def traces():
+    """A read-heavy workload trace plus the Figure 4 trace."""
+    collected = []
+    workload = RandomAccessWorkload(
+        world_size=4, operations_per_rank=12, hotspot_fraction=0.7, write_fraction=0.25
+    )
+    runtime = workload.build(seed=3)
+    runtime.run()
+    collected.append(("random-read-heavy", runtime.recorder.accesses(), 4))
+
+    fig4 = figure4_concurrent_reads()
+    fig4.run()
+    collected.append(("figure-4", fig4.recorder.accesses(), 3))
+    return collected
+
+
+def test_single_clock_reports_superset_with_read_read_noise(benchmark):
+    def analyse():
+        rows = []
+        for name, accesses, world in traces():
+            dual = PostMortemDualClockDetector().detect(accesses, world)
+            single_detector = SingleClockDetector()
+            single = single_detector.detect(accesses, world)
+            read_read = single_detector.read_read_findings(single)
+            rows.append((name, dual.count(), single.count(), len(read_read)))
+        return rows
+
+    rows = benchmark(analyse)
+
+    for name, dual_count, single_count, read_read_count in rows:
+        # The single-clock detector never reports fewer findings...
+        assert single_count >= dual_count, name
+        # ...and the dual-clock detector reports no read/read pair at all,
+        # while the single-clock one does whenever reads dominate.
+        if name == "figure-4":
+            assert dual_count == 0 and read_read_count >= 1
+
+    total_dual = sum(r[1] for r in rows)
+    total_single = sum(r[2] for r in rows)
+    total_read_read = sum(r[3] for r in rows)
+    assert total_single > total_dual, "the ablation must show a precision gap"
+    assert total_read_read >= total_single - total_dual * 2 - 1 or total_read_read > 0
+
+    record(
+        benchmark,
+        experiment="E9 / Section IV-D ablation",
+        per_trace=[
+            {
+                "trace": name,
+                "dual_clock_findings": dual_count,
+                "single_clock_findings": single_count,
+                "read_read_false_positives": rr,
+            }
+            for name, dual_count, single_count, rr in rows
+        ],
+    )
+
+
+def test_strict_literal_comparison_is_more_noisy(benchmark):
+    """Second ablation: Algorithm 3's strict comparison reports at least as much."""
+    from repro.core.detector import ComparisonMode, DetectorConfig
+
+    def analyse():
+        results = []
+        for name, accesses, world in traces():
+            mattern = PostMortemDualClockDetector(
+                DetectorConfig(comparison=ComparisonMode.MATTERN)
+            ).detect(accesses, world)
+            strict = PostMortemDualClockDetector(
+                DetectorConfig(comparison=ComparisonMode.STRICT)
+            ).detect(accesses, world)
+            results.append((name, mattern.count(), strict.count()))
+        return results
+
+    results = benchmark(analyse)
+    for name, mattern_count, strict_count in results:
+        assert strict_count >= mattern_count, name
+    record(
+        benchmark,
+        experiment="E9 strict-comparison ablation",
+        per_trace=[
+            {"trace": n, "mattern": m, "strict": s} for n, m, s in results
+        ],
+    )

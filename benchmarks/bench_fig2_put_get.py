@@ -1,0 +1,69 @@
+"""E2 — Figure 2: ``put`` is one data message, ``get`` is two.
+
+The paper's message decomposition is the basis of every overhead argument, so
+the benchmark pins it down exactly: one PUT_DATA message per put, one
+GET_REQUEST plus one GET_REPLY per get, regardless of how many control
+messages (locks, clocks) the configuration adds around them.
+"""
+
+from conftest import record
+
+from repro.net.message import MessageKind
+from repro.workloads.figures import figure2_put_get
+
+
+def test_fig2_put_one_message_get_two(benchmark):
+    # Time the full scenario (build + run); assert on a fresh instance.
+    benchmark(lambda: figure2_put_get().run())
+    runtime = figure2_put_get()
+    result = runtime.run()
+
+    puts = runtime.fabric.message_count(MessageKind.PUT_DATA)
+    get_requests = runtime.fabric.message_count(MessageKind.GET_REQUEST)
+    get_replies = runtime.fabric.message_count(MessageKind.GET_REPLY)
+
+    assert puts == 1, "Figure 2: a put must involve exactly one message"
+    assert get_requests == 1 and get_replies == 1, "Figure 2: a get involves two messages"
+    assert result.trace_summary.puts == 1 and result.trace_summary.gets == 1
+    # The same-process put-then-get is ordered: no race.
+    assert result.race_count == 0
+
+    record(
+        benchmark,
+        experiment="E2 / Figure 2",
+        put_data_messages=puts,
+        get_messages=get_requests + get_replies,
+        lock_messages=result.fabric_stats.lock_messages,
+        detection_messages=result.fabric_stats.detection_messages,
+    )
+
+
+def test_fig2_message_counts_scale_linearly_with_operations(benchmark):
+    """Shape check: k puts + k gets => k data messages + 2k data messages."""
+    from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+    k = 8
+
+    def build_and_run():
+        runtime = DSMRuntime(RuntimeConfig(world_size=2, latency="constant"))
+        runtime.declare_array("cells", k, owner=1, initial=0)
+
+        def writer(api):
+            for index in range(k):
+                yield from api.put("cells", index, index=index)
+            for index in range(k):
+                yield from api.get("cells", index=index)
+
+        def idle(api):
+            yield from api.compute(0.0)
+
+        runtime.set_program(0, writer)
+        runtime.set_program(1, idle)
+        runtime.run()
+        return runtime
+
+    runtime = benchmark(build_and_run)
+    assert runtime.fabric.message_count(MessageKind.PUT_DATA) == k
+    assert runtime.fabric.message_count(MessageKind.GET_REQUEST) == k
+    assert runtime.fabric.message_count(MessageKind.GET_REPLY) == k
+    record(benchmark, experiment="E2 scaling", operations=2 * k)

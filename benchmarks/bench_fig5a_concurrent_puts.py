@@ -1,0 +1,65 @@
+"""E5 — Figure 5a: two concurrent puts into the same datum are a race.
+
+The paper's space-time diagram ends with the clock comparison ``110 × 001``;
+the benchmark asserts that exactly one race is signalled, that it involves the
+two writers (P0 and P2) on datum ``a``, and that the two clocks recorded in
+the race report are indeed incomparable.
+"""
+
+from conftest import record
+
+from repro.core.comparator import concurrent
+from repro.workloads.figures import figure5a_concurrent_puts
+
+
+def run_scenario():
+    runtime = figure5a_concurrent_puts()
+    result = runtime.run()
+    return runtime, result
+
+
+def test_fig5a_race_detected_between_the_two_puts(benchmark):
+    _runtime, result = benchmark(run_scenario)
+
+    assert result.race_count == 1, "Figure 5a: the second put must be flagged"
+    race = result.race_records()[0]
+    assert race.symbol == "a"
+    assert {race.current_rank, race.previous_rank} == {0, 2}
+    assert concurrent(list(race.current_clock), list(race.previous_clock)), (
+        "the clocks attached to the conflicting writes must be incomparable"
+    )
+
+    record(
+        benchmark,
+        experiment="E5 / Figure 5a",
+        races=result.race_count,
+        current_clock=str(race.current_clock),
+        previous_clock=str(race.previous_clock),
+    )
+
+
+def test_fig5a_every_additional_unsynchronized_writer_is_flagged(benchmark):
+    """Shape check: with k unsynchronized writers, k-1 race signals appear."""
+    from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+    writers = 6
+
+    def run():
+        runtime = DSMRuntime(RuntimeConfig(world_size=writers + 1, latency="constant"))
+        runtime.declare_scalar("a", owner=writers, initial=0)
+
+        def writer(api):
+            yield from api.compute(0.1 * api.rank)
+            yield from api.put("a", api.rank)
+
+        def idle(api):
+            yield from api.compute(0.0)
+
+        for rank in range(writers):
+            runtime.set_program(rank, writer)
+        runtime.set_program(writers, idle)
+        return runtime.run()
+
+    result = benchmark(run)
+    assert result.race_count == writers - 1
+    record(benchmark, experiment="E5 scaling", writers=writers, races=result.race_count)

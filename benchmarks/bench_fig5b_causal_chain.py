@@ -1,0 +1,81 @@
+"""E6 — Figure 5b: a causally chained get/put sequence produces no race.
+
+``get1`` (P1 reads ``a``), ``m1`` (P0 writes ``b``), ``m2`` (P1 writes ``c``
+after reading ``b``), ``m3`` (P2 writes ``a`` after reading ``c``): every pair
+of conflicting accesses is connected by the data that flowed between them, so
+the detector must stay silent and the chain must deliver its payloads.
+"""
+
+from conftest import record
+
+from repro.workloads.figures import figure5b_causal_chain
+
+
+def run_scenario():
+    runtime = figure5b_causal_chain()
+    result = runtime.run()
+    return runtime, result
+
+
+def test_fig5b_causal_chain_is_silent(benchmark):
+    _runtime, result = benchmark(run_scenario)
+
+    assert result.race_count == 0, (
+        "Figure 5b: the causally ordered chain must not be reported\n"
+        + result.races.summary()
+    )
+    # The chain really happened: P1 read the initial value of a, the final
+    # write of a is m3 carrying the value propagated through b and c.
+    assert result.per_rank_private[1]["a"] == "A0"
+    final_a = result.shared_value("a")
+    assert final_a[0] == "m3"
+    assert "m2" in repr(final_a)
+
+    record(
+        benchmark,
+        experiment="E6 / Figure 5b",
+        races=result.race_count,
+        chain_hops=3,
+        final_a=str(final_a),
+    )
+
+
+def test_fig5b_breaking_the_chain_restores_the_race(benchmark):
+    """Control: cut the chain before P2 (no m2 at all) and m3 races with get1.
+
+    In Figure 5b the final put is ordered because the causal history of
+    ``get1`` reached P2 through ``m1`` and ``m2``.  If P2 never receives
+    anything, its put of ``a`` carries a clock that is incomparable with the
+    read recorded on ``a`` and the detector reports the pair.
+    """
+    from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+    def run():
+        runtime = DSMRuntime(RuntimeConfig(world_size=3, latency="constant"))
+        runtime.declare_scalar("a", owner=0, initial="A0")
+        runtime.declare_scalar("b", owner=1, initial=None)
+
+        def p0(api):
+            yield from api.compute(10.0)
+            yield from api.put("b", "m1")
+
+        def p1(api):
+            value = yield from api.get("a")      # get1
+            api.private.write("a", value)
+            yield from api.compute(30.0)
+            yield from api.get("b")              # still reads m1, but never relays
+
+        def p2(api):
+            # The broken link: nothing ever reaches P2 before it writes a.
+            yield from api.compute(60.0)
+            yield from api.put("a", "m3-unchained")
+
+        runtime.set_program(0, p0)
+        runtime.set_program(1, p1)
+        runtime.set_program(2, p2)
+        return runtime.run()
+
+    result = benchmark(run)
+    racy_symbols = {record_.symbol for record_ in result.race_records()}
+    assert "a" in racy_symbols, "without the causal chain, m3 races with get1 on a"
+    record(benchmark, experiment="E6 control", races=result.race_count)

@@ -1,0 +1,59 @@
+"""E7 — Figure 5c: ordered issuers, unordered arrivals — race detected.
+
+``m1`` and ``m3`` both write datum ``a`` on P1.  They are ordered at the
+issuing processes (P0's program order, then the data flow of ``m2`` to P2),
+but nothing orders their *arrivals* at P1's memory, so their outcome depends
+on timing and the paper reports a detected race.  The ablation benchmark shows
+that a detector without the owner-reception convention misses exactly this
+case.
+"""
+
+from conftest import record
+
+from repro.core.detector import DetectorConfig
+from repro.workloads.figures import figure5c_four_process_chain
+
+
+def run_scenario():
+    runtime = figure5c_four_process_chain()
+    result = runtime.run()
+    return runtime, result
+
+
+def test_fig5c_arrival_order_race_detected(benchmark):
+    _runtime, result = benchmark(run_scenario)
+
+    assert result.race_count == 1
+    race = result.race_records()[0]
+    assert race.symbol == "a"
+    assert race.current_rank == 2 and race.previous_rank == 0
+
+    record(
+        benchmark,
+        experiment="E7 / Figure 5c",
+        races=result.race_count,
+        current_clock=str(race.current_clock),
+        previous_clock=str(race.previous_clock),
+    )
+
+
+def test_fig5c_ablation_issuing_order_only_misses_it(benchmark):
+    """Without the owner-reception tick the race on ``a`` disappears."""
+
+    def run():
+        runtime = figure5c_four_process_chain(
+            detector=DetectorConfig(write_effect_ticks_owner=False)
+        )
+        return runtime.run()
+
+    result = benchmark(run)
+    racy_symbols = {race.symbol for race in result.race_records()}
+    assert "a" not in racy_symbols, (
+        "pure issuing-order happens-before cannot see the arrival race on a"
+    )
+    record(
+        benchmark,
+        experiment="E7 ablation (no owner tick)",
+        races_on_a=0,
+        total_reports=result.race_count,
+    )

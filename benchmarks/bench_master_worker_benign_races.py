@@ -1,0 +1,66 @@
+"""E10 — Section IV-D: intentional races are signalled but never fatal.
+
+The master/worker pattern races on purpose (task tickets, completion
+counter).  The benchmark checks the paper's policy end to end: the program
+runs to completion under the default signalling policy, every task result is
+produced, the races are reported, and they concentrate on the coordination
+cells.
+"""
+
+from conftest import record
+
+from repro.workloads.master_worker import MasterWorkerWorkload
+
+
+def run_workload():
+    workload = MasterWorkerWorkload(world_size=5, tasks=10)
+    outcome = workload.run(seed=0)
+    return workload, outcome
+
+
+def test_benign_races_signalled_but_not_fatal(benchmark):
+    workload, outcome = benchmark(run_workload)
+    result = outcome.run
+
+    # The run completed and produced every result despite the races.
+    results = result.final_shared_values["results"]
+    assert all(value is not None for value in results)
+    assert len(results) == workload.tasks
+
+    # Races were signalled...
+    assert result.race_count > 0
+    # ...and they involve the intentionally racy coordination cells.
+    flagged = outcome.detected_symbols()
+    assert flagged & {"ticket", "completed"}
+    assert flagged <= workload.expected_racy_symbols
+
+    record(
+        benchmark,
+        experiment="E10 / Section IV-D benign races",
+        tasks=workload.tasks,
+        race_signals=result.race_count,
+        distinct_races=result.distinct_race_count,
+        flagged_symbols=sorted(flagged),
+        final_completed_counter=result.shared_value("completed"),
+    )
+
+
+def test_completion_counter_nondeterminism_across_interleavings(benchmark):
+    """The observable symptom of the benign race: lost updates vary by seed."""
+
+    def measure():
+        counters = []
+        for seed in range(4):
+            outcome = MasterWorkerWorkload(world_size=5, tasks=10).run(seed=seed)
+            counters.append(outcome.run.shared_value("completed"))
+        return counters
+
+    counters = benchmark(measure)
+    # The counter is data-dependent on the interleaving; across several seeds
+    # we expect at least two different final values (the race is observable).
+    assert len(set(counters)) >= 2
+    record(
+        benchmark,
+        experiment="E10 observable nondeterminism",
+        final_counters=counters,
+    )

@@ -1,0 +1,80 @@
+"""E12 — Section V-B: non-collective, one-sided global reduction.
+
+The paper's future-work operation: one process reduces data held by all the
+others purely with remote gets.  The benchmark checks correctness of the
+synchronized variant (exact sum, no race, no participation by the owners
+beyond their own deposit) and the diagnostic value of the unsynchronized
+variant (the detector flags the reads that race with late contributions).
+"""
+
+from conftest import record
+
+from repro.net.message import MessageKind
+from repro.workloads.reduction import OneSidedReductionWorkload
+
+
+def run_synchronized(world_size=6):
+    workload = OneSidedReductionWorkload(world_size=world_size, synchronize=True)
+    outcome = workload.run(seed=0)
+    return workload, outcome
+
+
+def test_onesided_reduction_is_exact_and_race_free(benchmark):
+    workload, outcome = benchmark(run_synchronized)
+    result = outcome.run
+
+    assert result.per_rank_private[0]["total"] == workload.expected_sum()
+    assert result.shared_value("total") == workload.expected_sum()
+    assert result.race_count == 0
+
+    # One-sided: the reduction itself is made only of get request/reply pairs
+    # issued by the reducer; the owners never send anything on their own.
+    runtime = outcome.runtime
+    get_requests = runtime.fabric.message_count(MessageKind.GET_REQUEST)
+    assert get_requests >= workload.world_size - 1
+
+    record(
+        benchmark,
+        experiment="E12 / Section V-B",
+        world_size=workload.world_size,
+        reduced_total=result.per_rank_private[0]["total"],
+        expected_total=workload.expected_sum(),
+        get_requests=get_requests,
+        races=result.race_count,
+    )
+
+
+def test_unsynchronized_reduction_is_flagged(benchmark):
+    def run():
+        workload = OneSidedReductionWorkload(world_size=6, synchronize=False)
+        return workload.run(seed=0).run
+
+    result = benchmark(run)
+    assert result.race_count > 0
+    assert "contrib" in {race.symbol for race in result.race_records()}
+    record(
+        benchmark,
+        experiment="E12 unsynchronized variant",
+        races=result.race_count,
+    )
+
+
+def test_reduction_message_count_scales_linearly(benchmark):
+    """Shape check: the reducer issues O(n) gets, i.e. ~2n data messages."""
+
+    def measure():
+        counts = []
+        for world_size in (4, 8, 12):
+            workload = OneSidedReductionWorkload(world_size=world_size, synchronize=True)
+            outcome = workload.run(seed=0)
+            counts.append(
+                (world_size, outcome.runtime.fabric.message_count(MessageKind.GET_REQUEST))
+            )
+        return counts
+
+    counts = benchmark(measure)
+    requests = [c for _n, c in counts]
+    assert requests == sorted(requests)
+    # Roughly linear: the largest configuration issues about 3x the smallest.
+    assert requests[-1] >= 2 * requests[0]
+    record(benchmark, experiment="E12 scaling", counts=counts)

@@ -1,0 +1,77 @@
+"""E11 — Section V-A: the cost of enabling detection on a running program.
+
+The paper argues the overhead (extra clock messages, extra bytes, clock
+storage) is acceptable because detection is a debugging technique used at
+small scale.  The benchmark quantifies it on the barrier-synchronized stencil:
+the same program is run with detection off (baseline) and on (instrumented),
+and the comparison must show (a) identical application results, (b) identical
+data-message counts, (c) a bounded number of extra control messages per remote
+access, and (d) clock storage matching the analytical model.
+"""
+
+from conftest import record
+
+from repro.analysis.overhead import compare_runs
+from repro.core.detector import DetectorConfig
+from repro.runtime.runtime import RuntimeConfig
+from repro.workloads.stencil import StencilWorkload
+
+
+def run_pair(world_size=6, iterations=3):
+    def run(enabled):
+        workload = StencilWorkload(
+            world_size=world_size, cells_per_rank=6, iterations=iterations,
+            use_barriers=True,
+            config=RuntimeConfig(detector=DetectorConfig(enabled=enabled)),
+        )
+        return workload.run(seed=0).run
+
+    baseline = run(False)
+    instrumented = run(True)
+    return baseline, instrumented
+
+
+def test_detection_overhead_on_synchronized_stencil(benchmark):
+    baseline, instrumented = benchmark(run_pair)
+    comparison = compare_runs(baseline, instrumented)
+
+    # (a) Detection does not change the computation.
+    assert baseline.final_shared_values == instrumented.final_shared_values
+    # (b) The application traffic is untouched.
+    assert baseline.fabric_stats.data_messages == instrumented.fabric_stats.data_messages
+    # (c) Bounded per-access control overhead: one clock round trip per remote
+    #     access in this configuration (2 messages), never more.
+    assert 0 < comparison.extra_messages_per_access <= 2.0
+    # (d) Extra bytes and storage exist and are attributable to clocks.
+    assert comparison.detection_bytes > 0
+    assert comparison.clock_storage_entries > 0
+    # The instrumented run is slower in simulated time, but by a modest factor.
+    assert 1.0 <= comparison.time_overhead_ratio < 3.0
+
+    record(
+        benchmark,
+        experiment="E11 / Section V-A",
+        **comparison.as_dict(),
+    )
+
+
+def test_piggybacked_clocks_remove_message_overhead(benchmark):
+    """An optimized library can piggyback clocks on data messages (no extra messages)."""
+    from repro.net.nic import NICConfig
+
+    def run():
+        workload = StencilWorkload(
+            world_size=4, cells_per_rank=6, iterations=2, use_barriers=True,
+            config=RuntimeConfig(nic=NICConfig(charge_detection_messages=False)),
+        )
+        return workload.run(seed=0).run
+
+    result = benchmark(run)
+    assert result.fabric_stats.detection_messages == 0
+    assert result.race_count == 0
+    record(
+        benchmark,
+        experiment="E11 piggybacked clocks",
+        detection_messages=result.fabric_stats.detection_messages,
+        data_bytes=result.fabric_stats.data_bytes,
+    )

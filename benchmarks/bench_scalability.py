@@ -1,0 +1,86 @@
+"""E14 — scalability of the instrumented runtime with process and access count.
+
+The paper positions detection as a debugging-scale technique ("typically,
+about 10 processes", Section V-A).  The benchmark measures, for growing world
+sizes and access counts, the wall-clock cost of the simulation with detection
+enabled, the message overhead attributable to detection, and the clock
+storage — confirming that the costs grow as the analysis predicts (linearly in
+the number of remote accesses; clock storage linear in n per shared datum) and
+that a 16-process debugging run remains comfortably simulable.
+"""
+
+import time
+
+from conftest import record
+
+from repro.analysis.overhead import detection_overhead_for
+from repro.workloads.random_access import RandomAccessWorkload
+
+WORLD_SIZES = (2, 4, 8, 16)
+
+
+def run_world(world_size, operations_per_rank=8):
+    workload = RandomAccessWorkload(
+        world_size=world_size,
+        operations_per_rank=operations_per_rank,
+        hotspot_fraction=0.4,
+        write_fraction=0.5,
+        array_length=64,
+    )
+    started = time.perf_counter()
+    outcome = workload.run(seed=0)
+    elapsed = time.perf_counter() - started
+    overhead = detection_overhead_for(outcome.run)
+    return {
+        "world_size": world_size,
+        "wall_seconds": elapsed,
+        "remote_accesses": overhead["remote_accesses"],
+        "detection_messages": overhead["detection_messages"],
+        "detection_messages_per_access": overhead["detection_messages_per_access"],
+        "clock_storage_entries": overhead["clock_storage_entries"],
+        "races": outcome.run.race_count,
+        "total_messages": outcome.run.fabric_stats.total_messages,
+    }
+
+
+def test_scaling_with_world_size(benchmark):
+    rows = benchmark(lambda: [run_world(n) for n in WORLD_SIZES])
+
+    # Message overhead per access is bounded by the protocol (<= 2 extra
+    # messages per remote access) at every scale.
+    for row in rows:
+        assert row["detection_messages_per_access"] <= 2.0 + 1e-9
+
+    # Clock storage grows with the world size (Section IV-C).
+    storage = [row["clock_storage_entries"] for row in rows]
+    assert storage == sorted(storage) and storage[-1] > storage[0]
+
+    # A 16-process debugging run stays cheap to simulate (well under a minute).
+    assert rows[-1]["wall_seconds"] < 60.0
+
+    record(benchmark, experiment="E14 scaling with n", rows=rows)
+
+
+def test_scaling_with_access_count(benchmark):
+    """Total messages and detection messages grow linearly with accesses."""
+
+    def measure():
+        rows = []
+        for operations in (4, 8, 16, 32):
+            rows.append((operations, run_world(4, operations_per_rank=operations)))
+        return rows
+
+    rows = benchmark(measure)
+    detection = [row["detection_messages"] for _ops, row in rows]
+    accesses = [row["remote_accesses"] for _ops, row in rows]
+    assert detection == sorted(detection)
+    assert accesses == sorted(accesses)
+    # Linearity check within a loose factor: messages per access stays flat.
+    ratios = [row["detection_messages_per_access"] for _ops, row in rows]
+    assert max(ratios) - min(ratios) < 0.5
+
+    record(
+        benchmark,
+        experiment="E14 scaling with access count",
+        rows=[{"operations_per_rank": ops, **row} for ops, row in rows],
+    )

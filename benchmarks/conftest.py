@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures or analytical claims
+(see DESIGN.md, Section 2).  Conventions:
+
+* each benchmark *asserts* the qualitative shape the paper reports (who
+  races, who does not, which quantity grows with what), so ``pytest
+  benchmarks/ --benchmark-only`` doubles as a reproduction check;
+* quantitative details (message counts, clock sizes, race counts) are
+  attached to ``benchmark.extra_info`` so they appear in
+  ``--benchmark-json`` output and can be copied into EXPERIMENTS.md.
+"""
+
+import pytest
+
+
+def record(benchmark, **info):
+    """Attach reproduction metrics to the benchmark record."""
+    for key, value in info.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Master/worker demo: intentional (benign) races are signalled, never fatal.
+
+Section IV-D of the paper uses the master/worker pattern as the example of a
+program that races *on purpose*: workers grab task tickets and bump a shared
+completion counter without synchronization.  The demo shows three things:
+
+1. the run completes normally — the default signalling policy reports races
+   without aborting;
+2. the races concentrate on the coordination cells (``ticket``,
+   ``completed``); when the racy ticket hands the same task to two workers,
+   the duplicated task's result cell races too — every flagged cell really is
+   written without ordering;
+3. the observable symptom of the benign race (a final ``completed`` counter
+   that can be lower than the task count because of lost updates) is visible
+   by comparing runs under different seeds.
+
+Run with ``python examples/master_worker_demo.py``.
+"""
+
+from repro.analysis.reporting import format_race_report, format_table
+from repro.workloads import MasterWorkerWorkload
+
+
+def main() -> None:
+    workload = MasterWorkerWorkload(world_size=5, tasks=10)
+
+    rows = []
+    for seed in (0, 1, 2):
+        outcome = workload.run(seed=seed)
+        result = outcome.run
+        flagged = sorted(outcome.detected_symbols())
+        rows.append(
+            (
+                seed,
+                result.race_count,
+                ", ".join(flagged) or "-",
+                result.shared_value("completed"),
+                sum(1 for value in result.final_shared_values["results"] if value is not None),
+            )
+        )
+        if seed == 0:
+            print(format_race_report(result, title="races signalled (seed 0)"))
+            print()
+
+    print(
+        format_table(
+            ["seed", "race signals", "racy symbols", "final 'completed'", "results filled"],
+            rows,
+            title="master/worker under three interleavings",
+        )
+    )
+    print()
+    print(
+        "Every task's result is present in every run even though the\n"
+        "coordination cells race (and duplicated tasks make their result cell\n"
+        "race too).  The final value of 'completed' varies across seeds —\n"
+        "exactly the benign nondeterminism the paper says must be signalled\n"
+        "but must not abort the program."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""A debugging session: find a race, fix it, confirm the fix, compare detectors.
+
+The paper positions race detection as a *debugging* technique (Section V-A):
+you run your program at small scale with detection enabled, read the report,
+add the missing synchronization, and re-run.  This example walks that loop on
+the producer/consumer hand-off:
+
+1. run the buggy version (flag polling, no synchronization) — the detector
+   flags the ``flag`` and ``buffer`` cells;
+2. cross-check with the execution-varying oracle: re-running under different
+   seeds really does change what the consumer observes, so the race is real;
+3. apply the fix (a barrier between production and consumption) and re-run —
+   the detector is silent and the consumer always sees the full payload;
+4. replay the buggy trace through the offline detectors to compare the paper's
+   dual-clock algorithm with the single-clock and lockset baselines.
+
+Run with ``python examples/race_debugging_session.py``.
+"""
+
+from repro.analysis.reporting import format_race_report, format_table
+from repro.detectors import (
+    LocksetDetector,
+    PostMortemDualClockDetector,
+    SeedVaryingOracle,
+    SingleClockDetector,
+)
+from repro.workloads import ProducerConsumerWorkload
+
+
+def main() -> None:
+    # Step 1: the buggy program.  The consumer's think time is drawn so that
+    # its reads land in the middle of the producer's write sequence — the
+    # regime where the race actually changes what it observes.
+    buggy = ProducerConsumerWorkload(synchronized=False, consumer_delay=15.0)
+    buggy_outcome = buggy.run(seed=0)
+    print(format_race_report(buggy_outcome.run, title="step 1: races in the unsynchronized hand-off"))
+    print()
+
+    # Step 2: is it a real race?  Ask the execution-varying oracle.
+    oracle = SeedVaryingOracle(buggy.factory(), seeds=tuple(range(8)))
+    truth = oracle.evaluate()
+    observed = {
+        (run.per_rank_private[1].get("saw_flag"), tuple(run.per_rank_private[1].get("received", [])))
+        for run in truth.runs.values()
+    }
+    print("step 2: (flag seen, buffer contents) observed across eight interleavings:")
+    for row in sorted(observed, key=repr):
+        print(f"  {row}")
+    print(f"  oracle verdict: {'REAL race' if truth.racy else 'no observable divergence'}")
+    print()
+
+    # Step 3: the fix.
+    fixed = ProducerConsumerWorkload(synchronized=True)
+    fixed_outcome = fixed.run(seed=0)
+    print(
+        format_table(
+            ["variant", "race signals", "consumer received"],
+            [
+                (
+                    "buggy (flag polling)",
+                    buggy_outcome.run.race_count,
+                    buggy_outcome.runtime.private_memories[1].read("received"),
+                ),
+                (
+                    "fixed (barrier)",
+                    fixed_outcome.run.race_count,
+                    fixed_outcome.runtime.private_memories[1].read("received"),
+                ),
+            ],
+            title="step 3: before and after the fix",
+        )
+    )
+    print()
+
+    # Step 4: detector comparison on the buggy trace.
+    accesses = buggy_outcome.runtime.recorder.accesses()
+    world = buggy_outcome.run.config.world_size
+    rows = []
+    for detector in (PostMortemDualClockDetector(), SingleClockDetector(), LocksetDetector()):
+        result = detector.detect(accesses, world)
+        read_read = sum(1 for f in result.findings if not f.involves_write())
+        rows.append((detector.name, result.count(), read_read))
+    print(
+        format_table(
+            ["detector", "findings", "read-read (false) findings"],
+            rows,
+            title="step 4: offline detectors on the buggy trace",
+        )
+    )
+    print()
+    print(
+        "The dual-clock detector and its single-clock ablation both find the\n"
+        "flag/buffer races; only the single-clock variant also reports harmless\n"
+        "read-read pairs, and lockset reports nothing because every access is\n"
+        "individually protected by the NIC lock — locks give atomicity, not order."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Stencil halo-exchange demo: the same program with and without barriers.
+
+The 1-D Jacobi stencil pushes boundary cells into the neighbours' halo slots
+with one-sided puts — the communication pattern PGAS languages were designed
+for.  With barriers separating exchange and compute phases the program is
+race-free; delete the barriers and the halo writes of one iteration race with
+the halo reads of the previous one on the neighbouring rank.
+
+The demo runs both variants on the same parameters and prints, side by side:
+the detector's verdict, the message traffic, and the detection overhead
+(extra clock messages/bytes) — i.e. a miniature of experiments E11/E13.
+
+Run with ``python examples/stencil_halo.py``.
+"""
+
+from repro.analysis.overhead import detection_overhead_for
+from repro.analysis.reporting import format_race_report, format_table
+from repro.workloads import StencilWorkload
+
+
+def run_variant(use_barriers: bool, seed: int = 0):
+    """Run one variant and return (workload result, overhead dict)."""
+    workload = StencilWorkload(
+        world_size=4, cells_per_rank=8, iterations=3, use_barriers=use_barriers
+    )
+    outcome = workload.run(seed=seed)
+    return outcome, detection_overhead_for(outcome.run)
+
+
+def main() -> None:
+    with_barriers, overhead_sync = run_variant(use_barriers=True)
+    without_barriers, overhead_racy = run_variant(use_barriers=False)
+
+    rows = [
+        (
+            "with barriers",
+            with_barriers.run.race_count,
+            with_barriers.run.fabric_stats.data_messages,
+            with_barriers.run.fabric_stats.detection_messages,
+            f"{overhead_sync['detection_messages_per_access']:.2f}",
+            f"{with_barriers.run.elapsed_sim_time:.1f}",
+        ),
+        (
+            "without barriers",
+            without_barriers.run.race_count,
+            without_barriers.run.fabric_stats.data_messages,
+            without_barriers.run.fabric_stats.detection_messages,
+            f"{overhead_racy['detection_messages_per_access']:.2f}",
+            f"{without_barriers.run.elapsed_sim_time:.1f}",
+        ),
+    ]
+    print(
+        format_table(
+            [
+                "variant",
+                "race signals",
+                "data messages",
+                "clock messages",
+                "clock msgs / access",
+                "simulated time",
+            ],
+            rows,
+            title="1-D stencil, 4 ranks, 3 iterations",
+        )
+    )
+    print()
+    print(format_race_report(without_barriers.run, title="races in the barrier-free variant"))
+    print()
+    print(
+        "The barrier-separated variant is silent; removing the barriers makes\n"
+        "the halo writes race with the neighbours' reads, and the detector\n"
+        "pinpoints the halo cells involved."
+    )
+
+
+if __name__ == "__main__":
+    main()

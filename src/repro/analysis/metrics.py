@@ -1,0 +1,149 @@
+"""Detector accuracy metrics.
+
+A detector's verdict for one program is reduced to "which shared symbols did
+it flag"; the ground truth is the labelled corpus of
+:mod:`repro.workloads.racy_patterns` (labels known by construction) or the
+seed-varying oracle of :mod:`repro.detectors.ground_truth`.  Scoring is done
+at two granularities:
+
+* per *program*: did the detector's racy/clean verdict match the label?
+* per *symbol*: of the symbols flagged, how many were truly racy (precision),
+  and how many truly racy symbols were flagged (recall)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass
+class ConfusionCounts:
+    """Standard confusion-matrix counts."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def precision(self) -> float:
+        """TP / (TP + FP); defined as 1.0 when nothing was flagged."""
+        flagged = self.true_positives + self.false_positives
+        return self.true_positives / flagged if flagged else 1.0
+
+    @property
+    def recall(self) -> float:
+        """TP / (TP + FN); defined as 1.0 when nothing was truly racy."""
+        actual = self.true_positives + self.false_negatives
+        return self.true_positives / actual if actual else 1.0
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+    @property
+    def accuracy(self) -> float:
+        """(TP + TN) / total; defined as 1.0 on an empty evaluation."""
+        total = (
+            self.true_positives
+            + self.false_positives
+            + self.false_negatives
+            + self.true_negatives
+        )
+        return (self.true_positives + self.true_negatives) / total if total else 1.0
+
+    def add(self, predicted: bool, actual: bool) -> None:
+        """Accumulate one prediction/label pair."""
+        if predicted and actual:
+            self.true_positives += 1
+        elif predicted and not actual:
+            self.false_positives += 1
+        elif not predicted and actual:
+            self.false_negatives += 1
+        else:
+            self.true_negatives += 1
+
+
+@dataclass
+class DetectorScore:
+    """Aggregate score of one detector over a corpus."""
+
+    detector_name: str
+    program_level: ConfusionCounts = field(default_factory=ConfusionCounts)
+    symbol_level: ConfusionCounts = field(default_factory=ConfusionCounts)
+    per_program: Dict[str, Tuple[bool, bool]] = field(default_factory=dict)
+
+    def record_program(
+        self,
+        program_name: str,
+        flagged_symbols: Set[str],
+        truly_racy_symbols: Set[str],
+        all_symbols: Set[str],
+        program_truly_racy: bool,
+    ) -> None:
+        """Accumulate one program's outcome into both granularities."""
+        predicted_racy = bool(flagged_symbols)
+        self.program_level.add(predicted_racy, program_truly_racy)
+        self.per_program[program_name] = (predicted_racy, program_truly_racy)
+        for symbol in sorted(all_symbols):
+            self.symbol_level.add(symbol in flagged_symbols, symbol in truly_racy_symbols)
+
+    def as_row(self) -> List[object]:
+        """Row for the accuracy table: name, program acc, symbol P/R/F1."""
+        return [
+            self.detector_name,
+            f"{self.program_level.accuracy:.2f}",
+            f"{self.symbol_level.precision:.2f}",
+            f"{self.symbol_level.recall:.2f}",
+            f"{self.symbol_level.f1:.2f}",
+        ]
+
+
+def score_against_labels(
+    detector_name: str,
+    flagged_by_program: Dict[str, Set[str]],
+    labels_by_program: Dict[str, Set[str]],
+    symbols_by_program: Dict[str, Set[str]],
+) -> DetectorScore:
+    """Score one detector given per-program flagged / truly-racy / all symbols."""
+    score = DetectorScore(detector_name=detector_name)
+    for program, all_symbols in symbols_by_program.items():
+        flagged = flagged_by_program.get(program, set())
+        truly = labels_by_program.get(program, set())
+        score.record_program(
+            program_name=program,
+            flagged_symbols=flagged & all_symbols,
+            truly_racy_symbols=truly & all_symbols,
+            all_symbols=all_symbols,
+            program_truly_racy=bool(truly),
+        )
+    return score
+
+
+def score_patterns(
+    patterns: Sequence,
+    flagged_symbols_fn: Callable[[object], Set[str]],
+    detector_name: str,
+    seed: int = 0,
+) -> DetectorScore:
+    """Score a detector over the labelled pattern corpus.
+
+    *patterns* is a sequence of :class:`~repro.workloads.racy_patterns.LabelledPattern`;
+    ``flagged_symbols_fn(pattern)`` must build/run the pattern (with *seed*) and
+    return the set of symbols the detector flags.
+    """
+    flagged_by_program: Dict[str, Set[str]] = {}
+    labels_by_program: Dict[str, Set[str]] = {}
+    symbols_by_program: Dict[str, Set[str]] = {}
+    for pattern in patterns:
+        runtime = pattern.build(seed)
+        all_symbols = {symbol.name for symbol in runtime.directory.symbols()}
+        symbols_by_program[pattern.name] = all_symbols
+        labels_by_program[pattern.name] = set(pattern.racy_symbols)
+        flagged_by_program[pattern.name] = flagged_symbols_fn(pattern)
+    return score_against_labels(
+        detector_name, flagged_by_program, labels_by_program, symbols_by_program
+    )

@@ -1,0 +1,90 @@
+"""Plain-text report rendering.
+
+Benchmarks and examples print small tables (who raced with whom, overhead per
+world size, detector accuracy).  Keeping the formatting here means every
+"table" recorded in EXPERIMENTS.md is produced by exactly one code path and is
+stable across scripts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.runtime.runtime import RunResult
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an ASCII table with left-aligned columns sized to their content."""
+    header_cells = [str(h) for h in headers]
+    body = [[str(cell) for cell in row] for row in rows]
+    for row in body:
+        if len(row) != len(header_cells):
+            raise ValueError(
+                f"row has {len(row)} cells but the table has {len(header_cells)} columns: {row}"
+            )
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(header_cells))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in body)
+    return "\n".join(lines)
+
+
+def format_run_summary(result: RunResult, title: str = "run summary") -> str:
+    """One run's headline numbers as a small two-column table."""
+    summary = result.trace_summary
+    rows = [
+        ("world size", result.config.world_size),
+        ("simulated time", f"{result.elapsed_sim_time:.2f}"),
+        ("remote puts", summary.puts),
+        ("remote gets", summary.gets),
+        ("local public accesses", summary.local_accesses),
+        ("total messages", result.fabric_stats.total_messages),
+        ("data messages", result.fabric_stats.data_messages),
+        ("lock messages", result.fabric_stats.lock_messages),
+        ("detection messages", result.fabric_stats.detection_messages),
+        ("race signals", result.race_count),
+        ("distinct races", result.distinct_race_count),
+        ("clock storage entries", result.clock_storage_entries),
+    ]
+    return format_table(["metric", "value"], rows, title=title)
+
+
+def format_race_report(result: RunResult, title: str = "detected races") -> str:
+    """Distinct races of a run, one row each."""
+    rows = []
+    for record in result.races.distinct():
+        rows.append(
+            (
+                record.symbol or str(record.address),
+                f"P{record.current_rank} {record.current_kind.value}",
+                (
+                    f"P{record.previous_rank} {record.previous_kind.value}"
+                    if record.previous_rank is not None
+                    else f"? {record.previous_kind.value}"
+                ),
+                f"{record.time:.2f}",
+                str(record.current_clock),
+                str(record.previous_clock),
+            )
+        )
+    if not rows:
+        return f"{title}\n(no race conditions detected)"
+    return format_table(
+        ["datum", "access", "conflicts with", "time", "clock", "previous clock"],
+        rows,
+        title=title,
+    )

@@ -1,0 +1,104 @@
+"""ASCII space-time diagrams of recorded executions.
+
+The paper explains its scenarios with space-time diagrams (Figures 2–5): one
+vertical line per process, one row per event, arrows for the messages.  This
+module renders the same kind of diagram from a recorded trace so that a
+debugging session (or EXPERIMENTS.md) can show *what actually happened* in a
+run next to the race report.
+
+The rendering is deliberately simple: one text row per shared-memory access or
+synchronization event, in time order, with the access drawn in the column of
+the process that performed it and annotated with the operation, the datum and
+— when available from the race report — a ``RACE`` marker.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.races import RaceRecord
+from repro.memory.consistency import AccessKind, MemoryAccess
+from repro.trace.events import SyncEvent
+
+
+def _column_label(access: MemoryAccess) -> str:
+    symbol = access.symbol or str(access.address)
+    kind = "W" if access.kind is AccessKind.WRITE else "R"
+    tag = access.operation or ("put" if kind == "W" else "get")
+    return f"{kind}:{symbol}[{tag}]"
+
+
+def render_spacetime(
+    world_size: int,
+    accesses: Sequence[MemoryAccess],
+    syncs: Sequence[SyncEvent] = (),
+    races: Sequence[RaceRecord] = (),
+    column_width: int = 22,
+    max_rows: Optional[int] = 200,
+) -> str:
+    """Render a space-time diagram of *accesses* (plus barriers) as text.
+
+    Parameters
+    ----------
+    world_size:
+        Number of process columns.
+    accesses / syncs:
+        Trace contents, typically ``recorder.accesses()`` / ``recorder.syncs()``.
+    races:
+        Race records; the accesses they involve are marked with ``*RACE*``.
+    column_width:
+        Width of each process column.
+    max_rows:
+        Truncate very long traces (a note is appended when truncation occurs).
+    """
+    if world_size <= 0:
+        raise ValueError(f"world_size must be positive, got {world_size}")
+    racy_keys: Set[Tuple[int, object, float]] = set()
+    for record in races:
+        racy_keys.add((record.current_rank, record.address, record.time))
+
+    header = "time".rjust(9) + " | " + " | ".join(
+        f"P{rank}".center(column_width) for rank in range(world_size)
+    )
+    ruler = "-" * len(header)
+    lines: List[str] = [header, ruler]
+
+    stream: List[Tuple[float, int, str, object]] = [
+        (a.time, a.access_id, "access", a) for a in accesses
+    ]
+    stream.extend((s.time, s.sync_id, "sync", s) for s in syncs)
+    stream.sort(key=lambda item: (item[0], item[1]))
+
+    truncated = False
+    if max_rows is not None and len(stream) > max_rows:
+        stream = stream[:max_rows]
+        truncated = True
+
+    for time, _eid, kind, event in stream:
+        if kind == "sync":
+            label = f"==== barrier ({len(event.participants)} ranks) ===="
+            lines.append(f"{time:9.2f} | " + label.center((column_width + 3) * world_size - 3))
+            continue
+        access = event
+        cells = [" " * column_width for _ in range(world_size)]
+        label = _column_label(access)
+        if (access.rank, access.address, access.time) in racy_keys:
+            label += " *RACE*"
+        if access.rank < world_size:
+            cells[access.rank] = label[:column_width].center(column_width)
+        lines.append(f"{time:9.2f} | " + " | ".join(cells))
+
+    if truncated:
+        lines.append(f"... ({len(accesses) + len(list(syncs)) - max_rows} more events)")
+    return "\n".join(lines)
+
+
+def render_run(runtime, result, **kwargs) -> str:
+    """Convenience wrapper: diagram of a completed :class:`DSMRuntime` run."""
+    return render_spacetime(
+        runtime.config.world_size,
+        runtime.recorder.accesses(),
+        syncs=runtime.recorder.syncs(),
+        races=result.races.records(),
+        **kwargs,
+    )

@@ -1,0 +1,325 @@
+"""Logical clocks: Lamport scalars, vector clocks and matrix clocks.
+
+The race-detection algorithm of the paper rests entirely on logical time:
+
+* Lamport clocks [12] give a total order compatible with causality but cannot
+  *characterize* it;
+* vector clocks (Fayet/Mattern [15]) characterize causality exactly
+  (Lemma 1 / Mattern's Theorem 10): ``e < e'  iff  V(e) < V(e')`` and
+  ``e ∥ e'  iff  V(e) ∥ V(e')``;
+* the paper's processes each maintain a *clock matrix* ``V_Pi`` — row ``j`` is
+  ``P_i``'s latest knowledge of ``P_j``'s vector clock — and increment the
+  diagonal entry ``V_Pi[i, i]`` before every event (Section IV-B).
+
+Clock entries are stored as NumPy ``int64`` arrays: merges (component-wise
+max, Algorithm 4) and comparisons are then single vectorized operations, which
+matters because the detector performs one merge and up to two comparisons per
+remote memory access.
+
+Charron-Bost's lower bound (Section IV-C of the paper) says vector clocks for
+``n`` processes need at least ``n`` entries; :attr:`VectorClock.size` is that
+``n`` and the overhead benchmarks report storage directly in clock entries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.util.validation import require_positive, require_rank, require_type
+
+ClockLike = Union["VectorClock", Sequence[int], np.ndarray]
+
+
+class LamportClock:
+    """A scalar Lamport clock.
+
+    Provided for completeness and for the baseline detectors' documentation:
+    the paper notes scalar clocks track logical time but only vector clocks
+    allow the *partial causal ordering* needed to detect races.
+    """
+
+    def __init__(self, initial: int = 0) -> None:
+        require_type(initial, int, "initial")
+        if initial < 0:
+            raise ValueError(f"Lamport clock cannot start negative, got {initial}")
+        self._value = initial
+
+    @property
+    def value(self) -> int:
+        """Current clock value."""
+        return self._value
+
+    def tick(self) -> int:
+        """Advance for a local event; return the new value."""
+        self._value += 1
+        return self._value
+
+    def observe(self, other: int) -> int:
+        """Merge a received timestamp (``max`` rule) and tick; return new value."""
+        require_type(other, int, "other")
+        self._value = max(self._value, other) + 1
+        return self._value
+
+    def copy(self) -> "LamportClock":
+        """Return an independent copy."""
+        return LamportClock(self._value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LamportClock({self._value})"
+
+
+class VectorClock:
+    """A fixed-size vector clock over ``n`` processes.
+
+    The clock is mutable (``tick``/``merge_in_place``) because the detector
+    updates per-datum clocks in place under the NIC lock; every value that is
+    stored in a trace or a race record is an explicit :meth:`copy` (or
+    :meth:`frozen` tuple) so later mutation cannot corrupt history.
+    """
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, size_or_entries: Union[int, ClockLike]) -> None:
+        if isinstance(size_or_entries, VectorClock):
+            self._entries = size_or_entries._entries.copy()
+            return
+        if isinstance(size_or_entries, (int, np.integer)) and not isinstance(size_or_entries, bool):
+            size = int(size_or_entries)
+            require_positive(size, "size")
+            self._entries = np.zeros(size, dtype=np.int64)
+            return
+        entries = np.asarray(size_or_entries, dtype=np.int64)
+        if entries.ndim != 1 or entries.size == 0:
+            raise ValueError(
+                f"vector clock entries must be a non-empty 1-D sequence, got shape {entries.shape}"
+            )
+        if np.any(entries < 0):
+            raise ValueError("vector clock entries must be non-negative")
+        self._entries = entries.copy()
+
+    # -- construction helpers --------------------------------------------------
+
+    @classmethod
+    def zeros(cls, size: int) -> "VectorClock":
+        """An all-zero clock for ``size`` processes (the paper's initial state)."""
+        return cls(size)
+
+    @classmethod
+    def from_entries(cls, entries: Iterable[int]) -> "VectorClock":
+        """Build a clock from an explicit entry list (used heavily in tests)."""
+        return cls(list(entries))
+
+    # -- basic accessors --------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of entries ``n`` — cannot be smaller than the process count [3]."""
+        return int(self._entries.size)
+
+    @property
+    def entries(self) -> np.ndarray:
+        """A *copy* of the underlying entries."""
+        return self._entries.copy()
+
+    def component(self, rank: int) -> int:
+        """Entry for process *rank*."""
+        require_rank(rank, self.size, "rank")
+        return int(self._entries[rank])
+
+    def frozen(self) -> Tuple[int, ...]:
+        """An immutable, hashable snapshot of the entries."""
+        return tuple(int(x) for x in self._entries)
+
+    def total(self) -> int:
+        """Sum of all entries — the number of causally known events."""
+        return int(self._entries.sum())
+
+    # -- updates -----------------------------------------------------------------
+
+    def tick(self, rank: int) -> "VectorClock":
+        """Increment the component of *rank* (a local event on that process)."""
+        require_rank(rank, self.size, "rank")
+        self._entries[rank] += 1
+        return self
+
+    def merge_in_place(self, other: ClockLike) -> "VectorClock":
+        """Component-wise max with *other* (Algorithm 4), mutating ``self``."""
+        other_entries = self._coerce(other)
+        np.maximum(self._entries, other_entries, out=self._entries)
+        return self
+
+    def merged(self, other: ClockLike) -> "VectorClock":
+        """Return a new clock equal to the component-wise max (Algorithm 4)."""
+        other_entries = self._coerce(other)
+        return VectorClock(np.maximum(self._entries, other_entries))
+
+    def copy(self) -> "VectorClock":
+        """Return an independent copy."""
+        return VectorClock(self._entries)
+
+    # -- comparisons ---------------------------------------------------------------
+
+    def _coerce(self, other: ClockLike) -> np.ndarray:
+        if isinstance(other, VectorClock):
+            entries = other._entries
+        else:
+            entries = np.asarray(other, dtype=np.int64)
+        if entries.shape != self._entries.shape:
+            raise ValueError(
+                f"clock size mismatch: {self._entries.size} vs {entries.size}"
+            )
+        return entries
+
+    def dominates(self, other: ClockLike) -> bool:
+        """True when ``self >= other`` component-wise (reflexive)."""
+        return bool(np.all(self._entries >= self._coerce(other)))
+
+    def happens_before(self, other: ClockLike) -> bool:
+        """Mattern's strict order: ``self <= other`` everywhere and ``!=`` somewhere."""
+        other_entries = self._coerce(other)
+        return bool(
+            np.all(self._entries <= other_entries)
+            and np.any(self._entries < other_entries)
+        )
+
+    def strictly_less(self, other: ClockLike) -> bool:
+        """The paper's literal Algorithm 3: strictly less in *every* component."""
+        return bool(np.all(self._entries < self._coerce(other)))
+
+    def concurrent_with(self, other: ClockLike) -> bool:
+        """True when neither clock happens-before the other and they differ."""
+        other_clock = other if isinstance(other, VectorClock) else VectorClock(other)
+        return (
+            not self.happens_before(other_clock)
+            and not other_clock.happens_before(self)
+            and self != other_clock
+        )
+
+    # -- dunder ---------------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, (VectorClock, list, tuple, np.ndarray)):
+            return NotImplemented
+        try:
+            return bool(np.array_equal(self._entries, self._coerce(other)))
+        except ValueError:
+            return False
+
+    def __hash__(self) -> int:
+        return hash(self.frozen())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __getitem__(self, rank: int) -> int:
+        return self.component(rank)
+
+    def __repr__(self) -> str:
+        return f"VectorClock({list(int(x) for x in self._entries)})"
+
+    def __str__(self) -> str:
+        return "".join(str(int(x)) for x in self._entries) if self.size <= 10 else repr(self)
+
+
+class MatrixClock:
+    """The per-process clock matrix ``V_Pi`` of the paper (Section IV-B).
+
+    Row ``j`` holds ``P_i``'s latest knowledge of ``P_j``'s vector clock; the
+    diagonal entry ``[i, i]`` is ``P_i``'s own event counter and is the value
+    incremented by ``update_local_clock``.  The *principal row* ``row(i)`` is
+    the vector clock actually attached to events and compared by the detector.
+    """
+
+    __slots__ = ("_rank", "_matrix")
+
+    def __init__(self, rank: int, size: int) -> None:
+        require_positive(size, "size")
+        require_rank(rank, size, "rank")
+        self._rank = rank
+        self._matrix = np.zeros((size, size), dtype=np.int64)
+
+    @property
+    def rank(self) -> int:
+        """The owning process."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of processes ``n`` (the matrix is ``n × n``)."""
+        return int(self._matrix.shape[0])
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """A copy of the full matrix."""
+        return self._matrix.copy()
+
+    def local_component(self) -> int:
+        """The diagonal entry ``V_Pi[i, i]``."""
+        return int(self._matrix[self._rank, self._rank])
+
+    def row(self, rank: Optional[int] = None) -> VectorClock:
+        """Return row *rank* (default: the principal row) as a vector clock."""
+        rank = self._rank if rank is None else rank
+        require_rank(rank, self.size, "rank")
+        return VectorClock(self._matrix[rank])
+
+    def principal(self) -> VectorClock:
+        """The owning process's own vector clock (row ``i``)."""
+        return self.row(self._rank)
+
+    def tick(self) -> VectorClock:
+        """``update_local_clock``: increment ``V_Pi[i, i]`` before an event.
+
+        Returns a copy of the principal row *after* the increment, which is the
+        clock value attached to the event (Algorithms 1 and 2).
+        """
+        self._matrix[self._rank, self._rank] += 1
+        return self.principal()
+
+    def observe_vector(self, other: ClockLike, source_rank: Optional[int] = None) -> VectorClock:
+        """Merge a received vector clock into the principal row (Algorithm 4).
+
+        When *source_rank* is given, the corresponding row is also raised to
+        the received vector, recording what that process knew — this is the
+        matrix-clock refinement of [17] mentioned in the paper.
+        """
+        other_entries = (
+            other.entries if isinstance(other, VectorClock) else np.asarray(other, dtype=np.int64)
+        )
+        if other_entries.shape != (self.size,):
+            raise ValueError(
+                f"clock size mismatch: expected {self.size}, got {other_entries.size}"
+            )
+        np.maximum(
+            self._matrix[self._rank], other_entries, out=self._matrix[self._rank]
+        )
+        if source_rank is not None:
+            require_rank(source_rank, self.size, "source_rank")
+            np.maximum(
+                self._matrix[source_rank], other_entries, out=self._matrix[source_rank]
+            )
+        return self.principal()
+
+    def known_lower_bound(self) -> VectorClock:
+        """Column-wise minimum over rows: events known to be known by everyone.
+
+        This is the classic matrix-clock garbage-collection bound; it is not
+        needed by the detection algorithm itself but is exposed for the
+        analysis package and future-work experiments.
+        """
+        return VectorClock(self._matrix.min(axis=0))
+
+    def storage_entries(self) -> int:
+        """Number of integer entries held (``n²``), for overhead accounting."""
+        return int(self._matrix.size)
+
+    def copy(self) -> "MatrixClock":
+        """Return an independent copy."""
+        clone = MatrixClock(self._rank, self.size)
+        clone._matrix = self._matrix.copy()
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MatrixClock P{self._rank} {self.size}x{self.size} diag={self.local_component()}>"

@@ -1,0 +1,95 @@
+"""Clock comparison and merge primitives (Algorithms 3 and 4 of the paper).
+
+The detection condition (Corollary 1) is: given two events ``e1``, ``e2`` with
+clocks ``H1``, ``H2``, *if no ordering can be determined between ``H1`` and
+``H2`` there exists a race condition between ``e1`` and ``e2``*.  The
+functions here provide both the paper's literal ``compare_clocks`` (strict
+component-wise ``<``, Algorithm 3) and the standard Mattern ordering
+(component-wise ``<=`` with at least one strict inequality), which is the
+mathematically exact characterization of happens-before (Lemma 1).  The
+detector uses the Mattern ordering by default and the literal variant when
+configured for a faithful-to-the-letter ablation.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Union
+
+from repro.core.clocks import ClockLike, VectorClock
+
+
+class ClockOrdering(enum.Enum):
+    """Result of comparing two vector clocks."""
+
+    BEFORE = "before"          # first happens-before second
+    AFTER = "after"            # second happens-before first
+    EQUAL = "equal"            # identical clocks (same causal history)
+    CONCURRENT = "concurrent"  # incomparable: a potential race
+
+    @property
+    def is_ordered(self) -> bool:
+        """True when a happens-before (or equality) relation exists."""
+        return self is not ClockOrdering.CONCURRENT
+
+
+def _as_clock(value: ClockLike) -> VectorClock:
+    return value if isinstance(value, VectorClock) else VectorClock(value)
+
+
+def compare_clocks(first: ClockLike, second: ClockLike) -> bool:
+    """Mattern comparison: ``True`` iff *first* happens-before *second*.
+
+    This is the semantic reading of the paper's ``compare_clocks(Pi, a, Pj, b)``
+    primitive: it answers "is the event carrying *first* causally before the
+    event carrying *second*?".  Equality returns ``False`` (an event does not
+    happen before itself), mirroring the strict ``<`` of Lemma 1.
+    """
+    return _as_clock(first).happens_before(second)
+
+
+def compare_clocks_strict(first: ClockLike, second: ClockLike) -> bool:
+    """The paper's literal Algorithm 3: every component strictly smaller.
+
+    Strictly stronger than :func:`compare_clocks`; under this reading more
+    clock pairs are "incomparable" and the detector reports more races.  Kept
+    for the fidelity ablation (benchmark E9).
+    """
+    return _as_clock(first).strictly_less(second)
+
+
+def happens_before(first: ClockLike, second: ClockLike) -> bool:
+    """Alias of :func:`compare_clocks` with the conventional name."""
+    return compare_clocks(first, second)
+
+
+def concurrent(first: ClockLike, second: ClockLike) -> bool:
+    """True when neither clock happens-before the other and they differ.
+
+    This is the ``e1 × e2`` condition of Corollary 1: the pair is a race
+    candidate (an actual race additionally requires one of the two accesses to
+    be a write, which the detector checks before signalling).
+    """
+    a, b = _as_clock(first), _as_clock(second)
+    return a.concurrent_with(b)
+
+
+def ordering(first: ClockLike, second: ClockLike) -> ClockOrdering:
+    """Classify the relation between two clocks."""
+    a, b = _as_clock(first), _as_clock(second)
+    if a == b:
+        return ClockOrdering.EQUAL
+    if a.happens_before(b):
+        return ClockOrdering.BEFORE
+    if b.happens_before(a):
+        return ClockOrdering.AFTER
+    return ClockOrdering.CONCURRENT
+
+
+def max_clock(first: ClockLike, second: ClockLike) -> VectorClock:
+    """Algorithm 4: component-wise maximum, returned as a new clock.
+
+    ``∀l, V'[l] = max(V_Pi[l], V_Pj[l])`` — the standard vector-clock merge
+    rule [17] applied on every remote clock update (Algorithm 5).
+    """
+    return _as_clock(first).merged(second)

@@ -1,0 +1,493 @@
+"""The dual-clock race detector (Algorithms 1, 2 and 5 of the paper).
+
+Every shared datum carries two vector clocks, stored in the owning rank's
+public memory next to the data (``MemoryCell.access_clock`` /
+``MemoryCell.write_clock``):
+
+* ``V(x)`` — the *general-purpose clock*, advanced by every access to ``x``;
+* ``W(x)`` — the *write clock*, advanced only by writes to ``x``.
+
+Every process ``P_i`` maintains a matrix clock ``V_Pi`` and increments its
+local component before each event (``update_local_clock``).  When a remote
+operation reaches the datum (under the NIC lock, so the detection mechanism
+itself cannot race — paper, end of Section IV-B), the detector compares the
+event's clock with the datum's clock:
+
+* a **write** (``put``) is compared against the datum's access clock ``V(x)``
+  by default — a write races with *any* unordered earlier access;
+* a **read** (``get``) is compared against the datum's write clock ``W(x)`` —
+  a read races only with an unordered earlier *write*, so concurrent reads are
+  never flagged (Figure 4, Section IV-D).
+
+If the two clocks are incomparable (Corollary 1) a :class:`RaceRecord` is
+emitted through the configured :class:`~repro.core.races.RaceReport`.  After
+the check the datum's clocks are merged with the event clock (Algorithm 5 /
+``max_clock``) and, for a ``get``, the origin process's clock merges the
+datum's clock (the data — and therefore its causal history — flowed back to
+the origin).
+
+Clock-update conventions (calibrated against the clock values printed in
+Figures 4 and 5a–5c; see DESIGN.md "Interpretation notes"):
+
+* the *arrival* of a remote write at the owner's memory is an event of the
+  owning process: the owner's clock merges the incoming clock and ticks, and
+  the datum clocks record that reception (``write_effect_ticks_owner``,
+  default on).  This matches the clock values printed on the space-time
+  diagrams of Figure 5 (``110`` on the P1 line after ``m1(100)``), makes the
+  second put of Figure 5a a detected race, keeps the causally chained accesses
+  of Figure 5b ordered, and makes the unordered *arrivals* of Figure 5c a
+  detected race even though the two puts are ordered at their issuers;
+* servicing a ``get`` ticks nothing (Figure 5b shows ``P0`` merely merging
+  ``010``); the reader learns the datum's access clock from the reply;
+* a process never races with its own immediately preceding access to the same
+  datum (program order plus FIFO delivery, ``same_origin_program_order``) —
+  this is what keeps Figure 2's put-then-get by P2 silent;
+* a writer does not otherwise learn the owner's new tick from its own put
+  (one-sided writes are fire-and-forget); the optional
+  ``origin_learns_datum_after_write`` knob models acknowledged puts instead.
+
+The paper's pseudo-code also admits a stricter comparison that we keep for
+ablations (benchmark E9): ``comparison = STRICT`` uses the literal Algorithm 3
+(strictly smaller in every component) instead of Mattern's order.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.comparator import ClockOrdering, compare_clocks, compare_clocks_strict, ordering
+from repro.core.races import RaceRecord, RaceReport, SignalPolicy
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.memory.public import MemoryCell
+from repro.util.validation import require_positive, require_rank
+
+
+class WriteCheckMode(enum.Enum):
+    """Which per-datum clock a *write* is checked against.
+
+    ``ACCESS_CLOCK`` (default) — check against ``V(x)``: a write races with any
+    unordered earlier access, read or write.  This is the reading implied by
+    Section IV-A ("causally ordered with the latest write on this data" for
+    reads, and symmetric protection for writes).
+
+    ``WRITE_CLOCK`` — check against ``W(x)`` only, the literal text of
+    Algorithm 1: unordered write/read pairs where the read came first are then
+    missed; kept for the fidelity ablation.
+    """
+
+    ACCESS_CLOCK = "access-clock"
+    WRITE_CLOCK = "write-clock"
+
+
+class ComparisonMode(enum.Enum):
+    """Which clock comparison implements ``compare_clocks``."""
+
+    MATTERN = "mattern"   # component-wise <= with at least one <  (Lemma 1)
+    STRICT = "strict"     # component-wise <  in every entry       (Algorithm 3, literal)
+
+
+@dataclass
+class DetectorConfig:
+    """Tunable knobs of the detector.
+
+    Attributes
+    ----------
+    enabled:
+        When false, no checks are performed and no clocks or clock traffic are
+        maintained — modelling a production run with detection off (used by
+        the overhead benchmark E11 as the baseline).
+    write_check:
+        See :class:`WriteCheckMode`.
+    comparison:
+        See :class:`ComparisonMode`.
+    write_effect_ticks_owner:
+        Treat the arrival of a remote write at the owner's memory as an event
+        of the owning process: the owner's clock merges the incoming clock and
+        ticks, and the datum clocks record that reception (the convention
+        behind the clock values of Figures 5a–5c, e.g. ``110`` on the P1 line
+        after ``m1(100)``).  Default on; turning it off reduces detection to
+        pure issuing-side happens-before, which misses the arrival-order race
+        of Figure 5c (ablation benchmark).
+    same_origin_program_order:
+        Consecutive accesses by the *same* process to the same datum are
+        ordered by program order plus the FIFO delivery of the fabric, so a
+        process can never race with its own immediately preceding access
+        (e.g. Figure 2's put-then-get by P2).  Default on; the check is only
+        skipped when the last conflicting access was by the same origin.
+    origin_learns_on_get:
+        Merge the datum's clock into the reading process's clock (data flowed
+        back, so causality follows the data).  Default on.
+    origin_learns_on_put_check:
+        Merge the clock fetched for the pre-write check into the writer's
+        clock.  Default on (the writer did observe that clock value).
+    origin_learns_datum_after_write:
+        Additionally merge the datum clock *including the owner's new tick*
+        into the writer's clock when the put completes.  Default off
+        (paper-faithful); turning it on treats put completion as a
+        synchronization, which silences reports on repeated unsynchronized
+        puts from one origin but misses Figure 5c.
+    control_messages_per_check:
+        Extra NIC messages charged per instrumented operation for fetching and
+        writing back clocks (Algorithm 5 uses a get_clock + put_clock pair; a
+        piggybacked implementation would use 0).  Used for overhead accounting.
+    """
+
+    enabled: bool = True
+    write_check: WriteCheckMode = WriteCheckMode.ACCESS_CLOCK
+    comparison: ComparisonMode = ComparisonMode.MATTERN
+    write_effect_ticks_owner: bool = True
+    same_origin_program_order: bool = True
+    origin_learns_on_get: bool = True
+    origin_learns_on_put_check: bool = True
+    origin_learns_datum_after_write: bool = False
+    control_messages_per_check: int = 2
+
+    def compare(self, first: VectorClock, second: VectorClock) -> bool:
+        """``compare_clocks`` under the configured comparison mode."""
+        if self.comparison is ComparisonMode.STRICT:
+            return compare_clocks_strict(first, second)
+        return compare_clocks(first, second)
+
+    def clocks_unordered(self, first: VectorClock, second: VectorClock) -> bool:
+        """The race test of Algorithms 1–2: neither clock precedes the other.
+
+        Equal clocks are considered ordered (identical causal history cannot
+        constitute a race) under the Mattern comparison; under the literal
+        strict comparison equality is *not* an ordering, exactly as the
+        paper's Algorithm 3 would compute.
+        """
+        if self.comparison is ComparisonMode.MATTERN and first == second:
+            return False
+        return not self.compare(first, second) and not self.compare(second, first)
+
+
+@dataclass
+class AccessCheckResult:
+    """Outcome of one instrumented remote access."""
+
+    race: Optional[RaceRecord]
+    event_clock: Tuple[int, ...]
+    datum_access_clock: Tuple[int, ...]
+    datum_write_clock: Optional[Tuple[int, ...]]
+    extra_control_messages: int = 0
+    extra_clock_bytes: int = 0
+
+    @property
+    def raced(self) -> bool:
+        """True when this access was flagged."""
+        return self.race is not None
+
+
+@dataclass
+class _LastAccessInfo:
+    """Detector-side memory of who last touched a datum (for reporting only)."""
+
+    last_writer: Optional[int] = None
+    last_accessor: Optional[int] = None
+    last_access_kind: AccessKind = AccessKind.WRITE
+
+
+class DualClockRaceDetector:
+    """Per-execution race detector implementing the paper's algorithm."""
+
+    #: Bytes per vector-clock entry, for message/storage overhead accounting.
+    BYTES_PER_ENTRY = 8
+
+    def __init__(
+        self,
+        world_size: int,
+        config: Optional[DetectorConfig] = None,
+        report: Optional[RaceReport] = None,
+    ) -> None:
+        require_positive(world_size, "world_size")
+        self._world_size = world_size
+        self.config = config if config is not None else DetectorConfig()
+        # Note: RaceReport is falsy while empty, so test for None explicitly.
+        self.report = report if report is not None else RaceReport(SignalPolicy.COLLECT)
+        self._process_clocks: Dict[int, MatrixClock] = {
+            rank: MatrixClock(rank, world_size) for rank in range(world_size)
+        }
+        self._last_info: Dict[GlobalAddress, _LastAccessInfo] = {}
+        self._checks_performed = 0
+        self._control_messages = 0
+        self._clock_bytes_on_wire = 0
+
+    # -- clocks ---------------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        """Number of processes the clocks cover."""
+        return self._world_size
+
+    def process_clock(self, rank: int) -> MatrixClock:
+        """The matrix clock maintained by *rank*."""
+        require_rank(rank, self._world_size, "rank")
+        return self._process_clocks[rank]
+
+    def current_clock(self, rank: int) -> VectorClock:
+        """A copy of *rank*'s current principal vector clock."""
+        return self.process_clock(rank).principal()
+
+    def local_event(self, rank: int) -> VectorClock:
+        """``update_local_clock``: tick *rank* for a purely local event."""
+        return self.process_clock(rank).tick()
+
+    def transfer_clock(self, from_rank: int, to_rank: int) -> VectorClock:
+        """Merge *from_rank*'s clock into *to_rank*'s (explicit synchronization).
+
+        Used by the runtime's collectives (barrier, point-to-point
+        notifications): any explicit synchronization creates a happens-before
+        edge, which is what makes subsequent accesses ordered.
+        """
+        snapshot = self.current_clock(from_rank)
+        return self.process_clock(to_rank).observe_vector(snapshot, source_rank=from_rank)
+
+    # -- bookkeeping helpers ------------------------------------------------------
+
+    def _ensure_cell_clocks(self, cell: MemoryCell) -> None:
+        if cell.access_clock is None:
+            cell.access_clock = VectorClock.zeros(self._world_size)
+        if cell.write_clock is None:
+            cell.write_clock = VectorClock.zeros(self._world_size)
+
+    def _info(self, address: GlobalAddress) -> _LastAccessInfo:
+        return self._last_info.setdefault(address, _LastAccessInfo())
+
+    def _charge_overhead(self, result: AccessCheckResult) -> None:
+        self._control_messages += result.extra_control_messages
+        self._clock_bytes_on_wire += result.extra_clock_bytes
+
+    def _overhead_for_check(self) -> Tuple[int, int]:
+        messages = self.config.control_messages_per_check
+        clock_bytes = 2 * self._world_size * self.BYTES_PER_ENTRY
+        return messages, clock_bytes
+
+    # -- the instrumented operations ------------------------------------------------
+
+    def on_write(
+        self,
+        origin: int,
+        address: GlobalAddress,
+        cell: MemoryCell,
+        *,
+        symbol: Optional[str] = None,
+        time: float = 0.0,
+        operation: str = "put",
+    ) -> AccessCheckResult:
+        """Algorithm 1: instrument a remote write (``put``) into *cell*.
+
+        Must be called while the NIC lock on *address* is held.
+        """
+        require_rank(origin, self._world_size, "origin")
+        if not self.config.enabled:
+            return self._uninstrumented(origin, cell)
+        self._ensure_cell_clocks(cell)
+        event_clock = self.process_clock(origin).tick()
+        reference = (
+            cell.access_clock
+            if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
+            else cell.write_clock
+        )
+        assert reference is not None  # _ensure_cell_clocks ran
+        info = self._info(address)
+        race = self._check(
+            origin=origin,
+            address=address,
+            kind=AccessKind.WRITE,
+            event_clock=event_clock,
+            reference_clock=reference,
+            previous_rank=(
+                info.last_accessor
+                if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
+                else info.last_writer
+            ),
+            previous_kind=(
+                info.last_access_kind
+                if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
+                else AccessKind.WRITE
+            ),
+            symbol=symbol,
+            time=time,
+            operation=operation,
+        )
+        if self.config.origin_learns_on_put_check:
+            # The writer fetched the datum clock for the check; it now knows it.
+            self.process_clock(origin).observe_vector(reference)
+            event_clock = self.current_clock(origin)
+        # Algorithm 5 (update_clock / update_clock_W): merge the event clock
+        # into both per-datum clocks; the write's effect at the owner's memory
+        # additionally counts as an event of the owning process.
+        cell.access_clock.merge_in_place(event_clock)
+        cell.write_clock.merge_in_place(event_clock)
+        if self.config.write_effect_ticks_owner and address.rank != origin:
+            # The arrival of the write at the owner's memory is an event of the
+            # owning process (this is how the paper's Figure 5 space-time
+            # diagrams advance the target's clock on reception of a put): the
+            # owner merges the incoming clock, ticks its own component, and the
+            # datum clocks record that reception event.
+            owner_clock = self.process_clock(address.rank)
+            owner_clock.observe_vector(event_clock)
+            owner_view = owner_clock.tick()
+            cell.access_clock.merge_in_place(owner_view)
+            cell.write_clock.merge_in_place(owner_view)
+        if self.config.origin_learns_datum_after_write:
+            self.process_clock(origin).observe_vector(cell.access_clock)
+        info.last_writer = origin
+        info.last_accessor = origin
+        info.last_access_kind = AccessKind.WRITE
+        self._checks_performed += 1
+        messages, clock_bytes = self._overhead_for_check()
+        result = AccessCheckResult(
+            race=race,
+            event_clock=event_clock.frozen(),
+            datum_access_clock=cell.access_clock.frozen(),
+            datum_write_clock=cell.write_clock.frozen(),
+            extra_control_messages=messages,
+            extra_clock_bytes=clock_bytes,
+        )
+        self._charge_overhead(result)
+        return result
+
+    def on_read(
+        self,
+        origin: int,
+        address: GlobalAddress,
+        cell: MemoryCell,
+        *,
+        symbol: Optional[str] = None,
+        time: float = 0.0,
+        operation: str = "get",
+    ) -> AccessCheckResult:
+        """Algorithm 2: instrument a remote read (``get``) of *cell*.
+
+        Must be called while the NIC lock on *address* is held.
+        """
+        require_rank(origin, self._world_size, "origin")
+        if not self.config.enabled:
+            return self._uninstrumented(origin, cell)
+        self._ensure_cell_clocks(cell)
+        event_clock = self.process_clock(origin).tick()
+        info = self._info(address)
+        race = self._check(
+            origin=origin,
+            address=address,
+            kind=AccessKind.READ,
+            event_clock=event_clock,
+            reference_clock=cell.write_clock,
+            previous_rank=info.last_writer,
+            previous_kind=AccessKind.WRITE,
+            symbol=symbol,
+            time=time,
+            operation=operation,
+        )
+        if self.config.origin_learns_on_get:
+            # The data (and its causal history) flows back to the reader.
+            self.process_clock(origin).observe_vector(cell.access_clock)
+            event_clock = self.current_clock(origin)
+        cell.access_clock.merge_in_place(event_clock)
+        info.last_accessor = origin
+        info.last_access_kind = AccessKind.READ
+        self._checks_performed += 1
+        messages, clock_bytes = self._overhead_for_check()
+        result = AccessCheckResult(
+            race=race,
+            event_clock=event_clock.frozen(),
+            datum_access_clock=cell.access_clock.frozen(),
+            datum_write_clock=cell.write_clock.frozen() if cell.write_clock else None,
+            extra_control_messages=messages,
+            extra_clock_bytes=clock_bytes,
+        )
+        self._charge_overhead(result)
+        return result
+
+    def _uninstrumented(self, origin: int, cell: MemoryCell) -> AccessCheckResult:
+        """Detection disabled: no clocks, no checks, no overhead."""
+        return AccessCheckResult(
+            race=None,
+            event_clock=(),
+            datum_access_clock=(),
+            datum_write_clock=None,
+            extra_control_messages=0,
+            extra_clock_bytes=0,
+        )
+
+    def _check(
+        self,
+        *,
+        origin: int,
+        address: GlobalAddress,
+        kind: AccessKind,
+        event_clock: VectorClock,
+        reference_clock: VectorClock,
+        previous_rank: Optional[int],
+        previous_kind: AccessKind,
+        symbol: Optional[str],
+        time: float,
+        operation: str,
+    ) -> Optional[RaceRecord]:
+        """Corollary 1: signal a race when the clocks are incomparable.
+
+        A virgin datum (all-zero reference clock) has never been accessed:
+        the zero clock happens-before every non-zero clock, so no race can be
+        reported for a first access.  When the last conflicting access was
+        made by the same process, program order plus FIFO delivery already
+        orders the pair and the check is skipped (``same_origin_program_order``).
+        """
+        if reference_clock.total() == 0:
+            return None
+        if (
+            self.config.same_origin_program_order
+            and previous_rank is not None
+            and previous_rank == origin
+        ):
+            return None
+        if not self.config.clocks_unordered(event_clock, reference_clock):
+            return None
+        record = RaceRecord(
+            address=address,
+            current_rank=origin,
+            current_kind=kind,
+            current_clock=event_clock.frozen(),
+            previous_rank=previous_rank,
+            previous_kind=previous_kind,
+            previous_clock=reference_clock.frozen(),
+            time=time,
+            symbol=symbol,
+            operation=operation,
+            detail=f"compare_clocks failed both ways ({self.config.comparison.value})",
+        )
+        self.report.signal(record)
+        return record
+
+    # -- overhead accounting ---------------------------------------------------------
+
+    @property
+    def checks_performed(self) -> int:
+        """Number of instrumented remote accesses."""
+        return self._checks_performed
+
+    @property
+    def control_messages(self) -> int:
+        """Extra NIC messages attributable to detection (clock fetch/update)."""
+        return self._control_messages
+
+    @property
+    def clock_bytes_on_wire(self) -> int:
+        """Extra bytes of clock payload attributable to detection."""
+        return self._clock_bytes_on_wire
+
+    def clock_storage_entries(self) -> int:
+        """Vector-clock entries held in the process matrix clocks (``n²`` each)."""
+        return sum(c.storage_entries() for c in self._process_clocks.values())
+
+    def races(self) -> List[RaceRecord]:
+        """All race records signalled so far."""
+        return self.report.records()
+
+    def race_count(self) -> int:
+        """Number of race signals so far."""
+        return len(self.report)

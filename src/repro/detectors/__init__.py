@@ -1,0 +1,42 @@
+"""Baseline and reference detectors.
+
+The paper's detector (the online dual-clock algorithm wired into the NIC) is
+in :mod:`repro.core.detector`.  This package provides the comparison points
+used by the detector-accuracy and ablation experiments (E9, E13):
+
+* :mod:`repro.detectors.single_clock` — a single-clock variant that flags any
+  causally unordered pair of accesses, including read/read pairs: the false
+  positives the paper's write clock exists to eliminate (Section IV-D);
+* :mod:`repro.detectors.lockset` — an Eraser-style lockset discipline checker:
+  because every one-sided access in this model is serialized by the NIC lock
+  on the target cell, lockset analysis reports nothing and therefore *misses*
+  every logical race — locks give atomicity, not ordering;
+* :mod:`repro.detectors.postmortem` — the paper's algorithm applied offline to
+  a recorded trace (the "pre-compiler wrapper" deployment of Section V-B);
+* :mod:`repro.detectors.ground_truth` — an execution-varying oracle: a datum
+  is truly racy when re-running the program under different legal
+  interleavings (different latency seeds) changes the observable outcome,
+  which is the paper's own definition of a race condition (Section III-C).
+"""
+
+from repro.detectors.base import BaselineDetector, DetectedRace, DetectionResult
+from repro.detectors.single_clock import SingleClockDetector
+from repro.detectors.lockset import LocksetDetector
+from repro.detectors.postmortem import PostMortemDualClockDetector
+from repro.detectors.ground_truth import (
+    GroundTruth,
+    SeedVaryingOracle,
+    RuntimeFactory,
+)
+
+__all__ = [
+    "BaselineDetector",
+    "DetectedRace",
+    "DetectionResult",
+    "SingleClockDetector",
+    "LocksetDetector",
+    "PostMortemDualClockDetector",
+    "GroundTruth",
+    "SeedVaryingOracle",
+    "RuntimeFactory",
+]

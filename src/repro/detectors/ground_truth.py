@@ -1,0 +1,122 @@
+"""Execution-varying ground-truth oracle.
+
+The paper defines a race condition operationally: *"a race condition is
+observed when the result of a computation differs between executions of this
+computation"* (Section III-C).  The oracle takes that definition literally:
+it runs the *same* program under several different legal interleavings —
+obtained by re-seeding the latency model, which perturbs message timing — and
+labels as "truly racy" every shared cell whose observable behaviour (final
+value, or the multiset of values returned by reads) differs across executions.
+
+This gives the reference answer against which the detectors' precision and
+recall are measured (benchmark E13).  Two caveats, both conservative:
+
+* a cell can be causally unracy yet always produce the same value (e.g. two
+  unordered writes of the same constant); the oracle then labels it non-racy
+  while a happens-before detector flags it — such findings are counted
+  separately as "value-benign" rather than as false positives;
+* with a finite number of seeds the oracle can miss races whose alternative
+  outcomes need a rare interleaving; increasing ``seeds`` tightens it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.runtime.runtime import DSMRuntime, RunResult
+
+#: A callable that builds a fresh, fully configured runtime for a given seed.
+#: It must declare the shared data and register the programs, but not run.
+RuntimeFactory = Callable[[int], DSMRuntime]
+
+
+@dataclass
+class GroundTruth:
+    """The oracle's verdict for one program."""
+
+    seeds: Tuple[int, ...]
+    racy_addresses: Set[GlobalAddress] = field(default_factory=set)
+    racy_symbols: Set[str] = field(default_factory=set)
+    final_values_by_seed: Dict[int, Dict[str, List[object]]] = field(default_factory=dict)
+    read_values_by_seed: Dict[int, Dict[GlobalAddress, Tuple[object, ...]]] = field(
+        default_factory=dict
+    )
+    runs: Dict[int, RunResult] = field(default_factory=dict)
+
+    def is_racy_symbol(self, symbol: str) -> bool:
+        """True when the oracle observed divergent behaviour on *symbol*."""
+        return symbol in self.racy_symbols
+
+    def is_racy_address(self, address: GlobalAddress) -> bool:
+        """True when the oracle observed divergent behaviour on *address*."""
+        return address in self.racy_addresses
+
+    @property
+    def racy(self) -> bool:
+        """True when any shared datum diverged across executions."""
+        return bool(self.racy_addresses or self.racy_symbols)
+
+
+class SeedVaryingOracle:
+    """Runs a program under several seeds and diffs the observable outcomes."""
+
+    def __init__(self, factory: RuntimeFactory, seeds: Sequence[int] = (0, 1, 2, 3, 4)) -> None:
+        if not seeds:
+            raise ValueError("the oracle needs at least one seed")
+        self._factory = factory
+        self._seeds = tuple(int(s) for s in seeds)
+
+    @property
+    def seeds(self) -> Tuple[int, ...]:
+        """Seeds the oracle will run."""
+        return self._seeds
+
+    def evaluate(self) -> GroundTruth:
+        """Run every seed and compute the divergence sets."""
+        truth = GroundTruth(seeds=self._seeds)
+        symbol_values: Dict[str, Set[Tuple[object, ...]]] = {}
+        address_by_symbol_index: Dict[Tuple[str, int], GlobalAddress] = {}
+        read_values: Dict[GlobalAddress, Set[Tuple[object, ...]]] = {}
+
+        for seed in self._seeds:
+            runtime = self._factory(seed)
+            result = runtime.run()
+            truth.runs[seed] = result
+            truth.final_values_by_seed[seed] = result.final_shared_values
+            # Final values per symbol.
+            for symbol, values in result.final_shared_values.items():
+                symbol_values.setdefault(symbol, set()).add(tuple(values))
+                for index in range(len(values)):
+                    address_by_symbol_index[(symbol, index)] = runtime.directory.resolve(
+                        symbol, index
+                    )
+            # Sequence of values observed by reads, per cell.
+            per_cell_reads: Dict[GlobalAddress, List[object]] = {}
+            for access in runtime.recorder.accesses(kind=AccessKind.READ):
+                per_cell_reads.setdefault(access.address, []).append(access.value)
+            truth.read_values_by_seed[seed] = {
+                addr: tuple(vals) for addr, vals in per_cell_reads.items()
+            }
+            for addr, vals in per_cell_reads.items():
+                read_values.setdefault(addr, set()).add(tuple(sorted(map(repr, vals))))
+
+        # A symbol is racy when its final contents differ across seeds; the
+        # specific diverging cells are found element-wise.
+        for symbol, outcomes in symbol_values.items():
+            if len(outcomes) > 1:
+                truth.racy_symbols.add(symbol)
+                lengths = {len(o) for o in outcomes}
+                width = min(lengths)
+                columns = list(zip(*[list(o)[:width] for o in outcomes]))
+                for index, column in enumerate(columns):
+                    if len(set(map(repr, column))) > 1:
+                        truth.racy_addresses.add(address_by_symbol_index[(symbol, index)])
+        # A cell whose reads observe different value multisets across seeds is
+        # racy even if its final value converges.
+        for addr, outcomes in read_values.items():
+            if len(outcomes) > 1:
+                truth.racy_addresses.add(addr)
+        return truth

@@ -1,0 +1,47 @@
+"""Distributed shared memory substrate.
+
+This package models the memory organization of Figure 1 of the paper: every
+process (rank) maps a *private* memory area, visible only to itself, and a
+*public* memory area that any other rank can read or write remotely through
+its NIC.  The set of all public areas forms the Global Address Space; an
+address in that space is the pair ``(rank, offset)``
+(:class:`~repro.memory.address.GlobalAddress`).
+
+The :class:`~repro.memory.directory.SymbolDirectory` plays the role the paper
+assigns to the compiler: it decides on which rank each shared variable lives
+and resolves a symbolic name to its global address.
+
+NIC-provided locks on memory areas (paper, Section III-A and Figure 3) are
+modelled by :class:`~repro.memory.locks.MemoryLockTable`.
+"""
+
+from repro.memory.address import GlobalAddress, AddressRange
+from repro.memory.region import MemoryRegion
+from repro.memory.private import PrivateMemory
+from repro.memory.public import PublicMemory, MemoryCell
+from repro.memory.directory import SymbolDirectory, PlacementPolicy
+from repro.memory.locks import MemoryLockTable, LockRequest, LockState
+from repro.memory.consistency import (
+    AccessKind,
+    MemoryAccess,
+    SequentialConsistencyChecker,
+    ConsistencyViolation,
+)
+
+__all__ = [
+    "GlobalAddress",
+    "AddressRange",
+    "MemoryRegion",
+    "PrivateMemory",
+    "PublicMemory",
+    "MemoryCell",
+    "SymbolDirectory",
+    "PlacementPolicy",
+    "MemoryLockTable",
+    "LockRequest",
+    "LockState",
+    "AccessKind",
+    "MemoryAccess",
+    "SequentialConsistencyChecker",
+    "ConsistencyViolation",
+]

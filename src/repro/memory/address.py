@@ -1,0 +1,94 @@
+"""Global addresses in the partitioned global address space.
+
+The paper's addressing system for shared data is the couple
+``(processor_name, local_address)`` (Section III-A).  We represent processor
+names as integer ranks and local addresses as non-negative integer offsets
+into the owning rank's public memory segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.util.validation import require_non_negative, require_type
+
+
+@dataclass(frozen=True, order=True)
+class GlobalAddress:
+    """An address in the global address space: ``(rank, offset)``.
+
+    Instances are immutable, hashable and totally ordered (lexicographically
+    by rank then offset) so they can serve as dictionary keys for clock
+    storage and as stable sort keys in race reports.
+    """
+
+    rank: int
+    offset: int
+
+    def __post_init__(self) -> None:
+        require_type(self.rank, int, "rank")
+        require_type(self.offset, int, "offset")
+        if isinstance(self.rank, bool) or isinstance(self.offset, bool):
+            raise TypeError("rank and offset must be plain integers")
+        if self.rank < 0:
+            raise ValueError(f"rank must be non-negative, got {self.rank}")
+        if self.offset < 0:
+            raise ValueError(f"offset must be non-negative, got {self.offset}")
+
+    def shifted(self, delta: int) -> "GlobalAddress":
+        """Return the address *delta* cells further into the same rank's memory."""
+        return GlobalAddress(self.rank, self.offset + delta)
+
+    def __str__(self) -> str:
+        return f"P{self.rank}[{self.offset}]"
+
+
+@dataclass(frozen=True)
+class AddressRange:
+    """A contiguous range of cells ``[start, start + length)`` on one rank.
+
+    Used to describe memory regions and to express bulk transfers.
+    """
+
+    start: GlobalAddress
+    length: int
+
+    def __post_init__(self) -> None:
+        require_type(self.start, GlobalAddress, "start")
+        require_non_negative(self.length, "length")
+        require_type(self.length, int, "length")
+
+    @property
+    def rank(self) -> int:
+        """Rank whose public memory holds this range."""
+        return self.start.rank
+
+    @property
+    def end_offset(self) -> int:
+        """One past the last offset in the range."""
+        return self.start.offset + self.length
+
+    def contains(self, address: GlobalAddress) -> bool:
+        """True when *address* falls inside this range."""
+        return (
+            address.rank == self.start.rank
+            and self.start.offset <= address.offset < self.end_offset
+        )
+
+    def overlaps(self, other: "AddressRange") -> bool:
+        """True when the two ranges share at least one cell."""
+        if self.rank != other.rank:
+            return False
+        return self.start.offset < other.end_offset and other.start.offset < self.end_offset
+
+    def addresses(self) -> Iterator[GlobalAddress]:
+        """Iterate over every cell address in the range."""
+        for delta in range(self.length):
+            yield self.start.shifted(delta)
+
+    def __len__(self) -> int:
+        return self.length
+
+    def __str__(self) -> str:
+        return f"P{self.rank}[{self.start.offset}:{self.end_offset}]"

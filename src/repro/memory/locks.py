@@ -1,0 +1,174 @@
+"""NIC-provided locks on public memory areas.
+
+The paper (Section III-A) states that since NICs manage the public memory
+space, they can provide locks on memory areas guaranteeing exclusive access:
+"when a lock is taken by a process, other processes must wait for the release
+of this lock before they can access the data".  Figure 3 shows the observable
+consequence: a ``put`` on a datum is delayed until a concurrent ``get`` on the
+same datum completes.
+
+:class:`MemoryLockTable` implements per-address FIFO mutual exclusion
+integrated with the simulation kernel: ``acquire`` returns an
+:class:`~repro.sim.events.Event` that fires when the lock is granted, so NIC
+operations simply ``yield`` it.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.memory.address import GlobalAddress
+from repro.sim.engine import Simulator
+from repro.sim.events import Event, SimulationError
+from repro.util.ids import IdAllocator
+from repro.util.validation import require_type
+
+
+class LockState(enum.Enum):
+    """State of one lock request."""
+
+    QUEUED = "queued"
+    GRANTED = "granted"
+    RELEASED = "released"
+
+
+@dataclass
+class LockRequest:
+    """One pending or granted request for exclusive access to an address."""
+
+    request_id: int
+    address: GlobalAddress
+    requester: int
+    purpose: str
+    event: Event
+    state: LockState = LockState.QUEUED
+    granted_at: Optional[float] = None
+    released_at: Optional[float] = None
+
+    @property
+    def wait_time(self) -> Optional[float]:
+        """Time spent queued before the grant, if granted."""
+        if self.granted_at is None:
+            return None
+        return self.granted_at - self.queued_at
+
+    queued_at: float = 0.0
+
+
+class MemoryLockTable:
+    """Per-address FIFO locks for one rank's public memory segment."""
+
+    def __init__(self, sim: Simulator, rank: int) -> None:
+        require_type(rank, int, "rank")
+        self._sim = sim
+        self._rank = rank
+        self._holders: Dict[GlobalAddress, LockRequest] = {}
+        self._queues: Dict[GlobalAddress, List[LockRequest]] = {}
+        self._ids = IdAllocator(f"lock-P{rank}")
+        self._history: List[LockRequest] = []
+        self._contended_acquisitions = 0
+
+    @property
+    def rank(self) -> int:
+        """Rank whose public memory this table protects."""
+        return self._rank
+
+    # -- acquisition ----------------------------------------------------------
+
+    def acquire(self, address: GlobalAddress, requester: int, purpose: str = "") -> LockRequest:
+        """Request exclusive access to *address*.
+
+        Returns a :class:`LockRequest` whose ``event`` fires (with the request
+        itself as value) once the lock is granted.  Grants are strictly FIFO
+        per address, which is what serializes the put behind the get in
+        Figure 3 of the paper.
+        """
+        require_type(address, GlobalAddress, "address")
+        if address.rank != self._rank:
+            raise ValueError(
+                f"lock table of rank {self._rank} cannot lock {address} owned by rank {address.rank}"
+            )
+        request = LockRequest(
+            request_id=self._ids.next_int(),
+            address=address,
+            requester=requester,
+            purpose=purpose,
+            event=self._sim.event(name=f"lock({address})byP{requester}"),
+            queued_at=self._sim.now,
+        )
+        self._history.append(request)
+        if address not in self._holders:
+            self._grant(request)
+        else:
+            self._contended_acquisitions += 1
+            self._queues.setdefault(address, []).append(request)
+        return request
+
+    def _grant(self, request: LockRequest) -> None:
+        self._holders[request.address] = request
+        request.state = LockState.GRANTED
+        request.granted_at = self._sim.now
+        request.event.succeed(request)
+
+    # -- release ----------------------------------------------------------------
+
+    def release(self, request: LockRequest) -> None:
+        """Release a previously granted lock and grant the next waiter, if any."""
+        require_type(request, LockRequest, "request")
+        holder = self._holders.get(request.address)
+        if holder is not request:
+            raise SimulationError(
+                f"release of {request.address} by P{request.requester} "
+                f"but the lock is held by "
+                f"{'nobody' if holder is None else f'P{holder.requester}'}"
+            )
+        request.state = LockState.RELEASED
+        request.released_at = self._sim.now
+        del self._holders[request.address]
+        queue = self._queues.get(request.address)
+        if queue:
+            nxt = queue.pop(0)
+            if not queue:
+                del self._queues[request.address]
+            self._grant(nxt)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def holder(self, address: GlobalAddress) -> Optional[LockRequest]:
+        """The currently granted request for *address*, or ``None``."""
+        return self._holders.get(address)
+
+    def is_locked(self, address: GlobalAddress) -> bool:
+        """True when some process currently holds the lock on *address*."""
+        return address in self._holders
+
+    def queue_length(self, address: GlobalAddress) -> int:
+        """Number of requests waiting behind the holder for *address*."""
+        return len(self._queues.get(address, []))
+
+    def outstanding(self) -> int:
+        """Total number of granted-but-unreleased locks."""
+        return len(self._holders)
+
+    @property
+    def contended_acquisitions(self) -> int:
+        """How many acquisitions had to wait behind another holder."""
+        return self._contended_acquisitions
+
+    def history(self) -> List[LockRequest]:
+        """All requests ever made, in request order (for tests and analysis)."""
+        return list(self._history)
+
+    def assert_quiescent(self) -> None:
+        """Raise :class:`SimulationError` unless every lock has been released.
+
+        The runtime calls this at the end of a run: a held lock at completion
+        indicates an unbalanced lock/unlock in a NIC operation.
+        """
+        if self._holders:
+            held = ", ".join(
+                f"{addr} by P{req.requester}" for addr, req in self._holders.items()
+            )
+            raise SimulationError(f"locks still held on rank {self._rank}: {held}")

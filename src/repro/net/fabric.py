@@ -1,0 +1,194 @@
+"""The interconnect fabric: routing, channels and global accounting.
+
+The fabric owns one :class:`~repro.net.channel.Channel` per ordered pair of
+ranks (created lazily), stamps message ids, and keeps the global counters the
+overhead experiments read: data messages vs lock messages vs detection
+messages, and bytes for each category.  It is deliberately passive — NICs call
+:meth:`Fabric.send` and yield the returned event; the fabric never invokes
+application code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.net.channel import Channel
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.message import Message, MessageKind
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.util.ids import IdAllocator
+from repro.util.validation import require_rank
+
+
+@dataclass
+class FabricStats:
+    """Message/byte counters split by traffic category."""
+
+    data_messages: int = 0
+    lock_messages: int = 0
+    detection_messages: int = 0
+    other_messages: int = 0
+    data_bytes: int = 0
+    lock_bytes: int = 0
+    detection_bytes: int = 0
+    other_bytes: int = 0
+
+    @property
+    def total_messages(self) -> int:
+        """All messages that crossed the fabric."""
+        return (
+            self.data_messages
+            + self.lock_messages
+            + self.detection_messages
+            + self.other_messages
+        )
+
+    @property
+    def total_bytes(self) -> int:
+        """All bytes that crossed the fabric."""
+        return self.data_bytes + self.lock_bytes + self.detection_bytes + self.other_bytes
+
+    def record(self, message: Message) -> None:
+        """Account one message into the appropriate category."""
+        if message.kind.is_data:
+            self.data_messages += 1
+            self.data_bytes += message.total_bytes
+        elif message.kind.is_lock:
+            self.lock_messages += 1
+            self.lock_bytes += message.total_bytes
+        elif message.kind.is_detection:
+            self.detection_messages += 1
+            self.detection_bytes += message.total_bytes
+        else:
+            self.other_messages += 1
+            self.other_bytes += message.total_bytes
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary used by the reporting helpers."""
+        return {
+            "data_messages": self.data_messages,
+            "lock_messages": self.lock_messages,
+            "detection_messages": self.detection_messages,
+            "other_messages": self.other_messages,
+            "total_messages": self.total_messages,
+            "data_bytes": self.data_bytes,
+            "lock_bytes": self.lock_bytes,
+            "detection_bytes": self.detection_bytes,
+            "other_bytes": self.other_bytes,
+            "total_bytes": self.total_bytes,
+        }
+
+
+class Fabric:
+    """Routes messages between ranks over a topology with a latency model."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        latency_model: Optional[LatencyModel] = None,
+        bandwidth_bytes_per_time: Optional[float] = None,
+    ) -> None:
+        self._sim = sim
+        self._topology = topology
+        self._latency_model = latency_model or ConstantLatency(base=1.0)
+        self._bandwidth = bandwidth_bytes_per_time
+        self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._ids = IdAllocator("msg")
+        self.stats = FabricStats()
+        self._per_kind_count: Dict[MessageKind, int] = {kind: 0 for kind in MessageKind}
+
+    # -- wiring ----------------------------------------------------------------
+
+    @property
+    def topology(self) -> Topology:
+        """The physical topology in use."""
+        return self._topology
+
+    @property
+    def world_size(self) -> int:
+        """Number of ranks on the fabric."""
+        return self._topology.world_size
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency model applied to every message."""
+        return self._latency_model
+
+    def channel(self, source: int, destination: int) -> Channel:
+        """Return (creating lazily) the ordered channel for the pair."""
+        require_rank(source, self.world_size, "source")
+        require_rank(destination, self.world_size, "destination")
+        key = (source, destination)
+        if key not in self._channels:
+            self._channels[key] = Channel(
+                self._sim,
+                source,
+                destination,
+                self._latency_model,
+                hops=self._topology.hops(source, destination),
+                bandwidth_bytes_per_time=self._bandwidth,
+            )
+        return self._channels[key]
+
+    # -- sending -----------------------------------------------------------------
+
+    def send(
+        self,
+        kind: MessageKind,
+        source: int,
+        destination: int,
+        payload: Any = None,
+        payload_bytes: int = 8,
+        operation_tag: Optional[str] = None,
+    ) -> Tuple[Event, Message]:
+        """Send one message; returns ``(delivery_event, stamped_message)``.
+
+        Self-messages (``source == destination``) are delivered after zero
+        simulated time but still pass through the accounting — a local access
+        to one's own public memory does not cross the wire, so callers should
+        avoid sending them; the NIC short-circuits that case.
+        """
+        message = Message(
+            message_id=self._ids.next_int(),
+            kind=kind,
+            source=source,
+            destination=destination,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            operation_tag=operation_tag,
+        )
+        if source == destination:
+            event = self._sim.timeout(0.0, value=message, name=f"local:{kind.value}")
+            stamped = message
+        else:
+            event, stamped = self.channel(source, destination).transmit(message)
+        self.stats.record(stamped)
+        self._per_kind_count[kind] += 1
+        return event, stamped
+
+    # -- accounting ----------------------------------------------------------------
+
+    def message_count(self, kind: Optional[MessageKind] = None) -> int:
+        """Total messages sent, optionally restricted to one kind."""
+        if kind is None:
+            return self.stats.total_messages
+        return self._per_kind_count[kind]
+
+    def channels(self) -> Dict[Tuple[int, int], Channel]:
+        """All channels created so far."""
+        return dict(self._channels)
+
+    def reset_stats(self) -> None:
+        """Zero the counters (channels and ids are preserved)."""
+        self.stats = FabricStats()
+        self._per_kind_count = {kind: 0 for kind in MessageKind}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Fabric {self._topology.name} latency={self._latency_model.describe()} "
+            f"messages={self.stats.total_messages}>"
+        )

@@ -1,0 +1,142 @@
+"""Latency models for the simulated interconnect.
+
+The detection algorithm is insensitive to absolute latencies, but the *shape*
+of an execution (which access reaches a datum first) is determined by message
+timing, so the latency model is what generates the different legal
+interleavings the ground-truth oracle explores.  Three models are provided:
+
+* :class:`ConstantLatency` — fixed per-hop latency plus a byte cost; gives
+  fully deterministic executions (used by the figure-scenario benchmarks so
+  the clock values printed match run after run);
+* :class:`UniformLatency` — per-message jitter drawn from a seeded stream;
+  different seeds yield different interleavings (used by the oracle and the
+  workload benchmarks);
+* :class:`LogGPLatency` — a LogGP-flavoured model (``L + o_s + o_r + k·G``)
+  matching how RDMA fabrics are usually characterized in the HPC literature.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from repro.net.message import Message
+from repro.sim.rng import RandomStreams
+from repro.util.validation import require_non_negative
+
+
+class LatencyModel(abc.ABC):
+    """Maps a message (and hop count) to a flight time."""
+
+    @abc.abstractmethod
+    def latency(self, message: Message, hops: int = 1) -> float:
+        """Return the flight time for *message* across *hops* links."""
+
+    def describe(self) -> str:
+        """One-line description used in benchmark output."""
+        return self.__class__.__name__
+
+
+class ConstantLatency(LatencyModel):
+    """Fixed latency per hop plus an optional per-byte cost."""
+
+    def __init__(self, base: float = 1.0, per_byte: float = 0.0) -> None:
+        require_non_negative(base, "base")
+        require_non_negative(per_byte, "per_byte")
+        self.base = base
+        self.per_byte = per_byte
+
+    def latency(self, message: Message, hops: int = 1) -> float:
+        require_non_negative(hops, "hops")
+        return self.base * max(1, hops) + self.per_byte * message.total_bytes
+
+    def describe(self) -> str:
+        return f"constant(base={self.base}, per_byte={self.per_byte})"
+
+
+class UniformLatency(LatencyModel):
+    """Latency drawn uniformly from ``[low, high]`` per message, per hop.
+
+    The draw comes from a named stream of the simulator's
+    :class:`~repro.sim.rng.RandomStreams`, so the same seed reproduces the
+    same interleaving and different seeds perturb it.
+    """
+
+    def __init__(
+        self,
+        streams: RandomStreams,
+        low: float = 0.5,
+        high: float = 1.5,
+        stream_name: str = "net.latency",
+    ) -> None:
+        if high < low:
+            raise ValueError(f"latency bounds reversed: [{low}, {high}]")
+        require_non_negative(low, "low")
+        self._streams = streams
+        self.low = low
+        self.high = high
+        self._stream_name = stream_name
+
+    def latency(self, message: Message, hops: int = 1) -> float:
+        require_non_negative(hops, "hops")
+        total = 0.0
+        for _ in range(max(1, hops)):
+            total += self._streams.uniform(self._stream_name, self.low, self.high)
+        return total
+
+    def describe(self) -> str:
+        return f"uniform([{self.low}, {self.high}])"
+
+
+class LogGPLatency(LatencyModel):
+    """A LogGP-style model: ``L·hops + o_send + o_recv + bytes·G``.
+
+    Parameters use the conventional meanings: ``L`` wire latency per hop,
+    ``o`` CPU/NIC overhead at each end, ``G`` gap per byte (inverse
+    bandwidth).  Defaults are loosely calibrated to an InfiniBand-class
+    fabric expressed in microseconds.
+    """
+
+    def __init__(
+        self,
+        L: float = 1.0,
+        o_send: float = 0.3,
+        o_recv: float = 0.3,
+        G: float = 0.001,
+        jitter: Optional[RandomStreams] = None,
+        jitter_fraction: float = 0.0,
+        stream_name: str = "net.loggp.jitter",
+    ) -> None:
+        require_non_negative(L, "L")
+        require_non_negative(o_send, "o_send")
+        require_non_negative(o_recv, "o_recv")
+        require_non_negative(G, "G")
+        require_non_negative(jitter_fraction, "jitter_fraction")
+        self.L = L
+        self.o_send = o_send
+        self.o_recv = o_recv
+        self.G = G
+        self._jitter = jitter
+        self._jitter_fraction = jitter_fraction
+        self._stream_name = stream_name
+
+    def latency(self, message: Message, hops: int = 1) -> float:
+        require_non_negative(hops, "hops")
+        base = (
+            self.L * max(1, hops)
+            + self.o_send
+            + self.o_recv
+            + self.G * message.total_bytes
+        )
+        if self._jitter is not None and self._jitter_fraction > 0:
+            jitter = self._jitter.uniform(
+                self._stream_name, 0.0, self._jitter_fraction * base
+            )
+            return base + jitter
+        return base
+
+    def describe(self) -> str:
+        return (
+            f"LogGP(L={self.L}, o_s={self.o_send}, o_r={self.o_recv}, G={self.G}, "
+            f"jitter={self._jitter_fraction})"
+        )

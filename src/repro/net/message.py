@@ -1,0 +1,103 @@
+"""Typed network messages.
+
+Each remote operation decomposes into one or more messages, exactly as the
+paper describes (Section III-B): a ``put`` sends one PUT_DATA message; a
+``get`` sends a GET_REQUEST and receives a GET_REPLY.  Lock management and
+clock maintenance generate additional *control* messages, which are accounted
+separately so that the overhead benchmarks can report "extra messages due to
+detection" without conflating them with the data traffic the application would
+generate anyway.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class MessageKind(enum.Enum):
+    """The role a message plays in a remote operation."""
+
+    PUT_DATA = "put_data"          # the single message of a put (paper, Fig. 2)
+    GET_REQUEST = "get_request"    # first message of a get
+    GET_REPLY = "get_reply"        # second message of a get (carries the data)
+    LOCK_REQUEST = "lock_request"  # NIC lock acquisition
+    LOCK_GRANT = "lock_grant"
+    UNLOCK = "unlock"
+    CLOCK_FETCH = "clock_fetch"    # detection: read a remote datum clock (Alg. 5)
+    CLOCK_UPDATE = "clock_update"  # detection: write back a merged clock (Alg. 5)
+    NOTIFY = "notify"              # runtime-level notification (barrier, join)
+
+    @property
+    def is_data(self) -> bool:
+        """True for the messages that move application data (Fig. 2 count)."""
+        return self in (MessageKind.PUT_DATA, MessageKind.GET_REQUEST, MessageKind.GET_REPLY)
+
+    @property
+    def is_detection(self) -> bool:
+        """True for messages that exist only because detection is enabled."""
+        return self in (MessageKind.CLOCK_FETCH, MessageKind.CLOCK_UPDATE)
+
+    @property
+    def is_lock(self) -> bool:
+        """True for lock-management traffic."""
+        return self in (MessageKind.LOCK_REQUEST, MessageKind.LOCK_GRANT, MessageKind.UNLOCK)
+
+
+#: Default payload size, in bytes, of one memory cell's value.
+DEFAULT_CELL_BYTES = 8
+#: Size of a message header (addresses, opcodes) in bytes.
+HEADER_BYTES = 32
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message on the interconnect.
+
+    Attributes
+    ----------
+    message_id:
+        Unique id assigned by the fabric.
+    kind:
+        Role of the message (see :class:`MessageKind`).
+    source / destination:
+        Origin and target ranks.
+    payload:
+        Arbitrary payload (a value, a clock, a lock token...).
+    payload_bytes:
+        Modelled size of the payload, used by bandwidth-aware latency models
+        and the byte counters.
+    send_time / deliver_time:
+        Simulated times at which the message left the source NIC and reached
+        the destination NIC.
+    operation_tag:
+        Identifier of the high-level operation (put/get) this message belongs
+        to, for trace correlation.
+    """
+
+    message_id: int
+    kind: MessageKind
+    source: int
+    destination: int
+    payload: Any = None
+    payload_bytes: int = DEFAULT_CELL_BYTES
+    send_time: float = 0.0
+    deliver_time: float = 0.0
+    operation_tag: Optional[str] = None
+
+    @property
+    def total_bytes(self) -> int:
+        """Header plus payload size."""
+        return HEADER_BYTES + max(0, self.payload_bytes)
+
+    @property
+    def latency(self) -> float:
+        """Flight time of the message."""
+        return self.deliver_time - self.send_time
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.value} #{self.message_id} P{self.source}->P{self.destination} "
+            f"({self.total_bytes}B, t={self.send_time:g}->{self.deliver_time:g})"
+        )

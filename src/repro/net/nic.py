@@ -1,0 +1,449 @@
+"""The RDMA network interface controller.
+
+The NIC is where the paper's model and its detection algorithm meet the
+hardware: one-sided operations are *initiated* by the origin process and
+*serviced* entirely by the target's NIC, without any involvement of the target
+process or its operating system (OS bypass, Section III-B).  Consequently all
+of the following live in the NIC:
+
+* the public-memory lock table (locks are "provided by the NIC", Section
+  III-A) — a ``put`` on a datum is therefore delayed behind a ``get`` holding
+  the lock, reproducing Figure 3;
+* the message decomposition of Figure 2 — ``put`` sends one data message,
+  ``get`` sends a request and receives a reply;
+* the instrumentation hooks of Algorithms 1 and 2 — the race detector is
+  invoked at the target memory, under the lock, when the operation takes
+  effect, and the extra clock traffic of Algorithm 5 is charged as explicit
+  ``CLOCK_FETCH`` / ``CLOCK_UPDATE`` messages so the overhead benchmarks can
+  separate it from application traffic.
+
+Every public method that performs communication is a *generator* meant to be
+driven by the simulation kernel (``result = yield from nic.rdma_put(...)``),
+so user programs remain ordinary sequential-looking code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
+
+from repro.core.detector import AccessCheckResult, DualClockRaceDetector
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind, MemoryAccess
+from repro.memory.locks import LockRequest, MemoryLockTable
+from repro.memory.public import PublicMemory
+from repro.net.fabric import Fabric
+from repro.net.message import MessageKind
+from repro.sim.engine import Simulator
+from repro.util.ids import IdAllocator
+from repro.util.validation import require_rank, require_type
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.trace.recorder import TraceRecorder
+
+
+@dataclass
+class NICConfig:
+    """Behavioural knobs of the simulated NIC.
+
+    Attributes
+    ----------
+    lock_remote_accesses:
+        Acquire the NIC lock on the target cell around every remote access
+        (the paper's model; turning it off is only useful for demonstrating
+        what *would* go wrong without the serialization of Figure 3).
+    charge_lock_messages:
+        Model lock acquisition/release as real messages with latency
+        (request + grant + release); when false, locks are acquired with zero
+        network cost (as if piggybacked on the data messages).
+    charge_detection_messages:
+        When detection is enabled, add one CLOCK_FETCH/CLOCK_UPDATE round trip
+        per instrumented remote access (Algorithm 5's clock traffic).  When
+        false, clocks are assumed piggybacked on the data messages (the
+        optimized implementation Section V-B alludes to).
+    cell_bytes:
+        Modelled size of one memory cell's value on the wire.
+    """
+
+    lock_remote_accesses: bool = True
+    charge_lock_messages: bool = True
+    charge_detection_messages: bool = True
+    cell_bytes: int = 8
+
+
+@dataclass
+class RemoteOperationResult:
+    """What a completed one-sided operation returns to the caller."""
+
+    operation: str
+    origin: int
+    target: GlobalAddress
+    value: Any
+    check: Optional[AccessCheckResult]
+    start_time: float
+    end_time: float
+    data_messages: int
+    control_messages: int
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated duration of the operation, including lock waits."""
+        return self.end_time - self.start_time
+
+    @property
+    def raced(self) -> bool:
+        """True when the detector flagged this operation."""
+        return self.check is not None and self.check.raced
+
+
+class NIC:
+    """One rank's RDMA-capable network interface."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rank: int,
+        fabric: Fabric,
+        memory: PublicMemory,
+        locks: MemoryLockTable,
+        detector: Optional[DualClockRaceDetector] = None,
+        config: Optional[NICConfig] = None,
+        recorder: Optional["TraceRecorder"] = None,
+    ) -> None:
+        require_rank(rank, fabric.world_size, "rank")
+        require_type(memory, PublicMemory, "memory")
+        if memory.rank != rank:
+            raise ValueError(f"NIC rank {rank} given memory owned by rank {memory.rank}")
+        if locks.rank != rank:
+            raise ValueError(f"NIC rank {rank} given lock table owned by rank {locks.rank}")
+        self._sim = sim
+        self.rank = rank
+        self.fabric = fabric
+        self.memory = memory
+        self.locks = locks
+        self.detector = detector
+        self.config = config or NICConfig()
+        self.recorder = recorder
+        self._peers: Dict[int, "NIC"] = {rank: self}
+        self._tags = IdAllocator(f"op-P{rank}")
+        # Counters consumed by the overhead and scalability experiments.
+        self.puts_issued = 0
+        self.gets_issued = 0
+        self.local_reads = 0
+        self.local_writes = 0
+        self.remote_ops_serviced = 0
+
+    # -- wiring ------------------------------------------------------------------
+
+    def register_peer(self, nic: "NIC") -> None:
+        """Make another rank's NIC reachable from this one."""
+        self._peers[nic.rank] = nic
+
+    def peer(self, rank: int) -> "NIC":
+        """Return the NIC of *rank* (``KeyError`` if not registered)."""
+        return self._peers[rank]
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _clock_bytes(self) -> int:
+        if self.detector is None:
+            return 0
+        return self.detector.world_size * DualClockRaceDetector.BYTES_PER_ENTRY
+
+    def _record(
+        self,
+        kind: AccessKind,
+        address: GlobalAddress,
+        value: Any,
+        symbol: Optional[str],
+        operation: str,
+    ) -> None:
+        if self.recorder is not None:
+            self.recorder.record_access(
+                rank=self.rank,
+                address=address,
+                kind=kind,
+                value=value,
+                time=self._sim.now,
+                symbol=symbol,
+                operation=operation,
+            )
+
+    def _detection_active(self) -> bool:
+        return self.detector is not None and self.detector.config.enabled
+
+    # -- lock protocol ----------------------------------------------------------------
+
+    def _acquire_lock(
+        self, target_nic: "NIC", address: GlobalAddress, purpose: str, tag: str
+    ) -> Generator:
+        """Acquire the NIC lock on *address* at *target_nic*; returns the request.
+
+        Remote acquisitions optionally cost a LOCK_REQUEST / LOCK_GRANT round
+        trip; the wait for a contended lock happens at the target, which is
+        what delays a put behind an in-flight get on the same datum (Fig. 3).
+        """
+        if not self.config.lock_remote_accesses:
+            return None
+        remote = target_nic.rank != self.rank
+        if remote and self.config.charge_lock_messages:
+            event, _ = self.fabric.send(
+                MessageKind.LOCK_REQUEST, self.rank, target_nic.rank,
+                payload_bytes=0, operation_tag=tag,
+            )
+            yield event
+        request = target_nic.locks.acquire(address, requester=self.rank, purpose=purpose)
+        yield request.event
+        if remote and self.config.charge_lock_messages:
+            event, _ = self.fabric.send(
+                MessageKind.LOCK_GRANT, target_nic.rank, self.rank,
+                payload_bytes=0, operation_tag=tag,
+            )
+            yield event
+        return request
+
+    def _release_lock(
+        self, target_nic: "NIC", request: Optional[LockRequest], tag: str
+    ) -> None:
+        """Release a previously acquired lock (fire-and-forget for remote locks)."""
+        if request is None:
+            return
+        remote = target_nic.rank != self.rank
+        if remote and self.config.charge_lock_messages:
+            event, _ = self.fabric.send(
+                MessageKind.UNLOCK, self.rank, target_nic.rank,
+                payload_bytes=0, operation_tag=tag,
+            )
+            event.callbacks.append(lambda _ev: target_nic.locks.release(request))
+        else:
+            target_nic.locks.release(request)
+
+    def _detection_round_trip(self, target_rank: int, tag: str) -> Generator:
+        """Charge the clock fetch/update traffic of Algorithm 5, when configured."""
+        if not (
+            self._detection_active()
+            and self.config.charge_detection_messages
+            and target_rank != self.rank
+        ):
+            return 0
+        clock_bytes = self._clock_bytes()
+        fetch, _ = self.fabric.send(
+            MessageKind.CLOCK_FETCH, self.rank, target_rank,
+            payload_bytes=0, operation_tag=tag,
+        )
+        yield fetch
+        reply, _ = self.fabric.send(
+            MessageKind.CLOCK_UPDATE, target_rank, self.rank,
+            payload_bytes=clock_bytes, operation_tag=tag,
+        )
+        yield reply
+        return 2
+
+    # -- one-sided operations ------------------------------------------------------------
+
+    def rdma_put(
+        self, value: Any, target: GlobalAddress, symbol: Optional[str] = None
+    ) -> Generator:
+        """One-sided write of *value* into *target* (Algorithm 1).
+
+        Involves exactly one data message (Figure 2) plus, when configured,
+        lock and clock control traffic.  Returns a
+        :class:`RemoteOperationResult`.
+        """
+        require_type(target, GlobalAddress, "target")
+        start = self._sim.now
+        tag = self._tags.next_str()
+        target_nic = self.peer(target.rank)
+        self.puts_issued += 1
+        data_messages = 0
+        control_messages = 0
+
+        lock_request = yield from self._acquire_lock(target_nic, target, "put", tag)
+        control_messages += yield from self._detection_round_trip(target.rank, tag)
+
+        payload_bytes = self.config.cell_bytes
+        if self._detection_active() and not self.config.charge_detection_messages:
+            # Piggyback the clock on the data message.
+            payload_bytes += self._clock_bytes()
+        if target.rank != self.rank:
+            event, _ = self.fabric.send(
+                MessageKind.PUT_DATA, self.rank, target.rank,
+                payload=value, payload_bytes=payload_bytes, operation_tag=tag,
+            )
+            yield event
+            data_messages += 1
+            target_nic.remote_ops_serviced += 1
+
+        check: Optional[AccessCheckResult] = None
+        if self._detection_active():
+            cell = target_nic.memory.cell(target)
+            check = self.detector.on_write(
+                self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="put",
+            )
+        target_nic.memory.write(target, value, writer=self.rank)
+        self._record(AccessKind.WRITE, target, value, symbol, "put")
+
+        self._release_lock(target_nic, lock_request, tag)
+        return RemoteOperationResult(
+            operation="put",
+            origin=self.rank,
+            target=target,
+            value=value,
+            check=check,
+            start_time=start,
+            end_time=self._sim.now,
+            data_messages=data_messages,
+            control_messages=control_messages,
+        )
+
+    def rdma_get(
+        self, target: GlobalAddress, symbol: Optional[str] = None
+    ) -> Generator:
+        """One-sided read of *target* (Algorithm 2).
+
+        Involves two data messages — the request and the reply carrying the
+        data (Figure 2).  Returns a :class:`RemoteOperationResult` whose
+        ``value`` is the value read.
+        """
+        require_type(target, GlobalAddress, "target")
+        start = self._sim.now
+        tag = self._tags.next_str()
+        target_nic = self.peer(target.rank)
+        self.gets_issued += 1
+        data_messages = 0
+        control_messages = 0
+
+        lock_request = yield from self._acquire_lock(target_nic, target, "get", tag)
+        control_messages += yield from self._detection_round_trip(target.rank, tag)
+
+        if target.rank != self.rank:
+            request_event, _ = self.fabric.send(
+                MessageKind.GET_REQUEST, self.rank, target.rank,
+                payload_bytes=0, operation_tag=tag,
+            )
+            yield request_event
+            data_messages += 1
+            target_nic.remote_ops_serviced += 1
+
+        check: Optional[AccessCheckResult] = None
+        if self._detection_active():
+            cell = target_nic.memory.cell(target)
+            check = self.detector.on_read(
+                self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="get",
+            )
+        value = target_nic.memory.read(target)
+        self._record(AccessKind.READ, target, value, symbol, "get")
+
+        if target.rank != self.rank:
+            payload_bytes = self.config.cell_bytes
+            if self._detection_active() and not self.config.charge_detection_messages:
+                payload_bytes += self._clock_bytes()
+            reply_event, _ = self.fabric.send(
+                MessageKind.GET_REPLY, target.rank, self.rank,
+                payload=value, payload_bytes=payload_bytes, operation_tag=tag,
+            )
+            yield reply_event
+            data_messages += 1
+
+        self._release_lock(target_nic, lock_request, tag)
+        return RemoteOperationResult(
+            operation="get",
+            origin=self.rank,
+            target=target,
+            value=value,
+            check=check,
+            start_time=start,
+            end_time=self._sim.now,
+            data_messages=data_messages,
+            control_messages=control_messages,
+        )
+
+    # -- local public-memory accesses ----------------------------------------------------
+
+    def local_write(
+        self, address: GlobalAddress, value: Any, symbol: Optional[str] = None
+    ) -> Generator:
+        """Write to this rank's own public memory.
+
+        The paper makes "no distinction between accesses to public memory from
+        a remote process and from the process that actually maps this address
+        space" (Section III-A), so local public accesses go through the same
+        lock and the same detection check — just without any network traffic.
+        """
+        if address.rank != self.rank:
+            raise ValueError(
+                f"local_write on rank {self.rank} given remote address {address}; use rdma_put"
+            )
+        self.local_writes += 1
+        tag = self._tags.next_str()
+        lock_request = yield from self._acquire_lock(self, address, "local_write", tag)
+        check: Optional[AccessCheckResult] = None
+        if self._detection_active():
+            check = self.detector.on_write(
+                self.rank, address, self.memory.cell(address),
+                symbol=symbol, time=self._sim.now, operation="local_write",
+            )
+        self.memory.write(address, value, writer=self.rank)
+        self._record(AccessKind.WRITE, address, value, symbol, "local_write")
+        self._release_lock(self, lock_request, tag)
+        return RemoteOperationResult(
+            operation="local_write",
+            origin=self.rank,
+            target=address,
+            value=value,
+            check=check,
+            start_time=self._sim.now,
+            end_time=self._sim.now,
+            data_messages=0,
+            control_messages=0,
+        )
+
+    def local_read(
+        self, address: GlobalAddress, symbol: Optional[str] = None
+    ) -> Generator:
+        """Read from this rank's own public memory (lock + detection, no messages)."""
+        if address.rank != self.rank:
+            raise ValueError(
+                f"local_read on rank {self.rank} given remote address {address}; use rdma_get"
+            )
+        self.local_reads += 1
+        tag = self._tags.next_str()
+        lock_request = yield from self._acquire_lock(self, address, "local_read", tag)
+        check: Optional[AccessCheckResult] = None
+        if self._detection_active():
+            check = self.detector.on_read(
+                self.rank, address, self.memory.cell(address),
+                symbol=symbol, time=self._sim.now, operation="local_read",
+            )
+        value = self.memory.read(address)
+        self._record(AccessKind.READ, address, value, symbol, "local_read")
+        self._release_lock(self, lock_request, tag)
+        return RemoteOperationResult(
+            operation="local_read",
+            origin=self.rank,
+            target=address,
+            value=value,
+            check=check,
+            start_time=self._sim.now,
+            end_time=self._sim.now,
+            data_messages=0,
+            control_messages=0,
+        )
+
+    # -- notifications (runtime support) ----------------------------------------------------
+
+    def send_notification(self, destination: int, payload: Any = None) -> Generator:
+        """Send a runtime-level NOTIFY message (used by barriers and joins).
+
+        Returns the delivered message.  Notifications establish happens-before
+        edges; the runtime transfers clocks through the detector when it uses
+        them for synchronization.
+        """
+        event, message = self.fabric.send(
+            MessageKind.NOTIFY, self.rank, destination, payload=payload, payload_bytes=8,
+        )
+        yield event
+        return message
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<NIC P{self.rank} puts={self.puts_issued} gets={self.gets_issued}>"

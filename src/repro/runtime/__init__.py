@@ -1,0 +1,35 @@
+"""The PGAS-style runtime on top of the simulated hardware.
+
+The paper assumes programs are written in a parallel language (UPC, Titanium,
+Co-Array Fortran) whose compiler and run-time environment translate shared
+accesses into remote memory operations.  This package is that run-time
+environment:
+
+* :class:`~repro.runtime.api.ProcessAPI` — the handle a per-rank program uses
+  to access shared data (``put``/``get`` by symbolic name, local compute,
+  barriers, notifications, one-sided reductions);
+* :mod:`repro.runtime.collectives` — synchronization and collective patterns
+  built *only* from the model's primitives (one-sided operations and
+  notifications), including the non-collective one-sided reduction sketched in
+  the paper's future work (Section V-B);
+* :class:`~repro.runtime.runtime.DSMRuntime` — the launcher that builds the
+  simulator, network, memories, NICs, detector and tracer, runs the per-rank
+  programs, and returns a :class:`~repro.runtime.runtime.RunResult`.
+"""
+
+from repro.runtime.api import ProcessAPI
+from repro.runtime.collectives import Barrier, one_sided_reduction, broadcast_via_puts
+from repro.runtime.program import ProcessProgram, replicate_program
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig, RunResult
+
+__all__ = [
+    "ProcessAPI",
+    "Barrier",
+    "one_sided_reduction",
+    "broadcast_via_puts",
+    "ProcessProgram",
+    "replicate_program",
+    "DSMRuntime",
+    "RuntimeConfig",
+    "RunResult",
+]

@@ -1,0 +1,191 @@
+"""The per-rank programming interface.
+
+A user program is a generator function receiving a :class:`ProcessAPI`; every
+operation that involves communication or waiting is itself a generator and is
+invoked with ``yield from``::
+
+    def program(api):
+        yield from api.put("x", api.rank)          # remote write by symbol
+        value = yield from api.get("x")            # remote read
+        yield from api.compute(5.0)                # local work
+        yield from api.barrier()                   # synchronization
+        api.private.write("result", value)
+
+The API resolves symbolic names through the
+:class:`~repro.memory.directory.SymbolDirectory` (the paper's "compiler") and
+routes the access through the origin NIC: remote targets become RDMA
+operations, targets owned by the calling rank become local public-memory
+accesses — the paper makes no semantic distinction between the two
+(Section III-A), and neither does the detector.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.memory.address import GlobalAddress
+from repro.memory.directory import SymbolDirectory
+from repro.memory.private import PrivateMemory
+from repro.net.nic import NIC, RemoteOperationResult
+from repro.runtime.collectives import Barrier, one_sided_reduction
+from repro.sim.engine import Simulator
+from repro.util.validation import require_non_negative
+
+
+class ProcessAPI:
+    """Handle through which one rank's program touches the DSM."""
+
+    def __init__(
+        self,
+        rank: int,
+        sim: Simulator,
+        nic: NIC,
+        directory: SymbolDirectory,
+        private: PrivateMemory,
+        barrier: Optional[Barrier] = None,
+        recorder: Optional[Any] = None,
+    ) -> None:
+        self.rank = rank
+        self._sim = sim
+        self._nic = nic
+        self._directory = directory
+        self.private = private
+        self._barrier = barrier
+        self._recorder = recorder
+        self._operation_results: List[RemoteOperationResult] = []
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        """Number of ranks in the application."""
+        return self._directory.world_size
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._sim.now
+
+    @property
+    def nic(self) -> NIC:
+        """The rank's NIC (exposed for advanced workloads and tests)."""
+        return self._nic
+
+    @property
+    def directory(self) -> SymbolDirectory:
+        """The shared-symbol directory."""
+        return self._directory
+
+    def operation_results(self) -> List[RemoteOperationResult]:
+        """All one-sided operations this rank has completed, in order."""
+        return list(self._operation_results)
+
+    def owner_of(self, symbol: str, index: int = 0) -> int:
+        """Rank that physically holds ``symbol[index]``."""
+        return self._directory.owner_of(symbol, index)
+
+    def address_of(self, symbol: str, index: int = 0) -> GlobalAddress:
+        """Global address of ``symbol[index]``."""
+        return self._directory.resolve(symbol, index)
+
+    # -- shared-memory operations ----------------------------------------------------
+
+    def _finish(self, result: RemoteOperationResult, symbol: Optional[str]) -> RemoteOperationResult:
+        self._operation_results.append(result)
+        if self._recorder is not None:
+            self._recorder.record_operation(result, symbol=symbol)
+        return result
+
+    def put(self, symbol: str, value: Any, index: int = 0) -> Generator:
+        """Write *value* into shared ``symbol[index]`` (one-sided put).
+
+        Returns the :class:`RemoteOperationResult`.
+        """
+        address = self._directory.resolve(symbol, index)
+        return self.put_address(address, value, symbol=symbol)
+
+    def put_address(
+        self, address: GlobalAddress, value: Any, symbol: Optional[str] = None
+    ) -> Generator:
+        """Write *value* at an explicit global address."""
+        if address.rank == self.rank:
+            result = yield from self._nic.local_write(address, value, symbol=symbol)
+        else:
+            result = yield from self._nic.rdma_put(value, address, symbol=symbol)
+        return self._finish(result, symbol)
+
+    def get(self, symbol: str, index: int = 0) -> Generator:
+        """Read shared ``symbol[index]`` (one-sided get); returns the value."""
+        address = self._directory.resolve(symbol, index)
+        value = yield from self.get_address(address, symbol=symbol)
+        return value
+
+    def get_address(self, address: GlobalAddress, symbol: Optional[str] = None) -> Generator:
+        """Read the value at an explicit global address; returns the value."""
+        if address.rank == self.rank:
+            result = yield from self._nic.local_read(address, symbol=symbol)
+        else:
+            result = yield from self._nic.rdma_get(address, symbol=symbol)
+        self._finish(result, symbol)
+        return result.value
+
+    def get_result(self, symbol: str, index: int = 0) -> Generator:
+        """Like :meth:`get` but returns the full :class:`RemoteOperationResult`."""
+        address = self._directory.resolve(symbol, index)
+        if address.rank == self.rank:
+            result = yield from self._nic.local_read(address, symbol=symbol)
+        else:
+            result = yield from self._nic.rdma_get(address, symbol=symbol)
+        return self._finish(result, symbol)
+
+    def copy_shared(
+        self, source_symbol: str, source_index: int, dest_symbol: str, dest_index: int
+    ) -> Generator:
+        """Copy one shared cell to another ("communication within the public space").
+
+        Implemented as a get followed by a put, which is how a run-time
+        library would realize it with RDMA verbs.
+        """
+        value = yield from self.get(source_symbol, index=source_index)
+        result = yield from self.put(dest_symbol, value, index=dest_index)
+        return result
+
+    # -- local behaviour ----------------------------------------------------------------
+
+    def compute(self, duration: float) -> Generator:
+        """Model *duration* units of purely local computation."""
+        require_non_negative(duration, "duration")
+        yield self._sim.timeout(duration, name=f"compute-P{self.rank}")
+        return duration
+
+    def barrier(self) -> Generator:
+        """Cross the global barrier (a synchronization / happens-before edge)."""
+        if self._barrier is None:
+            raise RuntimeError("this runtime was built without a barrier")
+        generation = yield from self._barrier.wait(self.rank)
+        return generation
+
+    def notify(self, destination: int, payload: Any = None) -> Generator:
+        """Send a runtime notification message to *destination*."""
+        message = yield from self._nic.send_notification(destination, payload)
+        return message
+
+    def log(self, message: str) -> None:
+        """Emit a structured log line tagged with this rank."""
+        self._sim.logger.log("app", message, rank=self.rank)
+
+    # -- composite patterns ----------------------------------------------------------------
+
+    def reduce_shared(
+        self,
+        symbol: str,
+        length: int,
+        operator: Callable[[Any, Any], Any] = lambda a, b: a + b,
+        initial: Any = 0,
+    ) -> Generator:
+        """One-sided reduction over shared array *symbol* (paper, Section V-B)."""
+        value = yield from one_sided_reduction(self, symbol, length, operator, initial)
+        return value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ProcessAPI rank={self.rank}/{self.world_size}>"

@@ -1,0 +1,186 @@
+"""Synchronization and collective patterns built on the model's primitives.
+
+The model offers nothing but one-sided memory operations and notifications, so
+every higher-level pattern must be expressed with them — exactly the situation
+of SHMEM/UPC programs.  Three are provided:
+
+* :class:`Barrier` — a centralized barrier: every rank notifies the root, the
+  root releases everyone.  A barrier is a synchronization point, so the
+  participants' vector clocks are merged (the detector's
+  :meth:`~repro.core.detector.DualClockRaceDetector.transfer_clock`), which is
+  what makes post-barrier accesses causally ordered after pre-barrier ones.
+* :func:`broadcast_via_puts` — the root writes a value into a shared array
+  slot owned by each rank.
+* :func:`one_sided_reduction` — the paper's future-work operation
+  (Section V-B): one process performs a global reduction *"without any
+  participation of the other processes, by fetching the data remotely"*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+from repro.core.clocks import VectorClock
+from repro.core.detector import DualClockRaceDetector
+from repro.net.fabric import Fabric
+from repro.net.message import MessageKind
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.util.validation import require_positive, require_rank
+
+
+class Barrier:
+    """A reusable centralized barrier over all ranks.
+
+    One :class:`Barrier` instance is shared by the whole runtime; it can be
+    crossed any number of times (generations).  Message accounting: each
+    non-root arrival costs one NOTIFY to the root and each release costs one
+    NOTIFY from the root, i.e. ``2·(n−1)`` messages per crossing.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        world_size: int,
+        fabric: Optional[Fabric] = None,
+        detector: Optional[DualClockRaceDetector] = None,
+        root: int = 0,
+        charge_messages: bool = True,
+        recorder: Optional[object] = None,
+    ) -> None:
+        require_positive(world_size, "world_size")
+        require_rank(root, world_size, "root")
+        self._sim = sim
+        self._world_size = world_size
+        self._fabric = fabric
+        self._detector = detector
+        self._recorder = recorder
+        self._root = root
+        self._charge_messages = charge_messages and fabric is not None
+        self._generation = 0
+        self._arrived = 0
+        self._merged: Optional[VectorClock] = None
+        self._release_events: Dict[int, Event] = {}
+        self._crossings = 0
+
+    @property
+    def crossings(self) -> int:
+        """Number of completed barrier generations."""
+        return self._crossings
+
+    @property
+    def generation(self) -> int:
+        """Current (possibly in-progress) generation index."""
+        return self._generation
+
+    def wait(self, rank: int) -> Generator:
+        """Generator a rank yields from to cross the barrier."""
+        require_rank(rank, self._world_size, "rank")
+        if self._world_size == 1:
+            self._crossings += 1
+            return self._generation
+        generation = self._generation
+        # Arrival notification to the root (charged as a message for non-root ranks).
+        if rank != self._root and self._charge_messages:
+            event, _ = self._fabric.send(
+                MessageKind.NOTIFY, rank, self._root, payload=("barrier", generation),
+                payload_bytes=8,
+            )
+            yield event
+        # Merge this rank's causal knowledge into the barrier.
+        if self._detector is not None:
+            snapshot = self._detector.current_clock(rank)
+            if self._merged is None:
+                self._merged = snapshot.copy()
+            else:
+                self._merged.merge_in_place(snapshot)
+        release = self._release_events.setdefault(
+            rank, self._sim.event(name=f"barrier-release-g{generation}-P{rank}")
+        )
+        self._arrived += 1
+        if self._arrived == self._world_size:
+            self._open(generation)
+        yield release
+        # Every participant leaves knowing everything every participant knew.
+        if self._detector is not None and self._merged is not None:
+            self._detector.process_clock(rank).observe_vector(self._merged)
+        return generation
+
+    def _open(self, generation: int) -> None:
+        """Last arrival: release every waiter, after the release messages land.
+
+        The merged clock is recomputed from every participant's *current*
+        clock at release time rather than from the arrival-time snapshots:
+        while a process waits at the barrier its clock can still advance
+        (remote writes landing in its public memory count as reception
+        events), and all of those events precede the release, so folding them
+        in is sound and spares third-party readers a conservative report for
+        writes that demonstrably completed before the barrier opened.
+        """
+        if self._detector is not None:
+            release_view = self._detector.current_clock(0).copy()
+            for rank in range(1, self._world_size):
+                release_view.merge_in_place(self._detector.current_clock(rank))
+            self._merged = release_view
+        if self._recorder is not None:
+            # Synchronization events are part of the trace so that offline
+            # (post-mortem) detection reconstructs the same happens-before.
+            self._recorder.record_sync(
+                range(self._world_size), time=self._sim.now, kind="barrier"
+            )
+        merged = self._merged
+        releases = dict(self._release_events)
+        # Reset state for the next generation before any waiter resumes.
+        self._generation = generation + 1
+        self._arrived = 0
+        self._release_events = {}
+        self._crossings += 1
+        for rank, release in releases.items():
+            if rank != self._root and self._charge_messages:
+                event, _ = self._fabric.send(
+                    MessageKind.NOTIFY, self._root, rank,
+                    payload=("barrier-release", generation), payload_bytes=8,
+                )
+                event.callbacks.append(
+                    lambda _ev, rel=release: rel.succeed(generation)
+                )
+            else:
+                release.succeed(generation)
+        # Keep the merged clock available to late observers of this generation.
+        self._merged = merged.copy() if merged is not None else None
+
+
+def broadcast_via_puts(api: Any, symbol: str, value: Any, root: Optional[int] = None) -> Generator:
+    """Root writes *value* into element ``rank`` of shared array *symbol*.
+
+    The array must have at least ``world_size`` elements (one slot per rank).
+    Non-root ranks do nothing; the caller typically follows the broadcast with
+    a barrier before readers consume their slot.
+    """
+    root = 0 if root is None else root
+    if api.rank != root:
+        return None
+    for rank in range(api.world_size):
+        yield from api.put(symbol, value, index=rank)
+    return value
+
+
+def one_sided_reduction(
+    api: Any,
+    symbol: str,
+    length: int,
+    operator: Callable[[Any, Any], Any],
+    initial: Any = 0,
+) -> Generator:
+    """The paper's future-work non-collective reduction (Section V-B).
+
+    The calling process fetches every element of shared array *symbol* with
+    remote ``get`` operations — no participation from the owners — and folds
+    them locally with *operator*.  Returns the reduced value.
+    """
+    require_positive(length, "length")
+    accumulator = initial
+    for index in range(length):
+        value = yield from api.get(symbol, index=index)
+        accumulator = operator(accumulator, value)
+    return accumulator

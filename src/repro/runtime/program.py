@@ -1,0 +1,69 @@
+"""Program descriptors for per-rank simulated processes.
+
+A *program* is any callable that takes a :class:`~repro.runtime.api.ProcessAPI`
+and returns a generator (typically by being a generator function itself).  The
+runtime turns each program into a simulated process.  This module provides the
+small descriptor class plus a helper for the common SPMD case where every rank
+runs the same function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional
+
+ProgramFunction = Callable[..., Generator]
+
+
+@dataclass(frozen=True)
+class ProcessProgram:
+    """One rank's program.
+
+    Attributes
+    ----------
+    rank:
+        The rank this program runs as.
+    function:
+        Generator function taking the rank's :class:`ProcessAPI` (and the
+        optional keyword arguments below).
+    kwargs:
+        Extra keyword arguments passed to *function* at launch, so workload
+        generators can parameterize a single function per rank.
+    name:
+        Label used for the simulated process (defaults to ``rank-<n>``).
+    """
+
+    rank: int
+    function: ProgramFunction
+    kwargs: tuple = ()
+    name: Optional[str] = None
+
+    def launch(self, api: Any) -> Generator:
+        """Instantiate the generator for this rank."""
+        return self.function(api, **dict(self.kwargs))
+
+    @property
+    def display_name(self) -> str:
+        """The process name shown in logs and errors."""
+        return self.name or f"rank-{self.rank}"
+
+
+def replicate_program(
+    function: ProgramFunction,
+    world_size: int,
+    per_rank_kwargs: Optional[Dict[int, Dict[str, Any]]] = None,
+) -> List[ProcessProgram]:
+    """Build an SPMD program list: every rank runs *function*.
+
+    ``per_rank_kwargs`` lets individual ranks receive different parameters
+    (e.g. the master in a master-worker pattern).
+    """
+    if world_size <= 0:
+        raise ValueError(f"world_size must be positive, got {world_size}")
+    programs = []
+    for rank in range(world_size):
+        kwargs = (per_rank_kwargs or {}).get(rank, {})
+        programs.append(
+            ProcessProgram(rank=rank, function=function, kwargs=tuple(kwargs.items()))
+        )
+    return programs

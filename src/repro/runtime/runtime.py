@@ -1,0 +1,356 @@
+"""The DSM runtime: construction, launch and results.
+
+:class:`DSMRuntime` assembles the whole simulated machine described by the
+paper — processes, private/public memories, NICs, the interconnect, the symbol
+directory, the race detector and the tracer — runs the per-rank programs to
+completion, and returns a :class:`RunResult` containing everything the
+examples, tests and benchmarks inspect: the race report, the trace, message
+and overhead statistics, and the final contents of shared memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
+
+from repro.core.detector import DetectorConfig, DualClockRaceDetector
+from repro.core.races import RaceRecord, RaceReport, SignalPolicy
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import SequentialConsistencyChecker
+from repro.memory.directory import PlacementPolicy, SymbolDirectory
+from repro.memory.locks import MemoryLockTable
+from repro.memory.private import PrivateMemory
+from repro.memory.public import PublicMemory
+from repro.net.fabric import Fabric, FabricStats
+from repro.net.latency import ConstantLatency, LatencyModel, LogGPLatency, UniformLatency
+from repro.net.nic import NIC, NICConfig
+from repro.net.topology import Topology
+from repro.runtime.api import ProcessAPI
+from repro.runtime.collectives import Barrier
+from repro.runtime.program import ProcessProgram, ProgramFunction, replicate_program
+from repro.sim.engine import Simulator
+from repro.trace.events import TraceSummary
+from repro.trace.recorder import TraceRecorder
+from repro.util.logging import SimLogger
+from repro.util.validation import require_positive
+
+
+@dataclass
+class RuntimeConfig:
+    """Configuration of one simulated DSM machine.
+
+    Attributes
+    ----------
+    world_size:
+        Number of processes.  The paper targets debugging-scale runs
+        ("typically, about 10 processes", Section V-A).
+    public_memory_cells:
+        Size of each rank's public memory segment, in cells.
+    seed:
+        Root seed; controls every random stream (latency jitter, workloads).
+    topology:
+        Name of a built-in topology (``"complete"``, ``"ring"``, ``"star"``,
+        ``"mesh"``, ``"torus"``, ``"hypercube"``) or a :class:`Topology`.
+    latency:
+        ``"constant"``, ``"uniform"``, ``"loggp"`` or a :class:`LatencyModel`.
+    latency_scale:
+        Multiplier applied to the default parameters of the named models.
+    detector:
+        The race-detector configuration (set ``detector.enabled = False`` for
+        an uninstrumented run).
+    nic:
+        NIC behaviour (lock and clock message charging).
+    signal_policy:
+        What to do when a race is signalled (collect / warn / abort).
+    trace_values:
+        Whether the trace keeps the transferred values (turn off for very
+        large scalability runs).
+    echo_log:
+        Print structured log records as they are emitted.
+    """
+
+    world_size: int = 4
+    public_memory_cells: int = 256
+    seed: int = 0
+    topology: Union[str, Topology] = "complete"
+    latency: Union[str, LatencyModel] = "constant"
+    latency_scale: float = 1.0
+    detector: DetectorConfig = field(default_factory=DetectorConfig)
+    nic: NICConfig = field(default_factory=NICConfig)
+    signal_policy: SignalPolicy = SignalPolicy.COLLECT
+    trace_values: bool = True
+    echo_log: bool = False
+
+    def with_overrides(self, **kwargs: Any) -> "RuntimeConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+@dataclass
+class RunResult:
+    """Everything a completed run exposes for inspection."""
+
+    config: RuntimeConfig
+    races: RaceReport
+    trace_summary: TraceSummary
+    fabric_stats: FabricStats
+    elapsed_sim_time: float
+    detection_control_messages: int
+    detection_clock_bytes: int
+    clock_storage_entries: int
+    final_shared_values: Dict[str, List[Any]]
+    per_rank_private: Dict[int, Dict[str, Any]]
+
+    @property
+    def race_count(self) -> int:
+        """Number of race signals emitted during the run."""
+        return len(self.races)
+
+    @property
+    def distinct_race_count(self) -> int:
+        """Number of distinct races after deduplication."""
+        return len(self.races.distinct())
+
+    def race_records(self) -> List[RaceRecord]:
+        """All race records."""
+        return self.races.records()
+
+    def shared_value(self, symbol: str, index: int = 0) -> Any:
+        """Final value of ``symbol[index]``."""
+        return self.final_shared_values[symbol][index]
+
+
+class DSMRuntime:
+    """Builds and runs one simulated distributed-shared-memory machine."""
+
+    def __init__(self, config: Optional[RuntimeConfig] = None, **overrides: Any) -> None:
+        base = config or RuntimeConfig()
+        self.config = base.with_overrides(**overrides) if overrides else base
+        require_positive(self.config.world_size, "world_size")
+
+        self.logger = SimLogger(echo=self.config.echo_log)
+        self.sim = Simulator(seed=self.config.seed, logger=self.logger)
+        self.topology = self._build_topology(self.config.topology, self.config.world_size)
+        self.latency_model = self._build_latency(self.config.latency)
+        self.fabric = Fabric(self.sim, self.topology, self.latency_model)
+        self.recorder = TraceRecorder(self.config.world_size, keep_values=self.config.trace_values)
+        self.report = RaceReport(self.config.signal_policy)
+        self.detector = DualClockRaceDetector(
+            self.config.world_size, config=self.config.detector, report=self.report
+        )
+        self.public_memories: List[PublicMemory] = [
+            PublicMemory(rank, self.config.public_memory_cells)
+            for rank in range(self.config.world_size)
+        ]
+        self.private_memories: List[PrivateMemory] = [
+            PrivateMemory(rank) for rank in range(self.config.world_size)
+        ]
+        self.lock_tables: List[MemoryLockTable] = [
+            MemoryLockTable(self.sim, rank) for rank in range(self.config.world_size)
+        ]
+        self.directory = SymbolDirectory(self.public_memories)
+        self.nics: List[NIC] = [
+            NIC(
+                self.sim,
+                rank,
+                self.fabric,
+                self.public_memories[rank],
+                self.lock_tables[rank],
+                detector=self.detector,
+                config=self.config.nic,
+                recorder=self.recorder,
+            )
+            for rank in range(self.config.world_size)
+        ]
+        for nic in self.nics:
+            for peer in self.nics:
+                if peer is not nic:
+                    nic.register_peer(peer)
+        self.barrier = Barrier(
+            self.sim,
+            self.config.world_size,
+            fabric=self.fabric,
+            detector=self.detector,
+            charge_messages=True,
+            recorder=self.recorder,
+        )
+        self._programs: Dict[int, ProcessProgram] = {}
+        self._apis: Dict[int, ProcessAPI] = {}
+        self._initial_values: Dict[GlobalAddress, Any] = {}
+        self._ran = False
+
+    # -- construction helpers -------------------------------------------------------
+
+    @staticmethod
+    def _build_topology(spec: Union[str, Topology], world_size: int) -> Topology:
+        if isinstance(spec, Topology):
+            if spec.world_size != world_size:
+                raise ValueError(
+                    f"topology covers {spec.world_size} ranks but world_size={world_size}"
+                )
+            return spec
+        name = spec.lower()
+        if name == "complete":
+            return Topology.complete(world_size)
+        if name == "ring":
+            return Topology.ring(world_size)
+        if name == "star":
+            return Topology.star(world_size)
+        if name in ("mesh", "torus"):
+            rows = int(world_size ** 0.5)
+            while rows > 1 and world_size % rows:
+                rows -= 1
+            cols = world_size // max(rows, 1)
+            if rows * cols != world_size:
+                rows, cols = 1, world_size
+            return Topology.mesh2d(rows, cols, torus=(name == "torus"))
+        if name == "hypercube":
+            dimension = max(1, (world_size - 1).bit_length())
+            if 2 ** dimension != world_size:
+                raise ValueError(
+                    f"hypercube topology needs a power-of-two world size, got {world_size}"
+                )
+            return Topology.hypercube(dimension)
+        raise ValueError(f"unknown topology {spec!r}")
+
+    def _build_latency(self, spec: Union[str, LatencyModel]) -> LatencyModel:
+        if isinstance(spec, LatencyModel):
+            return spec
+        scale = self.config.latency_scale
+        name = spec.lower()
+        if name == "constant":
+            return ConstantLatency(base=1.0 * scale)
+        if name == "uniform":
+            return UniformLatency(self.sim.rng, low=0.5 * scale, high=1.5 * scale)
+        if name == "loggp":
+            return LogGPLatency(
+                L=1.0 * scale, o_send=0.3 * scale, o_recv=0.3 * scale, G=0.001 * scale,
+                jitter=self.sim.rng, jitter_fraction=0.05,
+            )
+        raise ValueError(f"unknown latency model {spec!r}")
+
+    # -- shared-data declaration -------------------------------------------------------
+
+    def declare_scalar(self, name: str, owner: Optional[int] = None, initial: Any = None):
+        """Declare a shared scalar (see :class:`SymbolDirectory`)."""
+        symbol = self.directory.declare_scalar(name, owner=owner, initial=initial)
+        if initial is not None:
+            self._initial_values[self.directory.resolve(name, 0)] = initial
+        return symbol
+
+    def declare_array(
+        self,
+        name: str,
+        length: int,
+        policy: PlacementPolicy = PlacementPolicy.BLOCK,
+        owner: Optional[int] = None,
+        initial: Any = None,
+    ):
+        """Declare a shared array (see :class:`SymbolDirectory`)."""
+        symbol = self.directory.declare_array(
+            name, length, policy=policy, owner=owner, initial=initial
+        )
+        if initial is not None:
+            for index in range(length):
+                self._initial_values[self.directory.resolve(name, index)] = initial
+        return symbol
+
+    # -- program registration ------------------------------------------------------------
+
+    def set_program(self, rank: int, function: ProgramFunction, **kwargs: Any) -> None:
+        """Register the program run by *rank*."""
+        if not (0 <= rank < self.config.world_size):
+            raise ValueError(f"rank {rank} outside world of size {self.config.world_size}")
+        self._programs[rank] = ProcessProgram(
+            rank=rank, function=function, kwargs=tuple(kwargs.items())
+        )
+
+    def set_spmd_program(
+        self,
+        function: ProgramFunction,
+        per_rank_kwargs: Optional[Dict[int, Dict[str, Any]]] = None,
+    ) -> None:
+        """Register the same program for every rank (SPMD)."""
+        for program in replicate_program(function, self.config.world_size, per_rank_kwargs):
+            self._programs[program.rank] = program
+
+    def api(self, rank: int) -> ProcessAPI:
+        """Return (creating if needed) the :class:`ProcessAPI` of *rank*."""
+        if rank not in self._apis:
+            self._apis[rank] = ProcessAPI(
+                rank,
+                self.sim,
+                self.nics[rank],
+                self.directory,
+                self.private_memories[rank],
+                barrier=self.barrier,
+                recorder=self.recorder,
+            )
+        return self._apis[rank]
+
+    # -- execution ---------------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, check_locks: bool = True) -> RunResult:
+        """Launch every registered program and run the simulation to completion."""
+        if self._ran:
+            raise RuntimeError("DSMRuntime.run() may only be called once per instance")
+        if not self._programs:
+            raise RuntimeError("no programs registered; call set_program/set_spmd_program first")
+        self._ran = True
+        ranks_without_program = [
+            rank for rank in range(self.config.world_size) if rank not in self._programs
+        ]
+        for program in self._programs.values():
+            api = self.api(program.rank)
+            self.sim.process(program.launch(api), name=program.display_name)
+        self.logger.log(
+            "runtime",
+            f"launched {len(self._programs)} programs "
+            f"({len(ranks_without_program)} idle ranks) on {self.topology.name}",
+        )
+        elapsed = self.sim.run(until=until)
+        if check_locks and until is None:
+            for table in self.lock_tables:
+                table.assert_quiescent()
+        return self._collect_results(elapsed)
+
+    def _collect_results(self, elapsed: float) -> RunResult:
+        final_shared: Dict[str, List[Any]] = {}
+        for symbol in self.directory.symbols():
+            values = []
+            for index in range(symbol.length):
+                address = self.directory.resolve(symbol.name, index)
+                values.append(self.public_memories[address.rank].peek(address))
+            final_shared[symbol.name] = values
+        per_rank_private = {
+            rank: self.private_memories[rank].snapshot()
+            for rank in range(self.config.world_size)
+        }
+        clock_entries = self.detector.clock_storage_entries() + sum(
+            memory.clock_storage_entries() for memory in self.public_memories
+        )
+        return RunResult(
+            config=self.config,
+            races=self.report,
+            trace_summary=self.recorder.summary(),
+            fabric_stats=self.fabric.stats,
+            elapsed_sim_time=elapsed,
+            detection_control_messages=self.detector.control_messages,
+            detection_clock_bytes=self.detector.clock_bytes_on_wire,
+            clock_storage_entries=clock_entries,
+            final_shared_values=final_shared,
+            per_rank_private=per_rank_private,
+        )
+
+    # -- post-run helpers -----------------------------------------------------------------------
+
+    def consistency_check(self) -> List[str]:
+        """Run the sequential-consistency reference checker over the trace."""
+        checker = SequentialConsistencyChecker(self._initial_values)
+        return checker.check(self.recorder.accesses())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DSMRuntime n={self.config.world_size} topology={self.topology.name} "
+            f"detection={'on' if self.config.detector.enabled else 'off'}>"
+        )

@@ -1,0 +1,41 @@
+"""Discrete-event simulation kernel.
+
+The paper's model is an asynchronous distributed system: processes connected
+by point-to-point channels, with no global clock, exchanging one-sided memory
+operations.  We do not have a physical cluster, so this package provides the
+execution substrate: a deterministic discrete-event simulator in the style of
+SimPy, on which the network (:mod:`repro.net`), the memory system
+(:mod:`repro.memory`) and the PGAS runtime (:mod:`repro.runtime`) are built.
+
+Determinism matters: a fixed seed yields one legal interleaving of the
+distributed execution; different seeds perturb message latencies and therefore
+produce *different* legal interleavings, which is exactly how the ground-truth
+oracle in :mod:`repro.detectors.ground_truth` decides whether a set of
+accesses truly constitutes a race (the computation's outcome differs between
+executions).
+"""
+
+from repro.sim.events import (
+    Event,
+    Timeout,
+    AllOf,
+    AnyOf,
+    Interrupt,
+    SimulationError,
+)
+from repro.sim.process import Process, ProcessState
+from repro.sim.engine import Simulator
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+    "Process",
+    "ProcessState",
+    "Simulator",
+    "RandomStreams",
+]

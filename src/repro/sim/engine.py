@@ -1,0 +1,194 @@
+"""The discrete-event simulation engine.
+
+:class:`Simulator` owns the event calendar (a binary heap keyed on
+``(time, sequence)``) and the simulated clock.  Components schedule
+:class:`~repro.sim.events.Event` objects; the engine pops them in time order
+and runs their callbacks.  Ties are broken by insertion order so that a run is
+a pure function of the seed and the program — a property the tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.util.logging import SimLogger
+from repro.util.validation import require_non_negative
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for all random streams used by attached components (latency
+        models, workload generators).  Two simulators with the same seed and
+        the same program produce byte-identical traces.
+    logger:
+        Optional :class:`~repro.util.logging.SimLogger`; a fresh one is
+        created when omitted.
+    """
+
+    def __init__(self, seed: Optional[int] = 0, logger: Optional[SimLogger] = None) -> None:
+        self._now: float = 0.0
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._sequence = 0
+        self._processes: List[Process] = []
+        self._failures: List[Tuple[Process, BaseException]] = []
+        self._events_processed = 0
+        self.rng = RandomStreams(seed)
+        # Note: an empty SimLogger is falsy (len == 0), so test for None explicitly.
+        self.logger = logger if logger is not None else SimLogger()
+        self.logger.bind_clock(lambda: self._now)
+
+    # -- time ----------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events whose callbacks have been executed so far."""
+        return self._events_processed
+
+    # -- event construction --------------------------------------------------
+
+    def event(self, name: Optional[str] = None) -> Event:
+        """Create a pending event owned by this simulator."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: Any = None, name: Optional[str] = None) -> Timeout:
+        """Create an event that fires ``delay`` time units from now."""
+        require_non_negative(delay, "delay")
+        return Timeout(self, delay, value=value, name=name)
+
+    def all_of(self, events: Sequence[Event], name: Optional[str] = None) -> AllOf:
+        """Create an event that fires when all of *events* have fired."""
+        return AllOf(self, events, name=name)
+
+    def any_of(self, events: Sequence[Event], name: Optional[str] = None) -> AnyOf:
+        """Create an event that fires when any of *events* has fired."""
+        return AnyOf(self, events, name=name)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        """Register *generator* as a simulated process and start it at ``now``."""
+        proc = Process(self, generator, name=name)
+        self._processes.append(proc)
+        return proc
+
+    def call_at(self, time: float, callback: Callable[[], None], name: Optional[str] = None) -> Event:
+        """Run *callback* (a plain callable) at absolute simulated *time*."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule callback in the past: {time} < now={self._now}"
+            )
+        event = Event(self, name=name or "call_at")
+        event.callbacks.append(lambda _ev: callback())
+        self._push(time, event)
+        event._triggered = True
+        event._ok = True
+        return event
+
+    def call_after(self, delay: float, callback: Callable[[], None], name: Optional[str] = None) -> Event:
+        """Run *callback* after *delay* time units."""
+        require_non_negative(delay, "delay")
+        return self.call_at(self._now + delay, callback, name=name)
+
+    # -- scheduling internals ------------------------------------------------
+
+    def _push(self, time: float, event: Event) -> None:
+        heapq.heappush(self._queue, (time, self._sequence, event))
+        self._sequence += 1
+
+    def _enqueue_triggered(self, event: Event) -> None:
+        """Schedule an already-triggered event's callbacks at the current time."""
+        self._push(self._now, event)
+
+    def _schedule_timeout(self, timeout: Timeout, delay: float) -> None:
+        self._push(self._now + delay, timeout)
+
+    def _record_process_failure(self, process: Process, exc: BaseException) -> None:
+        self._failures.append((process, exc))
+
+    # -- execution -----------------------------------------------------------
+
+    def peek(self) -> float:
+        """Return the time of the next scheduled event, or ``inf`` if idle."""
+        if not self._queue:
+            return float("inf")
+        return self._queue[0][0]
+
+    def step(self) -> None:
+        """Process exactly one event from the calendar."""
+        if not self._queue:
+            raise SimulationError("step() called on an empty event queue")
+        time, _seq, event = heapq.heappop(self._queue)
+        if time < self._now:
+            raise SimulationError(
+                f"event calendar corrupted: popped t={time} < now={self._now}"
+            )
+        self._now = time
+        if isinstance(event, Timeout) and not event.triggered:
+            event._auto_trigger()
+        callbacks, event.callbacks = event.callbacks, []
+        event._mark_processed()
+        for callback in callbacks:
+            callback(event)
+        self._events_processed += 1
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        raise_process_errors: bool = True,
+    ) -> float:
+        """Run until the calendar is empty, *until* is reached, or *max_events*.
+
+        Returns the simulated time at which the run stopped.  If any process
+        raised an unhandled exception and *raise_process_errors* is true, the
+        first such exception is re-raised after the loop stops (so an error in
+        rank 3's program fails the test that launched it).
+        """
+        processed = 0
+        while self._queue:
+            if until is not None and self.peek() > until:
+                self._now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            self.step()
+            processed += 1
+        if raise_process_errors and self._failures:
+            process, exc = self._failures[0]
+            raise SimulationError(
+                f"process {process.name!r} failed at t={self._now}: {exc!r}"
+            ) from exc
+        return self._now
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def processes(self) -> List[Process]:
+        """All processes ever registered with :meth:`process`."""
+        return list(self._processes)
+
+    @property
+    def failures(self) -> List[Tuple[Process, BaseException]]:
+        """(process, exception) pairs for processes that died with an error."""
+        return list(self._failures)
+
+    def all_finished(self) -> bool:
+        """True when every registered process has run to completion."""
+        return all(not p.is_alive for p in self._processes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now} queued={len(self._queue)} "
+            f"processes={len(self._processes)}>"
+        )

@@ -1,0 +1,203 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot future: it is *pending* until the simulator
+(or another component) triggers it with :meth:`Event.succeed` or
+:meth:`Event.fail`, at which point every registered callback runs at the
+current simulated time.  Processes (see :mod:`repro.sim.process`) are
+generators that ``yield`` events and are resumed when the event fires.
+
+Composite events (:class:`AllOf`, :class:`AnyOf`) are provided because the
+NIC model waits for e.g. "lock granted AND payload delivered".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.sim.engine import Simulator
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation kernel is used incorrectly."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The ``cause`` attribute carries an arbitrary, caller-supplied payload
+    explaining why the interrupt happened.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence at a point in simulated time.
+
+    Parameters
+    ----------
+    sim:
+        The owning :class:`~repro.sim.engine.Simulator`.
+    name:
+        Optional human-readable label used in ``repr`` and error messages.
+    """
+
+    def __init__(self, sim: "Simulator", name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.name = name or self.__class__.__name__
+        self.callbacks: List[Callable[["Event"], None]] = []
+        self._triggered = False
+        self._processed = False
+        self._ok: Optional[bool] = None
+        self._value: Any = None
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once :meth:`succeed` or :meth:`fail` has been called."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once the simulator has run this event's callbacks."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded.  Only valid once triggered."""
+        if not self._triggered:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`succeed`, or the exception from :meth:`fail`."""
+        if not self._triggered:
+            raise SimulationError(f"{self!r} has not been triggered yet")
+        return self._value
+
+    # -- triggering ----------------------------------------------------------
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event as successful and schedule its callbacks now."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.sim._enqueue_triggered(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event as failed; waiting processes receive *exception*."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() expects an exception, got {exception!r}")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue_triggered(self)
+        return self
+
+    # -- internal ------------------------------------------------------------
+
+    def _mark_processed(self) -> None:
+        self._processed = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self._processed else ("triggered" if self._triggered else "pending")
+        return f"<{self.__class__.__name__} {self.name!r} {state}>"
+
+
+class Timeout(Event):
+    """An event that fires automatically after a fixed simulated delay."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        delay: float,
+        value: Any = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"Timeout delay must be non-negative, got {delay}")
+        super().__init__(sim, name or f"Timeout({delay})")
+        self.delay = delay
+        self._value = value
+        sim._schedule_timeout(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # noqa: D102
+        raise SimulationError("Timeout events are triggered by the simulator only")
+
+    def fail(self, exception: BaseException) -> "Event":  # noqa: D102
+        raise SimulationError("Timeout events are triggered by the simulator only")
+
+    def _auto_trigger(self) -> None:
+        """Called by the simulator when the delay has elapsed."""
+        self._triggered = True
+        self._ok = True
+
+
+class _Condition(Event):
+    """Common machinery for :class:`AllOf` / :class:`AnyOf`."""
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event], name: str) -> None:
+        super().__init__(sim, name)
+        self.events: List[Event] = list(events)
+        if not self.events:
+            # An empty condition is immediately satisfied.
+            self.succeed({})
+            return
+        self._pending = len(self.events)
+        for event in self.events:
+            if event.triggered:
+                self._on_child(event)
+            else:
+                event.callbacks.append(self._on_child)
+
+    def _on_child(self, event: Event) -> None:
+        raise NotImplementedError
+
+    def _collect_values(self) -> dict:
+        return {e: e.value for e in self.events if e.triggered and e.ok}
+
+
+class AllOf(_Condition):
+    """Fires when *all* child events have fired.
+
+    The value is a dict mapping each child event to its value.  If any child
+    fails, the condition fails with that child's exception.
+    """
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event], name: Optional[str] = None) -> None:
+        super().__init__(sim, events, name or f"AllOf({len(list(events))})")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event.ok:
+            self.fail(event.value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed(self._collect_values())
+
+
+class AnyOf(_Condition):
+    """Fires when *any* child event has fired (with that child's outcome)."""
+
+    def __init__(self, sim: "Simulator", events: Sequence[Event], name: Optional[str] = None) -> None:
+        super().__init__(sim, events, name or f"AnyOf({len(list(events))})")
+
+    def _on_child(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if event.ok:
+            self.succeed({event: event.value})
+        else:
+            self.fail(event.value)

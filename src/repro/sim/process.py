@@ -1,0 +1,166 @@
+"""Generator-based simulated processes.
+
+A *process* is a Python generator that yields :class:`~repro.sim.events.Event`
+objects.  When the yielded event triggers, the simulator resumes the generator
+with the event's value (or throws the event's exception into it).  This is the
+classic SimPy execution model; it lets user programs in
+:mod:`repro.runtime.program` express one-sided memory operations as ordinary
+sequential code (``value = yield from api.get(x)``).
+
+A process is itself an :class:`Event`: it triggers when the generator returns,
+with the generator's return value, so other processes can wait on it (used by
+the runtime's barrier/join machinery).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import Event, Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.engine import Simulator
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a simulated process."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    WAITING = "waiting"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+class Process(Event):
+    """Wraps a generator and steps it through the event loop.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    generator:
+        A generator yielding :class:`Event` instances.
+    name:
+        Human-readable name (e.g. ``"rank-3"``).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(
+                f"Process requires a generator, got {type(generator).__name__}"
+            )
+        super().__init__(sim, name or "process")
+        self._generator = generator
+        self._state = ProcessState.CREATED
+        self._waiting_on: Optional[Event] = None
+        # Kick off the process at the current simulated time.
+        start = Event(sim, name=f"{self.name}:start")
+        start.callbacks.append(self._resume)
+        start.succeed(None)
+
+    # -- inspection ----------------------------------------------------------
+
+    @property
+    def state(self) -> ProcessState:
+        """Current lifecycle state."""
+        return self._state
+
+    @property
+    def waiting_on(self) -> Optional[Event]:
+        """The event this process is currently blocked on, if any."""
+        return self._waiting_on
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished or failed."""
+        return self._state not in (ProcessState.FINISHED, ProcessState.FAILED)
+
+    # -- control -------------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait point.
+
+        Interrupting a finished process is an error; interrupting a process
+        that is not currently waiting is deferred until it next yields.
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        wakeup = Event(self.sim, name=f"{self.name}:interrupt")
+        wakeup.callbacks.append(lambda _ev: self._throw_in(Interrupt(cause)))
+        wakeup.succeed(None)
+
+    # -- stepping ------------------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of *event*."""
+        if not self.is_alive:
+            return
+        self._waiting_on = None
+        self._state = ProcessState.RUNNING
+        try:
+            if event.ok:
+                target = self._generator.send(event.value)
+            else:
+                target = self._generator.throw(event.value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate via the event
+            self._fail(exc)
+            return
+        self._wait_for(target)
+
+    def _throw_in(self, exc: BaseException) -> None:
+        if not self.is_alive:
+            return
+        self._state = ProcessState.RUNNING
+        try:
+            target = self._generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self._fail(raised)
+            return
+        self._wait_for(target)
+
+    def _wait_for(self, target: Any) -> None:
+        if not isinstance(target, Event):
+            self._fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+                )
+            )
+            return
+        self._state = ProcessState.WAITING
+        self._waiting_on = target
+        if target.triggered:
+            # Already fired: resume on the next simulator step at the same time.
+            bounce = Event(self.sim, name=f"{self.name}:bounce")
+            bounce.callbacks.append(lambda _ev: self._resume(target))
+            bounce.succeed(None)
+        else:
+            target.callbacks.append(self._resume)
+
+    def _finish(self, value: Any) -> None:
+        self._state = ProcessState.FINISHED
+        self._waiting_on = None
+        if not self.triggered:
+            self.succeed(value)
+
+    def _fail(self, exc: BaseException) -> None:
+        self._state = ProcessState.FAILED
+        self._waiting_on = None
+        self.sim._record_process_failure(self, exc)
+        if not self.triggered:
+            self.fail(exc)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name!r} {self._state.value}>"

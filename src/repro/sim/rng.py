@@ -1,0 +1,79 @@
+"""Named, reproducible random streams.
+
+Different components of the simulation (the latency model, each workload
+generator, failure injection) must not share a single RNG: consuming a random
+number in one component would otherwise perturb every other component and make
+seeds fragile.  :class:`RandomStreams` derives an independent
+:class:`numpy.random.Generator` per *named* stream from a single root seed
+using NumPy's ``SeedSequence.spawn`` machinery, so
+
+* the same root seed always yields the same per-stream sequences, and
+* adding a new stream never changes existing streams' draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+
+class RandomStreams:
+    """A registry of named, independently seeded NumPy generators."""
+
+    def __init__(self, seed: Optional[int] = 0) -> None:
+        self._seed = seed
+        self._root = np.random.SeedSequence(seed)
+        self._streams: Dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> Optional[int]:
+        """The root seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return (creating on first use) the generator for *name*.
+
+        The generator for a given ``(root seed, name)`` pair is always the
+        same sequence, regardless of creation order of other streams.
+        """
+        if not isinstance(name, str) or not name:
+            raise TypeError(f"stream name must be a non-empty string, got {name!r}")
+        if name not in self._streams:
+            # Derive a child seed deterministically from (root, name): hash the
+            # name into integers and fold them into a child SeedSequence.
+            name_words = [ord(c) for c in name]
+            child = np.random.SeedSequence(
+                entropy=self._root.entropy if self._root.entropy is not None else 0,
+                spawn_key=tuple(name_words),
+            )
+            self._streams[name] = np.random.default_rng(child)
+        return self._streams[name]
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """Draw one uniform sample in ``[low, high)`` from stream *name*."""
+        if high < low:
+            raise ValueError(f"uniform bounds reversed: [{low}, {high})")
+        return float(self.stream(name).uniform(low, high))
+
+    def exponential(self, name: str, mean: float) -> float:
+        """Draw one exponential sample with the given *mean* from stream *name*."""
+        if mean <= 0:
+            raise ValueError(f"exponential mean must be positive, got {mean}")
+        return float(self.stream(name).exponential(mean))
+
+    def integers(self, name: str, low: int, high: int) -> int:
+        """Draw one integer in ``[low, high)`` from stream *name*."""
+        return int(self.stream(name).integers(low, high))
+
+    def choice(self, name: str, options):
+        """Pick one element of *options* uniformly from stream *name*."""
+        options = list(options)
+        if not options:
+            raise ValueError("choice() requires a non-empty sequence")
+        index = int(self.stream(name).integers(0, len(options)))
+        return options[index]
+
+    def names(self):
+        """Return the names of streams created so far."""
+        return sorted(self._streams)

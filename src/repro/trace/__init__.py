@@ -1,0 +1,39 @@
+"""Execution tracing, serialization and replay.
+
+The paper notes the detection algorithm "can be implemented in the
+communication library of the run-time support system" or "in the pre-compiler,
+as wrappers around remote data accesses" (Section V-B).  The first option is
+the online detector wired into the NIC; the second corresponds to collecting a
+trace of remote accesses and analysing it afterwards.  This package provides
+the trace infrastructure both paths share:
+
+* :class:`~repro.trace.recorder.TraceRecorder` — collects every shared-memory
+  access and every completed one-sided operation during a run;
+* :mod:`repro.trace.serialization` — JSON round-tripping of traces, so runs
+  can be archived and diffed;
+* :class:`~repro.trace.replay.TraceReplayer` — feeds a recorded trace back
+  through a detector offline (the post-mortem detector and some benchmarks
+  build on it).
+"""
+
+from repro.trace.events import OperationRecord, TraceSummary
+from repro.trace.recorder import TraceRecorder
+from repro.trace.serialization import (
+    access_to_dict,
+    access_from_dict,
+    trace_to_json,
+    trace_from_json,
+)
+from repro.trace.replay import TraceReplayer, ReplayOutcome
+
+__all__ = [
+    "OperationRecord",
+    "TraceSummary",
+    "TraceRecorder",
+    "access_to_dict",
+    "access_from_dict",
+    "trace_to_json",
+    "trace_from_json",
+    "TraceReplayer",
+    "ReplayOutcome",
+]

@@ -1,0 +1,118 @@
+"""Trace record types beyond the raw memory access.
+
+:class:`~repro.memory.consistency.MemoryAccess` is the atom of a trace; this
+module adds the operation-level record (one completed put/get with its timing
+and message counts) and the whole-trace summary used by reports and
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind, MemoryAccess
+
+
+@dataclass(frozen=True)
+class SyncEvent:
+    """One explicit synchronization among a set of ranks (e.g. a barrier).
+
+    Offline analyses need these events: without them a trace only shows the
+    shared-memory accesses, and accesses that were ordered by a barrier online
+    would look unordered when replayed (Section V-B's pre-compiler deployment
+    would log the synchronization calls for exactly this reason).
+    """
+
+    sync_id: int
+    time: float
+    participants: tuple
+    kind: str = "barrier"
+
+
+@dataclass(frozen=True)
+class OperationRecord:
+    """One completed high-level one-sided operation.
+
+    Captures what the overhead and scalability experiments need: the type of
+    operation, its latency (including lock waits) and how many messages of
+    each category it generated.
+    """
+
+    operation: str
+    origin: int
+    target: GlobalAddress
+    symbol: Optional[str]
+    start_time: float
+    end_time: float
+    data_messages: int
+    control_messages: int
+    raced: bool
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated duration of the operation."""
+        return self.end_time - self.start_time
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one recorded execution."""
+
+    world_size: int
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+    operations: int = 0
+    puts: int = 0
+    gets: int = 0
+    local_accesses: int = 0
+    cells_touched: int = 0
+    races_flagged: int = 0
+    duration: float = 0.0
+    per_rank_accesses: Dict[int, int] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Flat dictionary for reporting."""
+        return {
+            "world_size": self.world_size,
+            "accesses": self.accesses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "operations": self.operations,
+            "puts": self.puts,
+            "gets": self.gets,
+            "local_accesses": self.local_accesses,
+            "cells_touched": self.cells_touched,
+            "races_flagged": self.races_flagged,
+            "duration": self.duration,
+            "per_rank_accesses": dict(self.per_rank_accesses),
+        }
+
+
+def summarize(
+    world_size: int,
+    accesses: List[MemoryAccess],
+    operations: List[OperationRecord],
+) -> TraceSummary:
+    """Build a :class:`TraceSummary` from raw trace contents."""
+    summary = TraceSummary(world_size=world_size)
+    summary.accesses = len(accesses)
+    summary.reads = sum(1 for a in accesses if a.kind is AccessKind.READ)
+    summary.writes = sum(1 for a in accesses if a.kind is AccessKind.WRITE)
+    summary.operations = len(operations)
+    summary.puts = sum(1 for o in operations if o.operation == "put")
+    summary.gets = sum(1 for o in operations if o.operation == "get")
+    summary.local_accesses = sum(
+        1 for a in accesses if a.operation.startswith("local_")
+    )
+    summary.cells_touched = len({a.address for a in accesses})
+    summary.races_flagged = sum(1 for o in operations if o.raced)
+    if accesses:
+        summary.duration = max(a.time for a in accesses) - min(a.time for a in accesses)
+    for access in accesses:
+        summary.per_rank_accesses[access.rank] = (
+            summary.per_rank_accesses.get(access.rank, 0) + 1
+        )
+    return summary

@@ -1,0 +1,54 @@
+"""Workload generators and the paper's figure scenarios.
+
+Every benchmark and most integration tests drive the runtime through one of
+these generators rather than hand-rolling programs:
+
+* :mod:`repro.workloads.figures` — executable versions of Figures 2, 3, 4 and
+  5a/5b/5c, with the expected detection outcome attached;
+* :mod:`repro.workloads.random_access` — synthetic random put/get traffic with
+  tunable conflict probability (scalability and accuracy experiments);
+* :mod:`repro.workloads.master_worker` — the master/worker pattern the paper
+  uses as its example of an *intentional* race (Section IV-D);
+* :mod:`repro.workloads.stencil` — 1-D halo exchange, with and without the
+  barriers that make it race-free;
+* :mod:`repro.workloads.reduction` — the one-sided, non-collective reduction
+  of the paper's future work (Section V-B);
+* :mod:`repro.workloads.producer_consumer` — an unsynchronized flag/buffer
+  hand-off, the textbook true race;
+* :mod:`repro.workloads.racy_patterns` — a labelled corpus of small racy and
+  race-free kernels used to score detector accuracy (benchmark E13).
+"""
+
+from repro.workloads.base import WorkloadResult, WorkloadScenario
+from repro.workloads.figures import (
+    figure2_put_get,
+    figure3_lock_serialization,
+    figure4_concurrent_reads,
+    figure5a_concurrent_puts,
+    figure5b_causal_chain,
+    figure5c_four_process_chain,
+)
+from repro.workloads.random_access import RandomAccessWorkload
+from repro.workloads.master_worker import MasterWorkerWorkload
+from repro.workloads.stencil import StencilWorkload
+from repro.workloads.reduction import OneSidedReductionWorkload
+from repro.workloads.producer_consumer import ProducerConsumerWorkload
+from repro.workloads.racy_patterns import LabelledPattern, pattern_corpus
+
+__all__ = [
+    "WorkloadResult",
+    "WorkloadScenario",
+    "figure2_put_get",
+    "figure3_lock_serialization",
+    "figure4_concurrent_reads",
+    "figure5a_concurrent_puts",
+    "figure5b_causal_chain",
+    "figure5c_four_process_chain",
+    "RandomAccessWorkload",
+    "MasterWorkerWorkload",
+    "StencilWorkload",
+    "OneSidedReductionWorkload",
+    "ProducerConsumerWorkload",
+    "LabelledPattern",
+    "pattern_corpus",
+]

@@ -1,0 +1,86 @@
+"""Shared machinery for workload generators.
+
+A workload is anything that can *build* a fully configured
+:class:`~repro.runtime.runtime.DSMRuntime` for a given seed (so the
+ground-truth oracle can re-run it under different interleavings) and *run* it
+to produce a :class:`WorkloadResult` that pairs the runtime's
+:class:`~repro.runtime.runtime.RunResult` with workload-specific expectations
+(does the author of the workload consider it racy? on which symbols?).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from repro.runtime.runtime import DSMRuntime, RunResult, RuntimeConfig
+
+
+@dataclass
+class WorkloadResult:
+    """A completed workload run plus the workload's own expectations."""
+
+    name: str
+    runtime: DSMRuntime
+    run: RunResult
+    expected_racy: bool
+    expected_racy_symbols: Set[str] = field(default_factory=set)
+    notes: str = ""
+
+    @property
+    def detected_racy(self) -> bool:
+        """True when the online detector flagged at least one race."""
+        return self.run.race_count > 0
+
+    @property
+    def detection_matches_expectation(self) -> bool:
+        """True when the detector's verdict agrees with the workload label."""
+        return self.detected_racy == self.expected_racy
+
+    def detected_symbols(self) -> Set[str]:
+        """Shared symbols involved in at least one race signal."""
+        return {s for s in self.run.races.by_symbol() if s is not None}
+
+
+class WorkloadScenario(abc.ABC):
+    """Base class for parameterized workloads."""
+
+    #: Name used in reports and benchmark ids.
+    name: str = "workload"
+    #: Whether the scenario, as parameterized, is expected to contain races.
+    expected_racy: bool = False
+    #: Symbols expected to be flagged when ``expected_racy`` is true.
+    expected_racy_symbols: Set[str] = set()
+
+    def __init__(self, config: Optional[RuntimeConfig] = None) -> None:
+        self.base_config = config if config is not None else RuntimeConfig()
+
+    @abc.abstractmethod
+    def build(self, seed: int = 0) -> DSMRuntime:
+        """Return a ready-to-run runtime for *seed* (declare data, set programs)."""
+
+    def run(self, seed: int = 0) -> WorkloadResult:
+        """Build and run the workload once."""
+        runtime = self.build(seed)
+        result = runtime.run()
+        return WorkloadResult(
+            name=self.name,
+            runtime=runtime,
+            run=result,
+            expected_racy=self.expected_racy,
+            expected_racy_symbols=set(self.expected_racy_symbols),
+            notes=self.describe(),
+        )
+
+    def factory(self):
+        """A :data:`RuntimeFactory` suitable for the ground-truth oracle."""
+        return lambda seed: self.build(seed)
+
+    def describe(self) -> str:
+        """One-line description used in benchmark output."""
+        return self.__class__.__doc__.strip().splitlines()[0] if self.__class__.__doc__ else self.name
+
+    def _config_for_seed(self, seed: int, **overrides: Any) -> RuntimeConfig:
+        """The base config with the seed (and any overrides) applied."""
+        return self.base_config.with_overrides(seed=seed, **overrides)

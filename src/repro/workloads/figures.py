@@ -1,0 +1,293 @@
+"""Executable versions of the paper's figures.
+
+Each ``figureX`` function builds a fresh, fully configured
+:class:`~repro.runtime.runtime.DSMRuntime` reproducing the corresponding
+scenario; the module-level ``FIGURE_EXPECTATIONS`` table records what the
+paper says should happen, and the integration tests / benchmarks assert it.
+
+All scenarios use a deterministic constant-latency fabric so the interleaving
+(and therefore every clock value) is identical run after run; small
+``compute`` offsets stagger the processes the same way the space-time diagrams
+of the paper do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.detector import DetectorConfig
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+
+@dataclass(frozen=True)
+class FigureExpectation:
+    """What the paper's figure claims about the scenario."""
+
+    figure: str
+    race_expected: bool
+    description: str
+
+
+FIGURE_EXPECTATIONS: Dict[str, FigureExpectation] = {
+    "fig2": FigureExpectation(
+        "Figure 2", False,
+        "put is one data message, get is two data messages; both complete",
+    ),
+    "fig3": FigureExpectation(
+        "Figure 3", True,
+        "a put on a datum is delayed until a concurrent get on it releases the NIC lock; "
+        "the two accesses remain causally unordered, so the detector also signals them",
+    ),
+    "fig4": FigureExpectation(
+        "Figure 4", False,
+        "two concurrent gets of an initialized variable are not a race",
+    ),
+    "fig5a": FigureExpectation(
+        "Figure 5a", True,
+        "two concurrent puts from P0 and P2 into P1's datum are a race (110 x 001)",
+    ),
+    "fig5b": FigureExpectation(
+        "Figure 5b", False,
+        "get1, m1, m2, m3 form a causal chain; m3's put is ordered after get1's read",
+    ),
+    "fig5c": FigureExpectation(
+        "Figure 5c", True,
+        "m1 and m3 write the same datum; their arrivals at P1 are not causally ordered",
+    ),
+}
+
+
+def _base_config(
+    world_size: int,
+    seed: int,
+    detector: Optional[DetectorConfig],
+) -> RuntimeConfig:
+    return RuntimeConfig(
+        world_size=world_size,
+        seed=seed,
+        topology="complete",
+        latency="constant",
+        detector=detector if detector is not None else DetectorConfig(),
+    )
+
+
+def _idle(api):
+    """A program that takes no shared-memory action."""
+    yield from api.compute(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2 — remote R/W memory accesses (put = 1 message, get = 2 messages)
+# ---------------------------------------------------------------------------
+
+def figure2_put_get(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """P2 writes into P1's memory then reads it back (Figure 2).
+
+    The two operations are issued by the same process, so no race exists; the
+    benchmark checks the message decomposition instead: the put generates one
+    data message, the get generates two.
+    """
+    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime.declare_scalar("x", owner=1, initial=0)
+
+    def p2(api):
+        yield from api.put("x", 42)
+        value = yield from api.get("x")
+        api.private.write("observed", value)
+
+    runtime.set_program(0, _idle)
+    runtime.set_program(1, _idle)
+    runtime.set_program(2, p2)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — a put is delayed until the end of a get on the same data
+# ---------------------------------------------------------------------------
+
+def figure3_lock_serialization(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """P2 gets a datum of P1 while P0 tries to put into it (Figure 3).
+
+    P2's get acquires the NIC lock on the datum first (it starts immediately;
+    P0 waits a little before issuing the put), so P0's put is queued behind it
+    and only takes effect after the get completes.  The test asserts the lock
+    table saw contention and the final value is P0's (the put lands last).
+    """
+    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime.declare_scalar("d", owner=1, initial="initial")
+
+    def p2_reader(api):
+        value = yield from api.get("d")
+        api.private.write("read", value)
+
+    def p0_writer(api):
+        # Start after P2's lock request is in flight but before it releases.
+        yield from api.compute(1.5)
+        yield from api.put("d", "from-P0")
+
+    runtime.set_program(0, p0_writer)
+    runtime.set_program(1, _idle)
+    runtime.set_program(2, p2_reader)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — two concurrent get operations are not a race
+# ---------------------------------------------------------------------------
+
+def figure4_concurrent_reads(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """P0 and P2 concurrently get variable ``a`` initialized to ``A`` (Figure 4).
+
+    Neither operation modifies the value, so the dual-clock detector must not
+    signal anything; both readers must observe the initial value ``"A"``.
+    """
+    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime.declare_scalar("a", owner=1, initial="A")
+
+    def reader(api):
+        value = yield from api.get("a")
+        api.private.write("a", value)
+
+    runtime.set_program(0, reader)
+    runtime.set_program(1, _idle)
+    runtime.set_program(2, reader)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Figure 5a — race between two concurrent puts
+# ---------------------------------------------------------------------------
+
+def figure5a_concurrent_puts(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """P0 and P2 both put into P1's datum without synchronization (Figure 5a).
+
+    The two writes carry incomparable clocks (paper: ``110 × 001``), so the
+    detector must signal a race on reception of the second one.
+    """
+    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime.declare_scalar("a", owner=1, initial=0)
+
+    def writer(api):
+        # Stagger slightly so the message order is deterministic; the clocks
+        # are incomparable regardless of which write lands first.
+        yield from api.compute(0.25 * api.rank)
+        yield from api.put("a", f"m-from-P{api.rank}")
+
+    runtime.set_program(0, writer)
+    runtime.set_program(1, _idle)
+    runtime.set_program(2, writer)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Figure 5b — causally chained accesses: no race
+# ---------------------------------------------------------------------------
+
+def figure5b_causal_chain(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """The causal chain of Figure 5b: get1, m1, m2, m3 — no race.
+
+    * ``get1`` — P1 reads ``a`` (owned by P0);
+    * ``m1``  — P0 puts into ``b`` (owned by P1);
+    * ``m2``  — P1, after reading ``b``, puts into ``c`` (owned by P2);
+    * ``m3``  — P2, after reading ``c``, puts into ``a`` (owned by P0).
+
+    Every access is causally ordered with the previous one through the data
+    that flows along the chain, so the detector must stay silent even though
+    four different processes touch ``a``, ``b`` and ``c``.
+    """
+    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime.declare_scalar("a", owner=0, initial="A0")
+    runtime.declare_scalar("b", owner=1, initial=None)
+    runtime.declare_scalar("c", owner=2, initial=None)
+
+    # The stages are staggered with fixed local-compute delays chosen well past
+    # the (deterministic, constant-latency) completion time of the previous
+    # stage, so each process reads the chained value only after it has arrived;
+    # polling loops would add extra reads that are themselves unsynchronized
+    # with the incoming writes and would (correctly) be reported as races,
+    # which is not the scenario the figure depicts.
+    def p0(api):
+        yield from api.compute(10.0)
+        yield from api.put("b", "m1")          # m1
+
+    def p1(api):
+        value = yield from api.get("a")        # get1
+        api.private.write("a", value)
+        yield from api.compute(30.0)
+        observed = yield from api.get("b")     # read m1's payload
+        yield from api.put("c", ("m2", observed))   # m2
+
+    def p2(api):
+        yield from api.compute(60.0)
+        observed = yield from api.get("c")     # read m2's payload
+        yield from api.put("a", ("m3", observed))   # m3
+
+    runtime.set_program(0, p0)
+    runtime.set_program(1, p1)
+    runtime.set_program(2, p2)
+    return runtime
+
+
+# ---------------------------------------------------------------------------
+# Figure 5c — four processes, race between m1 and m3
+# ---------------------------------------------------------------------------
+
+def figure5c_four_process_chain(
+    seed: int = 0, detector: Optional[DetectorConfig] = None
+) -> DSMRuntime:
+    """Figure 5c: the arrivals of ``m1`` and ``m3`` at the same datum race.
+
+    * ``m1`` — P0 puts into ``a`` (owned by P1);
+    * ``m2`` — P0 then puts into ``t`` (owned by P2);
+    * ``m3`` — P2, after seeing ``m2`` in its own public memory, puts into the
+      *same* datum ``a``;
+    * ``m4`` — P2 notifies P3 (completing the figure's fourth process).
+
+    Although ``m1`` happens-before ``m3`` at the issuing processes (P0's
+    program order plus the data flow of ``m2``), nothing orders their
+    *arrivals* at P1's memory: on a fabric with independent channels ``m3``
+    can land before ``m1``, so the final value of ``a`` depends on timing.
+    The detector signals the race because the datum clock carries P1's
+    owner tick from ``m1``, which P2 cannot know without communicating with
+    P1 (paper: "race condition detected between m1 (put) and m3 (put)").
+    """
+    runtime = DSMRuntime(_base_config(4, seed, detector))
+    runtime.declare_scalar("a", owner=1, initial=0)
+    runtime.declare_scalar("t", owner=2, initial=None)
+    runtime.declare_scalar("done", owner=3, initial=None)
+
+    def p0(api):
+        yield from api.put("a", "m1")       # m1
+        yield from api.put("t", "m2")       # m2
+
+    def p2(api):
+        # Wait past m2's deterministic arrival, then read it from local public
+        # memory and issue m3 (see figure5b_causal_chain for why a polling
+        # loop is avoided).
+        yield from api.compute(30.0)
+        observed = yield from api.get("t")
+        api.private.write("t", observed)
+        yield from api.put("a", "m3")       # m3
+        yield from api.put("done", "m4")    # m4
+
+    def p3(api):
+        yield from api.compute(60.0)
+        observed = yield from api.get("done")   # m4's payload
+        api.private.write("done", observed)
+
+    runtime.set_program(0, p0)
+    runtime.set_program(1, _idle)
+    runtime.set_program(2, p2)
+    runtime.set_program(3, p3)
+    return runtime

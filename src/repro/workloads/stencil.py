@@ -1,0 +1,102 @@
+"""1-D stencil with halo exchange over one-sided puts.
+
+This is the archetypal PGAS application the paper's introduction motivates:
+each rank owns a block of a 1-D domain plus two halo cells, iterates a 3-point
+update, and at the end of every iteration pushes its boundary values into its
+neighbours' halo cells with one-sided ``put`` operations.
+
+Correctly synchronized (``use_barriers=True``, the default) the exchange is
+separated from the computation by barriers and the detector must stay silent.
+With ``use_barriers=False`` the halo writes of iteration ``k+1`` are
+unordered with the halo *reads* of iteration ``k`` on the neighbouring rank —
+a classic, genuinely observable race that the detector must flag.  The pair of
+configurations is used both as an accuracy data point (E13) and as the
+workload for the detection-overhead measurement (E11), since its communication
+pattern is regular and scales cleanly with world size and iteration count.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.memory.directory import PlacementPolicy
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.workloads.base import WorkloadScenario
+from repro.util.validation import require_positive
+
+
+class StencilWorkload(WorkloadScenario):
+    """Jacobi-style 1-D stencil with halo exchange through remote puts."""
+
+    name = "stencil-1d"
+
+    def __init__(
+        self,
+        world_size: int = 4,
+        cells_per_rank: int = 8,
+        iterations: int = 3,
+        use_barriers: bool = True,
+        compute_cost: float = 1.0,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        super().__init__(config)
+        require_positive(world_size, "world_size")
+        require_positive(cells_per_rank, "cells_per_rank")
+        require_positive(iterations, "iterations")
+        self.world_size = world_size
+        self.cells_per_rank = cells_per_rank
+        self.iterations = iterations
+        self.use_barriers = use_barriers
+        self.compute_cost = compute_cost
+        self.expected_racy = not use_barriers
+        self.expected_racy_symbols = (
+            {f"halo{r}" for r in range(world_size)} if self.expected_racy else set()
+        )
+
+    def build(self, seed: int = 0) -> DSMRuntime:
+        """One halo array per rank: ``halo<r>[0]`` = left ghost, ``[1]`` = right ghost."""
+        runtime = DSMRuntime(
+            self._config_for_seed(
+                seed,
+                world_size=self.world_size,
+                latency="uniform",
+                public_memory_cells=max(64, self.cells_per_rank + 8),
+            )
+        )
+        for rank in range(self.world_size):
+            runtime.declare_array(
+                f"halo{rank}", 2, policy=PlacementPolicy.OWNER, owner=rank, initial=0.0
+            )
+        workload = self
+
+        def program(api):
+            rank = api.rank
+            n = workload.cells_per_rank
+            # The interior block lives in private memory; only the halos are shared.
+            block: List[float] = [float(rank * n + i) for i in range(n)]
+            left = rank - 1
+            right = rank + 1
+            for iteration in range(workload.iterations):
+                # Push boundary values into the neighbours' halo cells.
+                if left >= 0:
+                    yield from api.put(f"halo{left}", block[0], index=1)
+                if right < workload.world_size:
+                    yield from api.put(f"halo{right}", block[-1], index=0)
+                if workload.use_barriers:
+                    yield from api.barrier()
+                # Read own halos (local public memory) and relax the block.
+                ghost_left = yield from api.get(f"halo{rank}", index=0)
+                ghost_right = yield from api.get(f"halo{rank}", index=1)
+                yield from api.compute(workload.compute_cost)
+                padded = [float(ghost_left or 0.0)] + block + [float(ghost_right or 0.0)]
+                block = [
+                    (padded[i - 1] + padded[i] + padded[i + 1]) / 3.0
+                    for i in range(1, n + 1)
+                ]
+                if workload.use_barriers:
+                    yield from api.barrier()
+            api.private.write("block", block)
+            api.private.write("iterations", workload.iterations)
+
+        runtime.set_spmd_program(program)
+        return runtime

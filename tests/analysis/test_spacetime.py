@@ -1,0 +1,59 @@
+"""Tests for the ASCII space-time diagram renderer."""
+
+import pytest
+
+from repro.analysis.spacetime import render_run, render_spacetime
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.trace.recorder import TraceRecorder
+from repro.workloads.figures import figure5a_concurrent_puts
+
+
+class TestRenderSpacetime:
+    def make_trace(self):
+        recorder = TraceRecorder(3)
+        recorder.record_access(
+            0, GlobalAddress(1, 0), AccessKind.WRITE, value=1, time=1.0, symbol="a", operation="put"
+        )
+        recorder.record_access(
+            2, GlobalAddress(1, 0), AccessKind.READ, value=1, time=2.5, symbol="a", operation="get"
+        )
+        recorder.record_sync([0, 1, 2], time=5.0)
+        recorder.record_access(
+            1, GlobalAddress(1, 0), AccessKind.READ, value=1, time=6.0, symbol="a", operation="local_read"
+        )
+        return recorder
+
+    def test_one_row_per_event_plus_header(self):
+        recorder = self.make_trace()
+        text = render_spacetime(3, recorder.accesses(), recorder.syncs())
+        lines = text.splitlines()
+        assert len(lines) == 2 + 4  # header + ruler + 3 accesses + 1 barrier
+        assert "P0" in lines[0] and "P2" in lines[0]
+        assert "barrier" in text
+        assert "W:a" in text and "R:a" in text
+
+    def test_events_appear_in_time_order(self):
+        recorder = self.make_trace()
+        text = render_spacetime(3, recorder.accesses(), recorder.syncs())
+        assert text.index("W:a") < text.index("barrier") < text.index("local_read")
+
+    def test_race_marker(self):
+        runtime = figure5a_concurrent_puts()
+        result = runtime.run()
+        text = render_run(runtime, result)
+        assert "*RACE*" in text
+
+    def test_truncation_notice(self):
+        recorder = TraceRecorder(2)
+        for step in range(30):
+            recorder.record_access(
+                0, GlobalAddress(0, 0), AccessKind.WRITE, time=float(step), symbol="x"
+            )
+        text = render_spacetime(2, recorder.accesses(), max_rows=10)
+        assert "more events" in text
+        assert len(text.splitlines()) == 2 + 10 + 1
+
+    def test_invalid_world_size(self):
+        with pytest.raises(ValueError):
+            render_spacetime(0, [])

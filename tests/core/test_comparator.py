@@ -1,0 +1,95 @@
+"""Unit tests for compare_clocks / max_clock (Algorithms 3 and 4)."""
+
+import pytest
+
+from repro.core.clocks import VectorClock
+from repro.core.comparator import (
+    ClockOrdering,
+    compare_clocks,
+    compare_clocks_strict,
+    concurrent,
+    happens_before,
+    max_clock,
+    ordering,
+)
+
+
+class TestCompareClocks:
+    def test_mattern_order_holds_for_dominated_clock(self):
+        assert compare_clocks([1, 0, 0], [1, 1, 0])
+
+    def test_not_ordered_when_equal(self):
+        assert not compare_clocks([1, 1], [1, 1])
+
+    def test_not_ordered_when_concurrent(self):
+        assert not compare_clocks([1, 0], [0, 1])
+        assert not compare_clocks([0, 1], [1, 0])
+
+    def test_accepts_vector_clock_instances(self):
+        a = VectorClock.from_entries([0, 1])
+        b = VectorClock.from_entries([2, 1])
+        assert compare_clocks(a, b)
+
+    def test_happens_before_is_alias(self):
+        assert happens_before([0, 0], [1, 0]) == compare_clocks([0, 0], [1, 0])
+
+
+class TestStrictComparison:
+    def test_strict_requires_every_component(self):
+        assert compare_clocks_strict([0, 0], [1, 1])
+        assert not compare_clocks_strict([0, 1], [1, 1])
+
+    def test_strict_is_stronger_than_mattern(self):
+        # Any strictly-less pair is also Mattern-less; the converse fails.
+        pairs = [([0, 0], [1, 1]), ([0, 1], [1, 1]), ([1, 0, 0], [1, 1, 0])]
+        for first, second in pairs:
+            if compare_clocks_strict(first, second):
+                assert compare_clocks(first, second)
+        assert compare_clocks([0, 1], [1, 1]) and not compare_clocks_strict([0, 1], [1, 1])
+
+
+class TestConcurrent:
+    def test_paper_figure_5a_clocks_are_concurrent(self):
+        # Figure 5a: 110 x 001
+        assert concurrent([1, 1, 0], [0, 0, 1])
+
+    def test_ordered_clocks_are_not_concurrent(self):
+        assert not concurrent([1, 0, 0], [1, 2, 3])
+
+    def test_equal_clocks_are_not_concurrent(self):
+        assert not concurrent([2, 2], [2, 2])
+
+
+class TestOrdering:
+    def test_all_four_outcomes(self):
+        assert ordering([1, 0], [1, 1]) is ClockOrdering.BEFORE
+        assert ordering([1, 1], [1, 0]) is ClockOrdering.AFTER
+        assert ordering([1, 1], [1, 1]) is ClockOrdering.EQUAL
+        assert ordering([1, 0], [0, 1]) is ClockOrdering.CONCURRENT
+
+    def test_is_ordered_flag(self):
+        assert ordering([1, 0], [1, 1]).is_ordered
+        assert not ordering([1, 0], [0, 1]).is_ordered
+
+
+class TestMaxClock:
+    def test_componentwise_max(self):
+        merged = max_clock([1, 5, 0], [3, 2, 4])
+        assert merged.entries.tolist() == [3, 5, 4]
+
+    def test_result_dominates_both_inputs(self):
+        a, b = [2, 0, 7], [1, 3, 3]
+        merged = max_clock(a, b)
+        assert merged.dominates(a)
+        assert merged.dominates(b)
+
+    def test_inputs_unchanged(self):
+        a = VectorClock.from_entries([1, 0])
+        b = VectorClock.from_entries([0, 1])
+        max_clock(a, b)
+        assert a.entries.tolist() == [1, 0]
+        assert b.entries.tolist() == [0, 1]
+
+    def test_size_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            max_clock([1, 2], [1, 2, 3])

@@ -1,0 +1,265 @@
+"""Unit tests for the dual-clock race detector (Algorithms 1, 2, 5)."""
+
+import pytest
+
+from repro.core.detector import (
+    ComparisonMode,
+    DetectorConfig,
+    DualClockRaceDetector,
+    WriteCheckMode,
+)
+from repro.core.races import RaceReport, SignalPolicy
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.memory.public import MemoryCell
+
+
+def make_detector(world_size=3, **config_kwargs):
+    return DualClockRaceDetector(world_size, config=DetectorConfig(**config_kwargs))
+
+
+def addr(rank=1, offset=0):
+    return GlobalAddress(rank, offset)
+
+
+class TestBasicDetection:
+    def test_first_access_never_races(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        result = detector.on_write(0, addr(), cell, symbol="x")
+        assert not result.raced
+        assert detector.race_count() == 0
+
+    def test_unordered_writes_from_two_ranks_race(self):
+        """The core of Figure 5a: two writers that never synchronized."""
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell, symbol="a")
+        result = detector.on_read(2, addr(), cell, symbol="a") if False else detector.on_write(2, addr(), cell, symbol="a")
+        assert result.raced
+        record = result.race
+        assert record.current_rank == 2
+        assert record.previous_rank == 0
+        assert record.symbol == "a"
+
+    def test_concurrent_reads_do_not_race(self):
+        """Figure 4: read-only concurrency is explicitly not a race."""
+        detector = make_detector()
+        cell = MemoryCell()
+        first = detector.on_read(0, addr(), cell)
+        second = detector.on_read(2, addr(), cell)
+        assert not first.raced and not second.raced
+        assert detector.race_count() == 0
+
+    def test_read_after_unordered_write_races(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        # Rank 2 ticks a few times locally so its clock is not dominated.
+        detector.local_event(2)
+        detector.local_event(2)
+        detector.on_write(0, addr(), cell, symbol="x")
+        result = detector.on_read(2, addr(), cell, symbol="x")
+        assert result.raced
+        assert result.race.current_kind is AccessKind.READ
+        assert result.race.previous_kind is AccessKind.WRITE
+
+    def test_write_after_unordered_read_races(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.local_event(2)
+        detector.on_read(2, addr(), cell, symbol="x")
+        result = detector.on_write(0, addr(), cell, symbol="x")
+        assert result.raced
+
+    def test_synchronization_through_owner_orders_the_writes(self):
+        """A clock transfer that includes the owner's reception event orders the pair.
+
+        The owner's clock advanced when the first write landed in its memory,
+        so a synchronization involving the owner (e.g. a barrier) propagates
+        that reception to the second writer.
+        """
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(rank=1), cell)
+        detector.transfer_clock(1, 2)   # the owner's knowledge reaches rank 2
+        result = detector.on_write(2, addr(rank=1), cell)
+        assert not result.raced
+
+    def test_issuer_only_synchronization_still_flags_arrival_race(self):
+        """Syncing with the *issuer* alone does not order the arrivals (Fig. 5c logic).
+
+        One-sided puts are fire-and-forget: knowing that P0 issued the first
+        write says nothing about whether it has landed, so the second write
+        can still reach the memory first and the detector keeps signalling.
+        """
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(rank=1), cell)
+        detector.transfer_clock(0, 2)   # rank 2 knows the issue, not the arrival
+        result = detector.on_write(2, addr(rank=1), cell)
+        assert result.raced
+
+    def test_reader_learns_and_then_writes_without_race(self):
+        """Read-modify-write by a process that saw the latest write is ordered."""
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell)
+        detector.on_read(2, addr(), cell)       # rank 2 learns the datum clock
+        result = detector.on_write(2, addr(), cell)
+        assert not result.raced
+
+    def test_same_origin_consecutive_accesses_never_race(self):
+        """Figure 2: put then get by the same process is program-ordered."""
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(2, addr(), cell)
+        assert not detector.on_read(2, addr(), cell).raced
+        assert not detector.on_write(2, addr(), cell).raced
+
+    def test_third_party_still_detected_after_same_origin_sequence(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(2, addr(), cell)
+        detector.on_write(2, addr(), cell)
+        result = detector.on_write(0, addr(), cell)
+        assert result.raced
+
+
+class TestClockMaintenance:
+    def test_cell_clocks_are_created_on_first_access(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        assert cell.access_clock is None and cell.write_clock is None
+        detector.on_read(0, addr(), cell)
+        assert cell.access_clock is not None and cell.write_clock is not None
+
+    def test_write_advances_both_clocks_read_only_access_clock(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell)
+        write_clock_after_write = cell.write_clock.frozen()
+        detector.on_read(2, addr(), cell)
+        assert cell.write_clock.frozen() == write_clock_after_write
+        assert cell.access_clock.frozen() != write_clock_after_write
+
+    def test_remote_write_ticks_owner_component_in_datum_clock(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(rank=1), cell)
+        # Component 1 (the owner) advanced even though rank 1 issued nothing.
+        assert cell.write_clock.component(1) == 1
+        assert cell.write_clock.component(0) == 1
+
+    def test_local_write_does_not_tick_owner_twice(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(1, addr(rank=1), cell)
+        assert cell.write_clock.component(1) == 1
+
+    def test_event_clocks_increase_monotonically_per_rank(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        first = detector.on_write(0, addr(), cell).event_clock
+        second = detector.on_write(0, addr(), cell).event_clock
+        assert second[0] > first[0]
+
+    def test_reader_clock_absorbs_datum_history(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell)
+        detector.on_read(2, addr(), cell)
+        reader_clock = detector.current_clock(2)
+        assert reader_clock.component(0) >= 1
+
+
+class TestConfigurationVariants:
+    def test_disabled_detector_does_nothing(self):
+        detector = make_detector(enabled=False)
+        cell = MemoryCell()
+        result = detector.on_write(0, addr(), cell)
+        assert not result.raced
+        assert cell.access_clock is None
+        assert detector.checks_performed == 0
+        assert detector.control_messages == 0
+
+    def test_write_clock_mode_misses_read_write_order_violations(self):
+        """The literal Algorithm 1 (check against W only) misses read/write races."""
+        strict_cfg = make_detector(write_check=WriteCheckMode.WRITE_CLOCK)
+        cell = MemoryCell()
+        strict_cfg.local_event(2)
+        strict_cfg.on_read(2, addr(), cell)
+        result = strict_cfg.on_write(0, addr(), cell)
+        assert not result.raced  # W(x) was still zero: missed
+        # The default mode catches the same scenario.
+        default = make_detector()
+        cell2 = MemoryCell()
+        default.local_event(2)
+        default.on_read(2, addr(), cell2)
+        assert default.on_write(0, addr(), cell2).raced
+
+    def test_strict_comparison_reports_superset(self):
+        """Algorithm 3 literal: equal clocks are unordered, so more reports."""
+        mattern = make_detector(comparison=ComparisonMode.MATTERN)
+        strict = make_detector(comparison=ComparisonMode.STRICT)
+        for detector in (mattern, strict):
+            cell = MemoryCell()
+            detector.on_write(0, addr(), cell)
+            detector.transfer_clock(0, 2)
+            detector.on_write(2, addr(), cell)
+        assert strict.race_count() >= mattern.race_count()
+
+    def test_without_owner_tick_arrival_races_are_missed(self):
+        """Ablation for Figure 5c: issuing-order HB misses arrival reordering."""
+        def chain(detector):
+            a = addr(rank=1)
+            t = addr(rank=2, offset=1)
+            cell_a, cell_t = MemoryCell(), MemoryCell()
+            detector.on_write(0, a, cell_a)          # m1
+            detector.on_write(0, t, cell_t)          # m2
+            detector.on_read(2, t, cell_t)           # P2 reads m2's payload
+            return detector.on_write(2, a, cell_a)   # m3
+
+        with_tick = make_detector(write_effect_ticks_owner=True)
+        without_tick = make_detector(write_effect_ticks_owner=False)
+        assert chain(with_tick).raced
+        assert not chain(without_tick).raced
+
+    def test_acknowledged_puts_silence_figure_5c(self):
+        """origin_learns_datum_after_write models acknowledged (blocking) puts."""
+        detector = make_detector(origin_learns_datum_after_write=True)
+        a = addr(rank=1)
+        t = addr(rank=2, offset=1)
+        cell_a, cell_t = MemoryCell(), MemoryCell()
+        detector.on_write(0, a, cell_a)
+        detector.on_write(0, t, cell_t)
+        detector.on_read(2, t, cell_t)
+        assert not detector.on_write(2, a, cell_a).raced
+
+    def test_custom_report_is_used(self):
+        report = RaceReport(SignalPolicy.COLLECT)
+        detector = DualClockRaceDetector(3, report=report)
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell)
+        detector.on_write(2, addr(), cell)
+        assert len(report) == 1
+        assert detector.report is report
+
+
+class TestOverheadAccounting:
+    def test_control_messages_accumulate(self):
+        detector = make_detector()
+        cell = MemoryCell()
+        detector.on_write(0, addr(), cell)
+        detector.on_read(2, addr(), cell)
+        assert detector.checks_performed == 2
+        assert detector.control_messages == 2 * detector.config.control_messages_per_check
+        assert detector.clock_bytes_on_wire > 0
+
+    def test_clock_storage_is_n_cubed_for_matrix_clocks(self):
+        detector = make_detector(world_size=4)
+        assert detector.clock_storage_entries() == 4 * 4 * 4
+
+    def test_invalid_rank_rejected(self):
+        detector = make_detector()
+        with pytest.raises(ValueError):
+            detector.on_write(5, addr(), MemoryCell())

@@ -1,0 +1,116 @@
+"""Unit tests for race records, reports and the signalling policy."""
+
+import pytest
+
+from repro.core.races import RaceConditionSignal, RaceRecord, RaceReport, SignalPolicy
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+
+
+def make_record(
+    rank=2,
+    prev_rank=0,
+    kind=AccessKind.WRITE,
+    prev_kind=AccessKind.WRITE,
+    offset=0,
+    symbol="a",
+    time=1.0,
+):
+    return RaceRecord(
+        address=GlobalAddress(1, offset),
+        current_rank=rank,
+        current_kind=kind,
+        current_clock=(0, 0, 1),
+        previous_rank=prev_rank,
+        previous_kind=prev_kind,
+        previous_clock=(1, 1, 0),
+        time=time,
+        symbol=symbol,
+        operation="put",
+    )
+
+
+class TestRaceRecord:
+    def test_involves_write_true_for_write_pairs(self):
+        assert make_record().involves_write()
+        assert make_record(kind=AccessKind.READ).involves_write()
+
+    def test_involves_write_false_for_read_read(self):
+        record = make_record(kind=AccessKind.READ, prev_kind=AccessKind.READ)
+        assert not record.involves_write()
+
+    def test_key_is_symmetric_in_the_pair(self):
+        one = make_record(rank=2, prev_rank=0)
+        two = make_record(rank=0, prev_rank=2)
+        assert one.key() == two.key()
+
+    def test_key_distinguishes_addresses(self):
+        assert make_record(offset=0).key() != make_record(offset=1).key()
+
+    def test_str_mentions_symbol_ranks_and_clocks(self):
+        text = str(make_record())
+        assert "a" in text and "P2" in text and "P0" in text
+        assert "(0, 0, 1)" in text
+
+
+class TestRaceReport:
+    def test_collect_policy_stores_silently(self, capsys):
+        report = RaceReport(SignalPolicy.COLLECT)
+        report.signal(make_record())
+        assert capsys.readouterr().out == ""
+        assert len(report) == 1
+
+    def test_warn_policy_prints(self, capsys):
+        report = RaceReport(SignalPolicy.WARN)
+        report.signal(make_record())
+        assert "RACE" in capsys.readouterr().out
+
+    def test_abort_policy_raises_but_still_records(self):
+        report = RaceReport(SignalPolicy.ABORT)
+        with pytest.raises(RaceConditionSignal):
+            report.signal(make_record())
+        assert len(report) == 1
+
+    def test_read_read_records_are_rejected(self):
+        report = RaceReport()
+        bad = make_record(kind=AccessKind.READ, prev_kind=AccessKind.READ)
+        with pytest.raises(ValueError, match="read-only"):
+            report.signal(bad)
+
+    def test_distinct_deduplicates_by_key(self):
+        report = RaceReport()
+        report.signal(make_record(time=1.0))
+        report.signal(make_record(time=2.0))
+        report.signal(make_record(offset=3, time=3.0))
+        assert report.count() == 3
+        assert len(report.distinct()) == 2
+
+    def test_grouping_by_address_and_symbol(self):
+        report = RaceReport()
+        report.signal(make_record(offset=0, symbol="a"))
+        report.signal(make_record(offset=1, symbol="b"))
+        report.signal(make_record(offset=1, symbol="b"))
+        assert len(report.by_address()) == 2
+        assert set(report.by_symbol()) == {"a", "b"}
+        assert len(report.by_symbol()["b"]) == 2
+
+    def test_involving_rank_filters(self):
+        report = RaceReport()
+        report.signal(make_record(rank=2, prev_rank=0))
+        report.signal(make_record(rank=3, prev_rank=1))
+        assert len(report.involving_rank(0)) == 1
+        assert len(report.involving_rank(3)) == 1
+        assert report.involving_rank(7) == []
+
+    def test_summary_mentions_counts(self):
+        report = RaceReport()
+        assert "no race" in report.summary()
+        report.signal(make_record())
+        assert "1 distinct race" in report.summary()
+
+    def test_clear_resets(self):
+        report = RaceReport()
+        report.signal(make_record())
+        report.clear()
+        assert not report
+        assert report.count() == 0

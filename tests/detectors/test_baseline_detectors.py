@@ -1,0 +1,124 @@
+"""Unit tests for the baseline detectors (single-clock, lockset, post-mortem)."""
+
+import pytest
+
+from repro.detectors.base import DetectedRace, DetectionResult
+from repro.detectors.lockset import LocksetDetector, nic_lock_name
+from repro.detectors.postmortem import PostMortemDualClockDetector
+from repro.detectors.single_clock import SingleClockDetector
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.trace.recorder import TraceRecorder
+
+
+def build_trace(entries, world_size=3):
+    """entries: list of (rank, offset, kind, time) tuples on owner rank 1."""
+    recorder = TraceRecorder(world_size)
+    for rank, offset, kind, time in entries:
+        recorder.record_access(
+            rank, GlobalAddress(1, offset), kind, value=rank, time=time,
+            symbol=f"sym{offset}", operation="put" if kind is AccessKind.WRITE else "get",
+        )
+    return recorder.accesses()
+
+
+W, R = AccessKind.WRITE, AccessKind.READ
+
+
+class TestDetectionResult:
+    def test_flagged_sets_and_grouping(self):
+        finding = DetectedRace(
+            address=GlobalAddress(1, 0), symbol="x", ranks=(0, 2), kinds=("write", "write")
+        )
+        result = DetectionResult("d", findings=[finding], accesses_analyzed=5)
+        assert result.flagged_addresses() == {GlobalAddress(1, 0)}
+        assert result.flagged_symbols() == {"x"}
+        assert result.count() == 1
+        assert list(result.by_address()) == [GlobalAddress(1, 0)]
+
+    def test_involves_write(self):
+        read_read = DetectedRace(
+            address=GlobalAddress(0, 0), symbol=None, ranks=(0, 1), kinds=("read", "read")
+        )
+        assert not read_read.involves_write()
+
+
+class TestSingleClockDetector:
+    def test_flags_unordered_writes(self):
+        trace = build_trace([(0, 0, W, 1.0), (2, 0, W, 2.0)])
+        result = SingleClockDetector().detect(trace, 3)
+        assert result.count() == 1
+
+    def test_flags_read_read_pairs_as_false_positives(self):
+        """The false positives the paper's dual-clock design eliminates (IV-D)."""
+        trace = build_trace([(0, 0, R, 1.0), (2, 0, R, 2.0)])
+        detector = SingleClockDetector()
+        result = detector.detect(trace, 3)
+        assert result.count() == 1
+        assert detector.read_read_findings(result) == result.findings
+
+    def test_reports_at_least_as_many_as_dual_clock(self):
+        trace = build_trace([
+            (0, 0, W, 1.0), (2, 0, R, 2.0), (0, 1, R, 3.0), (2, 1, R, 4.0), (2, 0, W, 5.0),
+        ])
+        single = SingleClockDetector().detect(trace, 3).count()
+        dual = PostMortemDualClockDetector().detect(trace, 3).count()
+        assert single >= dual
+
+    def test_single_writer_program_is_clean(self):
+        trace = build_trace([(0, 0, W, float(t)) for t in range(5)])
+        assert SingleClockDetector().detect(trace, 3).count() == 0
+
+    def test_world_size_validated(self):
+        with pytest.raises(ValueError):
+            SingleClockDetector().detect([], 0)
+
+
+class TestLocksetDetector:
+    def test_nic_locks_mask_every_race(self):
+        """The point of the baseline: consistent NIC locking hides logical races."""
+        trace = build_trace([(0, 0, W, 1.0), (2, 0, W, 2.0), (1, 0, R, 3.0)])
+        result = LocksetDetector().detect(trace, 3)
+        assert result.count() == 0
+
+    def test_without_nic_locks_shared_written_data_is_flagged(self):
+        trace = build_trace([(0, 0, W, 1.0), (2, 0, W, 2.0)])
+        result = LocksetDetector(model_nic_locks=False).detect(trace, 3)
+        assert result.count() == 1
+
+    def test_extra_user_locks_keep_discipline(self):
+        trace = build_trace([(0, 0, W, 1.0), (2, 0, W, 2.0)])
+        # Both accesses hold the same user lock "L": no warning even without NIC locks.
+        extra = {access.access_id: ["L"] for access in trace}
+        result = LocksetDetector(model_nic_locks=False, extra_locks_by_access=extra).detect(trace, 3)
+        assert result.count() == 0
+
+    def test_read_only_data_never_warns(self):
+        trace = build_trace([(0, 0, R, 1.0), (2, 0, R, 2.0)])
+        result = LocksetDetector(model_nic_locks=False).detect(trace, 3)
+        assert result.count() == 0
+
+    def test_single_rank_data_never_warns(self):
+        trace = build_trace([(0, 0, W, 1.0), (0, 0, W, 2.0)])
+        assert LocksetDetector(model_nic_locks=False).detect(trace, 3).count() == 0
+
+    def test_lock_name_is_stable(self):
+        assert nic_lock_name(GlobalAddress(2, 5)) == "nic-lock:2:5"
+
+
+class TestPostMortemDetector:
+    def test_matches_online_detector_on_simple_conflict(self):
+        trace = build_trace([(0, 0, W, 1.0), (2, 0, W, 2.0)])
+        result = PostMortemDualClockDetector().detect(trace, 3)
+        assert result.count() == 1
+        finding = result.findings[0]
+        assert set(finding.ranks) == {0, 2}
+        assert finding.involves_write()
+
+    def test_read_read_is_not_flagged(self):
+        trace = build_trace([(0, 0, R, 1.0), (2, 0, R, 2.0)])
+        assert PostMortemDualClockDetector().detect(trace, 3).count() == 0
+
+    def test_world_size_validated(self):
+        with pytest.raises(ValueError):
+            PostMortemDualClockDetector().detect([], -1)

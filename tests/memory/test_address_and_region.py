@@ -1,0 +1,96 @@
+"""Unit tests for global addresses, address ranges and memory regions."""
+
+import pytest
+
+from repro.memory.address import AddressRange, GlobalAddress
+from repro.memory.region import MemoryRegion
+
+
+class TestGlobalAddress:
+    def test_fields_and_str(self):
+        address = GlobalAddress(2, 7)
+        assert address.rank == 2 and address.offset == 7
+        assert str(address) == "P2[7]"
+
+    def test_hashable_and_equal_by_value(self):
+        assert GlobalAddress(1, 2) == GlobalAddress(1, 2)
+        assert len({GlobalAddress(1, 2), GlobalAddress(1, 2)}) == 1
+
+    def test_total_order_by_rank_then_offset(self):
+        addresses = [GlobalAddress(1, 0), GlobalAddress(0, 9), GlobalAddress(0, 1)]
+        assert sorted(addresses) == [
+            GlobalAddress(0, 1),
+            GlobalAddress(0, 9),
+            GlobalAddress(1, 0),
+        ]
+
+    def test_shifted(self):
+        assert GlobalAddress(0, 3).shifted(4) == GlobalAddress(0, 7)
+
+    def test_negative_components_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalAddress(-1, 0)
+        with pytest.raises(ValueError):
+            GlobalAddress(0, -1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            GlobalAddress(True, 0)
+
+
+class TestAddressRange:
+    def test_contains_and_bounds(self):
+        block = AddressRange(GlobalAddress(1, 10), 5)
+        assert block.contains(GlobalAddress(1, 10))
+        assert block.contains(GlobalAddress(1, 14))
+        assert not block.contains(GlobalAddress(1, 15))
+        assert not block.contains(GlobalAddress(0, 12))
+        assert block.end_offset == 15 and len(block) == 5
+
+    def test_overlaps(self):
+        a = AddressRange(GlobalAddress(0, 0), 10)
+        b = AddressRange(GlobalAddress(0, 9), 3)
+        c = AddressRange(GlobalAddress(0, 10), 3)
+        d = AddressRange(GlobalAddress(1, 0), 10)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+        assert not a.overlaps(d)
+
+    def test_addresses_iterates_every_cell(self):
+        block = AddressRange(GlobalAddress(2, 4), 3)
+        assert list(block.addresses()) == [
+            GlobalAddress(2, 4), GlobalAddress(2, 5), GlobalAddress(2, 6)
+        ]
+
+
+class TestMemoryRegion:
+    def test_address_of_and_index_of_are_inverse(self):
+        region = MemoryRegion(name="x", owner=1, base=10, length=4)
+        for index in range(4):
+            address = region.address_of(index)
+            assert region.index_of(address) == index
+            assert region.contains(address)
+
+    def test_address_of_out_of_bounds(self):
+        region = MemoryRegion(name="x", owner=0, base=0, length=2)
+        with pytest.raises(IndexError):
+            region.address_of(2)
+        with pytest.raises(IndexError):
+            region.address_of(-1)
+
+    def test_index_of_foreign_address_rejected(self):
+        region = MemoryRegion(name="x", owner=0, base=0, length=2)
+        with pytest.raises(ValueError):
+            region.index_of(GlobalAddress(1, 0))
+
+    def test_validation_of_fields(self):
+        with pytest.raises(ValueError):
+            MemoryRegion(name="", owner=0, base=0, length=1)
+        with pytest.raises(ValueError):
+            MemoryRegion(name="x", owner=-1, base=0, length=1)
+        with pytest.raises(ValueError):
+            MemoryRegion(name="x", owner=0, base=0, length=0)
+
+    def test_str_mentions_placement(self):
+        region = MemoryRegion(name="halo", owner=3, base=5, length=2)
+        assert "halo" in str(region) and "P3" in str(region)

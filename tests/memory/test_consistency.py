@@ -1,0 +1,90 @@
+"""Unit tests for access records and the coherence reference checker."""
+
+import pytest
+
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import (
+    AccessKind,
+    ConsistencyViolation,
+    MemoryAccess,
+    SequentialConsistencyChecker,
+)
+
+
+def access(access_id, rank, offset, kind, value, time):
+    return MemoryAccess(
+        access_id=access_id,
+        rank=rank,
+        address=GlobalAddress(0, offset),
+        kind=kind,
+        value=value,
+        time=time,
+    )
+
+
+class TestMemoryAccess:
+    def test_conflicts_require_same_cell_and_a_write(self):
+        write = access(0, 0, 0, AccessKind.WRITE, 1, 0.0)
+        read_same = access(1, 1, 0, AccessKind.READ, 1, 1.0)
+        read_other = access(2, 1, 1, AccessKind.READ, 1, 1.0)
+        other_read = access(3, 2, 0, AccessKind.READ, 1, 2.0)
+        assert write.conflicts_with(read_same)
+        assert read_same.conflicts_with(write)
+        assert not write.conflicts_with(read_other)
+        assert not read_same.conflicts_with(other_read)
+
+    def test_kind_is_write_flag(self):
+        assert AccessKind.WRITE.is_write
+        assert not AccessKind.READ.is_write
+
+
+class TestConsistencyChecker:
+    def test_coherent_history_passes(self):
+        history = [
+            access(0, 0, 0, AccessKind.WRITE, "a", 1.0),
+            access(1, 1, 0, AccessKind.READ, "a", 2.0),
+            access(2, 0, 0, AccessKind.WRITE, "b", 3.0),
+            access(3, 2, 0, AccessKind.READ, "b", 4.0),
+        ]
+        assert SequentialConsistencyChecker().check(history) == []
+
+    def test_read_of_stale_value_is_flagged(self):
+        history = [
+            access(0, 0, 0, AccessKind.WRITE, "new", 1.0),
+            access(1, 1, 0, AccessKind.READ, "old", 2.0),
+        ]
+        violations = SequentialConsistencyChecker().check(history)
+        assert len(violations) == 1
+        assert "P1" in violations[0]
+
+    def test_initial_values_are_honoured(self):
+        initial = {GlobalAddress(0, 0): "init"}
+        history = [access(0, 1, 0, AccessKind.READ, "init", 1.0)]
+        assert SequentialConsistencyChecker(initial).check(history) == []
+        assert SequentialConsistencyChecker().check(history) != []
+
+    def test_check_or_raise(self):
+        history = [
+            access(0, 0, 0, AccessKind.WRITE, 1, 1.0),
+            access(1, 1, 0, AccessKind.READ, 2, 2.0),
+        ]
+        with pytest.raises(ConsistencyViolation):
+            SequentialConsistencyChecker().check_or_raise(history)
+
+    def test_order_is_by_time_then_id(self):
+        # Two writes at the same time: the higher access_id is "later".
+        history = [
+            access(1, 0, 0, AccessKind.WRITE, "second", 1.0),
+            access(0, 1, 0, AccessKind.WRITE, "first", 1.0),
+            access(2, 2, 0, AccessKind.READ, "second", 2.0),
+        ]
+        assert SequentialConsistencyChecker().check(history) == []
+
+    def test_final_values(self):
+        history = [
+            access(0, 0, 0, AccessKind.WRITE, "a", 1.0),
+            access(1, 0, 1, AccessKind.WRITE, "b", 2.0),
+            access(2, 1, 0, AccessKind.WRITE, "c", 3.0),
+        ]
+        finals = SequentialConsistencyChecker.final_values(history)
+        assert finals == {GlobalAddress(0, 0): "c", GlobalAddress(0, 1): "b"}

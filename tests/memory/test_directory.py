@@ -1,0 +1,108 @@
+"""Unit tests for the symbol directory ("the compiler")."""
+
+import pytest
+
+from repro.memory.address import GlobalAddress
+from repro.memory.directory import PlacementPolicy, SymbolDirectory
+from repro.memory.public import PublicMemory
+
+
+def make_directory(world_size=4, cells=64):
+    memories = [PublicMemory(rank, cells) for rank in range(world_size)]
+    return SymbolDirectory(memories), memories
+
+
+class TestScalars:
+    def test_explicit_owner_placement(self):
+        directory, memories = make_directory()
+        directory.declare_scalar("x", owner=2, initial=5)
+        address = directory.resolve("x")
+        assert address.rank == 2
+        assert memories[2].peek(address) == 5
+        assert directory.owner_of("x") == 2
+
+    def test_round_robin_placement_cycles(self):
+        directory, _ = make_directory(world_size=3)
+        owners = [directory.declare_scalar(f"s{i}").regions[0].owner for i in range(6)]
+        assert owners == [0, 1, 2, 0, 1, 2]
+
+    def test_duplicate_declaration_rejected(self):
+        directory, _ = make_directory()
+        directory.declare_scalar("x")
+        with pytest.raises(ValueError):
+            directory.declare_scalar("x")
+
+    def test_invalid_owner_rejected(self):
+        directory, _ = make_directory(world_size=2)
+        with pytest.raises(ValueError):
+            directory.declare_scalar("x", owner=5)
+
+
+class TestArrays:
+    def test_block_distribution_covers_every_index(self):
+        directory, _ = make_directory(world_size=4)
+        directory.declare_array("data", 10, policy=PlacementPolicy.BLOCK)
+        owners = [directory.owner_of("data", i) for i in range(10)]
+        # 10 cells over 4 ranks -> blocks of sizes 3,3,2,2 in rank order.
+        assert owners == [0, 0, 0, 1, 1, 1, 2, 2, 3, 3]
+        locality = directory.locality_map("data")
+        assert locality == {0: 3, 1: 3, 2: 2, 3: 2}
+
+    def test_round_robin_distribution(self):
+        directory, _ = make_directory(world_size=3)
+        directory.declare_array("cyc", 7, policy=PlacementPolicy.ROUND_ROBIN)
+        owners = [directory.owner_of("cyc", i) for i in range(7)]
+        assert owners == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_owner_distribution_places_everything_on_one_rank(self):
+        directory, _ = make_directory()
+        directory.declare_array("all", 5, policy=PlacementPolicy.OWNER, owner=3)
+        assert {directory.owner_of("all", i) for i in range(5)} == {3}
+
+    def test_owner_policy_requires_owner(self):
+        directory, _ = make_directory()
+        with pytest.raises(ValueError):
+            directory.declare_array("x", 4, policy=PlacementPolicy.OWNER)
+
+    def test_initial_value_written_everywhere(self):
+        directory, memories = make_directory(world_size=2)
+        directory.declare_array("init", 4, initial=7)
+        for index in range(4):
+            address = directory.resolve("init", index)
+            assert memories[address.rank].peek(address) == 7
+
+    def test_resolution_addresses_are_distinct(self):
+        directory, _ = make_directory(world_size=3)
+        directory.declare_array("d", 9, policy=PlacementPolicy.BLOCK)
+        addresses = [directory.resolve("d", i) for i in range(9)]
+        assert len(set(addresses)) == 9
+
+    def test_out_of_bounds_index_rejected(self):
+        directory, _ = make_directory()
+        directory.declare_array("d", 3)
+        with pytest.raises(IndexError):
+            directory.resolve("d", 3)
+
+    def test_unknown_symbol_rejected(self):
+        directory, _ = make_directory()
+        with pytest.raises(KeyError):
+            directory.resolve("nope")
+
+
+class TestDirectoryConstruction:
+    def test_requires_rank_ordered_memories(self):
+        memories = [PublicMemory(1, 8), PublicMemory(0, 8)]
+        with pytest.raises(ValueError):
+            SymbolDirectory(memories)
+
+    def test_requires_at_least_one_memory(self):
+        with pytest.raises(ValueError):
+            SymbolDirectory([])
+
+    def test_symbols_listing(self):
+        directory, _ = make_directory()
+        directory.declare_scalar("a")
+        directory.declare_array("b", 2)
+        assert [s.name for s in directory.symbols()] == ["a", "b"]
+        assert directory.symbol("a").is_scalar
+        assert not directory.symbol("b").is_scalar

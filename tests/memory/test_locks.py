@@ -1,0 +1,118 @@
+"""Unit tests for the NIC lock table (Figure 3 semantics)."""
+
+import pytest
+
+from repro.memory.address import GlobalAddress
+from repro.memory.locks import LockState, MemoryLockTable
+from repro.sim.engine import Simulator
+from repro.sim.events import SimulationError
+
+
+def setup_table(rank=1):
+    sim = Simulator()
+    return sim, MemoryLockTable(sim, rank)
+
+
+class TestGrantAndRelease:
+    def test_uncontended_lock_granted_immediately(self):
+        sim, table = setup_table()
+        address = GlobalAddress(1, 0)
+        request = table.acquire(address, requester=0)
+        sim.run()
+        assert request.state is LockState.GRANTED
+        assert request.event.triggered and request.event.ok
+        assert table.is_locked(address)
+        assert table.holder(address) is request
+
+    def test_release_grants_next_waiter_in_fifo_order(self):
+        sim, table = setup_table()
+        address = GlobalAddress(1, 0)
+        first = table.acquire(address, requester=2, purpose="get")
+        second = table.acquire(address, requester=0, purpose="put")
+        third = table.acquire(address, requester=3, purpose="put")
+        sim.run()
+        assert first.state is LockState.GRANTED
+        assert second.state is LockState.QUEUED and third.state is LockState.QUEUED
+        assert table.queue_length(address) == 2
+
+        table.release(first)
+        sim.run()
+        assert second.state is LockState.GRANTED
+        assert third.state is LockState.QUEUED
+
+        table.release(second)
+        table.release(third)
+        assert not table.is_locked(address)
+
+    def test_contention_counter(self):
+        sim, table = setup_table()
+        address = GlobalAddress(1, 0)
+        table.acquire(address, 0)
+        table.acquire(address, 2)
+        assert table.contended_acquisitions == 1
+
+    def test_locks_on_distinct_addresses_are_independent(self):
+        sim, table = setup_table()
+        a, b = GlobalAddress(1, 0), GlobalAddress(1, 1)
+        first = table.acquire(a, 0)
+        second = table.acquire(b, 2)
+        sim.run()
+        assert first.state is LockState.GRANTED
+        assert second.state is LockState.GRANTED
+        assert table.outstanding() == 2
+
+
+class TestErrors:
+    def test_release_by_non_holder_rejected(self):
+        sim, table = setup_table()
+        address = GlobalAddress(1, 0)
+        first = table.acquire(address, 0)
+        second = table.acquire(address, 2)
+        sim.run()
+        with pytest.raises(SimulationError):
+            table.release(second)
+
+    def test_double_release_rejected(self):
+        sim, table = setup_table()
+        request = table.acquire(GlobalAddress(1, 0), 0)
+        sim.run()
+        table.release(request)
+        with pytest.raises(SimulationError):
+            table.release(request)
+
+    def test_foreign_address_rejected(self):
+        _sim, table = setup_table(rank=1)
+        with pytest.raises(ValueError):
+            table.acquire(GlobalAddress(0, 0), 2)
+
+    def test_assert_quiescent(self):
+        sim, table = setup_table()
+        request = table.acquire(GlobalAddress(1, 0), 0)
+        sim.run()
+        with pytest.raises(SimulationError, match="still held"):
+            table.assert_quiescent()
+        table.release(request)
+        table.assert_quiescent()
+
+
+class TestTiming:
+    def test_wait_time_measured_in_simulated_time(self):
+        sim = Simulator()
+        table = MemoryLockTable(sim, 1)
+        address = GlobalAddress(1, 0)
+        first = table.acquire(address, 2)
+        second = table.acquire(address, 0)
+        sim.run()
+        # Release the first lock 4 time units later.
+        sim.call_after(4.0, lambda: table.release(first))
+        sim.run()
+        assert second.granted_at == 4.0
+        assert second.wait_time == 4.0
+
+    def test_history_keeps_every_request(self):
+        sim, table = setup_table()
+        address = GlobalAddress(1, 0)
+        table.acquire(address, 0)
+        table.acquire(address, 2)
+        assert len(table.history()) == 2
+        assert [r.requester for r in table.history()] == [0, 2]

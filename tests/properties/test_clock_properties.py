@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the clock algebra.
+
+Mattern's theorem is the foundation of the whole detection algorithm, so the
+partial-order laws of vector clocks and the lattice laws of the merge
+operation are checked over randomly generated clocks rather than hand-picked
+examples.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.clocks import MatrixClock, VectorClock
+from repro.core.comparator import ClockOrdering, compare_clocks, concurrent, max_clock, ordering
+
+# Clocks over 1..6 processes with entries in 0..20.
+clock_entries = st.integers(min_value=1, max_value=6).flatmap(
+    lambda n: st.lists(st.integers(min_value=0, max_value=20), min_size=n, max_size=n)
+)
+
+
+def paired_entries(max_size=6):
+    """Two entry lists of the same length."""
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+            st.lists(st.integers(0, 20), min_size=n, max_size=n),
+        )
+    )
+
+
+def triple_entries(max_size=5):
+    return st.integers(min_value=1, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            *(st.lists(st.integers(0, 20), min_size=n, max_size=n) for _ in range(3))
+        )
+    )
+
+
+class TestPartialOrderLaws:
+    @given(clock_entries)
+    def test_happens_before_is_irreflexive(self, entries):
+        clock = VectorClock(entries)
+        assert not clock.happens_before(clock)
+
+    @given(paired_entries())
+    def test_happens_before_is_antisymmetric(self, pair):
+        a, b = VectorClock(pair[0]), VectorClock(pair[1])
+        assert not (a.happens_before(b) and b.happens_before(a))
+
+    @given(triple_entries())
+    def test_happens_before_is_transitive(self, triple):
+        a, b, c = (VectorClock(e) for e in triple)
+        if a.happens_before(b) and b.happens_before(c):
+            assert a.happens_before(c)
+
+    @given(paired_entries())
+    def test_trichotomy_of_ordering_classification(self, pair):
+        a, b = VectorClock(pair[0]), VectorClock(pair[1])
+        relation = ordering(a, b)
+        # Exactly one classification, and it is consistent with the primitives.
+        if relation is ClockOrdering.EQUAL:
+            assert a == b
+        elif relation is ClockOrdering.BEFORE:
+            assert compare_clocks(a, b) and not compare_clocks(b, a)
+        elif relation is ClockOrdering.AFTER:
+            assert compare_clocks(b, a) and not compare_clocks(a, b)
+        else:
+            assert concurrent(a, b)
+
+    @given(paired_entries())
+    def test_concurrency_is_symmetric(self, pair):
+        a, b = VectorClock(pair[0]), VectorClock(pair[1])
+        assert concurrent(a, b) == concurrent(b, a)
+
+
+class TestMergeLaws:
+    @given(paired_entries())
+    def test_merge_is_commutative(self, pair):
+        assert max_clock(pair[0], pair[1]) == max_clock(pair[1], pair[0])
+
+    @given(triple_entries())
+    def test_merge_is_associative(self, triple):
+        a, b, c = triple
+        assert max_clock(max_clock(a, b), c) == max_clock(a, max_clock(b, c))
+
+    @given(clock_entries)
+    def test_merge_is_idempotent(self, entries):
+        assert max_clock(entries, entries) == VectorClock(entries)
+
+    @given(paired_entries())
+    def test_merge_is_an_upper_bound(self, pair):
+        merged = max_clock(pair[0], pair[1])
+        assert merged.dominates(pair[0])
+        assert merged.dominates(pair[1])
+
+    @given(paired_entries())
+    def test_merge_is_the_least_upper_bound(self, pair):
+        merged = max_clock(pair[0], pair[1])
+        entries = np.maximum(np.array(pair[0]), np.array(pair[1]))
+        assert merged == VectorClock(entries)
+
+    @given(clock_entries)
+    def test_zero_is_the_identity(self, entries):
+        zero = VectorClock.zeros(len(entries))
+        assert max_clock(zero, entries) == VectorClock(entries)
+
+
+class TestTickProperties:
+    @given(clock_entries, st.integers(min_value=0, max_value=5))
+    def test_tick_strictly_advances(self, entries, rank_seed):
+        clock = VectorClock(entries)
+        rank = rank_seed % clock.size
+        before = clock.copy()
+        clock.tick(rank)
+        assert before.happens_before(clock)
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=0, max_value=30))
+    def test_matrix_clock_principal_reflects_all_local_events(self, size, events):
+        clock = MatrixClock(rank=0, size=size)
+        for _ in range(events):
+            clock.tick()
+        assert clock.local_component() == events
+        assert clock.principal().component(0) == events
+
+
+class TestSimulatedCausality:
+    """Clocks driven by a random message history characterize causality exactly."""
+
+    @given(
+        st.integers(min_value=2, max_value=5),
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 4)), min_size=1, max_size=40
+        ),
+        st.randoms(use_true_random=False),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_message_chain_implies_happens_before(self, world, raw_events, rng):
+        """Sending a message always makes the send happen-before the receive."""
+        clocks = [VectorClock.zeros(world) for _ in range(world)]
+        snapshots = []
+        for src_raw, dst_raw in raw_events:
+            src, dst = src_raw % world, dst_raw % world
+            if src == dst:
+                clocks[src].tick(src)
+                continue
+            clocks[src].tick(src)
+            send_snapshot = clocks[src].copy()
+            clocks[dst].merge_in_place(send_snapshot)
+            clocks[dst].tick(dst)
+            snapshots.append((send_snapshot, clocks[dst].copy()))
+        for send_clock, receive_clock in snapshots:
+            assert send_clock.happens_before(receive_clock)

@@ -1,0 +1,78 @@
+"""Unit tests for named reproducible random streams."""
+
+import pytest
+
+from repro.sim.rng import RandomStreams
+
+
+class TestRandomStreams:
+    def test_same_seed_same_stream_same_draws(self):
+        a = RandomStreams(seed=42)
+        b = RandomStreams(seed=42)
+        assert [a.uniform("net", 0, 1) for _ in range(10)] == [
+            b.uniform("net", 0, 1) for _ in range(10)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = RandomStreams(seed=1)
+        b = RandomStreams(seed=2)
+        assert [a.uniform("net", 0, 1) for _ in range(5)] != [
+            b.uniform("net", 0, 1) for _ in range(5)
+        ]
+
+    def test_streams_are_independent_of_creation_order(self):
+        # Drawing from an extra stream first must not change another stream.
+        a = RandomStreams(seed=3)
+        a.uniform("other", 0, 1)
+        from_a = [a.uniform("net", 0, 1) for _ in range(5)]
+
+        b = RandomStreams(seed=3)
+        from_b = [b.uniform("net", 0, 1) for _ in range(5)]
+        assert from_a == from_b
+
+    def test_different_names_give_different_sequences(self):
+        streams = RandomStreams(seed=0)
+        xs = [streams.uniform("a", 0, 1) for _ in range(5)]
+        ys = [streams.uniform("b", 0, 1) for _ in range(5)]
+        assert xs != ys
+
+    def test_uniform_respects_bounds(self):
+        streams = RandomStreams(seed=0)
+        for _ in range(100):
+            value = streams.uniform("bounded", 2.0, 3.0)
+            assert 2.0 <= value < 3.0
+
+    def test_uniform_rejects_reversed_bounds(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).uniform("x", 3.0, 2.0)
+
+    def test_exponential_positive_and_mean_checked(self):
+        streams = RandomStreams(seed=0)
+        assert streams.exponential("e", 2.0) >= 0
+        with pytest.raises(ValueError):
+            streams.exponential("e", 0.0)
+
+    def test_integers_in_range(self):
+        streams = RandomStreams(seed=0)
+        draws = {streams.integers("i", 0, 4) for _ in range(200)}
+        assert draws <= {0, 1, 2, 3}
+        assert len(draws) > 1
+
+    def test_choice_picks_from_options(self):
+        streams = RandomStreams(seed=0)
+        for _ in range(20):
+            assert streams.choice("c", ["x", "y", "z"]) in {"x", "y", "z"}
+
+    def test_choice_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomStreams(0).choice("c", [])
+
+    def test_invalid_stream_name_rejected(self):
+        with pytest.raises(TypeError):
+            RandomStreams(0).stream("")
+
+    def test_names_lists_created_streams(self):
+        streams = RandomStreams(seed=0)
+        streams.stream("zeta")
+        streams.stream("alpha")
+        assert streams.names() == ["alpha", "zeta"]

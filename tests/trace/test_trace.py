@@ -1,0 +1,147 @@
+"""Unit tests for trace recording, serialization and replay."""
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.memory.address import GlobalAddress
+from repro.memory.consistency import AccessKind
+from repro.net.nic import RemoteOperationResult
+from repro.trace.events import OperationRecord, summarize
+from repro.trace.recorder import TraceRecorder
+from repro.trace.replay import TraceReplayer
+from repro.trace.serialization import (
+    access_from_dict,
+    access_to_dict,
+    trace_from_json,
+    trace_to_json,
+)
+
+
+def record_some_accesses(recorder):
+    a = GlobalAddress(1, 0)
+    b = GlobalAddress(2, 3)
+    recorder.record_access(0, a, AccessKind.WRITE, value=1, time=1.0, symbol="x", operation="put")
+    recorder.record_access(2, a, AccessKind.READ, value=1, time=2.0, symbol="x", operation="get")
+    recorder.record_access(0, b, AccessKind.WRITE, value=9, time=3.0, symbol="y", operation="put")
+    recorder.record_access(0, b, AccessKind.WRITE, value=10, time=4.0, symbol="y", operation="local_write")
+    return a, b
+
+
+class TestTraceRecorder:
+    def test_access_ids_are_unique_and_increasing(self):
+        recorder = TraceRecorder(world_size=3)
+        record_some_accesses(recorder)
+        ids = [a.access_id for a in recorder.accesses()]
+        assert ids == sorted(ids) and len(set(ids)) == len(ids)
+
+    def test_filters(self):
+        recorder = TraceRecorder(3)
+        a, b = record_some_accesses(recorder)
+        assert len(recorder.accesses(rank=0)) == 3
+        assert len(recorder.accesses(address=a)) == 2
+        assert len(recorder.accesses(symbol="y")) == 2
+        assert len(recorder.accesses(kind=AccessKind.READ)) == 1
+
+    def test_conflicting_pairs_need_a_write_and_same_cell(self):
+        recorder = TraceRecorder(3)
+        record_some_accesses(recorder)
+        pairs = recorder.conflicting_pairs()
+        # (write,read) on a, (write,write) on b.
+        assert len(pairs) == 2
+
+    def test_operation_records(self):
+        recorder = TraceRecorder(3)
+        result = RemoteOperationResult(
+            operation="put", origin=0, target=GlobalAddress(1, 0), value=5,
+            check=None, start_time=1.0, end_time=4.0, data_messages=1, control_messages=2,
+        )
+        record = recorder.record_operation(result, symbol="x")
+        assert record.elapsed == 3.0
+        assert recorder.operations("put") == [record]
+        assert recorder.operations("get") == []
+
+    def test_summary_counts(self):
+        recorder = TraceRecorder(3)
+        record_some_accesses(recorder)
+        summary = recorder.summary()
+        assert summary.accesses == 4
+        assert summary.writes == 3 and summary.reads == 1
+        assert summary.cells_touched == 2
+        assert summary.local_accesses == 1
+        assert summary.per_rank_accesses == {0: 3, 2: 1}
+        assert summary.duration == 3.0
+        assert summary.as_dict()["accesses"] == 4
+
+    def test_values_can_be_dropped(self):
+        recorder = TraceRecorder(3, keep_values=False)
+        recorder.record_access(0, GlobalAddress(0, 0), AccessKind.WRITE, value="big blob")
+        assert recorder.accesses()[0].value is None
+
+    def test_clear(self):
+        recorder = TraceRecorder(3)
+        record_some_accesses(recorder)
+        recorder.clear()
+        assert len(recorder) == 0
+
+
+class TestSerialization:
+    def test_access_round_trip(self):
+        recorder = TraceRecorder(3)
+        record_some_accesses(recorder)
+        for access in recorder.accesses():
+            assert access_from_dict(access_to_dict(access)) == access
+
+    def test_trace_round_trip(self):
+        recorder = TraceRecorder(3)
+        record_some_accesses(recorder)
+        recorder.record_sync([0, 1, 2], time=5.0)
+        text = trace_to_json(
+            3, recorder.accesses(), recorder.operations(), recorder.syncs(), indent=2
+        )
+        world, accesses, operations, syncs = trace_from_json(text)
+        assert world == 3
+        assert accesses == recorder.accesses()
+        assert operations == []
+        assert syncs == recorder.syncs()
+
+    def test_non_json_values_are_stringified(self):
+        recorder = TraceRecorder(2)
+        recorder.record_access(0, GlobalAddress(0, 0), AccessKind.WRITE, value={"a", "b"})
+        text = trace_to_json(2, recorder.accesses())
+        _world, accesses, _ops, _syncs = trace_from_json(text)
+        assert isinstance(accesses[0].value, str)
+
+    def test_format_guard(self):
+        with pytest.raises(ValueError):
+            trace_from_json('{"format": "something-else"}')
+        with pytest.raises(ValueError):
+            trace_from_json('{"format": "repro-dsm-trace", "version": 99}')
+
+
+class TestReplay:
+    def test_replay_flags_unordered_writes(self):
+        recorder = TraceRecorder(3)
+        a = GlobalAddress(1, 0)
+        recorder.record_access(0, a, AccessKind.WRITE, value=1, time=1.0, symbol="a", operation="put")
+        recorder.record_access(2, a, AccessKind.WRITE, value=2, time=2.0, symbol="a", operation="put")
+        outcome = TraceReplayer(3).replay(recorder.accesses())
+        assert outcome.race_count == 1
+        assert outcome.races[0].symbol == "a"
+        assert outcome.accesses_replayed == 2
+        assert outcome.cells_touched == 1
+
+    def test_replay_is_silent_for_single_writer(self):
+        recorder = TraceRecorder(2)
+        a = GlobalAddress(1, 0)
+        for step in range(5):
+            recorder.record_access(0, a, AccessKind.WRITE, value=step, time=float(step), operation="put")
+        outcome = TraceReplayer(2).replay(recorder.accesses())
+        assert outcome.race_count == 0
+
+    def test_replay_respects_detector_config(self):
+        recorder = TraceRecorder(3)
+        a = GlobalAddress(1, 0)
+        recorder.record_access(0, a, AccessKind.READ, time=1.0, operation="get")
+        recorder.record_access(2, a, AccessKind.READ, time=2.0, operation="get")
+        default = TraceReplayer(3).replay(recorder.accesses())
+        assert default.race_count == 0  # read-read is never a race

@@ -1,0 +1,78 @@
+"""Unit tests for id allocation and the simulation-time logger."""
+
+import pytest
+
+from repro.util.ids import IdAllocator, monotonic_id
+from repro.util.logging import NullLogger, SimLogger
+
+
+class TestIdAllocator:
+    def test_ids_are_consecutive(self):
+        alloc = IdAllocator()
+        assert [alloc.next_int() for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_string_ids_carry_prefix(self):
+        alloc = IdAllocator("msg")
+        assert alloc.next_str() == "msg-0"
+        assert alloc.next_str() == "msg-1"
+
+    def test_peek_does_not_consume(self):
+        alloc = IdAllocator()
+        assert alloc.peek() == 0
+        assert alloc.peek() == 0
+        assert alloc.next_int() == 0
+        assert alloc.next_int() == 1
+
+    def test_independent_allocators(self):
+        a, b = IdAllocator(), IdAllocator()
+        a.next_int()
+        assert b.next_int() == 0
+
+    def test_monotonic_id_increases(self):
+        first = monotonic_id()
+        second = monotonic_id()
+        assert second > first
+
+
+class TestSimLogger:
+    def test_records_carry_simulated_time(self):
+        time = {"now": 0.0}
+        logger = SimLogger(clock=lambda: time["now"])
+        logger.log("cat", "first")
+        time["now"] = 5.5
+        record = logger.log("cat", "second", rank=2)
+        assert record.time == 5.5
+        assert record.rank == 2
+        assert [r.time for r in logger.records()] == [0.0, 5.5]
+
+    def test_filter_by_category(self):
+        logger = SimLogger()
+        logger.log("a", "one")
+        logger.log("b", "two")
+        logger.log("a", "three")
+        assert len(logger.records("a")) == 2
+        assert logger.categories() == ["a", "b"]
+
+    def test_bind_clock_replaces_source(self):
+        logger = SimLogger()
+        logger.bind_clock(lambda: 42.0)
+        assert logger.log("x", "msg").time == 42.0
+
+    def test_clear_and_len(self):
+        logger = SimLogger()
+        logger.log("x", "msg")
+        assert len(logger) == 1
+        logger.clear()
+        assert len(logger) == 0
+
+    def test_echo_prints(self, capsys):
+        logger = SimLogger(echo=True)
+        logger.log("race", "found one", rank=3)
+        out = capsys.readouterr().out
+        assert "found one" in out
+        assert "P3" in out
+
+    def test_null_logger_drops_records(self):
+        logger = NullLogger()
+        logger.log("x", "ignored")
+        assert len(logger) == 0

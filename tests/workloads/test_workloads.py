@@ -1,0 +1,136 @@
+"""Tests for the parameterized workloads and the labelled pattern corpus."""
+
+import pytest
+
+from repro.workloads import (
+    MasterWorkerWorkload,
+    OneSidedReductionWorkload,
+    ProducerConsumerWorkload,
+    RandomAccessWorkload,
+    StencilWorkload,
+    pattern_corpus,
+)
+
+
+class TestRandomAccessWorkload:
+    def test_runs_and_counts_operations(self):
+        workload = RandomAccessWorkload(world_size=4, operations_per_rank=6)
+        outcome = workload.run(seed=0)
+        summary = outcome.run.trace_summary
+        assert summary.accesses >= 4 * 6
+        assert summary.world_size == 4
+
+    def test_hot_conflicts_produce_races(self):
+        workload = RandomAccessWorkload(
+            world_size=4, operations_per_rank=10, hotspot_fraction=0.8, write_fraction=0.8
+        )
+        assert workload.expected_racy
+        assert workload.run(seed=1).detected_racy
+
+    def test_cold_disjoint_traffic_is_clean(self):
+        workload = RandomAccessWorkload(
+            world_size=4, operations_per_rank=8, hotspot_fraction=0.0, write_fraction=0.5
+        )
+        assert not workload.expected_racy
+        outcome = workload.run(seed=2)
+        assert not outcome.detected_racy
+
+    def test_same_seed_reproduces_the_trace(self):
+        workload = RandomAccessWorkload(world_size=3, operations_per_rank=5)
+        first = workload.run(seed=7).run
+        second = workload.run(seed=7).run
+        assert first.trace_summary.as_dict() == second.trace_summary.as_dict()
+        assert first.race_count == second.race_count
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RandomAccessWorkload(world_size=0)
+        with pytest.raises(ValueError):
+            RandomAccessWorkload(hotspot_fraction=1.5)
+
+
+class TestMasterWorkerWorkload:
+    def test_completes_without_aborting_despite_races(self):
+        workload = MasterWorkerWorkload(world_size=4, tasks=6)
+        outcome = workload.run(seed=0)
+        assert outcome.detected_racy
+        # Every task result was produced at least once.
+        results = outcome.run.final_shared_values["results"]
+        assert all(value is not None for value in results)
+
+    def test_races_touch_the_coordination_cells(self):
+        outcome = MasterWorkerWorkload(world_size=4, tasks=6).run(seed=0)
+        assert "ticket" in outcome.detected_symbols() or "completed" in outcome.detected_symbols()
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            MasterWorkerWorkload(world_size=1)
+
+
+class TestStencilWorkload:
+    def test_barriers_make_it_race_free(self):
+        outcome = StencilWorkload(world_size=4, iterations=3, use_barriers=True).run(seed=0)
+        assert outcome.run.race_count == 0
+
+    def test_removing_barriers_exposes_races(self):
+        outcome = StencilWorkload(world_size=4, iterations=3, use_barriers=False).run(seed=0)
+        assert outcome.run.race_count > 0
+        assert any(symbol.startswith("halo") for symbol in outcome.detected_symbols())
+
+    def test_block_values_are_computed(self):
+        outcome = StencilWorkload(world_size=2, cells_per_rank=4, iterations=2).run(seed=0)
+        for rank in range(2):
+            block = outcome.run.per_rank_private[rank]["block"]
+            assert len(block) == 4
+            assert all(isinstance(value, float) for value in block)
+
+
+class TestReductionWorkload:
+    def test_synchronized_reduction_is_exact(self):
+        workload = OneSidedReductionWorkload(world_size=5, synchronize=True)
+        outcome = workload.run(seed=0)
+        assert outcome.run.per_rank_private[0]["total"] == workload.expected_sum()
+        assert outcome.run.race_count == 0
+
+    def test_unsynchronized_reduction_races(self):
+        workload = OneSidedReductionWorkload(world_size=5, synchronize=False)
+        outcome = workload.run(seed=0)
+        assert outcome.run.race_count > 0
+
+    def test_reducer_rank_validated(self):
+        with pytest.raises(ValueError):
+            OneSidedReductionWorkload(world_size=3, reducer=3)
+
+
+class TestProducerConsumerWorkload:
+    def test_unsynchronized_handoff_races(self):
+        outcome = ProducerConsumerWorkload(synchronized=False).run(seed=0)
+        assert outcome.detected_racy
+
+    def test_barrier_fixes_it_and_payload_arrives(self):
+        workload = ProducerConsumerWorkload(synchronized=True, payload_cells=3)
+        outcome = workload.run(seed=0)
+        assert not outcome.detected_racy
+        received = outcome.run.per_rank_private[1]["received"]
+        assert received == [workload.payload(i) for i in range(3)]
+
+
+class TestPatternCorpus:
+    def test_corpus_has_both_labels(self):
+        corpus = pattern_corpus()
+        assert len(corpus) >= 12
+        assert any(pattern.racy for pattern in corpus)
+        assert any(not pattern.racy for pattern in corpus)
+
+    def test_names_are_unique(self):
+        names = [pattern.name for pattern in corpus] if (corpus := pattern_corpus()) else []
+        assert len(names) == len(set(names))
+
+    @pytest.mark.parametrize("pattern", pattern_corpus(), ids=lambda p: p.name)
+    def test_online_detector_matches_every_label(self, pattern):
+        """The headline accuracy claim: the detector agrees with every corpus label."""
+        result = pattern.run(seed=0)
+        assert (result.race_count > 0) == pattern.racy, (
+            f"{pattern.name}: label racy={pattern.racy} but detector reported "
+            f"{result.race_count} signal(s)"
+        )
