@@ -45,6 +45,15 @@ from repro.core import (
 from repro.memory import GlobalAddress, PlacementPolicy
 from repro.net import NICConfig, Topology
 from repro.runtime import DSMRuntime, ProcessAPI, RunResult, RuntimeConfig
+from repro.verbs import (
+    CompletionQueue,
+    CompletionStatus,
+    Opcode,
+    QueuePair,
+    VerbsContext,
+    WorkCompletion,
+    WorkRequest,
+)
 
 __version__ = "1.0.0"
 
@@ -70,5 +79,12 @@ __all__ = [
     "ProcessAPI",
     "RunResult",
     "RuntimeConfig",
+    "CompletionQueue",
+    "CompletionStatus",
+    "Opcode",
+    "QueuePair",
+    "VerbsContext",
+    "WorkCompletion",
+    "WorkRequest",
     "__version__",
 ]

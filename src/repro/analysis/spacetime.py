@@ -23,7 +23,10 @@ from repro.trace.events import SyncEvent
 
 def _column_label(access: MemoryAccess) -> str:
     symbol = access.symbol or str(access.address)
-    kind = "W" if access.kind is AccessKind.WRITE else "R"
+    if access.kind is AccessKind.RMW:
+        kind = "U"  # atomic update
+    else:
+        kind = "W" if access.kind is AccessKind.WRITE else "R"
     tag = access.operation or ("put" if kind == "W" else "get")
     return f"{kind}:{symbol}[{tag}]"
 

@@ -130,6 +130,16 @@ class DetectorConfig:
         (paper-faithful); turning it on treats put completion as a
         synchronization, which silences reports on repeated unsynchronized
         puts from one origin but misses Figure 5c.
+    treat_rmw_pairs_as_ordered:
+        One-sided atomics (``fetch_add``, ``compare_and_swap``) are serviced
+        atomically by the target NIC, so two RMW operations on the same cell
+        can never interleave destructively even when causally unordered.
+        When this knob is on, an RMW is checked only against the cell's
+        *plain* (non-RMW) accesses — unordered RMW/RMW pairs are silenced,
+        the hardware-serialization analogue of the paper's benign
+        master-worker races.  Default off: the paper's happens-before
+        discipline signals every unordered conflicting pair, atomic or not,
+        leaving benignity to the signal policy.
     control_messages_per_check:
         Extra NIC messages charged per instrumented operation for fetching and
         writing back clocks (Algorithm 5 uses a get_clock + put_clock pair; a
@@ -144,6 +154,7 @@ class DetectorConfig:
     origin_learns_on_get: bool = True
     origin_learns_on_put_check: bool = True
     origin_learns_datum_after_write: bool = False
+    treat_rmw_pairs_as_ordered: bool = False
     control_messages_per_check: int = 2
 
     def compare(self, first: VectorClock, second: VectorClock) -> bool:
@@ -189,6 +200,10 @@ class _LastAccessInfo:
     last_writer: Optional[int] = None
     last_accessor: Optional[int] = None
     last_access_kind: AccessKind = AccessKind.WRITE
+    # Last *non-atomic* accessor, consulted by RMW checks when
+    # ``treat_rmw_pairs_as_ordered`` is enabled.
+    last_plain_accessor: Optional[int] = None
+    last_plain_kind: AccessKind = AccessKind.WRITE
 
 
 class DualClockRaceDetector:
@@ -212,6 +227,9 @@ class DualClockRaceDetector:
             rank: MatrixClock(rank, world_size) for rank in range(world_size)
         }
         self._last_info: Dict[GlobalAddress, _LastAccessInfo] = {}
+        # Per-datum clock covering only the *plain* (non-RMW) accesses; built
+        # lazily and only consulted when ``treat_rmw_pairs_as_ordered`` is on.
+        self._plain_clocks: Dict[GlobalAddress, VectorClock] = {}
         self._checks_performed = 0
         self._control_messages = 0
         self._clock_bytes_on_wire = 0
@@ -256,6 +274,21 @@ class DualClockRaceDetector:
 
     def _info(self, address: GlobalAddress) -> _LastAccessInfo:
         return self._last_info.setdefault(address, _LastAccessInfo())
+
+    def _plain_clock(self, address: GlobalAddress) -> VectorClock:
+        """Clock covering only the non-RMW accesses to *address* (lazy)."""
+        clock = self._plain_clocks.get(address)
+        if clock is None:
+            clock = VectorClock.zeros(self._world_size)
+            self._plain_clocks[address] = clock
+        return clock
+
+    def _note_plain_access(
+        self, address: GlobalAddress, event_clock: VectorClock
+    ) -> None:
+        """Fold a plain access into the per-datum non-RMW clock, when needed."""
+        if self.config.treat_rmw_pairs_as_ordered:
+            self._plain_clock(address).merge_in_place(event_clock)
 
     def _charge_overhead(self, result: AccessCheckResult) -> None:
         self._control_messages += result.extra_control_messages
@@ -334,11 +367,15 @@ class DualClockRaceDetector:
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
+            self._note_plain_access(address, owner_view)
         if self.config.origin_learns_datum_after_write:
             self.process_clock(origin).observe_vector(cell.access_clock)
+        self._note_plain_access(address, event_clock)
         info.last_writer = origin
         info.last_accessor = origin
         info.last_access_kind = AccessKind.WRITE
+        info.last_plain_accessor = origin
+        info.last_plain_kind = AccessKind.WRITE
         self._checks_performed += 1
         messages, clock_bytes = self._overhead_for_check()
         result = AccessCheckResult(
@@ -389,8 +426,11 @@ class DualClockRaceDetector:
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
         cell.access_clock.merge_in_place(event_clock)
+        self._note_plain_access(address, event_clock)
         info.last_accessor = origin
         info.last_access_kind = AccessKind.READ
+        info.last_plain_accessor = origin
+        info.last_plain_kind = AccessKind.READ
         self._checks_performed += 1
         messages, clock_bytes = self._overhead_for_check()
         result = AccessCheckResult(
@@ -398,6 +438,90 @@ class DualClockRaceDetector:
             event_clock=event_clock.frozen(),
             datum_access_clock=cell.access_clock.frozen(),
             datum_write_clock=cell.write_clock.frozen() if cell.write_clock else None,
+            extra_control_messages=messages,
+            extra_clock_bytes=clock_bytes,
+        )
+        self._charge_overhead(result)
+        return result
+
+    def on_rmw(
+        self,
+        origin: int,
+        address: GlobalAddress,
+        cell: MemoryCell,
+        *,
+        symbol: Optional[str] = None,
+        time: float = 0.0,
+        operation: str = "fetch_add",
+    ) -> AccessCheckResult:
+        """Instrument a one-sided atomic read-modify-write of *cell*.
+
+        Must be called while the NIC lock on *address* is held.  An RMW both
+        observes and deposits a value, so by default it is checked against the
+        datum's general-purpose clock ``V(x)`` (like a write: any unordered
+        earlier access conflicts) and, like a ``get``, its reply carries the
+        datum's causal history back to the origin.  With
+        ``treat_rmw_pairs_as_ordered`` the check only consults the plain
+        (non-RMW) accesses, modelling the target NIC's atomic execution unit
+        serializing RMW/RMW pairs.
+        """
+        require_rank(origin, self._world_size, "origin")
+        if not self.config.enabled:
+            return self._uninstrumented(origin, cell)
+        self._ensure_cell_clocks(cell)
+        event_clock = self.process_clock(origin).tick()
+        info = self._info(address)
+        if self.config.treat_rmw_pairs_as_ordered:
+            reference: VectorClock = self._plain_clock(address)
+            previous_rank = info.last_plain_accessor
+            previous_kind = info.last_plain_kind
+        else:
+            assert cell.access_clock is not None  # _ensure_cell_clocks ran
+            reference = cell.access_clock
+            previous_rank = info.last_accessor
+            previous_kind = info.last_access_kind
+        race = self._check(
+            origin=origin,
+            address=address,
+            kind=AccessKind.RMW,
+            event_clock=event_clock,
+            reference_clock=reference,
+            previous_rank=previous_rank,
+            previous_kind=previous_kind,
+            symbol=symbol,
+            time=time,
+            operation=operation,
+        )
+        if self.config.origin_learns_on_get:
+            # The old value flows back in the ATOMIC_REPLY, and with it the
+            # datum's causal history (same rule as a get).
+            self.process_clock(origin).observe_vector(cell.access_clock)
+            event_clock = self.current_clock(origin)
+        # The RMW writes: both per-datum clocks advance, and the effect at the
+        # owner's memory counts as an event of the owning process, exactly as
+        # for a put.  The plain-access clock is deliberately *not* touched.
+        cell.access_clock.merge_in_place(event_clock)
+        cell.write_clock.merge_in_place(event_clock)
+        if self.config.write_effect_ticks_owner and address.rank != origin:
+            owner_clock = self.process_clock(address.rank)
+            owner_clock.observe_vector(event_clock)
+            owner_view = owner_clock.tick()
+            cell.access_clock.merge_in_place(owner_view)
+            cell.write_clock.merge_in_place(owner_view)
+            if self.config.origin_learns_on_get:
+                # The reply leaves the owner after the reception event.
+                self.process_clock(origin).observe_vector(cell.access_clock)
+                event_clock = self.current_clock(origin)
+        info.last_writer = origin
+        info.last_accessor = origin
+        info.last_access_kind = AccessKind.RMW
+        self._checks_performed += 1
+        messages, clock_bytes = self._overhead_for_check()
+        result = AccessCheckResult(
+            race=race,
+            event_clock=event_clock.frozen(),
+            datum_access_clock=cell.access_clock.frozen(),
+            datum_write_clock=cell.write_clock.frozen(),
             extra_control_messages=messages,
             extra_clock_bytes=clock_bytes,
         )
@@ -481,8 +605,15 @@ class DualClockRaceDetector:
         return self._clock_bytes_on_wire
 
     def clock_storage_entries(self) -> int:
-        """Vector-clock entries held in the process matrix clocks (``n²`` each)."""
-        return sum(c.storage_entries() for c in self._process_clocks.values())
+        """Vector-clock entries held in the process matrix clocks (``n²`` each).
+
+        Includes the per-datum plain-access clocks maintained when
+        ``treat_rmw_pairs_as_ordered`` is enabled (``n`` entries per touched
+        cell), so the overhead accounting reflects that configuration's cost.
+        """
+        return sum(c.storage_entries() for c in self._process_clocks.values()) + sum(
+            c.size for c in self._plain_clocks.values()
+        )
 
     def races(self) -> List[RaceRecord]:
         """All race records signalled so far."""

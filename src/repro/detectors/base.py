@@ -38,8 +38,8 @@ class DetectedRace:
     detail: str = ""
 
     def involves_write(self) -> bool:
-        """True when at least one side of the pair is a write."""
-        return AccessKind.WRITE.value in self.kinds
+        """True when at least one side of the pair writes (plain write or RMW)."""
+        return any(AccessKind(kind).is_write for kind in self.kinds)
 
 
 @dataclass

@@ -93,10 +93,16 @@ class SeedVaryingOracle:
                     address_by_symbol_index[(symbol, index)] = runtime.directory.resolve(
                         symbol, index
                     )
-            # Sequence of values observed by reads, per cell.
+            # Sequence of values observed by reads, per cell.  An atomic RMW
+            # observes its cell too: its ``observed`` (pre-update) value joins
+            # the read stream, so e.g. a CAS seeing different old values across
+            # seeds marks the cell racy even when the final value converges.
             per_cell_reads: Dict[GlobalAddress, List[object]] = {}
-            for access in runtime.recorder.accesses(kind=AccessKind.READ):
-                per_cell_reads.setdefault(access.address, []).append(access.value)
+            for access in runtime.recorder.accesses():
+                if not access.kind.is_read:
+                    continue
+                seen = access.observed if access.kind is AccessKind.RMW else access.value
+                per_cell_reads.setdefault(access.address, []).append(seen)
             truth.read_values_by_seed[seed] = {
                 addr: tuple(vals) for addr, vals in per_cell_reads.items()
             }

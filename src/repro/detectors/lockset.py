@@ -81,7 +81,7 @@ class LocksetDetector(BaselineDetector):
             previous: Optional[MemoryAccess] = None
             for access in cell_accesses:
                 accessors.add(access.rank)
-                if access.kind is AccessKind.WRITE:
+                if access.kind.is_write:
                     writers.add(access.rank)
                 held = self._held_locks(access)
                 candidate = held if candidate is None else candidate & held

@@ -31,11 +31,21 @@ class AccessKind(enum.Enum):
 
     READ = "read"     # remote get, or local read of own public memory
     WRITE = "write"   # remote put, or local write of own public memory
+    RMW = "rmw"       # one-sided atomic read-modify-write (fetch_add, CAS)
 
     @property
     def is_write(self) -> bool:
-        """Convenience flag used by every detector."""
-        return self is AccessKind.WRITE
+        """Convenience flag used by every detector.
+
+        A read-modify-write counts as a write: it deposits a new value, so it
+        conflicts with every other access to the same cell.
+        """
+        return self in (AccessKind.WRITE, AccessKind.RMW)
+
+    @property
+    def is_read(self) -> bool:
+        """True when the access observes the cell's previous value."""
+        return self in (AccessKind.READ, AccessKind.RMW)
 
 
 @dataclass(frozen=True)
@@ -60,7 +70,11 @@ class MemoryAccess:
         Symbolic name of the shared variable, when known.
     operation:
         The high-level operation that caused the access ("put", "get",
-        "local_read", "local_write", "collective", ...).
+        "local_read", "local_write", "fetch_add", "compare_and_swap",
+        "collective", ...).
+    observed:
+        For read-modify-write accesses only: the value the atomic *read*
+        before depositing ``value``.  ``None`` for plain reads and writes.
     """
 
     access_id: int
@@ -71,6 +85,7 @@ class MemoryAccess:
     time: float = 0.0
     symbol: Optional[str] = None
     operation: str = ""
+    observed: object = None
 
     def conflicts_with(self, other: "MemoryAccess") -> bool:
         """Two accesses conflict when they touch the same cell and at least one writes.
@@ -119,12 +134,17 @@ class SequentialConsistencyChecker:
             expected, writer = last_write.get(
                 access.address, (self._initial.get(access.address), None)
             )
-            if access.value != expected:
+            # An RMW validates like a read (its observed old value must be the
+            # latest write) and then updates the cell like a write.
+            seen = access.observed if access.kind is AccessKind.RMW else access.value
+            if seen != expected:
                 violations.append(
-                    f"read by P{access.rank} of {access.address} at t={access.time} "
-                    f"returned {access.value!r}, expected {expected!r} "
+                    f"{access.kind.value} by P{access.rank} of {access.address} "
+                    f"at t={access.time} observed {seen!r}, expected {expected!r} "
                     f"(last writer: {'initial' if writer is None else f'P{writer}'})"
                 )
+            if access.kind is AccessKind.RMW:
+                last_write[access.address] = (access.value, access.rank)
         return violations
 
     def check_or_raise(self, accesses: Iterable[MemoryAccess]) -> None:
@@ -145,6 +165,6 @@ class SequentialConsistencyChecker:
         ordered = sorted(accesses, key=lambda a: (a.time, a.access_id))
         finals: Dict[GlobalAddress, object] = {}
         for access in ordered:
-            if access.kind is AccessKind.WRITE:
+            if access.kind.is_write:
                 finals[access.address] = access.value
         return finals

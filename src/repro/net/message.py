@@ -22,6 +22,8 @@ class MessageKind(enum.Enum):
     PUT_DATA = "put_data"          # the single message of a put (paper, Fig. 2)
     GET_REQUEST = "get_request"    # first message of a get
     GET_REPLY = "get_reply"        # second message of a get (carries the data)
+    ATOMIC_REQUEST = "atomic_request"  # one-sided atomic: opcode + operands
+    ATOMIC_REPLY = "atomic_reply"      # one-sided atomic: the prior value
     LOCK_REQUEST = "lock_request"  # NIC lock acquisition
     LOCK_GRANT = "lock_grant"
     UNLOCK = "unlock"
@@ -32,7 +34,13 @@ class MessageKind(enum.Enum):
     @property
     def is_data(self) -> bool:
         """True for the messages that move application data (Fig. 2 count)."""
-        return self in (MessageKind.PUT_DATA, MessageKind.GET_REQUEST, MessageKind.GET_REPLY)
+        return self in (
+            MessageKind.PUT_DATA,
+            MessageKind.GET_REQUEST,
+            MessageKind.GET_REPLY,
+            MessageKind.ATOMIC_REQUEST,
+            MessageKind.ATOMIC_REPLY,
+        )
 
     @property
     def is_detection(self) -> bool:

@@ -73,7 +73,12 @@ class NICConfig:
 
 @dataclass
 class RemoteOperationResult:
-    """What a completed one-sided operation returns to the caller."""
+    """What a completed one-sided operation returns to the caller.
+
+    For atomics (``fetch_add`` / ``compare_and_swap``) ``value`` is the value
+    the cell held *before* the operation — what the hardware returns to the
+    initiator — and ``new_value`` is what the operation deposited.
+    """
 
     operation: str
     origin: int
@@ -84,6 +89,7 @@ class RemoteOperationResult:
     end_time: float
     data_messages: int
     control_messages: int
+    new_value: Any = None
 
     @property
     def elapsed(self) -> float:
@@ -129,6 +135,7 @@ class NIC:
         # Counters consumed by the overhead and scalability experiments.
         self.puts_issued = 0
         self.gets_issued = 0
+        self.atomics_issued = 0
         self.local_reads = 0
         self.local_writes = 0
         self.remote_ops_serviced = 0
@@ -157,6 +164,7 @@ class NIC:
         value: Any,
         symbol: Optional[str],
         operation: str,
+        observed: Any = None,
     ) -> None:
         if self.recorder is not None:
             self.recorder.record_access(
@@ -167,6 +175,7 @@ class NIC:
                 time=self._sim.now,
                 symbol=symbol,
                 operation=operation,
+                observed=observed,
             )
 
     def _detection_active(self) -> bool:
@@ -356,6 +365,133 @@ class NIC:
             end_time=self._sim.now,
             data_messages=data_messages,
             control_messages=control_messages,
+        )
+
+    # -- one-sided atomics ---------------------------------------------------------------
+
+    def fetch_add(
+        self, target: GlobalAddress, amount: Any = 1, symbol: Optional[str] = None
+    ) -> Generator:
+        """One-sided atomic fetch-and-add on *target*.
+
+        Serviced entirely by the target NIC under the cell's lock: read the
+        old value, deposit ``old + amount``, send the old value back.  An
+        uninitialized cell (``None``) counts as zero.  Returns a
+        :class:`RemoteOperationResult` whose ``value`` is the *old* value.
+        """
+
+        def apply(old: Any) -> Any:
+            return (0 if old is None else old) + amount
+
+        result = yield from self._atomic(
+            "fetch_add", target, apply, operand=amount,
+            operand_bytes=self.config.cell_bytes, symbol=symbol,
+        )
+        if result.value is None:
+            # The returned old value follows the same uninitialized-is-zero
+            # rule; the trace keeps the raw observed value for the
+            # consistency checker.
+            result.value = 0
+        return result
+
+    def compare_and_swap(
+        self,
+        target: GlobalAddress,
+        expected: Any,
+        desired: Any,
+        symbol: Optional[str] = None,
+    ) -> Generator:
+        """One-sided atomic compare-and-swap on *target*.
+
+        Deposits *desired* iff the cell currently holds *expected*; always
+        returns the prior value (the swap succeeded iff ``result.value ==
+        expected``).  The operand carries both the compare and the swap value,
+        as on InfiniBand (two cells on the wire).
+        """
+
+        def apply(old: Any) -> Any:
+            return desired if old == expected else old
+
+        result = yield from self._atomic(
+            "compare_and_swap", target, apply, operand=(expected, desired),
+            operand_bytes=2 * self.config.cell_bytes, symbol=symbol,
+        )
+        return result
+
+    def _atomic(
+        self,
+        operation: str,
+        target: GlobalAddress,
+        apply: Callable[[Any], Any],
+        operand: Any,
+        operand_bytes: int,
+        symbol: Optional[str],
+    ) -> Generator:
+        """Common read-modify-write machinery for the one-sided atomics.
+
+        Message decomposition mirrors a ``get``: one ATOMIC_REQUEST carrying
+        the operands, one ATOMIC_REPLY carrying the prior value.  A local
+        atomic (the caller owns the cell) crosses no wire but still takes the
+        NIC lock and the detector check, as for every public-memory access.
+        """
+        require_type(target, GlobalAddress, "target")
+        start = self._sim.now
+        tag = self._tags.next_str()
+        target_nic = self.peer(target.rank)
+        self.atomics_issued += 1
+        remote = target.rank != self.rank
+        data_messages = 0
+        control_messages = 0
+
+        lock_request = yield from self._acquire_lock(target_nic, target, operation, tag)
+        control_messages += yield from self._detection_round_trip(target.rank, tag)
+
+        if remote:
+            event, _ = self.fabric.send(
+                MessageKind.ATOMIC_REQUEST, self.rank, target.rank,
+                payload=operand, payload_bytes=operand_bytes, operation_tag=tag,
+            )
+            yield event
+            data_messages += 1
+            target_nic.remote_ops_serviced += 1
+
+        check: Optional[AccessCheckResult] = None
+        if self._detection_active():
+            cell = target_nic.memory.cell(target)
+            check = self.detector.on_rmw(
+                self.rank, target, cell, symbol=symbol, time=self._sim.now,
+                operation=operation,
+            )
+        old_value = target_nic.memory.read(target)
+        new_value = apply(old_value)
+        target_nic.memory.write(target, new_value, writer=self.rank)
+        self._record(
+            AccessKind.RMW, target, new_value, symbol, operation, observed=old_value
+        )
+
+        if remote:
+            payload_bytes = self.config.cell_bytes
+            if self._detection_active() and not self.config.charge_detection_messages:
+                payload_bytes += self._clock_bytes()
+            reply_event, _ = self.fabric.send(
+                MessageKind.ATOMIC_REPLY, target.rank, self.rank,
+                payload=old_value, payload_bytes=payload_bytes, operation_tag=tag,
+            )
+            yield reply_event
+            data_messages += 1
+
+        self._release_lock(target_nic, lock_request, tag)
+        return RemoteOperationResult(
+            operation=operation,
+            origin=self.rank,
+            target=target,
+            value=old_value,
+            check=check,
+            start_time=start,
+            end_time=self._sim.now,
+            data_messages=data_messages,
+            control_messages=control_messages,
+            new_value=new_value,
         )
 
     # -- local public-memory accesses ----------------------------------------------------

@@ -11,6 +11,17 @@ invoked with ``yield from``::
         yield from api.barrier()                   # synchronization
         api.private.write("result", value)
 
+Blocking operations suspend the program for the whole round trip.  The
+nonblocking (verbs) surface posts instead and retires later, so computation
+overlaps communication, and adds the one-sided atomics::
+
+    def overlapped(api):
+        left = api.iput("halo", 1.0, index=0)      # posts, returns immediately
+        right = api.iput("halo", 2.0, index=1)
+        yield from api.compute(5.0)                # overlaps both puts
+        yield from api.wait(left, right)           # retire the completions
+        old = yield from api.fetch_add("counter")  # atomic read-modify-write
+
 The API resolves symbolic names through the
 :class:`~repro.memory.directory.SymbolDirectory` (the paper's "compiler") and
 routes the access through the origin NIC: remote targets become RDMA
@@ -30,6 +41,9 @@ from repro.net.nic import NIC, RemoteOperationResult
 from repro.runtime.collectives import Barrier, one_sided_reduction
 from repro.sim.engine import Simulator
 from repro.util.validation import require_non_negative
+from repro.verbs.context import VerbsContext
+from repro.verbs.memory_registration import RemoteAccessError
+from repro.verbs.work import WorkCompletion, WorkRequest
 
 
 class ProcessAPI:
@@ -44,6 +58,7 @@ class ProcessAPI:
         private: PrivateMemory,
         barrier: Optional[Barrier] = None,
         recorder: Optional[Any] = None,
+        verbs: Optional[VerbsContext] = None,
     ) -> None:
         self.rank = rank
         self._sim = sim
@@ -52,6 +67,7 @@ class ProcessAPI:
         self.private = private
         self._barrier = barrier
         self._recorder = recorder
+        self._verbs = verbs
         self._operation_results: List[RemoteOperationResult] = []
 
     # -- introspection -----------------------------------------------------------
@@ -149,6 +165,114 @@ class ProcessAPI:
         value = yield from self.get(source_symbol, index=source_index)
         result = yield from self.put(dest_symbol, value, index=dest_index)
         return result
+
+    # -- one-sided atomics (blocking) --------------------------------------------------
+
+    def fetch_add(self, symbol: str, amount: Any = 1, index: int = 0) -> Generator:
+        """Atomically add *amount* to shared ``symbol[index]``; returns the old value.
+
+        Serviced entirely by the owning NIC under the cell's lock — no
+        read-modify-write window exists, so concurrent ``fetch_add`` calls
+        never lose updates (unlike the get-then-put idiom of the master/worker
+        ticket, which races by construction).
+        """
+        address = self._directory.resolve(symbol, index)
+        result = yield from self._nic.fetch_add(address, amount, symbol=symbol)
+        self._finish(result, symbol)
+        return result.value
+
+    def compare_and_swap(
+        self, symbol: str, expected: Any, desired: Any, index: int = 0
+    ) -> Generator:
+        """Atomic compare-and-swap on shared ``symbol[index]``.
+
+        Deposits *desired* iff the cell holds *expected*; returns the prior
+        value (the swap succeeded iff the returned value equals *expected*).
+        """
+        address = self._directory.resolve(symbol, index)
+        result = yield from self._nic.compare_and_swap(
+            address, expected, desired, symbol=symbol
+        )
+        self._finish(result, symbol)
+        return result.value
+
+    # -- nonblocking (verbs) interface --------------------------------------------------
+
+    @property
+    def verbs(self) -> VerbsContext:
+        """This rank's verbs context (exposed for advanced workloads and tests)."""
+        if self._verbs is None:
+            raise RuntimeError("this runtime was built without a verbs subsystem")
+        return self._verbs
+
+    def iput(self, symbol: str, value: Any, index: int = 0) -> WorkRequest:
+        """Post a nonblocking put to shared ``symbol[index]``; returns immediately.
+
+        The returned :class:`~repro.verbs.work.WorkRequest` is retired with
+        :meth:`wait` or :meth:`wait_all`; until then the operation proceeds in
+        the background while this program keeps computing.
+        """
+        address = self._directory.resolve(symbol, index)
+        return self.verbs.post_put(address, value, symbol=symbol)
+
+    def iget(self, symbol: str, index: int = 0) -> WorkRequest:
+        """Post a nonblocking get; the completion's ``value`` is the value read."""
+        address = self._directory.resolve(symbol, index)
+        return self.verbs.post_get(address, symbol=symbol)
+
+    def ifetch_add(self, symbol: str, amount: Any = 1, index: int = 0) -> WorkRequest:
+        """Post a nonblocking fetch-and-add; the completion carries the old value."""
+        address = self._directory.resolve(symbol, index)
+        return self.verbs.post_fetch_add(address, amount, symbol=symbol)
+
+    def icompare_and_swap(
+        self, symbol: str, expected: Any, desired: Any, index: int = 0
+    ) -> WorkRequest:
+        """Post a nonblocking compare-and-swap; the completion carries the old value."""
+        address = self._directory.resolve(symbol, index)
+        return self.verbs.post_compare_and_swap(address, expected, desired, symbol=symbol)
+
+    def _claim(
+        self, completions: List[WorkCompletion], raise_on_error: bool
+    ) -> List[WorkCompletion]:
+        # Record every successful sibling before raising, so one failed
+        # request does not lose the results of the others (they have already
+        # been claimed from the verbs context and cannot be re-waited).
+        failed: Optional[WorkCompletion] = None
+        for completion in completions:
+            if completion.result is not None:
+                self._operation_results.append(completion.result)
+            if failed is None and not completion.ok:
+                failed = completion
+        if raise_on_error and failed is not None:
+            raise RemoteAccessError(
+                f"work request {failed.wr_id} failed: {failed.detail}"
+            )
+        return completions
+
+    def wait(self, *requests: WorkRequest, raise_on_error: bool = True) -> Generator:
+        """Block until every given work request completes; returns the completions.
+
+        Completions are returned in the order of *requests*.  A failed request
+        (for example, a bad rkey) raises
+        :class:`~repro.verbs.memory_registration.RemoteAccessError` unless
+        ``raise_on_error=False``, in which case the caller inspects the
+        completion statuses.
+        """
+        completions = yield from self.verbs.wait(requests)
+        return self._claim(completions, raise_on_error)
+
+    def wait_all(self, raise_on_error: bool = True) -> Generator:
+        """Block until every outstanding posted operation completes.
+
+        Returns all completions not yet claimed, in posting order.
+        """
+        completions = yield from self.verbs.wait_all()
+        return self._claim(completions, raise_on_error)
+
+    def poll_completions(self) -> List[WorkCompletion]:
+        """Retire whatever completions are ready, without blocking."""
+        return self._claim(self.verbs.poll(), raise_on_error=False)
 
     # -- local behaviour ----------------------------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.trace.events import TraceSummary
 from repro.trace.recorder import TraceRecorder
 from repro.util.logging import SimLogger
 from repro.util.validation import require_positive
+from repro.verbs.context import VerbsContext
 
 
 @dataclass
@@ -67,6 +68,13 @@ class RuntimeConfig:
         large scalability runs).
     echo_log:
         Print structured log records as they are emitted.
+    verbs_cq_capacity:
+        Capacity of each rank's default completion queue (``None`` =
+        unbounded); a bounded queue overflows when completions outpace
+        retirement, as on real hardware.
+    verbs_max_send_wr:
+        Send-queue depth of each queue pair (posting beyond it raises
+        :class:`~repro.verbs.queue_pair.SendQueueFull`).
     """
 
     world_size: int = 4
@@ -80,6 +88,8 @@ class RuntimeConfig:
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
     echo_log: bool = False
+    verbs_cq_capacity: Optional[int] = None
+    verbs_max_send_wr: int = 128
 
     def with_overrides(self, **kwargs: Any) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
@@ -166,6 +176,19 @@ class DSMRuntime:
             for peer in self.nics:
                 if peer is not nic:
                     nic.register_peer(peer)
+        self.verbs_contexts: List[VerbsContext] = [
+            VerbsContext(
+                self.sim,
+                self.nics[rank],
+                cq_capacity=self.config.verbs_cq_capacity,
+                max_send_wr=self.config.verbs_max_send_wr,
+            )
+            for rank in range(self.config.world_size)
+        ]
+        for context in self.verbs_contexts:
+            for peer in self.verbs_contexts:
+                if peer is not context:
+                    context.register_peer(peer)
         self.barrier = Barrier(
             self.sim,
             self.config.world_size,
@@ -285,6 +308,7 @@ class DSMRuntime:
                 self.private_memories[rank],
                 barrier=self.barrier,
                 recorder=self.recorder,
+                verbs=self.verbs_contexts[rank],
             )
         return self._apis[rank]
 

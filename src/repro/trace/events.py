@@ -49,11 +49,27 @@ class OperationRecord:
     data_messages: int
     control_messages: int
     raced: bool
+    #: For verbs-posted operations: when the work request was posted (the
+    #: interval ``posted_time..start_time`` is queueing delay, during which
+    #: the posting process was free to compute).  ``None`` for blocking ops.
+    posted_time: Optional[float] = None
 
     @property
     def elapsed(self) -> float:
         """Simulated duration of the operation."""
         return self.end_time - self.start_time
+
+    @property
+    def was_posted(self) -> bool:
+        """True when the operation went through a verbs queue pair."""
+        return self.posted_time is not None
+
+    @property
+    def queued(self) -> float:
+        """Time spent in the send queue before servicing began (0 if blocking)."""
+        if self.posted_time is None:
+            return 0.0
+        return self.start_time - self.posted_time
 
 
 @dataclass
@@ -64,9 +80,12 @@ class TraceSummary:
     accesses: int = 0
     reads: int = 0
     writes: int = 0
+    rmws: int = 0
     operations: int = 0
     puts: int = 0
     gets: int = 0
+    atomics: int = 0
+    posted_operations: int = 0
     local_accesses: int = 0
     cells_touched: int = 0
     races_flagged: int = 0
@@ -80,9 +99,12 @@ class TraceSummary:
             "accesses": self.accesses,
             "reads": self.reads,
             "writes": self.writes,
+            "rmws": self.rmws,
             "operations": self.operations,
             "puts": self.puts,
             "gets": self.gets,
+            "atomics": self.atomics,
+            "posted_operations": self.posted_operations,
             "local_accesses": self.local_accesses,
             "cells_touched": self.cells_touched,
             "races_flagged": self.races_flagged,
@@ -101,9 +123,14 @@ def summarize(
     summary.accesses = len(accesses)
     summary.reads = sum(1 for a in accesses if a.kind is AccessKind.READ)
     summary.writes = sum(1 for a in accesses if a.kind is AccessKind.WRITE)
+    summary.rmws = sum(1 for a in accesses if a.kind is AccessKind.RMW)
     summary.operations = len(operations)
     summary.puts = sum(1 for o in operations if o.operation == "put")
     summary.gets = sum(1 for o in operations if o.operation == "get")
+    summary.atomics = sum(
+        1 for o in operations if o.operation in ("fetch_add", "compare_and_swap")
+    )
+    summary.posted_operations = sum(1 for o in operations if o.was_posted)
     summary.local_accesses = sum(
         1 for a in accesses if a.operation.startswith("local_")
     )

@@ -50,6 +50,7 @@ class TraceRecorder:
         time: float = 0.0,
         symbol: Optional[str] = None,
         operation: str = "",
+        observed: object = None,
     ) -> MemoryAccess:
         """Append one shared-memory access; returns the stored record."""
         access = MemoryAccess(
@@ -61,6 +62,7 @@ class TraceRecorder:
             time=time,
             symbol=symbol,
             operation=operation,
+            observed=observed if self._keep_values else None,
         )
         self._accesses.append(access)
         return access
@@ -77,9 +79,17 @@ class TraceRecorder:
         return event
 
     def record_operation(
-        self, result: RemoteOperationResult, symbol: Optional[str] = None
+        self,
+        result: RemoteOperationResult,
+        symbol: Optional[str] = None,
+        posted_time: Optional[float] = None,
     ) -> OperationRecord:
-        """Append one completed one-sided operation."""
+        """Append one completed one-sided operation.
+
+        *posted_time* is supplied for verbs-posted (asynchronous) operations:
+        the simulated time the work request entered its queue pair, which
+        precedes ``start_time`` (when the NIC began servicing it).
+        """
         record = OperationRecord(
             operation=result.operation,
             origin=result.origin,
@@ -90,6 +100,7 @@ class TraceRecorder:
             data_messages=result.data_messages,
             control_messages=result.control_messages,
             raced=result.raced,
+            posted_time=posted_time,
         )
         self._operations.append(record)
         return record

@@ -85,7 +85,17 @@ class TraceReplayer:
             access = event
             replayed += 1
             cell = cells.setdefault(access.address, MemoryCell())
-            if access.kind is AccessKind.WRITE:
+            if access.kind is AccessKind.RMW:
+                detector.on_rmw(
+                    access.rank,
+                    access.address,
+                    cell,
+                    symbol=access.symbol,
+                    time=access.time,
+                    operation=access.operation or "fetch_add",
+                )
+                cell.value = access.value
+            elif access.kind is AccessKind.WRITE:
                 detector.on_write(
                     access.rank,
                     access.address,

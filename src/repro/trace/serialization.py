@@ -38,6 +38,7 @@ def access_to_dict(access: MemoryAccess) -> Dict[str, object]:
         "time": access.time,
         "symbol": access.symbol,
         "operation": access.operation,
+        "observed": _safe_value(access.observed),
     }
 
 
@@ -53,6 +54,7 @@ def access_from_dict(data: Dict[str, object]) -> MemoryAccess:
         time=float(data.get("time", 0.0)),
         symbol=data.get("symbol"),
         operation=str(data.get("operation", "")),
+        observed=data.get("observed"),
     )
 
 
@@ -68,6 +70,7 @@ def operation_to_dict(record: OperationRecord) -> Dict[str, object]:
         "data_messages": record.data_messages,
         "control_messages": record.control_messages,
         "raced": record.raced,
+        "posted_time": record.posted_time,
     }
 
 
@@ -84,6 +87,9 @@ def operation_from_dict(data: Dict[str, object]) -> OperationRecord:
         data_messages=int(data["data_messages"]),
         control_messages=int(data["control_messages"]),
         raced=bool(data["raced"]),
+        posted_time=(
+            float(data["posted_time"]) if data.get("posted_time") is not None else None
+        ),
     )
 
 

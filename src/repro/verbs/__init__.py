@@ -1,0 +1,47 @@
+"""The asynchronous one-sided (verbs) subsystem.
+
+The seed model exposes *blocking* one-sided operations: ``yield from
+api.put(...)`` suspends the program for the whole network round trip, so no
+communication/computation overlap — the defining capability of the RDMA
+hardware the paper targets — can be expressed.  This package models the
+verbs programming surface on top of the same simulated fabric:
+
+* :mod:`repro.verbs.memory_registration` — registered memory regions and the
+  rkeys remote initiators must present;
+* :mod:`repro.verbs.work` — work requests and work completions;
+* :mod:`repro.verbs.queue_pair` — per rank-pair send queues with in-order,
+  asynchronous execution;
+* :mod:`repro.verbs.completion_queue` — where completions are polled or
+  awaited;
+* :mod:`repro.verbs.context` — the per-rank root object tying it together.
+
+Every serviced request goes through the existing NIC generators, so the
+per-cell locks, the latency models, the race detector (including the RMW
+rules for the one-sided atomics) and the tracer all observe verbs traffic
+exactly as they observe blocking traffic.
+"""
+
+from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
+from repro.verbs.context import VerbsContext
+from repro.verbs.memory_registration import (
+    MemoryRegistry,
+    RegisteredMemoryRegion,
+    RemoteAccessError,
+)
+from repro.verbs.queue_pair import QueuePair, SendQueueFull
+from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion, WorkRequest
+
+__all__ = [
+    "CompletionQueue",
+    "CompletionQueueOverflow",
+    "CompletionStatus",
+    "MemoryRegistry",
+    "Opcode",
+    "QueuePair",
+    "RegisteredMemoryRegion",
+    "RemoteAccessError",
+    "SendQueueFull",
+    "VerbsContext",
+    "WorkCompletion",
+    "WorkRequest",
+]

@@ -1,0 +1,109 @@
+"""Completion queues.
+
+A :class:`CompletionQueue` is where the NIC parks :class:`WorkCompletion`
+records for the initiating process to retire.  Retirement is either
+*polling* (:meth:`CompletionQueue.poll`, non-blocking, the busy-wait idiom of
+latency-sensitive RDMA programs) or *waiting* (:meth:`CompletionQueue.wait`,
+a generator the simulated process yields from, the blocking ``ibv_get_cq_event``
+idiom).  A bounded CQ overflows when completions arrive faster than the
+application retires them — a real verbs failure mode, reproduced here so
+workloads must size their queues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.events import Event
+from repro.verbs.work import WorkCompletion
+
+
+class CompletionQueueOverflow(RuntimeError):
+    """Raised when a completion arrives at a full bounded completion queue."""
+
+
+class CompletionQueue:
+    """A FIFO of work completions integrated with the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        capacity: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError(f"capacity must be positive or None, got {capacity}")
+        self._sim = sim
+        self._capacity = capacity
+        self.name = name or "cq"
+        self._ready: List[WorkCompletion] = []
+        self._armed: List[Event] = []
+        self._total_pushed = 0
+
+    # -- producer side (queue pairs) -----------------------------------------------
+
+    def push(self, completion: WorkCompletion) -> None:
+        """Deliver one completion; wakes at most one waiter per completion."""
+        if self._capacity is not None and len(self._ready) >= self._capacity:
+            raise CompletionQueueOverflow(
+                f"{self.name}: {len(self._ready)} unretired completions "
+                f"(capacity {self._capacity}); poll or wait more often"
+            )
+        self._ready.append(completion)
+        self._total_pushed += 1
+        if self._armed:
+            self._armed.pop(0).succeed(completion)
+
+    # -- consumer side --------------------------------------------------------------
+
+    def poll(self, max_entries: Optional[int] = None) -> List[WorkCompletion]:
+        """Retire up to *max_entries* available completions without blocking."""
+        if max_entries is None or max_entries >= len(self._ready):
+            out, self._ready = self._ready, []
+            return out
+        out = self._ready[:max_entries]
+        del self._ready[:max_entries]
+        return out
+
+    def wait(self, count: int = 1):
+        """Generator: block the calling process until *count* completions retire.
+
+        Returns the list of retired completions, in delivery order.  Multiple
+        processes may wait on one CQ; each delivered completion wakes exactly
+        one of them.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be positive, got {count}")
+        retired: List[WorkCompletion] = []
+        while len(retired) < count:
+            if self._ready:
+                retired.append(self._ready.pop(0))
+                continue
+            gate = self._sim.event(name=f"{self.name}:wait")
+            self._armed.append(gate)
+            yield gate
+        return retired
+
+    # -- inspection ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> Optional[int]:
+        """Maximum number of unretired completions (``None`` = unbounded)."""
+        return self._capacity
+
+    @property
+    def depth(self) -> int:
+        """Completions currently available to retire."""
+        return len(self._ready)
+
+    @property
+    def total_pushed(self) -> int:
+        """Completions ever delivered to this queue."""
+        return self._total_pushed
+
+    def __len__(self) -> int:
+        return len(self._ready)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompletionQueue {self.name} depth={self.depth}>"

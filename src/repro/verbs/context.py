@@ -1,0 +1,257 @@
+"""Per-rank verbs context: registration, queue pairs and completion handling.
+
+:class:`VerbsContext` is the per-rank root object of the verbs layer — the
+analogue of an ``ibv_context`` plus its protection domain.  It owns the
+rank's :class:`~repro.verbs.memory_registration.MemoryRegistry`, creates one
+:class:`~repro.verbs.queue_pair.QueuePair` per peer on demand (all feeding a
+single default completion queue), and offers the bookkeeping the runtime API
+builds on: post helpers for every opcode, and ``wait``/``wait_all``
+generators that retire completions and match them back to work requests.
+
+The context helpers consume the default completion queue; programs that poll
+the CQ directly should not mix the two styles on the same context.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.memory.address import GlobalAddress
+from repro.net.nic import NIC
+from repro.sim.engine import Simulator
+from repro.util.ids import IdAllocator
+from repro.verbs.completion_queue import CompletionQueue
+from repro.verbs.memory_registration import (
+    MemoryRegistry,
+    RegisteredMemoryRegion,
+    RemoteAccessError,
+)
+from repro.verbs.queue_pair import QueuePair
+from repro.verbs.work import Opcode, WorkCompletion, WorkRequest
+
+
+class VerbsContext:
+    """One rank's handle on the asynchronous one-sided subsystem."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nic: NIC,
+        cq_capacity: Optional[int] = None,
+        max_send_wr: int = 128,
+    ) -> None:
+        self.sim = sim
+        self.nic = nic
+        self.rank = nic.rank
+        self.max_send_wr = max_send_wr
+        self.registry = MemoryRegistry(self.rank)
+        self.cq = CompletionQueue(sim, capacity=cq_capacity, name=f"cq-P{self.rank}")
+        self._wr_ids = IdAllocator(f"wr-P{self.rank}")
+        self._queue_pairs: Dict[int, QueuePair] = {}
+        self._peers: Dict[int, "VerbsContext"] = {self.rank: self}
+        #: Posted-but-unretired requests, by wr_id.
+        self._outstanding: Dict[int, WorkRequest] = {}
+        #: Retired-but-unclaimed completions, by wr_id.
+        self._retired: Dict[int, WorkCompletion] = {}
+
+    # -- wiring -------------------------------------------------------------------
+
+    def register_peer(self, context: "VerbsContext") -> None:
+        """Make another rank's context reachable (for rkey validation)."""
+        self._peers[context.rank] = context
+
+    def peer_context(self, rank: int) -> "VerbsContext":
+        """The context of *rank* (``KeyError`` if not registered)."""
+        return self._peers[rank]
+
+    def queue_pair(self, peer: int) -> QueuePair:
+        """Return (creating lazily) the queue pair to *peer*."""
+        if peer not in self._queue_pairs:
+            if peer != self.rank and peer not in self._peers:
+                raise KeyError(f"rank {peer} has no registered verbs context")
+            self._queue_pairs[peer] = QueuePair(
+                self, peer, max_send_wr=self.max_send_wr
+            )
+        return self._queue_pairs[peer]
+
+    # -- memory registration ---------------------------------------------------------
+
+    def register_memory(self, region) -> RegisteredMemoryRegion:
+        """Register one of this rank's memory regions for remote access."""
+        return self.registry.register(region, registered_at=self.sim.now)
+
+    def ensure_registered(self, address: GlobalAddress) -> int:
+        """Return the rkey covering this rank's *address*, registering lazily.
+
+        Models the runtime registering every shared symbol's region with the
+        NIC the first time it is remotely addressed.  Raises
+        :class:`RemoteAccessError` when no region covers the address.
+        """
+        if address.rank != self.rank:
+            raise ValueError(
+                f"context of rank {self.rank} asked to register {address}"
+            )
+        rkey = self.registry.rkey_covering(address)
+        if rkey is not None:
+            return rkey
+        region = self.nic.memory.region_containing(address)
+        if region is None:
+            raise RemoteAccessError(
+                f"no registered memory region covers {address} on rank {self.rank}"
+            )
+        return self.register_memory(region).rkey
+
+    def remote_key(self, address: GlobalAddress) -> int:
+        """The rkey for *address*, obtained from its owner (out-of-band exchange)."""
+        return self.peer_context(address.rank).ensure_registered(address)
+
+    # -- posting ----------------------------------------------------------------------
+
+    def _post(
+        self,
+        opcode: Opcode,
+        target: GlobalAddress,
+        rkey: Optional[int],
+        value: Any = None,
+        compare: Any = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        if rkey is None:
+            rkey = self.remote_key(target)
+        request = WorkRequest(
+            wr_id=self._wr_ids.next_int(),
+            opcode=opcode,
+            target=target,
+            rkey=rkey,
+            value=value,
+            compare=compare,
+            symbol=symbol,
+        )
+        # Register only after the queue pair accepted the request: a
+        # SendQueueFull must not leave a phantom entry that wait_all() would
+        # block on forever.  (Posting cannot complete synchronously — the
+        # drain process only runs once the simulator resumes — so there is
+        # no window where a completion could arrive unregistered.)
+        self.queue_pair(target.rank).post(request)
+        self._outstanding[request.wr_id] = request
+        return request
+
+    def post_put(
+        self,
+        target: GlobalAddress,
+        value: Any,
+        rkey: Optional[int] = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post a one-sided write; returns immediately."""
+        return self._post(Opcode.PUT, target, rkey, value=value, symbol=symbol)
+
+    def post_get(
+        self,
+        target: GlobalAddress,
+        rkey: Optional[int] = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post a one-sided read; the completion carries the value."""
+        return self._post(Opcode.GET, target, rkey, symbol=symbol)
+
+    def post_fetch_add(
+        self,
+        target: GlobalAddress,
+        amount: Any = 1,
+        rkey: Optional[int] = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post an atomic fetch-and-add; the completion carries the old value."""
+        return self._post(Opcode.FETCH_ADD, target, rkey, value=amount, symbol=symbol)
+
+    def post_compare_and_swap(
+        self,
+        target: GlobalAddress,
+        expected: Any,
+        desired: Any,
+        rkey: Optional[int] = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post an atomic compare-and-swap; the completion carries the old value."""
+        return self._post(
+            Opcode.COMPARE_AND_SWAP, target, rkey,
+            value=desired, compare=expected, symbol=symbol,
+        )
+
+    # -- completion handling -----------------------------------------------------------
+
+    def deliver(self, completion: WorkCompletion) -> None:
+        """Called by a queue pair when a request finishes (CQ delivery)."""
+        self.cq.push(completion)
+
+    def _file(self, completions: Iterable[WorkCompletion]) -> None:
+        for completion in completions:
+            self._outstanding.pop(completion.wr_id, None)
+            self._retired[completion.wr_id] = completion
+
+    def poll(self) -> List[WorkCompletion]:
+        """Retire whatever is ready, without blocking; claims the completions."""
+        self._file(self.cq.poll())
+        out = [self._retired[key] for key in sorted(self._retired)]
+        self._retired.clear()
+        return out
+
+    def completion_of(self, request: WorkRequest) -> Optional[WorkCompletion]:
+        """The retired completion of *request*, or ``None`` if still in flight."""
+        self._file(self.cq.poll())
+        return self._retired.get(request.wr_id)
+
+    @property
+    def outstanding_count(self) -> int:
+        """Requests posted but not yet retired by this context's helpers."""
+        self._file(self.cq.poll())
+        return len(self._outstanding)
+
+    def wait(self, requests: Iterable[WorkRequest]):
+        """Generator: block until every request in *requests* has completed.
+
+        Returns the completions in the order of *requests* and claims them.
+        Waiting on a request whose completion was already claimed (or that
+        was never posted through this context) raises immediately — the
+        completion can never arrive, so blocking would strand the process.
+        """
+        wanted = list(requests)
+        self._file(self.cq.poll())
+        for request in wanted:
+            if (
+                request.wr_id not in self._retired
+                and request.wr_id not in self._outstanding
+            ):
+                raise ValueError(
+                    f"work request {request.wr_id} is not outstanding on rank "
+                    f"{self.rank}: its completion was already claimed, or it "
+                    f"was posted through a different context"
+                )
+        while any(request.wr_id not in self._retired for request in wanted):
+            ready = yield from self.cq.wait(1)
+            self._file(ready)
+        claimed: Dict[int, WorkCompletion] = {}
+        for request in wanted:
+            if request.wr_id not in claimed:
+                claimed[request.wr_id] = self._retired.pop(request.wr_id)
+        return [claimed[request.wr_id] for request in wanted]
+
+    def wait_all(self):
+        """Generator: block until every outstanding request has completed.
+
+        Returns all unclaimed completions in posting (wr_id) order.
+        """
+        self._file(self.cq.poll())
+        while self._outstanding:
+            ready = yield from self.cq.wait(1)
+            self._file(ready)
+        out = [self._retired[key] for key in sorted(self._retired)]
+        self._retired.clear()
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VerbsContext P{self.rank} qps={len(self._queue_pairs)} "
+            f"outstanding={len(self._outstanding)}>"
+        )

@@ -1,0 +1,142 @@
+"""Memory registration and remote keys.
+
+An RDMA NIC only services one-sided operations against memory that its owner
+has explicitly *registered*; the registration hands back an opaque **rkey**
+that the owner communicates out of band and remote initiators must present
+with every request.  The seed model's :class:`~repro.memory.region.MemoryRegion`
+captures the *placement* of registered memory; this module adds the
+*capability* side: per-rank rkey allocation, lookup and validation, so a work
+request carrying a stale or forged rkey fails with a remote-access error
+instead of silently touching memory — exactly the verbs protection model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.memory.address import GlobalAddress
+from repro.memory.region import MemoryRegion
+from repro.util.validation import require_type
+
+
+class RemoteAccessError(RuntimeError):
+    """An rkey failed validation at the target NIC."""
+
+
+@dataclass(frozen=True)
+class RegisteredMemoryRegion:
+    """One registration: a region plus the rkey that grants remote access."""
+
+    rkey: int
+    region: MemoryRegion
+    registered_at: float = 0.0
+
+    @property
+    def name(self) -> str:
+        """Symbolic name of the underlying region."""
+        return self.region.name
+
+    @property
+    def owner(self) -> int:
+        """Rank whose public memory holds the region."""
+        return self.region.owner
+
+    def covers(self, address: GlobalAddress) -> bool:
+        """True when *address* falls inside the registered window."""
+        return self.region.contains(address)
+
+    def __str__(self) -> str:
+        return f"mr({self.region}, rkey=0x{self.rkey:x})"
+
+
+class MemoryRegistry:
+    """The rkey table one rank's NIC consults when servicing remote requests."""
+
+    #: Rank ``r`` allocates rkeys in ``[(r+1) << 20, (r+2) << 20)`` so keys are
+    #: globally unique and a key presented to the wrong rank never validates.
+    _RANK_STRIDE = 1 << 20
+
+    def __init__(self, rank: int) -> None:
+        require_type(rank, int, "rank")
+        if rank < 0:
+            raise ValueError(f"rank must be non-negative, got {rank}")
+        self._rank = rank
+        self._next = (rank + 1) * self._RANK_STRIDE
+        self._by_rkey: Dict[int, RegisteredMemoryRegion] = {}
+        self._by_region_name: Dict[str, RegisteredMemoryRegion] = {}
+
+    @property
+    def rank(self) -> int:
+        """Rank whose memory this registry protects."""
+        return self._rank
+
+    def register(
+        self, region: MemoryRegion, registered_at: float = 0.0
+    ) -> RegisteredMemoryRegion:
+        """Register *region* and allocate its rkey (idempotent per region name)."""
+        require_type(region, MemoryRegion, "region")
+        if region.owner != self._rank:
+            raise ValueError(
+                f"registry of rank {self._rank} cannot register region "
+                f"owned by rank {region.owner}"
+            )
+        existing = self._by_region_name.get(region.name)
+        if existing is not None:
+            return existing
+        registration = RegisteredMemoryRegion(
+            rkey=self._next, region=region, registered_at=registered_at
+        )
+        self._next += 1
+        self._by_rkey[registration.rkey] = registration
+        self._by_region_name[region.name] = registration
+        return registration
+
+    def deregister(self, rkey: int) -> None:
+        """Invalidate *rkey*; later requests presenting it fail validation."""
+        registration = self._by_rkey.pop(rkey, None)
+        if registration is None:
+            raise KeyError(f"rkey 0x{rkey:x} is not registered on rank {self._rank}")
+        del self._by_region_name[registration.name]
+
+    def lookup(self, rkey: int) -> Optional[RegisteredMemoryRegion]:
+        """The registration behind *rkey*, or ``None``."""
+        return self._by_rkey.get(rkey)
+
+    def rkey_covering(self, address: GlobalAddress) -> Optional[int]:
+        """The rkey of the registration containing *address*, or ``None``."""
+        for registration in self._by_rkey.values():
+            if registration.covers(address):
+                return registration.rkey
+        return None
+
+    def validate(self, rkey: Optional[int], address: GlobalAddress) -> RegisteredMemoryRegion:
+        """Check that *rkey* grants access to *address*.
+
+        Returns the registration on success; raises :class:`RemoteAccessError`
+        when the key is unknown, revoked, or does not cover the address.
+        """
+        if rkey is None:
+            raise RemoteAccessError(
+                f"request for {address} carries no rkey (memory not registered?)"
+            )
+        registration = self._by_rkey.get(rkey)
+        if registration is None:
+            raise RemoteAccessError(
+                f"rkey 0x{rkey:x} is not registered on rank {self._rank}"
+            )
+        if not registration.covers(address):
+            raise RemoteAccessError(
+                f"rkey 0x{rkey:x} covers {registration.region}, not {address}"
+            )
+        return registration
+
+    def registrations(self) -> Iterator[RegisteredMemoryRegion]:
+        """Iterate over live registrations in registration order."""
+        return iter(self._by_rkey.values())
+
+    def __len__(self) -> int:
+        return len(self._by_rkey)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MemoryRegistry P{self._rank} regions={len(self._by_rkey)}>"

@@ -1,0 +1,178 @@
+"""Queue pairs: asynchronous, in-order execution of work requests.
+
+A :class:`QueuePair` connects one initiator rank to one peer rank (the
+reliable-connected service of the verbs model).  Posting a work request is
+immediate — the posting process keeps running — while a NIC-side drain
+process executes the queued requests *in order* against the existing
+simulated fabric (locks, latency, detection, tracing all apply unchanged)
+and delivers a completion to the associated completion queue after each one.
+
+Two properties matter for the workloads built on top:
+
+* requests on **one** queue pair never reorder (RC ordering), so a put
+  followed by an atomic to the same peer takes effect in program order;
+* requests on **different** queue pairs proceed concurrently, which is where
+  the communication/computation overlap comes from.
+
+Known detection limitation: a serviced request ticks the *origin process's*
+clock (the drain process acts on the origin's behalf, exactly as the NIC DMA
+engine does in the paper's model), so a posted-but-unwaited operation and a
+later access by the same rank to the same cell are always clock-ordered —
+the detector cannot flag the "forgot to wait before reusing the data" bug,
+which is a *same-origin* race the paper's per-process clock identity cannot
+express.  Cross-rank races through posted operations are detected normally.
+See the ROADMAP open item on NIC-engine clock identities.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Generator, Optional
+
+from repro.util.validation import require_positive
+from repro.verbs.memory_registration import RemoteAccessError
+from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion, WorkRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.context import VerbsContext
+
+
+class SendQueueFull(RuntimeError):
+    """Raised when posting to a queue pair whose send queue is at capacity."""
+
+
+class QueuePair:
+    """One rank-pair's send queue plus the NIC process that drains it."""
+
+    def __init__(
+        self,
+        context: "VerbsContext",
+        peer: int,
+        max_send_wr: int = 128,
+    ) -> None:
+        require_positive(max_send_wr, "max_send_wr")
+        self._context = context
+        self._sim = context.sim
+        self.origin = context.rank
+        self.peer = peer
+        self.max_send_wr = max_send_wr
+        self._pending: Deque[WorkRequest] = deque()
+        self._in_service: Optional[WorkRequest] = None
+        self._draining = False
+        self.posted = 0
+        self.completed = 0
+
+    # -- posting -----------------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        """Requests posted but not yet completed on this queue pair."""
+        return self.posted - self.completed
+
+    def post(self, request: WorkRequest) -> WorkRequest:
+        """Enqueue *request* and return immediately.
+
+        Raises :class:`SendQueueFull` when ``max_send_wr`` requests are
+        already outstanding — the initiator must retire completions before
+        posting more, exactly as with a real send queue.
+        """
+        if request.target.rank != self.peer:
+            raise ValueError(
+                f"queue pair P{self.origin}->P{self.peer} given request "
+                f"targeting rank {request.target.rank}"
+            )
+        if self.outstanding >= self.max_send_wr:
+            raise SendQueueFull(
+                f"queue pair P{self.origin}->P{self.peer}: "
+                f"{self.outstanding} outstanding requests (max {self.max_send_wr})"
+            )
+        request.posted_at = self._sim.now
+        self.posted += 1
+        self._pending.append(request)
+        if not self._draining:
+            self._draining = True
+            self._sim.process(
+                self._drain(), name=f"qp-P{self.origin}->P{self.peer}"
+            )
+        return request
+
+    # -- NIC-side servicing ---------------------------------------------------------
+
+    def _drain(self) -> Generator:
+        """Service queued requests one at a time, in posting order."""
+        while self._pending:
+            request = self._pending.popleft()
+            self._in_service = request
+            completion = yield from self._execute(request)
+            self._in_service = None
+            self.completed += 1
+            self._context.deliver(completion)
+        self._draining = False
+
+    def _execute(self, request: WorkRequest) -> Generator:
+        """Run one work request through the NIC; returns its completion."""
+        target_registry = self._context.peer_context(request.target.rank).registry
+        try:
+            target_registry.validate(request.rkey, request.target)
+        except RemoteAccessError as error:
+            # Protection fault: no memory is touched, the initiator learns
+            # through the completion status (verbs semantics).
+            return WorkCompletion(
+                wr_id=request.wr_id,
+                opcode=request.opcode,
+                status=CompletionStatus.REMOTE_ACCESS_ERROR,
+                origin=self.origin,
+                peer=self.peer,
+                posted_at=request.posted_at,
+                completed_at=self._sim.now,
+                detail=str(error),
+            )
+
+        nic = self._context.nic
+        local = request.target.rank == nic.rank
+        if request.opcode is Opcode.PUT:
+            if local:
+                result = yield from nic.local_write(
+                    request.target, request.value, symbol=request.symbol
+                )
+            else:
+                result = yield from nic.rdma_put(
+                    request.value, request.target, symbol=request.symbol
+                )
+        elif request.opcode is Opcode.GET:
+            if local:
+                result = yield from nic.local_read(request.target, symbol=request.symbol)
+            else:
+                result = yield from nic.rdma_get(request.target, symbol=request.symbol)
+        elif request.opcode is Opcode.FETCH_ADD:
+            result = yield from nic.fetch_add(
+                request.target, request.value, symbol=request.symbol
+            )
+        elif request.opcode is Opcode.COMPARE_AND_SWAP:
+            result = yield from nic.compare_and_swap(
+                request.target, request.compare, request.value, symbol=request.symbol
+            )
+        else:  # pragma: no cover - exhaustive over Opcode
+            raise ValueError(f"unknown opcode {request.opcode!r}")
+
+        if nic.recorder is not None:
+            nic.recorder.record_operation(
+                result, symbol=request.symbol, posted_time=request.posted_at
+            )
+        return WorkCompletion(
+            wr_id=request.wr_id,
+            opcode=request.opcode,
+            status=CompletionStatus.SUCCESS,
+            origin=self.origin,
+            peer=self.peer,
+            value=None if request.opcode is Opcode.PUT else result.value,
+            result=result,
+            posted_at=request.posted_at,
+            completed_at=self._sim.now,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<QueuePair P{self.origin}->P{self.peer} "
+            f"outstanding={self.outstanding}>"
+        )

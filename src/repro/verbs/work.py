@@ -1,0 +1,128 @@
+"""Work requests and work completions — the currency of the verbs layer.
+
+The verbs programming surface (after InfiniBand ``ibv_post_send`` /
+``ibv_poll_cq``) splits every one-sided operation in two: the initiator
+*posts* a :class:`WorkRequest` describing the operation and immediately
+regains control, and later *retires* a :class:`WorkCompletion` from a
+completion queue once the target NIC has serviced it.  The interval between
+the two is exactly the communication/computation overlap the paper's
+one-sided model promises but the blocking ``put``/``get`` API cannot express.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.memory.address import GlobalAddress
+from repro.net.nic import RemoteOperationResult
+
+
+class Opcode(enum.Enum):
+    """Operation carried by a work request (``IBV_WR_*`` analogues)."""
+
+    PUT = "put"                            # RDMA write
+    GET = "get"                            # RDMA read
+    FETCH_ADD = "fetch_add"                # atomic fetch-and-add
+    COMPARE_AND_SWAP = "compare_and_swap"  # atomic compare-and-swap
+
+    @property
+    def returns_value(self) -> bool:
+        """True when the completion carries a value back to the initiator."""
+        return self is not Opcode.PUT
+
+    @property
+    def is_atomic(self) -> bool:
+        """True for the read-modify-write opcodes."""
+        return self in (Opcode.FETCH_ADD, Opcode.COMPARE_AND_SWAP)
+
+
+class CompletionStatus(enum.Enum):
+    """Outcome of one work request (``IBV_WC_*`` analogues)."""
+
+    SUCCESS = "success"
+    #: The supplied rkey does not grant access to the target address — the
+    #: verbs equivalent of a protection fault, reported through the
+    #: completion rather than raised at the post site.
+    REMOTE_ACCESS_ERROR = "remote-access-error"
+
+
+@dataclass
+class WorkRequest:
+    """One posted, not-yet-completed one-sided operation.
+
+    Attributes
+    ----------
+    wr_id:
+        Initiator-unique identifier; completions carry it back so callers can
+        match them to requests (the verbs contract).
+    opcode:
+        What to do at the target.
+    target:
+        Global address the operation acts on.
+    rkey:
+        Remote key naming the registered region that covers *target*; checked
+        at the target before the memory is touched.
+    value:
+        Put: the value to deposit.  Fetch-add: the addend.  CAS: the value to
+        swap in.  Unused for get.
+    compare:
+        CAS only: the expected current value.
+    symbol:
+        Symbolic name of the shared variable, for traces and race reports.
+    posted_at:
+        Simulated time the request entered its queue pair.
+    """
+
+    wr_id: int
+    opcode: Opcode
+    target: GlobalAddress
+    rkey: Optional[int]
+    value: Any = None
+    compare: Any = None
+    symbol: Optional[str] = None
+    posted_at: float = 0.0
+
+    def __str__(self) -> str:
+        return f"wr#{self.wr_id} {self.opcode.value}->{self.target}"
+
+
+@dataclass
+class WorkCompletion:
+    """The retired form of one work request.
+
+    ``value`` is what the operation returned to the initiator: the value read
+    (get), the prior value of the cell (atomics), or ``None`` (put).
+    ``result`` is the underlying NIC-level operation record when the request
+    was actually serviced (``None`` for requests failed before servicing).
+    """
+
+    wr_id: int
+    opcode: Opcode
+    status: CompletionStatus
+    origin: int
+    peer: int
+    value: Any = None
+    result: Optional[RemoteOperationResult] = None
+    posted_at: float = 0.0
+    completed_at: float = 0.0
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        """True when the operation completed successfully."""
+        return self.status is CompletionStatus.SUCCESS
+
+    @property
+    def elapsed(self) -> float:
+        """Simulated time from posting to completion (queueing + servicing)."""
+        return self.completed_at - self.posted_at
+
+    @property
+    def raced(self) -> bool:
+        """True when the detector flagged the serviced access."""
+        return self.result is not None and self.result.raced
+
+    def __str__(self) -> str:
+        return f"wc#{self.wr_id} {self.opcode.value} {self.status.value}"

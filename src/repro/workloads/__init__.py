@@ -11,6 +11,13 @@ these generators rather than hand-rolling programs:
   uses as its example of an *intentional* race (Section IV-D);
 * :mod:`repro.workloads.stencil` — 1-D halo exchange, with and without the
   barriers that make it race-free;
+* :mod:`repro.workloads.verbs_stencil` — the same stencil with *overlapped*
+  halo exchange through the asynchronous verbs layer (posted puts, interior
+  compute hiding the communication);
+* :mod:`repro.workloads.atomic_counter` — a lock-free shared counter over
+  one-sided ``fetch_add``, with a lossy get-then-put mode for contrast;
+* :mod:`repro.workloads.work_stealing` — decentralized task shards popped
+  with ``fetch_add`` and stolen with ``compare_and_swap``;
 * :mod:`repro.workloads.reduction` — the one-sided, non-collective reduction
   of the paper's future work (Section V-B);
 * :mod:`repro.workloads.producer_consumer` — an unsynchronized flag/buffer
@@ -31,6 +38,9 @@ from repro.workloads.figures import (
 from repro.workloads.random_access import RandomAccessWorkload
 from repro.workloads.master_worker import MasterWorkerWorkload
 from repro.workloads.stencil import StencilWorkload
+from repro.workloads.verbs_stencil import VerbsStencilWorkload
+from repro.workloads.atomic_counter import LockFreeCounterWorkload
+from repro.workloads.work_stealing import AtomicWorkStealingWorkload
 from repro.workloads.reduction import OneSidedReductionWorkload
 from repro.workloads.producer_consumer import ProducerConsumerWorkload
 from repro.workloads.racy_patterns import LabelledPattern, pattern_corpus
@@ -47,6 +57,9 @@ __all__ = [
     "RandomAccessWorkload",
     "MasterWorkerWorkload",
     "StencilWorkload",
+    "VerbsStencilWorkload",
+    "LockFreeCounterWorkload",
+    "AtomicWorkStealingWorkload",
     "OneSidedReductionWorkload",
     "ProducerConsumerWorkload",
     "LabelledPattern",

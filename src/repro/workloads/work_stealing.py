@@ -1,0 +1,144 @@
+"""Atomic work stealing: decentralized master/worker on one-sided atomics.
+
+The paper's master/worker pattern (Section IV-D) coordinates through a racy
+get-then-put ticket, so two workers can grab the same task.  This workload is
+the modern lock-free counterpart: every rank owns a shard of tasks behind a
+shared per-rank ``head<r>`` counter, pops its own tasks with ``fetch_add``
+and, once its shard is exhausted, *steals* from the others by
+``compare_and_swap`` on the victim's head — the claim either succeeds
+exclusively or observably fails, so **every task executes exactly once** on
+every interleaving.  Each task's result goes to a distinct cell of a shared
+``results`` array and is a pure function of the task id, so the final results
+(and the ``done`` completion counter) are identical across seeds even though
+*which rank* ran each task varies freely with timing.
+
+``imbalance`` skews the per-rank task cost so fast ranks drain their shard
+first and genuinely steal.  The coordination cells carry causally unordered
+accesses flagged by the default detector — the lock-free analogue of the
+paper's "signal but do not abort" benign-race story — while the
+deterministic ``results`` stay clean.  Under
+``treat_rmw_pairs_as_ordered`` the pure-RMW traffic on ``done`` goes
+silent, but the ``head<r>`` cells stay flagged: thieves *scan* victims'
+heads with plain ``get`` before attempting the CAS, and an RMW unordered
+with a plain read is a race under either knob setting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.memory.directory import PlacementPolicy
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.workloads.base import WorkloadScenario
+from repro.util.validation import require_positive
+
+
+def task_value(task_id: int) -> int:
+    """The result of one task: depends only on the task, never on the executor."""
+    return 3 * task_id + 1
+
+
+class AtomicWorkStealingWorkload(WorkloadScenario):
+    """Per-rank task shards with fetch_add self-scheduling and CAS stealing."""
+
+    name = "atomic-work-stealing"
+    expected_racy = True
+
+    def __init__(
+        self,
+        world_size: int = 4,
+        tasks_per_rank: int = 3,
+        task_cost: float = 1.0,
+        imbalance: float = 1.0,
+        config: Optional[RuntimeConfig] = None,
+    ) -> None:
+        super().__init__(config)
+        require_positive(world_size, "world_size")
+        require_positive(tasks_per_rank, "tasks_per_rank")
+        if imbalance < 0:
+            raise ValueError(f"imbalance must be non-negative, got {imbalance}")
+        self.world_size = world_size
+        self.tasks_per_rank = tasks_per_rank
+        self.task_cost = task_cost
+        self.imbalance = imbalance
+        self.expected_racy_symbols = {f"head{r}" for r in range(world_size)} | {"done"}
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of tasks across all shards."""
+        return self.world_size * self.tasks_per_rank
+
+    def build(self, seed: int = 0) -> DSMRuntime:
+        """Shard ``r`` is tasks ``r*tasks_per_rank ..< (r+1)*tasks_per_rank``."""
+        runtime = DSMRuntime(
+            self._config_for_seed(
+                seed,
+                world_size=self.world_size,
+                latency="uniform",
+                public_memory_cells=max(256, self.total_tasks + 16),
+            )
+        )
+        for rank in range(self.world_size):
+            runtime.declare_scalar(f"head{rank}", owner=rank, initial=0)
+        runtime.declare_scalar("done", owner=0, initial=0)
+        runtime.declare_array(
+            "results", self.total_tasks, policy=PlacementPolicy.BLOCK, initial=None
+        )
+        workload = self
+
+        def program(api):
+            rank = api.rank
+            n = workload.world_size
+            shard = workload.tasks_per_rank
+            # Owning rank r's tasks cost more the higher r is: low ranks
+            # finish early and must steal to keep the run balanced.
+            my_cost = workload.task_cost * (1.0 + workload.imbalance * rank)
+            executed = []
+
+            def run_task(owner, slot):
+                task_id = owner * shard + slot
+                yield from api.compute(my_cost)
+                yield from api.put("results", task_value(task_id), index=task_id)
+                yield from api.fetch_add("done", 1)
+                executed.append(task_id)
+
+            own_exhausted = False
+            # Generous safety bound; the loop exits as soon as a full scan
+            # finds every shard drained.
+            for _attempt in range(4 * workload.total_tasks + 4 * n + 8):
+                claimed = False
+                if not own_exhausted:
+                    slot = yield from api.fetch_add(f"head{rank}", 1)
+                    if slot < shard:
+                        yield from run_task(rank, slot)
+                        claimed = True
+                    else:
+                        own_exhausted = True
+                if claimed:
+                    continue
+                victims_drained = True
+                for offset in range(1, n):
+                    victim = (rank + offset) % n
+                    head = (yield from api.get(f"head{victim}")) or 0
+                    if head >= shard:
+                        continue
+                    victims_drained = False
+                    # Claim exactly task `head` of the victim's shard; a lost
+                    # CAS means someone else claimed it first — observably.
+                    prior = yield from api.compare_and_swap(
+                        f"head{victim}", head, head + 1
+                    )
+                    if prior == head:
+                        yield from run_task(victim, head)
+                        claimed = True
+                        break
+                if not claimed and own_exhausted and victims_drained:
+                    break
+            yield from api.barrier()
+            if rank == 0:
+                done = yield from api.get("done")
+                api.private.write("done_seen", done)
+            api.private.write("executed", executed)
+
+        runtime.set_spmd_program(program)
+        return runtime

@@ -1,0 +1,175 @@
+"""End-to-end checks of the verbs subsystem against the ground-truth oracle.
+
+The acceptance bar for the atomics: on programs with *injected* RMW races —
+plain accesses causally unordered with one-sided atomics on the same cell,
+whose outcome genuinely varies across interleavings — the dual-clock
+detector must reach recall 1.0 (no false negatives): every address the
+execution-varying oracle labels racy is flagged in every execution.
+"""
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.detectors.ground_truth import SeedVaryingOracle
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+
+def idle(api):
+    yield from api.compute(0.0)
+
+
+def _race_flagged_addresses(runtime):
+    return {record.address for record in runtime.report.records()}
+
+
+def make_put_vs_fetch_add(detector_config):
+    """Rank 0 puts 100 into x while rank 2 atomically increments it.
+
+    Final value is 100 or 101 depending on arrival order: an observable race
+    between a plain write and an RMW.
+    """
+
+    def factory(seed):
+        runtime = DSMRuntime(
+            RuntimeConfig(world_size=3, seed=seed, latency="uniform",
+                          detector=detector_config)
+        )
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def writer(api):
+            yield from api.put("x", 100)
+
+        def bumper(api):
+            yield from api.fetch_add("x", 1)
+
+        runtime.set_program(0, writer)
+        runtime.set_program(2, bumper)
+        runtime.set_program(1, idle)
+        return runtime
+
+    return factory
+
+
+def make_cas_vs_put(detector_config):
+    """Rank 0 overwrites the flag rank 2 is trying to CAS: the swap's success
+    depends on timing, so the CAS observes diverging old values."""
+
+    def factory(seed):
+        runtime = DSMRuntime(
+            RuntimeConfig(world_size=3, seed=seed, latency="uniform",
+                          detector=detector_config)
+        )
+        runtime.declare_scalar("flag", owner=1, initial=0)
+
+        def writer(api):
+            yield from api.put("flag", 7)
+
+        def swapper(api):
+            old = yield from api.compare_and_swap("flag", 0, 1)
+            api.private.write("old", old)
+
+        runtime.set_program(0, writer)
+        runtime.set_program(2, swapper)
+        runtime.set_program(1, idle)
+        return runtime
+
+    return factory
+
+
+def make_read_vs_fetch_add(detector_config):
+    """Rank 0 reads the counter rank 2 increments: the read observes 0 or 1."""
+
+    def factory(seed):
+        runtime = DSMRuntime(
+            RuntimeConfig(world_size=3, seed=seed, latency="uniform",
+                          detector=detector_config)
+        )
+        runtime.declare_scalar("c", owner=1, initial=0)
+
+        def reader(api):
+            value = yield from api.get("c")
+            api.private.write("seen", value)
+
+        def bumper(api):
+            yield from api.fetch_add("c", 1)
+
+        runtime.set_program(0, reader)
+        runtime.set_program(2, bumper)
+        runtime.set_program(1, idle)
+        return runtime
+
+    return factory
+
+
+SCENARIOS = [make_put_vs_fetch_add, make_cas_vs_put, make_read_vs_fetch_add]
+CONFIGS = [
+    DetectorConfig(),
+    DetectorConfig(treat_rmw_pairs_as_ordered=True),
+]
+
+
+class TestNoFalseNegativesOnAtomicRaces:
+    @pytest.mark.parametrize("make_scenario", SCENARIOS)
+    @pytest.mark.parametrize("config", CONFIGS, ids=["default", "rmw-pairs-ordered"])
+    def test_oracle_racy_addresses_are_always_flagged(self, make_scenario, config):
+        factory = make_scenario(config)
+        seeds = (0, 1, 2, 3, 4, 5)
+        oracle = SeedVaryingOracle(factory, seeds=seeds)
+        truth = oracle.evaluate()
+        assert truth.racy, "the injected scenario must be observably racy"
+        for seed in seeds:
+            runtime = factory(seed)
+            runtime.run()
+            flagged = _race_flagged_addresses(runtime)
+            missed = truth.racy_addresses - flagged
+            assert not missed, (
+                f"false negatives at seed {seed}: oracle-racy {missed} "
+                f"not flagged (flagged: {flagged})"
+            )
+
+
+class TestVerbsRunsStayCoherent:
+    def test_sequential_consistency_holds_under_posted_traffic(self):
+        for seed in range(3):
+            runtime = DSMRuntime(
+                RuntimeConfig(world_size=4, seed=seed, latency="uniform")
+            )
+            runtime.declare_array("cells", 8, owner=0, initial=0)
+            runtime.declare_scalar("total", owner=0, initial=0)
+
+            def program(api):
+                for index in range(4):
+                    api.iput("cells", api.rank * 10 + index, index=(api.rank + index) % 8)
+                yield from api.fetch_add("total", api.rank)
+                yield from api.wait_all()
+                yield from api.barrier()
+
+            runtime.set_spmd_program(program)
+            result = runtime.run()
+            assert runtime.consistency_check() == []
+            assert result.shared_value("total") == sum(range(4))
+
+    def test_trace_replay_reproduces_verbs_race_report(self):
+        from repro.trace.replay import TraceReplayer
+
+        runtime = DSMRuntime(RuntimeConfig(world_size=3, latency="uniform"))
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def mixed(api):
+            if api.rank == 0:
+                api.iput("x", 5)
+                yield from api.wait_all()
+            elif api.rank == 2:
+                yield from api.fetch_add("x", 1)
+            else:
+                yield from api.compute(0.0)
+
+        runtime.set_spmd_program(mixed)
+        result = runtime.run()
+        replay = TraceReplayer(3).replay(
+            runtime.recorder.accesses(), syncs=runtime.recorder.syncs()
+        )
+        assert replay.race_count == result.race_count
+        assert {r.address for r in replay.races} == {
+            r.address for r in result.race_records()
+        }

@@ -1,0 +1,106 @@
+"""Completion-queue polling, blocking waits and overflow."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
+from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion
+
+
+def completion(wr_id):
+    return WorkCompletion(
+        wr_id=wr_id,
+        opcode=Opcode.PUT,
+        status=CompletionStatus.SUCCESS,
+        origin=0,
+        peer=1,
+    )
+
+
+class TestPolling:
+    def test_poll_empty_queue(self):
+        cq = CompletionQueue(Simulator())
+        assert cq.poll() == []
+
+    def test_poll_returns_fifo_and_drains(self):
+        cq = CompletionQueue(Simulator())
+        for wr_id in range(3):
+            cq.push(completion(wr_id))
+        assert [wc.wr_id for wc in cq.poll()] == [0, 1, 2]
+        assert cq.depth == 0
+
+    def test_poll_max_entries(self):
+        cq = CompletionQueue(Simulator())
+        for wr_id in range(3):
+            cq.push(completion(wr_id))
+        assert [wc.wr_id for wc in cq.poll(max_entries=2)] == [0, 1]
+        assert cq.depth == 1
+        assert [wc.wr_id for wc in cq.poll(max_entries=5)] == [2]
+
+    def test_total_pushed_keeps_counting(self):
+        cq = CompletionQueue(Simulator())
+        cq.push(completion(0))
+        cq.poll()
+        cq.push(completion(1))
+        assert cq.total_pushed == 2
+
+
+class TestWaiting:
+    def test_wait_blocks_until_push(self):
+        sim = Simulator()
+        cq = CompletionQueue(sim)
+        retired = []
+
+        def waiter():
+            got = yield from cq.wait(2)
+            retired.extend(wc.wr_id for wc in got)
+
+        def producer():
+            yield sim.timeout(1.0)
+            cq.push(completion(7))
+            yield sim.timeout(1.0)
+            cq.push(completion(8))
+
+        sim.process(waiter())
+        sim.process(producer())
+        sim.run()
+        assert retired == [7, 8]
+
+    def test_wait_consumes_already_ready_completions(self):
+        sim = Simulator()
+        cq = CompletionQueue(sim)
+        cq.push(completion(1))
+        out = []
+
+        def waiter():
+            got = yield from cq.wait(1)
+            out.extend(got)
+
+        sim.process(waiter())
+        sim.run()
+        assert [wc.wr_id for wc in out] == [1]
+
+    def test_wait_rejects_nonpositive_count(self):
+        cq = CompletionQueue(Simulator())
+        with pytest.raises(ValueError):
+            list(cq.wait(0))
+
+
+class TestCapacity:
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CompletionQueue(Simulator(), capacity=0)
+
+    def test_overflow_raises(self):
+        cq = CompletionQueue(Simulator(), capacity=2)
+        cq.push(completion(0))
+        cq.push(completion(1))
+        with pytest.raises(CompletionQueueOverflow):
+            cq.push(completion(2))
+
+    def test_retiring_makes_room(self):
+        cq = CompletionQueue(Simulator(), capacity=1)
+        cq.push(completion(0))
+        cq.poll()
+        cq.push(completion(1))  # no overflow after retirement
+        assert cq.depth == 1

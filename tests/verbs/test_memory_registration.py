@@ -1,0 +1,99 @@
+"""Memory registration, rkey allocation and validation."""
+
+import pytest
+
+from repro.memory.address import GlobalAddress
+from repro.memory.region import MemoryRegion
+from repro.verbs.memory_registration import (
+    MemoryRegistry,
+    RemoteAccessError,
+)
+
+
+def region(owner=1, base=4, length=8, name="buf"):
+    return MemoryRegion(name=name, owner=owner, base=base, length=length)
+
+
+class TestRegistration:
+    def test_register_allocates_rank_scoped_rkey(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region())
+        assert registration.rkey == 2 * MemoryRegistry._RANK_STRIDE
+        assert registration.name == "buf"
+        assert registration.owner == 1
+
+    def test_registration_is_idempotent_per_region_name(self):
+        registry = MemoryRegistry(1)
+        first = registry.register(region())
+        second = registry.register(region())
+        assert first is second
+        assert len(registry) == 1
+
+    def test_distinct_regions_get_distinct_rkeys(self):
+        registry = MemoryRegistry(1)
+        a = registry.register(region(name="a", base=0, length=2))
+        b = registry.register(region(name="b", base=2, length=2))
+        assert a.rkey != b.rkey
+
+    def test_rkeys_of_different_ranks_never_collide(self):
+        k1 = MemoryRegistry(0).register(region(owner=0)).rkey
+        k2 = MemoryRegistry(1).register(region(owner=1)).rkey
+        assert k1 != k2
+
+    def test_cannot_register_foreign_region(self):
+        with pytest.raises(ValueError):
+            MemoryRegistry(0).register(region(owner=3))
+
+
+class TestValidation:
+    def test_valid_rkey_and_address(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region())
+        found = registry.validate(registration.rkey, GlobalAddress(1, 5))
+        assert found is registration
+
+    def test_missing_rkey_is_rejected(self):
+        registry = MemoryRegistry(1)
+        registry.register(region())
+        with pytest.raises(RemoteAccessError, match="no rkey"):
+            registry.validate(None, GlobalAddress(1, 5))
+
+    def test_unknown_rkey_is_rejected(self):
+        registry = MemoryRegistry(1)
+        with pytest.raises(RemoteAccessError, match="not registered"):
+            registry.validate(0xDEAD, GlobalAddress(1, 5))
+
+    def test_rkey_does_not_cover_address(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region(base=4, length=8))
+        with pytest.raises(RemoteAccessError, match="covers"):
+            registry.validate(registration.rkey, GlobalAddress(1, 20))
+
+    def test_deregistered_rkey_stops_validating(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region())
+        registry.deregister(registration.rkey)
+        with pytest.raises(RemoteAccessError):
+            registry.validate(registration.rkey, GlobalAddress(1, 5))
+        # And the name is free for re-registration, with a fresh key.
+        again = registry.register(region())
+        assert again.rkey != registration.rkey
+
+    def test_deregister_unknown_rkey_raises(self):
+        with pytest.raises(KeyError):
+            MemoryRegistry(1).deregister(123)
+
+
+class TestLookup:
+    def test_rkey_covering(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region(base=4, length=8))
+        assert registry.rkey_covering(GlobalAddress(1, 4)) == registration.rkey
+        assert registry.rkey_covering(GlobalAddress(1, 11)) == registration.rkey
+        assert registry.rkey_covering(GlobalAddress(1, 12)) is None
+
+    def test_lookup(self):
+        registry = MemoryRegistry(1)
+        registration = registry.register(region())
+        assert registry.lookup(registration.rkey) is registration
+        assert registry.lookup(999) is None

@@ -1,0 +1,140 @@
+"""The three atomics/verbs workloads: overlap, lock-freedom, work stealing."""
+
+import pytest
+
+from repro.core.detector import DetectorConfig
+from repro.detectors.ground_truth import SeedVaryingOracle
+from repro.runtime.runtime import RuntimeConfig
+from repro.workloads import (
+    AtomicWorkStealingWorkload,
+    LockFreeCounterWorkload,
+    StencilWorkload,
+    VerbsStencilWorkload,
+)
+from repro.workloads.work_stealing import task_value
+
+
+class TestVerbsStencil:
+    def test_matches_blocking_numerics_and_is_faster(self):
+        params = dict(world_size=4, cells_per_rank=8, iterations=3, compute_cost=4.0)
+        blocking = StencilWorkload(**params).run(0)
+        overlapped = VerbsStencilWorkload(**params).run(0)
+        for rank in range(4):
+            assert (
+                overlapped.run.per_rank_private[rank]["block"]
+                == blocking.run.per_rank_private[rank]["block"]
+            )
+        assert overlapped.run.elapsed_sim_time < blocking.run.elapsed_sim_time
+
+    def test_barriered_exchange_is_race_free(self):
+        outcome = VerbsStencilWorkload(world_size=4, iterations=3).run(0)
+        assert outcome.run.race_count == 0
+        assert outcome.detection_matches_expectation
+
+    def test_unsynchronized_exchange_races(self):
+        outcome = VerbsStencilWorkload(
+            world_size=4, iterations=4, use_barriers=False
+        ).run(0)
+        assert outcome.run.race_count > 0
+        assert outcome.detected_symbols() <= outcome.expected_racy_symbols
+
+    def test_halo_puts_are_posted(self):
+        outcome = VerbsStencilWorkload(world_size=4, iterations=2).run(0)
+        # Interior ranks post two puts per iteration, edge ranks one.
+        assert outcome.run.trace_summary.posted_operations == 2 * (2 * 4 - 2)
+
+    def test_interior_fraction_validation(self):
+        with pytest.raises(ValueError):
+            VerbsStencilWorkload(interior_fraction=1.5)
+
+
+class TestLockFreeCounter:
+    def test_atomic_counter_is_exact_on_every_seed(self):
+        workload = LockFreeCounterWorkload(world_size=4, increments=3)
+        for seed in range(5):
+            outcome = workload.run(seed)
+            assert outcome.run.shared_value("counter") == workload.expected_total
+
+    def test_lossy_counter_loses_updates_on_some_seed(self):
+        workload = LockFreeCounterWorkload(
+            world_size=4, increments=3, use_atomics=False
+        )
+        finals = {workload.run(seed).run.shared_value("counter") for seed in range(5)}
+        assert any(value < workload.expected_total for value in finals)
+
+    def test_detector_flags_benign_rmw_races_by_default(self):
+        outcome = LockFreeCounterWorkload(world_size=4, increments=3).run(0)
+        assert outcome.detected_racy
+        assert outcome.detected_symbols() == {"counter"}
+
+    def test_hardware_ordering_knob_silences_pure_atomic_traffic(self):
+        config = RuntimeConfig(detector=DetectorConfig(treat_rmw_pairs_as_ordered=True))
+        outcome = LockFreeCounterWorkload(
+            world_size=4, increments=3, config=config
+        ).run(0)
+        assert outcome.run.race_count == 0
+
+    def test_ground_truth_sees_atomic_counter_as_outcome_deterministic(self):
+        """The oracle's observable-divergence definition labels the atomic
+        counter non-racy: final value and observed-value multiset never vary."""
+        workload = LockFreeCounterWorkload(world_size=3, increments=2)
+        truth = SeedVaryingOracle(workload.factory(), seeds=(0, 1, 2)).evaluate()
+        assert not truth.racy
+
+    def test_ground_truth_sees_lossy_counter_as_racy(self):
+        workload = LockFreeCounterWorkload(
+            world_size=3, increments=2, use_atomics=False
+        )
+        truth = SeedVaryingOracle(workload.factory(), seeds=(0, 1, 2)).evaluate()
+        assert truth.is_racy_symbol("counter")
+
+
+class TestAtomicWorkStealing:
+    def test_every_task_executes_exactly_once_on_every_seed(self):
+        workload = AtomicWorkStealingWorkload(
+            world_size=4, tasks_per_rank=3, imbalance=2.0
+        )
+        expected = [task_value(task) for task in range(workload.total_tasks)]
+        for seed in range(4):
+            outcome = workload.run(seed)
+            assert outcome.run.final_shared_values["results"] == expected
+            assert outcome.run.shared_value("done") == workload.total_tasks
+            executed = [
+                task
+                for rank in range(4)
+                for task in outcome.run.per_rank_private[rank]["executed"]
+            ]
+            assert sorted(executed) == list(range(workload.total_tasks))
+
+    def test_imbalance_induces_stealing(self):
+        workload = AtomicWorkStealingWorkload(
+            world_size=4, tasks_per_rank=3, imbalance=2.0
+        )
+        outcome = workload.run(0)
+        stolen = [
+            task
+            for rank in range(4)
+            for task in outcome.run.per_rank_private[rank]["executed"]
+            if task // workload.tasks_per_rank != rank
+        ]
+        assert stolen, "with heavy imbalance some tasks must be stolen"
+
+    def test_results_are_outcome_deterministic_for_the_oracle(self):
+        workload = AtomicWorkStealingWorkload(
+            world_size=3, tasks_per_rank=2, imbalance=2.0
+        )
+        truth = SeedVaryingOracle(workload.factory(), seeds=(0, 1, 2)).evaluate()
+        assert not truth.is_racy_symbol("results")
+        assert not truth.is_racy_symbol("done")
+
+    def test_detector_flags_only_coordination_cells(self):
+        workload = AtomicWorkStealingWorkload(
+            world_size=4, tasks_per_rank=3, imbalance=2.0
+        )
+        outcome = workload.run(0)
+        assert outcome.detected_racy
+        assert outcome.detected_symbols() <= outcome.expected_racy_symbols
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            AtomicWorkStealingWorkload(imbalance=-1.0)
