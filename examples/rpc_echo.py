@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""RPC echo over two-sided verbs: SEND/RECV, a shared receive queue, an
+event channel — and the receive-buffer reuse race the detector exists for.
+
+What this demo shows, end to end:
+
+1. rank 0 runs a *reactive* server: a pool of receive slots posted to an
+   SRQ, its receive and send completion queues multiplexed through one
+   event channel, and a completion handler that reposts each consumed slot
+   and echoes the payload back with a SEND — no polling of specific peers,
+   no knowledge of client memory;
+2. clients post a reply buffer, SEND a request, and wait for both
+   completions — the hybrid-runtime (MPI-over-verbs) programming model;
+3. the same program with one line of impatience added — the client reuses
+   its posted reply buffer before the reply lands — is a race, and the
+   dual-clock detector flags it on every run.
+
+Run with ``python examples/rpc_echo.py``.
+"""
+
+from repro.workloads import RPCEchoWorkload
+
+
+def show(title, result):
+    print(f"--- {title}")
+    print(f"    server: {result.run.per_rank_private[0]}")
+    for rank in range(1, result.runtime.config.world_size):
+        private = result.run.per_rank_private[rank]
+        print(f"    client P{rank}: replies={private['replies']} "
+              f"all_echoed={private['all_echoed']}")
+    print(f"    races detected: {result.run.race_count}")
+    for record in result.run.races.distinct():
+        print(f"      {record.describe() if hasattr(record, 'describe') else record}")
+    print()
+
+
+def main() -> None:
+    print("RPC echo: 3 clients x 2 requests, SRQ server, event-channel loop\n")
+
+    correct = RPCEchoWorkload(num_clients=3, requests_per_client=2).run(seed=0)
+    show("correct protocol (wait for the reply completion before reuse)", correct)
+    assert correct.run.race_count == 0
+
+    racy = RPCEchoWorkload(
+        num_clients=3, requests_per_client=2, racy_buffer_reuse=True
+    ).run(seed=0)
+    show("buggy protocol (reply buffer reused while the send is in flight)", racy)
+    assert racy.run.race_count > 0
+
+    print("the detector caught the in-flight buffer reuse on symbols:",
+          sorted(racy.detected_symbols()))
+
+
+if __name__ == "__main__":
+    main()

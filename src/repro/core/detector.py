@@ -264,6 +264,42 @@ class DualClockRaceDetector:
         snapshot = self.current_clock(from_rank)
         return self.process_clock(to_rank).observe_vector(snapshot, source_rank=from_rank)
 
+    def on_recv_complete(
+        self,
+        receiver: int,
+        sender: int,
+        carried_clock: Optional[VectorClock] = None,
+    ) -> Optional[VectorClock]:
+        """Retiring a receive completion: the happens-before of message passing.
+
+        Two-sided delivery synchronizes the receiving *process* at the moment
+        it retires the receive completion — not when the payload lands in its
+        memory (the NIC scatters without the process's involvement, exactly
+        like a one-sided put; but unlike a put, the landing is NOT treated as
+        an owner event, because the two-sided contract gives the receiver an
+        explicit synchronization point and treating the landing as one would
+        hide a receiver that touches the posted buffer between landing and
+        retirement).  At retirement the receiver merges *carried_clock* — the
+        clock the message carried: the sender's post-time snapshot joined
+        with the receive buffer's post-time snapshot — a *directional*
+        transfer; the sender learns nothing back.
+
+        Post-time snapshots, not live clocks, are essential on both sides:
+        the sender's later events must not leak into the match (the
+        same-origin blind spot the ROADMAP documents), and the receiver's
+        buffer scribbles after posting must stay unordered with the scatter
+        so the detector keeps seeing them — in *every* schedule, whether the
+        scribble lands before or after the payload.  For the same reason a
+        missing snapshot merges *nothing*: substituting the sender's live
+        clock would manufacture exactly the happens-before this method
+        exists to avoid.
+        """
+        if not self.config.enabled or carried_clock is None:
+            return None
+        return self.process_clock(receiver).observe_vector(
+            carried_clock, source_rank=sender
+        )
+
     # -- bookkeeping helpers ------------------------------------------------------
 
     def _ensure_cell_clocks(self, cell: MemoryCell) -> None:
@@ -310,16 +346,28 @@ class DualClockRaceDetector:
         symbol: Optional[str] = None,
         time: float = 0.0,
         operation: str = "put",
+        carried_clock: Optional[VectorClock] = None,
     ) -> AccessCheckResult:
         """Algorithm 1: instrument a remote write (``put``) into *cell*.
 
         Must be called while the NIC lock on *address* is held.
+
+        *carried_clock* is for writes the NIC engine performs on the origin's
+        behalf from a clock the message physically carried — the scattered
+        cells of a matched two-sided SEND.  The check then uses that snapshot
+        as the event clock instead of ticking the origin's live clock, and
+        the origin learns nothing back (it is not there to learn): a
+        receiver's buffer scribble concurrent with the in-flight send stays
+        causally unordered with the scatter, so the detector keeps seeing it.
         """
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
         self._ensure_cell_clocks(cell)
-        event_clock = self.process_clock(origin).tick()
+        if carried_clock is None:
+            event_clock = self.process_clock(origin).tick()
+        else:
+            event_clock = carried_clock.copy()
         reference = (
             cell.access_clock
             if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
@@ -347,7 +395,7 @@ class DualClockRaceDetector:
             time=time,
             operation=operation,
         )
-        if self.config.origin_learns_on_put_check:
+        if carried_clock is None and self.config.origin_learns_on_put_check:
             # The writer fetched the datum clock for the check; it now knows it.
             self.process_clock(origin).observe_vector(reference)
             event_clock = self.current_clock(origin)
@@ -356,19 +404,27 @@ class DualClockRaceDetector:
         # additionally counts as an event of the owning process.
         cell.access_clock.merge_in_place(event_clock)
         cell.write_clock.merge_in_place(event_clock)
-        if self.config.write_effect_ticks_owner and address.rank != origin:
+        if (
+            self.config.write_effect_ticks_owner
+            and address.rank != origin
+            and carried_clock is None
+        ):
             # The arrival of the write at the owner's memory is an event of the
             # owning process (this is how the paper's Figure 5 space-time
             # diagrams advance the target's clock on reception of a put): the
             # owner merges the incoming clock, ticks its own component, and the
-            # datum clocks record that reception event.
+            # datum clocks record that reception event.  Two-sided scatter
+            # writes (carried_clock set) are exempt: their owner synchronizes
+            # explicitly at completion retirement (on_recv_complete), and an
+            # implicit owner event here would order — and hide — buffer
+            # accesses the receiver makes between landing and retirement.
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
             self._note_plain_access(address, owner_view)
-        if self.config.origin_learns_datum_after_write:
+        if carried_clock is None and self.config.origin_learns_datum_after_write:
             self.process_clock(origin).observe_vector(cell.access_clock)
         self._note_plain_access(address, event_clock)
         info.last_writer = origin

@@ -24,6 +24,8 @@ class MessageKind(enum.Enum):
     GET_REPLY = "get_reply"        # second message of a get (carries the data)
     ATOMIC_REQUEST = "atomic_request"  # one-sided atomic: opcode + operands
     ATOMIC_REPLY = "atomic_reply"      # one-sided atomic: the prior value
+    SEND_REQUEST = "send_request"  # two-sided SEND: the gathered payload, matched
+    #                                against a posted receive at the target
     LOCK_REQUEST = "lock_request"  # NIC lock acquisition
     LOCK_GRANT = "lock_grant"
     UNLOCK = "unlock"
@@ -40,6 +42,7 @@ class MessageKind(enum.Enum):
             MessageKind.GET_REPLY,
             MessageKind.ATOMIC_REQUEST,
             MessageKind.ATOMIC_REPLY,
+            MessageKind.SEND_REQUEST,
         )
 
     @property

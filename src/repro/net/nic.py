@@ -25,7 +25,7 @@ so user programs remain ordinary sequential-looking code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.core.detector import AccessCheckResult, DualClockRaceDetector
 from repro.memory.address import GlobalAddress
@@ -69,6 +69,40 @@ class NICConfig:
     charge_lock_messages: bool = True
     charge_detection_messages: bool = True
     cell_bytes: int = 8
+
+
+class ReceiverNotReady(RuntimeError):
+    """A SEND arrived at a target whose receive queue holds no posted buffer.
+
+    This is the RNR (receiver-not-ready) condition of the verbs transport.
+    The NIC does not see the receive queues themselves — the verbs layer hands
+    it a *matching callable* that raises this (or a subclass, such as
+    :class:`repro.verbs.receive_queue.RecvQueueEmpty`) when nothing is posted,
+    and the NIC responds with the RC retry protocol: back off, retransmit,
+    and eventually give up (:class:`RnrRetryExceeded`).
+    """
+
+
+class RnrRetryExceeded(RuntimeError):
+    """A SEND exhausted its RNR retry budget without finding a posted receive.
+
+    The verbs analogue is ``IBV_WC_RNR_RETRY_EXC_ERR``; the initiator learns
+    through a failed work completion, never through an exception at the post
+    site.
+    """
+
+
+class ReceiveLengthError(RuntimeError):
+    """A SEND's payload is larger than the matched receive buffer.
+
+    The verbs analogue is ``IBV_WC_LOC_LEN_ERR``: matching *consumes* the
+    posted receive, no memory is written, and both sides learn through error
+    completions.  ``recv_wr`` is the consumed receive work request.
+    """
+
+    def __init__(self, message: str, recv_wr: Any = None) -> None:
+        super().__init__(message)
+        self.recv_wr = recv_wr
 
 
 @dataclass
@@ -136,6 +170,7 @@ class NIC:
         self.puts_issued = 0
         self.gets_issued = 0
         self.atomics_issued = 0
+        self.sends_issued = 0
         self.local_reads = 0
         self.local_writes = 0
         self.remote_ops_serviced = 0
@@ -493,6 +528,171 @@ class NIC:
             control_messages=control_messages,
             new_value=new_value,
         )
+
+    # -- two-sided send (matched against posted receives) --------------------------------
+
+    def send_payload(
+        self,
+        destination: int,
+        values: Sequence[Any],
+        match_receive: Callable[[], Any],
+        *,
+        symbol: Optional[str] = None,
+        clock_snapshot: Any = None,
+        rnr_backoff: float = 1.0,
+        rnr_retry_limit: Optional[int] = None,
+    ) -> Generator:
+        """Two-sided SEND of *values* to *destination* (``IBV_WR_SEND``).
+
+        Unlike the one-sided operations, a SEND names no remote address and
+        carries no rkey: where the payload lands is decided entirely by the
+        *receiver*, which must have posted a receive buffer (scatter list of
+        its own addresses).  The NIC's part of the protocol:
+
+        * one SEND_REQUEST message carries the whole gathered payload
+          (``len(values) * cell_bytes`` on the wire — the multi-cell payload
+          the bandwidth-aware latency models care about);
+        * on arrival, *match_receive* is called to consume the head of the
+          target's receive queue (FIFO, no tag matching — verbs semantics).
+          If it raises :class:`ReceiverNotReady`, the RC RNR protocol runs:
+          back off ``rnr_backoff``, retransmit (charged as a fresh message),
+          and after ``rnr_retry_limit`` retries give up with
+          :class:`RnrRetryExceeded` (``None`` retries forever, like the
+          InfiniBand ``rnr_retry=7`` encoding);
+        * a payload longer than the matched buffer consumes the receive but
+          touches no memory — :class:`ReceiveLengthError` (``IBV_WC_LOC_LEN_ERR``);
+        * the delivery carries the happens-before of message passing: the
+          scatter writes use the merge of *clock_snapshot* (the sender's
+          post-time clock, carried by the message) and the matched buffer's
+          post-time clock, and one batched clock round trip is charged per
+          message (not per cell: the scattered cells share a target, so
+          their clocks travel together).  The receiving *process* merges
+          that clock only when it retires the completion
+          (:meth:`~repro.core.detector.DualClockRaceDetector.on_recv_complete`);
+        * each payload cell is scattered into the posted addresses under the
+          per-cell NIC lock with the ordinary write instrumentation, so the
+          detector sees a buffer reused while a SEND is in flight exactly as
+          it sees any conflicting write — in every schedule, because neither
+          side's live clock contaminates the carried snapshot.
+
+        Returns ``(result, recv_wr, carried_clock)`` where *recv_wr* is the
+        consumed receive work request (an object with ``wr_id`` and
+        ``addresses``) and *carried_clock* is the merged clock the matched
+        completion must hand to the receiver at retirement.
+        """
+        start = self._sim.now
+        tag = self._tags.next_str()
+        target_nic = self.peer(destination)
+        self.sends_issued += 1
+        remote = destination != self.rank
+        data_messages = 0
+        control_messages = 0
+
+        payload_bytes = len(values) * self.config.cell_bytes
+        if self._detection_active() and not self.config.charge_detection_messages:
+            payload_bytes += self._clock_bytes()
+
+        retries = 0
+        while True:
+            if remote:
+                event, _ = self.fabric.send(
+                    MessageKind.SEND_REQUEST, self.rank, destination,
+                    payload=tuple(values), payload_bytes=payload_bytes,
+                    operation_tag=tag,
+                )
+                yield event
+                data_messages += 1
+            try:
+                recv_wr = match_receive()
+            except ReceiverNotReady as error:
+                if rnr_retry_limit is not None and retries >= rnr_retry_limit:
+                    raise RnrRetryExceeded(
+                        f"send P{self.rank}->P{destination}: receiver not ready "
+                        f"after {retries} retries ({error})"
+                    ) from error
+                retries += 1
+                yield self._sim.timeout(rnr_backoff, name=f"rnr-backoff:{tag}")
+                continue
+            break
+        if remote:
+            target_nic.remote_ops_serviced += 1
+
+        if len(values) > len(recv_wr.addresses):
+            raise ReceiveLengthError(
+                f"send P{self.rank}->P{destination}: payload of {len(values)} "
+                f"cells overruns receive buffer of {len(recv_wr.addresses)} "
+                f"(recv wr#{recv_wr.wr_id})",
+                recv_wr=recv_wr,
+            )
+
+        control_messages += yield from self._detection_round_trip(destination, tag)
+        # The delivery event is causally after BOTH posts: the SEND's
+        # (snapshot carried by the message) and the matched RECV's (snapshot
+        # taken when the buffer was posted — the permission point).  Their
+        # merge is the clock the scatter writes carry, and the clock the
+        # receiving process merges when it later retires the completion
+        # (detector.on_recv_complete) — the landing itself synchronizes
+        # nobody.
+        effective_clock = clock_snapshot
+        recv_clock = getattr(recv_wr, "clock_snapshot", None)
+        if recv_clock is not None:
+            effective_clock = (
+                recv_clock.copy()
+                if effective_clock is None
+                else effective_clock.merged(recv_clock)
+            )
+        if self.recorder is not None:
+            self.recorder.record_transfer(
+                self.rank, destination, time=self._sim.now, kind="transfer",
+                clock=(
+                    effective_clock.frozen()
+                    if effective_clock is not None
+                    else None
+                ),
+            )
+
+        check: Optional[AccessCheckResult] = None
+        for value, address in zip(values, recv_wr.addresses):
+            lock_request = yield from self._acquire_lock(
+                target_nic, address, "send", tag
+            )
+            if self._detection_active():
+                cell = target_nic.memory.cell(address)
+                cell_check = self.detector.on_write(
+                    self.rank, address, cell,
+                    symbol=symbol or recv_wr.symbol,
+                    time=self._sim.now, operation="send",
+                    carried_clock=effective_clock,
+                )
+                # The result's single check slot keeps the first flagged
+                # scatter access (or the first cell's when none raced), so
+                # ``result.raced`` means "any cell of this send raced".
+                if check is None or (cell_check.raced and not check.raced):
+                    check = cell_check
+            target_nic.memory.write(address, value, writer=self.rank)
+            self._record(
+                AccessKind.WRITE, address, value,
+                symbol or recv_wr.symbol, "send",
+            )
+            self._release_lock(target_nic, lock_request, tag)
+
+        landing = (
+            recv_wr.addresses[0]
+            if recv_wr.addresses
+            else GlobalAddress(destination, 0)
+        )
+        result = RemoteOperationResult(
+            operation="send",
+            origin=self.rank,
+            target=landing,
+            value=tuple(values),
+            check=check,
+            start_time=start,
+            end_time=self._sim.now,
+            data_messages=data_messages,
+            control_messages=control_messages,
+        )
+        return result, recv_wr, effective_clock
 
     # -- local public-memory accesses ----------------------------------------------------
 

@@ -22,6 +22,21 @@ overlaps communication, and adds the one-sided atomics::
         yield from api.wait(left, right)           # retire the completions
         old = yield from api.fetch_add("counter")  # atomic read-modify-write
 
+The two-sided (SEND/RECV) surface adds receiver-directed delivery: the
+receiver posts buffers (per-source with :meth:`ProcessAPI.irecv`, or to a
+shared receive queue with :meth:`ProcessAPI.post_srq_recv`), the sender
+:meth:`ProcessAPI.isend`\\ s a multi-cell payload naming only the peer, and
+matching is FIFO::
+
+    def receiver(api):
+        api.irecv(source=0, symbol="inbox", indices=range(4))  # scatter list
+        (message,) = yield from api.wait_recv(1)               # blocking retire
+        use(message.value)                                     # the payload
+
+    def sender(api):
+        request = api.isend(1, [10, 20, 30, 40])   # lands where P1 said
+        yield from api.wait(request)
+
 The API resolves symbolic names through the
 :class:`~repro.memory.directory.SymbolDirectory` (the paper's "compiler") and
 routes the access through the origin NIC: remote targets become RDMA
@@ -32,7 +47,7 @@ accesses — the paper makes no semantic distinction between the two
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional
+from typing import Any, Callable, Generator, Iterable, List, Optional, Sequence, Union
 
 from repro.memory.address import GlobalAddress
 from repro.memory.directory import SymbolDirectory
@@ -43,7 +58,13 @@ from repro.sim.engine import Simulator
 from repro.util.validation import require_non_negative
 from repro.verbs.context import VerbsContext
 from repro.verbs.memory_registration import RemoteAccessError
-from repro.verbs.work import WorkCompletion, WorkRequest
+from repro.verbs.receive_queue import ReceiveWorkRequest, SharedReceiveQueue
+from repro.verbs.work import (
+    CompletionError,
+    CompletionStatus,
+    WorkCompletion,
+    WorkRequest,
+)
 
 
 class ProcessAPI:
@@ -232,6 +253,115 @@ class ProcessAPI:
         address = self._directory.resolve(symbol, index)
         return self.verbs.post_compare_and_swap(address, expected, desired, symbol=symbol)
 
+    # -- two-sided (SEND/RECV) interface --------------------------------------------------
+
+    def _resolve_local_scatter(
+        self, symbol: str, indices: Optional[Iterable[int]], index: int
+    ) -> List[GlobalAddress]:
+        chosen = list(indices) if indices is not None else [index]
+        addresses = [self._directory.resolve(symbol, i) for i in chosen]
+        for address in addresses:
+            if address.rank != self.rank:
+                raise ValueError(
+                    f"receive buffer cell {symbol}[{address.offset}] lives on rank "
+                    f"{address.rank}, not on this rank ({self.rank}); a receive "
+                    f"buffer must be the receiver's own memory"
+                )
+        return addresses
+
+    def isend(
+        self,
+        destination: int,
+        values: Union[Any, Sequence[Any]],
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post a two-sided SEND of *values* to *destination*; returns immediately.
+
+        A scalar is a one-cell payload; a list/tuple is a gathered multi-cell
+        payload carried by a single message.  Where it lands is decided by
+        the receive buffer *destination* posted (:meth:`irecv` /
+        :meth:`post_srq_recv`); matching is FIFO.  Retire the returned
+        request with :meth:`wait` / :meth:`wait_all` like any posted work.
+        """
+        payload = list(values) if isinstance(values, (list, tuple)) else [values]
+        return self.verbs.post_send(destination, payload, symbol=symbol)
+
+    def isend_gather(
+        self,
+        destination: int,
+        symbol: str,
+        indices: Optional[Iterable[int]] = None,
+        index: int = 0,
+    ) -> WorkRequest:
+        """Post a SEND gathering its payload from this rank's own shared cells.
+
+        The gather reads happen at service time through the NIC (instrumented
+        local reads), modelling the DMA gather of a real SGE list.
+        """
+        addresses = self._resolve_local_scatter(symbol, indices, index)
+        return self.verbs.post_send(destination, gather_from=addresses, symbol=symbol)
+
+    def irecv(
+        self,
+        source: int,
+        symbol: str,
+        indices: Optional[Iterable[int]] = None,
+        index: int = 0,
+    ) -> ReceiveWorkRequest:
+        """Post a receive buffer for the next unmatched SEND from *source*.
+
+        ``symbol[indices]`` (this rank's own cells) is the scatter list; a
+        shorter payload leaves the tail untouched, a longer one is a length
+        error.  The buffer is consumed in FIFO order; the matching
+        completion arrives on the receive CQ (:meth:`wait_recv` /
+        :meth:`poll_recv`) carrying the payload values and this request's
+        ``wr_id``.
+        """
+        addresses = self._resolve_local_scatter(symbol, indices, index)
+        return self.verbs.post_recv(source, addresses, symbol=symbol)
+
+    def post_srq_recv(
+        self,
+        symbol: str,
+        indices: Optional[Iterable[int]] = None,
+        index: int = 0,
+    ) -> ReceiveWorkRequest:
+        """Post a receive buffer to this rank's shared receive queue.
+
+        Requires :meth:`create_srq` first.  SRQ buffers are consumed, in
+        posting order, by sends from *any* peer — the server-side pattern
+        that sizes buffering for aggregate load.
+        """
+        addresses = self._resolve_local_scatter(symbol, indices, index)
+        return self.verbs.post_srq_recv(addresses, symbol=symbol)
+
+    def create_srq(self, max_wr: Optional[int] = None) -> SharedReceiveQueue:
+        """Create this rank's shared receive queue (before any traffic arrives)."""
+        return self.verbs.create_srq(max_wr=max_wr)
+
+    def wait_recv(self, count: int = 1) -> Generator:
+        """Block until *count* receive completions retire; returns them in order.
+
+        A completion with a non-success status (e.g. a length error) raises
+        :class:`~repro.verbs.work.CompletionError` — with *all* retired
+        completions attached as ``error.completions``, because the
+        successful siblings were already claimed from the CQ and cannot be
+        re-waited; a server recovers their payloads (and reposts their
+        buffers) from the exception.
+        """
+        completions = yield from self.verbs.wait_recv(count)
+        failed = next((c for c in completions if not c.ok), None)
+        if failed is not None:
+            raise CompletionError(
+                f"receive wr#{failed.wr_id} failed: {failed.detail}",
+                completions=completions,
+            )
+        return completions
+
+    def poll_recv(self) -> List[WorkCompletion]:
+        """Retire whatever receive completions are ready, without blocking."""
+        return self.verbs.poll_recv()
+
     def _claim(
         self, completions: List[WorkCompletion], raise_on_error: bool
     ) -> List[WorkCompletion]:
@@ -245,9 +375,10 @@ class ProcessAPI:
             if failed is None and not completion.ok:
                 failed = completion
         if raise_on_error and failed is not None:
-            raise RemoteAccessError(
-                f"work request {failed.wr_id} failed: {failed.detail}"
-            )
+            message = f"work request {failed.wr_id} failed: {failed.detail}"
+            if failed.status is CompletionStatus.REMOTE_ACCESS_ERROR:
+                raise RemoteAccessError(message)
+            raise CompletionError(message)
         return completions
 
     def wait(self, *requests: WorkRequest, raise_on_error: bool = True) -> Generator:

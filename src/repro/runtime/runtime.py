@@ -69,12 +69,23 @@ class RuntimeConfig:
     echo_log:
         Print structured log records as they are emitted.
     verbs_cq_capacity:
-        Capacity of each rank's default completion queue (``None`` =
+        Capacity of each rank's default completion queues (``None`` =
         unbounded); a bounded queue overflows when completions outpace
         retirement, as on real hardware.
     verbs_max_send_wr:
         Send-queue depth of each queue pair (posting beyond it raises
         :class:`~repro.verbs.queue_pair.SendQueueFull`).
+    verbs_max_recv_wr:
+        Receive-queue depth of each queue pair and the default SRQ depth
+        (posting beyond it raises
+        :class:`~repro.verbs.receive_queue.ReceiveQueueFull`).
+    verbs_rnr_backoff:
+        Simulated time a SEND waits before retransmitting after finding the
+        target's receive queue empty (the RNR timer).
+    verbs_rnr_retry_limit:
+        RNR retries before a SEND fails with an RNR_RETRY_EXCEEDED
+        completion; ``None`` retries forever (the InfiniBand ``rnr_retry=7``
+        encoding).
     """
 
     world_size: int = 4
@@ -90,6 +101,9 @@ class RuntimeConfig:
     echo_log: bool = False
     verbs_cq_capacity: Optional[int] = None
     verbs_max_send_wr: int = 128
+    verbs_max_recv_wr: int = 128
+    verbs_rnr_backoff: float = 1.0
+    verbs_rnr_retry_limit: Optional[int] = None
 
     def with_overrides(self, **kwargs: Any) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
@@ -182,6 +196,9 @@ class DSMRuntime:
                 self.nics[rank],
                 cq_capacity=self.config.verbs_cq_capacity,
                 max_send_wr=self.config.verbs_max_send_wr,
+                max_recv_wr=self.config.verbs_max_recv_wr,
+                rnr_backoff=self.config.verbs_rnr_backoff,
+                rnr_retry_limit=self.config.verbs_rnr_retry_limit,
             )
             for rank in range(self.config.world_size)
         ]

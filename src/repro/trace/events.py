@@ -17,18 +17,36 @@ from repro.memory.consistency import AccessKind, MemoryAccess
 
 @dataclass(frozen=True)
 class SyncEvent:
-    """One explicit synchronization among a set of ranks (e.g. a barrier).
+    """One explicit synchronization among a set of ranks.
 
     Offline analyses need these events: without them a trace only shows the
     shared-memory accesses, and accesses that were ordered by a barrier online
     would look unordered when replayed (Section V-B's pre-compiler deployment
     would log the synchronization calls for exactly this reason).
+
+    Kind families:
+
+    * symmetric (``"barrier"``, ...): every participant merges to the common
+      clock upper bound;
+    * ``"send_post"`` / ``"recv_post"``: a two-sided send or receive buffer
+      was posted — an event of ``participants[0]`` (the poster ticks; the
+      other rank rides along for trace readability);
+    * ``"transfer"``: a SEND matched a posted receive at
+      ``participants[1]``'s NIC.  ``clock`` is the clock the message carried
+      (sender's post-time snapshot joined with the buffer's post-time
+      snapshot) — the clock of the scatter writes that follow; the landing
+      itself synchronizes nobody;
+    * ``"recv_complete"``: ``participants[0]`` (the receiver) retired the
+      matched completion and merged ``clock`` — the directional
+      happens-before edge of two-sided communication (the sender,
+      ``participants[1]``, learns nothing).
     """
 
     sync_id: int
     time: float
     participants: tuple
     kind: str = "barrier"
+    clock: Optional[tuple] = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +103,7 @@ class TraceSummary:
     puts: int = 0
     gets: int = 0
     atomics: int = 0
+    sends: int = 0
     posted_operations: int = 0
     local_accesses: int = 0
     cells_touched: int = 0
@@ -104,6 +123,7 @@ class TraceSummary:
             "puts": self.puts,
             "gets": self.gets,
             "atomics": self.atomics,
+            "sends": self.sends,
             "posted_operations": self.posted_operations,
             "local_accesses": self.local_accesses,
             "cells_touched": self.cells_touched,
@@ -130,6 +150,7 @@ def summarize(
     summary.atomics = sum(
         1 for o in operations if o.operation in ("fetch_add", "compare_and_swap")
     )
+    summary.sends = sum(1 for o in operations if o.operation == "send")
     summary.posted_operations = sum(1 for o in operations if o.was_posted)
     summary.local_accesses = sum(
         1 for a in accesses if a.operation.startswith("local_")

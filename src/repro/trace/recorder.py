@@ -68,12 +68,38 @@ class TraceRecorder:
         return access
 
     def record_sync(self, participants, time: float = 0.0, kind: str = "barrier") -> SyncEvent:
-        """Append one synchronization event among *participants* (rank iterable)."""
+        """Append one symmetric synchronization event among *participants*."""
         event = SyncEvent(
             sync_id=self._ids.next_int(),
             time=time,
             participants=tuple(sorted(set(int(r) for r in participants))),
             kind=kind,
+        )
+        self._syncs.append(event)
+        return event
+
+    def record_transfer(
+        self,
+        source: int,
+        destination: int,
+        time: float = 0.0,
+        kind: str = "transfer",
+        clock: Optional[tuple] = None,
+    ) -> SyncEvent:
+        """Append one *directional* clock event (two-sided send machinery).
+
+        Unlike :meth:`record_sync`, participant order is meaningful and
+        preserved: ``(source, destination)``.  ``kind="send_post"`` records
+        the sender-side posting event (a local tick); ``kind="transfer"``
+        records the match, with *clock* carrying the sender's post-time
+        snapshot the receiver merged.
+        """
+        event = SyncEvent(
+            sync_id=self._ids.next_int(),
+            time=time,
+            participants=(int(source), int(destination)),
+            kind=kind,
+            clock=tuple(int(c) for c in clock) if clock is not None else None,
         )
         self._syncs.append(event)
         return event

@@ -10,9 +10,12 @@ timestamp order, using stand-in memory cells for the clock storage.
 Happens-before is reconstructed from three sources: the program order of each
 rank, the data flow of shared-memory accesses (the same clock rules the online
 detector applies), and the explicit synchronization events
-(:class:`~repro.trace.events.SyncEvent`, e.g. barriers) recorded in the trace.
-With all three, offline replay produces exactly the same race report as the
-online detector — the integration and property tests assert that equivalence.
+(:class:`~repro.trace.events.SyncEvent`) recorded in the trace — symmetric
+barriers, and the directional ``send_post``/``transfer`` pairs of two-sided
+SEND/RECV matching (whose recorded clock snapshots replay the exact message
+clocks).  With all three, offline replay produces exactly the same race
+report as the online detector — the integration and property tests assert
+that equivalence.
 """
 
 from __future__ import annotations
@@ -20,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.clocks import VectorClock
 from repro.core.detector import DetectorConfig, DualClockRaceDetector
 from repro.core.races import RaceRecord, RaceReport, SignalPolicy
 from repro.memory.address import GlobalAddress
@@ -71,6 +75,12 @@ class TraceReplayer:
             report=RaceReport(self._policy),
         )
         cells: Dict[GlobalAddress, MemoryCell] = {}
+        # Snapshot clock of the most recent SEND/RECV match per directed
+        # (sender, receiver) pair: the scatter writes that follow a transfer
+        # event replay with the clock the message carried, exactly as online.
+        # Sends on one queue pair are serviced in order, so "most recent" is
+        # always the matching one.
+        transfer_clocks: Dict[tuple, VectorClock] = {}
         stream: List[tuple] = [
             (access.time, access.access_id, "access", access) for access in accesses
         ]
@@ -80,7 +90,7 @@ class TraceReplayer:
         replayed = 0
         for _time, _eid, kind, event in stream:
             if kind == "sync":
-                self._apply_sync(detector, event)
+                self._apply_sync(detector, event, transfer_clocks)
                 continue
             access = event
             replayed += 1
@@ -103,6 +113,11 @@ class TraceReplayer:
                     symbol=access.symbol,
                     time=access.time,
                     operation=access.operation or "put",
+                    carried_clock=(
+                        transfer_clocks.get((access.rank, access.address.rank))
+                        if access.operation == "send"
+                        else None
+                    ),
                 )
                 cell.value = access.value
             else:
@@ -121,11 +136,59 @@ class TraceReplayer:
         )
 
     @staticmethod
-    def _apply_sync(detector: DualClockRaceDetector, sync: SyncEvent) -> None:
-        """Merge every participant's clock to their common upper bound."""
+    def _apply_sync(
+        detector: DualClockRaceDetector,
+        sync: SyncEvent,
+        transfer_clocks: Optional[Dict[tuple, VectorClock]] = None,
+    ) -> None:
+        """Re-apply one recorded synchronization to the replay clocks.
+
+        Symmetric kinds (barriers) merge every participant to the common
+        upper bound.  The two-sided kinds are *directional* and replay the
+        exact clock flow the online detector performed: ``send_post`` /
+        ``recv_post`` tick the posting rank (posting is an event),
+        ``transfer`` records the clock the matched message carried (used by
+        the scatter writes that follow it — the landing synchronizes
+        nobody), and ``recv_complete`` merges that carried clock into the
+        retiring receiver.  Recorded snapshots — never the replayed live
+        clocks — drive the merges, so a buffer-reuse race stays a race
+        offline.
+        """
         participants = [
             rank for rank in sync.participants if 0 <= rank < detector.world_size
         ]
+        if sync.kind in ("send_post", "recv_post"):
+            # Posting a send or a receive is an event of participants[0]; the
+            # other participant only records who the post was aimed at.
+            if participants:
+                detector.local_event(participants[0])
+            return
+        if sync.kind == "transfer":
+            if len(sync.participants) != 2:
+                return
+            sender, receiver = sync.participants
+            if sync.clock is not None:
+                snapshot = VectorClock.from_entries(sync.clock)
+            elif 0 <= sender < detector.world_size:
+                # Trace recorded without detection: best effort, the live
+                # clock stands in for the (unrecorded) message clock.
+                snapshot = detector.current_clock(sender).copy()
+            else:
+                return
+            if transfer_clocks is not None:
+                transfer_clocks[(sender, receiver)] = snapshot
+            return
+        if sync.kind == "recv_complete":
+            if len(sync.participants) != 2 or sync.clock is None:
+                return
+            receiver, sender = sync.participants
+            if not (0 <= receiver < detector.world_size):
+                return
+            detector.process_clock(receiver).observe_vector(
+                VectorClock.from_entries(sync.clock),
+                source_rank=sender if 0 <= sender < detector.world_size else None,
+            )
+            return
         if len(participants) < 2:
             return
         merged = detector.current_clock(participants[0]).copy()

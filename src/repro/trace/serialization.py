@@ -100,16 +100,19 @@ def sync_to_dict(sync: SyncEvent) -> Dict[str, object]:
         "time": sync.time,
         "participants": list(sync.participants),
         "kind": sync.kind,
+        "clock": list(sync.clock) if sync.clock is not None else None,
     }
 
 
 def sync_from_dict(data: Dict[str, object]) -> SyncEvent:
     """Inverse of :func:`sync_to_dict`."""
+    clock = data.get("clock")
     return SyncEvent(
         sync_id=int(data["sync_id"]),
         time=float(data["time"]),
         participants=tuple(int(r) for r in data["participants"]),
         kind=str(data.get("kind", "barrier")),
+        clock=tuple(int(c) for c in clock) if clock is not None else None,
     )
 
 

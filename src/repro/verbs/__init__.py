@@ -1,4 +1,4 @@
-"""The asynchronous one-sided (verbs) subsystem.
+"""The asynchronous verbs subsystem: one-sided *and* two-sided communication.
 
 The seed model exposes *blocking* one-sided operations: ``yield from
 api.put(...)`` suspends the program for the whole network round trip, so no
@@ -7,40 +7,69 @@ hardware the paper targets — can be expressed.  This package models the
 verbs programming surface on top of the same simulated fabric:
 
 * :mod:`repro.verbs.memory_registration` — registered memory regions and the
-  rkeys remote initiators must present;
-* :mod:`repro.verbs.work` — work requests and work completions;
+  rkeys remote initiators must present (``ibv_reg_mr``);
+* :mod:`repro.verbs.work` — work requests and work completions
+  (``ibv_post_send`` / ``ibv_wc``), one-sided and two-sided opcodes alike,
+  with scatter/gather payloads;
 * :mod:`repro.verbs.queue_pair` — per rank-pair send queues with in-order,
-  asynchronous execution;
+  asynchronous execution (``ibv_qp``, RC service);
+* :mod:`repro.verbs.receive_queue` — posted receive buffers: per-QP receive
+  queues and shared receive queues (``ibv_post_recv`` / ``ibv_srq``);
 * :mod:`repro.verbs.completion_queue` — where completions are polled or
-  awaited;
-* :mod:`repro.verbs.context` — the per-rank root object tying it together.
+  awaited (``ibv_cq`` / ``ibv_poll_cq``);
+* :mod:`repro.verbs.event_channel` — select over several completion queues
+  and drive callback-style handlers (``ibv_comp_channel``);
+* :mod:`repro.verbs.context` — the per-rank root object tying it together
+  (``ibv_context`` + protection domain).
 
 Every serviced request goes through the existing NIC generators, so the
 per-cell locks, the latency models, the race detector (including the RMW
-rules for the one-sided atomics) and the tracer all observe verbs traffic
-exactly as they observe blocking traffic.
+rules for the one-sided atomics and the matching happens-before of
+SEND/RECV) and the tracer all observe verbs traffic exactly as they observe
+blocking traffic.
 """
 
 from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
 from repro.verbs.context import VerbsContext
+from repro.verbs.event_channel import EventChannel
 from repro.verbs.memory_registration import (
     MemoryRegistry,
     RegisteredMemoryRegion,
     RemoteAccessError,
 )
 from repro.verbs.queue_pair import QueuePair, SendQueueFull
-from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion, WorkRequest
+from repro.verbs.receive_queue import (
+    ReceiveQueue,
+    ReceiveQueueFull,
+    ReceiveWorkRequest,
+    RecvQueueEmpty,
+    SharedReceiveQueue,
+)
+from repro.verbs.work import (
+    CompletionError,
+    CompletionStatus,
+    Opcode,
+    WorkCompletion,
+    WorkRequest,
+)
 
 __all__ = [
+    "CompletionError",
     "CompletionQueue",
     "CompletionQueueOverflow",
     "CompletionStatus",
+    "EventChannel",
     "MemoryRegistry",
     "Opcode",
     "QueuePair",
+    "ReceiveQueue",
+    "ReceiveQueueFull",
+    "ReceiveWorkRequest",
+    "RecvQueueEmpty",
     "RegisteredMemoryRegion",
     "RemoteAccessError",
     "SendQueueFull",
+    "SharedReceiveQueue",
     "VerbsContext",
     "WorkCompletion",
     "WorkRequest",

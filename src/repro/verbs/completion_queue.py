@@ -1,5 +1,7 @@
 """Completion queues.
 
+Real-verbs analogue: ``ibv_cq`` / ``ibv_poll_cq`` / ``ibv_req_notify_cq``.
+
 A :class:`CompletionQueue` is where the NIC parks :class:`WorkCompletion`
 records for the initiating process to retire.  Retirement is either
 *polling* (:meth:`CompletionQueue.poll`, non-blocking, the busy-wait idiom of
@@ -8,15 +10,25 @@ a generator the simulated process yields from, the blocking ``ibv_get_cq_event``
 idiom).  A bounded CQ overflows when completions arrive faster than the
 application retires them — a real verbs failure mode, reproduced here so
 workloads must size their queues.
+
+A CQ may additionally be attached to an
+:class:`~repro.verbs.event_channel.EventChannel` (the ``ibv_comp_channel``
+analogue): :meth:`CompletionQueue.arm` requests *one* notification
+(``ibv_req_notify_cq``), delivered to the channel when the next completion
+arrives — or immediately, if completions are already waiting, closing the
+classic arm/poll race window.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.verbs.work import WorkCompletion
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.verbs.event_channel import EventChannel
 
 
 class CompletionQueueOverflow(RuntimeError):
@@ -40,6 +52,8 @@ class CompletionQueue:
         self._ready: List[WorkCompletion] = []
         self._armed: List[Event] = []
         self._total_pushed = 0
+        self._channel: Optional["EventChannel"] = None
+        self._notify_armed = False
 
     # -- producer side (queue pairs) -----------------------------------------------
 
@@ -54,17 +68,62 @@ class CompletionQueue:
         self._total_pushed += 1
         if self._armed:
             self._armed.pop(0).succeed(completion)
+        self._maybe_notify()
+
+    # -- event-channel side (ibv_comp_channel) ----------------------------------------
+
+    def set_channel(self, channel: "EventChannel") -> None:
+        """Bind this CQ to an event channel (done by ``EventChannel.attach``).
+
+        A CQ belongs to at most one channel for its lifetime, as in verbs
+        (``ibv_create_cq`` takes the channel at creation).
+        """
+        if self._channel is not None and self._channel is not channel:
+            raise ValueError(
+                f"{self.name} is already attached to channel {self._channel.name}"
+            )
+        self._channel = channel
+
+    @property
+    def channel(self) -> Optional["EventChannel"]:
+        """The event channel this CQ notifies, if any."""
+        return self._channel
+
+    def arm(self) -> None:
+        """Request one notification on the attached channel (``ibv_req_notify_cq``).
+
+        One arm buys one event: the channel is notified when the next
+        completion arrives, then the CQ disarms until re-armed.  Arming a CQ
+        that already holds unretired completions notifies immediately — the
+        guard against the lost-wakeup race between polling and arming.
+        """
+        if self._channel is None:
+            raise RuntimeError(f"{self.name} is not attached to an event channel")
+        self._notify_armed = True
+        self._maybe_notify()
+
+    def _maybe_notify(self) -> None:
+        if self._notify_armed and self._channel is not None and self._ready:
+            self._notify_armed = False
+            self._channel._notify(self)
 
     # -- consumer side --------------------------------------------------------------
+
+    @staticmethod
+    def _retire(completions: List[WorkCompletion]) -> List[WorkCompletion]:
+        """Handing completions to the caller IS retirement: fire the hooks."""
+        for completion in completions:
+            completion.fire_retirement()
+        return completions
 
     def poll(self, max_entries: Optional[int] = None) -> List[WorkCompletion]:
         """Retire up to *max_entries* available completions without blocking."""
         if max_entries is None or max_entries >= len(self._ready):
             out, self._ready = self._ready, []
-            return out
+            return self._retire(out)
         out = self._ready[:max_entries]
         del self._ready[:max_entries]
-        return out
+        return self._retire(out)
 
     def wait(self, count: int = 1):
         """Generator: block the calling process until *count* completions retire.
@@ -83,7 +142,7 @@ class CompletionQueue:
             gate = self._sim.event(name=f"{self.name}:wait")
             self._armed.append(gate)
             yield gate
-        return retired
+        return self._retire(retired)
 
     # -- inspection ------------------------------------------------------------------
 

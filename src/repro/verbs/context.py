@@ -1,37 +1,51 @@
 """Per-rank verbs context: registration, queue pairs and completion handling.
 
-:class:`VerbsContext` is the per-rank root object of the verbs layer — the
-analogue of an ``ibv_context`` plus its protection domain.  It owns the
-rank's :class:`~repro.verbs.memory_registration.MemoryRegistry`, creates one
-:class:`~repro.verbs.queue_pair.QueuePair` per peer on demand (all feeding a
-single default completion queue), and offers the bookkeeping the runtime API
-builds on: post helpers for every opcode, and ``wait``/``wait_all``
+Real-verbs analogue: ``ibv_context`` plus its protection domain
+(``ibv_alloc_pd``), and the per-device factories ``ibv_create_srq`` /
+``ibv_create_comp_channel``.
+
+:class:`VerbsContext` is the per-rank root object of the verbs layer.  It
+owns the rank's :class:`~repro.verbs.memory_registration.MemoryRegistry`,
+creates one :class:`~repro.verbs.queue_pair.QueuePair` per peer on demand
+(all feeding a single default *send* completion queue, with two-sided receive
+completions landing on a separate *receive* CQ), optionally owns one
+:class:`~repro.verbs.receive_queue.SharedReceiveQueue` that queue pairs
+created after it drain from, and offers the bookkeeping the runtime API
+builds on: post helpers for every opcode — including two-sided
+``post_send`` / ``post_recv`` / ``post_srq_recv`` — and ``wait``/``wait_all``
 generators that retire completions and match them back to work requests.
 
-The context helpers consume the default completion queue; programs that poll
-the CQ directly should not mix the two styles on the same context.
+The context helpers consume the default completion queues; programs that
+poll a CQ directly (or drive it through an event channel) should not mix the
+two styles on the same queue.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.memory.address import GlobalAddress
 from repro.net.nic import NIC
 from repro.sim.engine import Simulator
 from repro.util.ids import IdAllocator
-from repro.verbs.completion_queue import CompletionQueue
+from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
+from repro.verbs.event_channel import EventChannel
 from repro.verbs.memory_registration import (
     MemoryRegistry,
     RegisteredMemoryRegion,
     RemoteAccessError,
 )
 from repro.verbs.queue_pair import QueuePair
+from repro.verbs.receive_queue import (
+    ReceiveQueue,
+    ReceiveWorkRequest,
+    SharedReceiveQueue,
+)
 from repro.verbs.work import Opcode, WorkCompletion, WorkRequest
 
 
 class VerbsContext:
-    """One rank's handle on the asynchronous one-sided subsystem."""
+    """One rank's handle on the asynchronous (one- and two-sided) subsystem."""
 
     def __init__(
         self,
@@ -39,16 +53,37 @@ class VerbsContext:
         nic: NIC,
         cq_capacity: Optional[int] = None,
         max_send_wr: int = 128,
+        max_recv_wr: int = 128,
+        rnr_backoff: float = 1.0,
+        rnr_retry_limit: Optional[int] = None,
     ) -> None:
         self.sim = sim
         self.nic = nic
         self.rank = nic.rank
         self.max_send_wr = max_send_wr
+        self.max_recv_wr = max_recv_wr
+        #: RNR retry protocol for two-sided sends: backoff between
+        #: retransmissions, and how many retries before giving up with an
+        #: RNR_RETRY_EXCEEDED completion (``None`` retries forever, the
+        #: InfiniBand ``rnr_retry=7`` encoding).
+        self.rnr_backoff = rnr_backoff
+        self.rnr_retry_limit = rnr_retry_limit
         self.registry = MemoryRegistry(self.rank)
         self.cq = CompletionQueue(sim, capacity=cq_capacity, name=f"cq-P{self.rank}")
+        #: Receive completions (matched two-sided sends) land here, away from
+        #: the send CQ, so wait()/wait_all() bookkeeping and receive handling
+        #: never contend for the same queue (a QP's send_cq/recv_cq split).
+        self.recv_cq = CompletionQueue(
+            sim, capacity=cq_capacity, name=f"recv-cq-P{self.rank}"
+        )
         self._wr_ids = IdAllocator(f"wr-P{self.rank}")
         self._queue_pairs: Dict[int, QueuePair] = {}
         self._peers: Dict[int, "VerbsContext"] = {self.rank: self}
+        self._srq: Optional[SharedReceiveQueue] = None
+        #: Receiver-side asynchronous errors, as ``(time, detail)`` pairs —
+        #: the ``ibv_async_event`` channel in miniature (currently: receive
+        #: CQ overflows, which lose the completion but not the payload).
+        self.async_errors: List[tuple] = []
         #: Posted-but-unretired requests, by wr_id.
         self._outstanding: Dict[int, WorkRequest] = {}
         #: Retired-but-unclaimed completions, by wr_id.
@@ -65,14 +100,156 @@ class VerbsContext:
         return self._peers[rank]
 
     def queue_pair(self, peer: int) -> QueuePair:
-        """Return (creating lazily) the queue pair to *peer*."""
+        """Return (creating lazily) the queue pair to *peer*.
+
+        Queue pairs created after :meth:`create_srq` attach their receive
+        side to the SRQ (the verbs rule: the SRQ is named at QP creation);
+        earlier ones keep their private receive queues.
+        """
         if peer not in self._queue_pairs:
             if peer != self.rank and peer not in self._peers:
                 raise KeyError(f"rank {peer} has no registered verbs context")
             self._queue_pairs[peer] = QueuePair(
-                self, peer, max_send_wr=self.max_send_wr
+                self, peer, max_send_wr=self.max_send_wr, recv_queue=self._srq
             )
         return self._queue_pairs[peer]
+
+    # -- two-sided receive side -------------------------------------------------------
+
+    def create_srq(self, max_wr: Optional[int] = None) -> SharedReceiveQueue:
+        """Create this rank's shared receive queue (``ibv_create_srq``).
+
+        Every queue pair created *afterwards* drains its receives from the
+        SRQ; at most one SRQ per context (call it before any traffic, as a
+        server would).
+        """
+        if self._srq is not None:
+            raise RuntimeError(f"rank {self.rank} already has a shared receive queue")
+        self._srq = SharedReceiveQueue(
+            self.rank, max_wr=self.max_recv_wr if max_wr is None else max_wr
+        )
+        return self._srq
+
+    @property
+    def srq(self) -> Optional[SharedReceiveQueue]:
+        """This rank's shared receive queue, if one was created."""
+        return self._srq
+
+    def receive_queue_from(self, source: int) -> ReceiveQueue:
+        """The queue incoming SENDs from *source* consume posted buffers from."""
+        return self.queue_pair(source).recv_queue
+
+    def _make_recv_wr(
+        self,
+        addresses: Sequence[GlobalAddress],
+        symbol: Optional[str],
+        source: Optional[int] = None,
+    ) -> ReceiveWorkRequest:
+        request = ReceiveWorkRequest(
+            wr_id=self._wr_ids.next_int(),
+            addresses=tuple(addresses),
+            symbol=symbol,
+            posted_at=self.sim.now,
+        )
+        # Posting a receive is itself an event and the permission point for
+        # the buffer: the snapshot joins the matching send's clock at
+        # delivery, ordering the scatter after everything this rank did
+        # before posting (and nothing it does afterwards).
+        detector = self.nic.detector
+        if detector is not None and detector.config.enabled:
+            detector.local_event(self.rank)
+            request.clock_snapshot = detector.current_clock(self.rank)
+        if self.nic.recorder is not None:
+            self.nic.recorder.record_transfer(
+                self.rank,
+                source if source is not None else self.rank,
+                time=self.sim.now,
+                kind="recv_post",
+            )
+        return request
+
+    def post_recv(
+        self,
+        source: int,
+        addresses: Sequence[GlobalAddress],
+        symbol: Optional[str] = None,
+    ) -> ReceiveWorkRequest:
+        """Post a receive buffer for sends from *source* (``ibv_post_recv``).
+
+        *addresses* is the scatter list — this rank's own cells, consumed in
+        FIFO order by matching sends.  Posting through a queue pair whose
+        receive side is the SRQ is rejected, as on real hardware.
+        """
+        queue_pair = self.queue_pair(source)
+        if queue_pair.uses_srq:
+            raise ValueError(
+                f"queue pair P{self.rank}<-P{source} receives through the SRQ; "
+                f"post with post_srq_recv"
+            )
+        return queue_pair.recv_queue.post(
+            self._make_recv_wr(addresses, symbol, source=source)
+        )
+
+    def post_srq_recv(
+        self,
+        addresses: Sequence[GlobalAddress],
+        symbol: Optional[str] = None,
+    ) -> ReceiveWorkRequest:
+        """Post a receive buffer to the SRQ (``ibv_post_srq_recv``)."""
+        if self._srq is None:
+            raise RuntimeError(
+                f"rank {self.rank} has no shared receive queue; call create_srq first"
+            )
+        return self._srq.post(self._make_recv_wr(addresses, symbol))
+
+    def deliver_recv(self, completion: WorkCompletion) -> None:
+        """Called by a peer's queue pair when a send lands in our buffer.
+
+        Delivery parks the completion on the receive CQ; *retirement* — this
+        rank popping it — is the synchronization point of two-sided
+        communication, so the completion carries a hook that merges the
+        message's clock into this rank's clock at that moment.
+
+        A bounded receive CQ that overflows is *this rank's* failure, not
+        the sender's: the payload already landed and the sender's ack is on
+        its way, but the completion — and with it the retirement
+        synchronization — is lost.  Real hardware raises the async
+        ``IBV_EVENT_CQ_ERR`` at the receiver; here the event is recorded in
+        :attr:`async_errors` (and the run continues, with any later access
+        to the unretired buffer correctly reported as unsynchronized).
+        """
+        if completion.sync_clock is not None:
+            completion.on_retire = self._on_recv_retired
+        try:
+            self.recv_cq.push(completion)
+        except CompletionQueueOverflow as error:
+            self.async_errors.append((self.sim.now, str(error)))
+
+    def _on_recv_retired(self, completion: WorkCompletion) -> None:
+        detector = self.nic.detector
+        if detector is not None and detector.config.enabled:
+            detector.on_recv_complete(self.rank, completion.peer, completion.sync_clock)
+        if self.nic.recorder is not None:
+            self.nic.recorder.record_transfer(
+                self.rank,
+                completion.peer,
+                time=self.sim.now,
+                kind="recv_complete",
+                clock=completion.sync_clock.frozen(),
+            )
+
+    def poll_recv(self) -> List[WorkCompletion]:
+        """Retire whatever receive completions are ready, without blocking."""
+        return self.recv_cq.poll()
+
+    def wait_recv(self, count: int = 1):
+        """Generator: block until *count* receive completions retire."""
+        completions = yield from self.recv_cq.wait(count)
+        return completions
+
+    def create_event_channel(self, name: Optional[str] = None) -> EventChannel:
+        """Create a completion event channel (``ibv_create_comp_channel``)."""
+        return EventChannel(self.sim, name=name or f"comp-channel-P{self.rank}")
 
     # -- memory registration ---------------------------------------------------------
 
@@ -178,6 +355,54 @@ class VerbsContext:
             Opcode.COMPARE_AND_SWAP, target, rkey,
             value=desired, compare=expected, symbol=symbol,
         )
+
+    def post_send(
+        self,
+        peer: int,
+        values: Optional[Sequence[Any]] = None,
+        gather_from: Optional[Sequence[GlobalAddress]] = None,
+        symbol: Optional[str] = None,
+    ) -> WorkRequest:
+        """Post a two-sided SEND to *peer* (``IBV_WR_SEND``); returns immediately.
+
+        The payload is *values* (inline cells) plus, appended at service time,
+        the current contents of the local *gather_from* addresses — the SGE
+        gather list.  Where it lands is the peer's business: a posted receive
+        buffer, consumed in FIFO order.  An empty payload is a legal
+        zero-length send, pure synchronization.
+
+        Posting is itself an event: the sender's clock ticks and the request
+        carries a snapshot of it, which the matching receive merges into the
+        receiver's clock (the message-passing happens-before edge).  The
+        snapshot — not the live clock — is what keeps a receiver that reuses
+        its posted buffer mid-flight visible to the detector.
+        """
+        for address in gather_from or ():
+            if address.rank != self.rank:
+                raise ValueError(
+                    f"send gather address {address} is not local to rank {self.rank}"
+                )
+        request = WorkRequest(
+            wr_id=self._wr_ids.next_int(),
+            opcode=Opcode.SEND,
+            target=None,
+            rkey=None,
+            peer=peer,
+            payload=tuple(values or ()),
+            gather_from=tuple(gather_from) if gather_from else None,
+            symbol=symbol,
+        )
+        detector = self.nic.detector
+        if detector is not None and detector.config.enabled:
+            detector.local_event(self.rank)
+            request.clock_snapshot = detector.current_clock(self.rank)
+        if self.nic.recorder is not None:
+            self.nic.recorder.record_transfer(
+                self.rank, peer, time=self.sim.now, kind="send_post"
+            )
+        self.queue_pair(peer).post(request)
+        self._outstanding[request.wr_id] = request
+        return request
 
     # -- completion handling -----------------------------------------------------------
 

@@ -1,5 +1,8 @@
 """Memory registration and remote keys.
 
+Real-verbs analogue: ``ibv_reg_mr`` / ``ibv_dereg_mr`` and the rkey field of
+an ``ibv_mr``.
+
 An RDMA NIC only services one-sided operations against memory that its owner
 has explicitly *registered*; the registration hands back an opaque **rkey**
 that the owner communicates out of band and remote initiators must present

@@ -1,11 +1,19 @@
 """Queue pairs: asynchronous, in-order execution of work requests.
 
+Real-verbs analogue: ``ibv_qp`` (reliable-connected service) and the
+send-queue half of ``ibv_post_send``.
+
 A :class:`QueuePair` connects one initiator rank to one peer rank (the
 reliable-connected service of the verbs model).  Posting a work request is
 immediate — the posting process keeps running — while a NIC-side drain
 process executes the queued requests *in order* against the existing
 simulated fabric (locks, latency, detection, tracing all apply unchanged)
 and delivers a completion to the associated completion queue after each one.
+
+Each queue pair also has a *receive side*: either a private
+:class:`~repro.verbs.receive_queue.ReceiveQueue` or an attached
+:class:`~repro.verbs.receive_queue.SharedReceiveQueue`, from which incoming
+two-sided SENDs from this QP's peer consume posted buffers (FIFO matching).
 
 Two properties matter for the workloads built on top:
 
@@ -29,8 +37,10 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
+from repro.net.nic import ReceiveLengthError, RnrRetryExceeded
 from repro.util.validation import require_positive
 from repro.verbs.memory_registration import RemoteAccessError
+from repro.verbs.receive_queue import ReceiveQueue, SharedReceiveQueue
 from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion, WorkRequest
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +59,7 @@ class QueuePair:
         context: "VerbsContext",
         peer: int,
         max_send_wr: int = 128,
+        recv_queue: Optional[ReceiveQueue] = None,
     ) -> None:
         require_positive(max_send_wr, "max_send_wr")
         self._context = context
@@ -56,11 +67,31 @@ class QueuePair:
         self.origin = context.rank
         self.peer = peer
         self.max_send_wr = max_send_wr
+        #: Where incoming SENDs *from the peer* consume posted buffers: a
+        #: private receive queue, or the context's SRQ when one was created
+        #: before this queue pair (the verbs rule: the SRQ is named at QP
+        #: creation and the pairing is permanent).
+        self.recv_queue: ReceiveQueue = (
+            recv_queue
+            if recv_queue is not None
+            else ReceiveQueue(
+                context.rank,
+                max_wr=context.max_recv_wr,
+                name=f"rq-P{context.rank}<-P{peer}",
+            )
+        )
+        if isinstance(self.recv_queue, SharedReceiveQueue):
+            self.recv_queue.attach(peer)
         self._pending: Deque[WorkRequest] = deque()
         self._in_service: Optional[WorkRequest] = None
         self._draining = False
         self.posted = 0
         self.completed = 0
+
+    @property
+    def uses_srq(self) -> bool:
+        """True when this QP's receive side is a shared receive queue."""
+        return isinstance(self.recv_queue, SharedReceiveQueue)
 
     # -- posting -----------------------------------------------------------------
 
@@ -76,10 +107,10 @@ class QueuePair:
         already outstanding — the initiator must retire completions before
         posting more, exactly as with a real send queue.
         """
-        if request.target.rank != self.peer:
+        if request.destination_rank != self.peer:
             raise ValueError(
                 f"queue pair P{self.origin}->P{self.peer} given request "
-                f"targeting rank {request.target.rank}"
+                f"targeting rank {request.destination_rank}"
             )
         if self.outstanding >= self.max_send_wr:
             raise SendQueueFull(
@@ -111,6 +142,9 @@ class QueuePair:
 
     def _execute(self, request: WorkRequest) -> Generator:
         """Run one work request through the NIC; returns its completion."""
+        if request.opcode is Opcode.SEND:
+            completion = yield from self._execute_send(request)
+            return completion
         target_registry = self._context.peer_context(request.target.rank).registry
         try:
             target_registry.validate(request.rkey, request.target)
@@ -166,6 +200,99 @@ class QueuePair:
             origin=self.origin,
             peer=self.peer,
             value=None if request.opcode is Opcode.PUT else result.value,
+            result=result,
+            posted_at=request.posted_at,
+            completed_at=self._sim.now,
+        )
+
+    def _execute_send(self, request: WorkRequest) -> Generator:
+        """Run one two-sided SEND; returns the sender-side completion.
+
+        The matched receive's completion is delivered to the *peer* context's
+        receive CQ as a side effect — including on a length error, where the
+        consumed buffer must still be reported to its poster.
+        """
+        nic = self._context.nic
+        target_context = self._context.peer_context(self.peer)
+        recv_queue = target_context.receive_queue_from(self.origin)
+        values = list(request.payload or ())
+        if request.gather_from:
+            # The gather half of scatter/gather: read the local cells through
+            # the NIC (instrumented like any public-memory access) and append
+            # them to the inline payload.
+            for address in request.gather_from:
+                read = yield from nic.local_read(address, symbol=request.symbol)
+                values.append(read.value)
+        try:
+            result, recv_wr, carried_clock = yield from nic.send_payload(
+                self.peer,
+                values,
+                lambda: recv_queue.match(self.origin),
+                symbol=request.symbol,
+                clock_snapshot=request.clock_snapshot,
+                rnr_backoff=self._context.rnr_backoff,
+                rnr_retry_limit=self._context.rnr_retry_limit,
+            )
+        except RnrRetryExceeded as error:
+            return WorkCompletion(
+                wr_id=request.wr_id,
+                opcode=request.opcode,
+                status=CompletionStatus.RNR_RETRY_EXCEEDED,
+                origin=self.origin,
+                peer=self.peer,
+                posted_at=request.posted_at,
+                completed_at=self._sim.now,
+                detail=str(error),
+            )
+        except ReceiveLengthError as error:
+            target_context.deliver_recv(
+                WorkCompletion(
+                    wr_id=error.recv_wr.wr_id,
+                    opcode=Opcode.RECV,
+                    status=CompletionStatus.LENGTH_ERROR,
+                    origin=self.peer,
+                    peer=self.origin,
+                    addresses=error.recv_wr.addresses,
+                    posted_at=error.recv_wr.posted_at,
+                    completed_at=self._sim.now,
+                    detail=str(error),
+                )
+            )
+            return WorkCompletion(
+                wr_id=request.wr_id,
+                opcode=request.opcode,
+                status=CompletionStatus.LENGTH_ERROR,
+                origin=self.origin,
+                peer=self.peer,
+                posted_at=request.posted_at,
+                completed_at=self._sim.now,
+                detail=str(error),
+            )
+        if nic.recorder is not None:
+            nic.recorder.record_operation(
+                result, symbol=request.symbol, posted_time=request.posted_at
+            )
+        target_context.deliver_recv(
+            WorkCompletion(
+                wr_id=recv_wr.wr_id,
+                opcode=Opcode.RECV,
+                status=CompletionStatus.SUCCESS,
+                origin=self.peer,
+                peer=self.origin,
+                value=tuple(values),
+                result=result,
+                addresses=recv_wr.addresses,
+                posted_at=recv_wr.posted_at,
+                completed_at=self._sim.now,
+                sync_clock=carried_clock,
+            )
+        )
+        return WorkCompletion(
+            wr_id=request.wr_id,
+            opcode=request.opcode,
+            status=CompletionStatus.SUCCESS,
+            origin=self.origin,
+            peer=self.peer,
             result=result,
             posted_at=request.posted_at,
             completed_at=self._sim.now,

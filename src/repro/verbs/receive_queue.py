@@ -1,0 +1,175 @@
+"""Posted receive buffers: per-QP receive queues and shared receive queues.
+
+Real-verbs analogue: ``ibv_post_recv``, ``ibv_recv_wr`` and ``ibv_srq`` /
+``ibv_create_srq`` / ``ibv_post_srq_recv``.
+
+The two-sided half of the verbs model inverts the one-sided contract: the
+*receiver* decides where incoming data lands by posting
+:class:`ReceiveWorkRequest` buffers — scatter lists of its own addresses —
+before the matching SEND arrives.  Matching is strictly FIFO (verbs has no
+tag matching: the first posted receive consumes the first arriving send), and
+a SEND that finds the queue empty hits the RNR (receiver-not-ready) condition
+(:class:`RecvQueueEmpty`), which the sending NIC answers with the RC retry
+protocol.
+
+Two flavours:
+
+* :class:`ReceiveQueue` — one queue pair's private receive queue: only sends
+  from that QP's peer consume from it;
+* :class:`SharedReceiveQueue` — the ``ibv_srq`` analogue: one pool of posted
+  buffers that *every* attached queue pair drains from, so a server sizes its
+  buffering for aggregate load instead of per-client worst case.  Per-source
+  match counters record which peers actually consumed buffers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterable, Optional, Set, Tuple
+
+from repro.memory.address import GlobalAddress
+from repro.net.nic import ReceiverNotReady
+from repro.util.validation import require_positive
+
+
+class ReceiveQueueFull(RuntimeError):
+    """Raised when posting to a receive queue already at ``max_wr`` capacity."""
+
+
+class RecvQueueEmpty(ReceiverNotReady):
+    """A SEND arrived (or a match was attempted) with no receive posted.
+
+    Subclasses the NIC-level :class:`~repro.net.nic.ReceiverNotReady` so the
+    sending NIC's RNR retry protocol catches it without the net layer ever
+    importing the verbs package.
+    """
+
+
+@dataclass
+class ReceiveWorkRequest:
+    """One posted receive buffer: a scatter list of receiver-local addresses.
+
+    The verbs analogue is an ``ibv_recv_wr`` whose SGE list names
+    ``len(addresses)`` cells.  A matched SEND deposits payload cell *i* into
+    ``addresses[i]``; a payload shorter than the buffer leaves the tail cells
+    untouched, a longer one is a length error that consumes the buffer
+    without writing anything.
+
+    ``clock_snapshot`` is the receiver's vector clock captured when the
+    buffer was posted: posting is the permission point — a matched delivery
+    is causally *after both* the SEND post and this RECV post, so the scatter
+    writes carry the merge of the two snapshots.  That is what lets a
+    reposted buffer absorb sends from unsynchronized peers without a race
+    report, while a buffer scribbled on *after* posting still races with the
+    in-flight payload.
+    """
+
+    wr_id: int
+    addresses: Tuple[GlobalAddress, ...]
+    symbol: Optional[str] = None
+    posted_at: float = 0.0
+    clock_snapshot: object = None
+
+    @property
+    def capacity(self) -> int:
+        """Number of cells this buffer can absorb."""
+        return len(self.addresses)
+
+    def __str__(self) -> str:
+        return f"recv-wr#{self.wr_id} ({self.capacity} cells)"
+
+
+class ReceiveQueue:
+    """A FIFO of posted receives, consumed in order by matching sends."""
+
+    def __init__(self, rank: int, max_wr: int = 128, name: Optional[str] = None) -> None:
+        require_positive(max_wr, "max_wr")
+        self.rank = rank
+        self.max_wr = max_wr
+        self.name = name or f"rq-P{rank}"
+        self._pending: Deque[ReceiveWorkRequest] = deque()
+        self.posted = 0
+        self.matched = 0
+        #: Buffers consumed per sending rank (who actually drained us).
+        self.matched_by: Dict[int, int] = {}
+
+    # -- posting (receiver side) ---------------------------------------------------
+
+    def post(self, request: ReceiveWorkRequest) -> ReceiveWorkRequest:
+        """Append *request*; raises :class:`ReceiveQueueFull` at capacity.
+
+        Every scatter address must be local to the owning rank: a receive
+        buffer is the receiver's own memory by definition.
+        """
+        for address in request.addresses:
+            if address.rank != self.rank:
+                raise ValueError(
+                    f"{self.name}: receive buffer address {address} is not "
+                    f"local to rank {self.rank}"
+                )
+        if len(self._pending) >= self.max_wr:
+            raise ReceiveQueueFull(
+                f"{self.name}: {len(self._pending)} receives already posted "
+                f"(max {self.max_wr})"
+            )
+        self._pending.append(request)
+        self.posted += 1
+        return request
+
+    # -- matching (target NIC side) --------------------------------------------------
+
+    def match(self, source: int) -> ReceiveWorkRequest:
+        """Consume and return the head receive for a SEND from *source*.
+
+        Raises :class:`RecvQueueEmpty` when nothing is posted — the RNR
+        condition the sending NIC retries on.
+        """
+        if not self._pending:
+            raise RecvQueueEmpty(
+                f"{self.name}: no receive posted for send from rank {source}"
+            )
+        request = self._pending.popleft()
+        self.matched += 1
+        self.matched_by[source] = self.matched_by.get(source, 0) + 1
+        return request
+
+    # -- inspection -------------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Receives currently posted and unconsumed."""
+        return len(self._pending)
+
+    def pending(self) -> Iterable[ReceiveWorkRequest]:
+        """The unconsumed receives, head first (for tests and debugging)."""
+        return tuple(self._pending)
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} depth={self.depth}>"
+
+
+class SharedReceiveQueue(ReceiveQueue):
+    """An ``ibv_srq``: one receive pool drained by every attached queue pair.
+
+    Mechanically identical to a :class:`ReceiveQueue` — FIFO consumption,
+    bounded posting, RNR on empty — but shared: the verbs layer points each
+    attached queue pair's receive side at this object, so sends from *any*
+    attached peer consume from the common pool in arrival order.
+    """
+
+    def __init__(self, rank: int, max_wr: int = 128, name: Optional[str] = None) -> None:
+        super().__init__(rank, max_wr=max_wr, name=name or f"srq-P{rank}")
+        self._attached: Set[int] = set()
+
+    def attach(self, peer: int) -> None:
+        """Record that the queue pair facing *peer* drains from this SRQ."""
+        self._attached.add(peer)
+
+    @property
+    def attached_peers(self) -> Tuple[int, ...]:
+        """Ranks whose queue pairs share this SRQ, in sorted order."""
+        return tuple(sorted(self._attached))

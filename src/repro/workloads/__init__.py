@@ -14,6 +14,13 @@ these generators rather than hand-rolling programs:
 * :mod:`repro.workloads.verbs_stencil` — the same stencil with *overlapped*
   halo exchange through the asynchronous verbs layer (posted puts, interior
   compute hiding the communication);
+* :mod:`repro.workloads.send_recv_stencil` — a multi-plane stencil moving
+  whole boundary planes as single gathered SENDs into posted receive
+  buffers, with a per-cell-puts transport mode for the message-count
+  comparison (benchmark ``bench_send_gather``);
+* :mod:`repro.workloads.rpc_echo` — a completion-driven RPC echo server
+  over SEND/RECV, a shared receive queue and an event channel, with an
+  injectable receive-buffer reuse race;
 * :mod:`repro.workloads.atomic_counter` — a lock-free shared counter over
   one-sided ``fetch_add``, with a lossy get-then-put mode for contrast;
 * :mod:`repro.workloads.work_stealing` — decentralized task shards popped
@@ -39,6 +46,8 @@ from repro.workloads.random_access import RandomAccessWorkload
 from repro.workloads.master_worker import MasterWorkerWorkload
 from repro.workloads.stencil import StencilWorkload
 from repro.workloads.verbs_stencil import VerbsStencilWorkload
+from repro.workloads.send_recv_stencil import SendRecvStencilWorkload
+from repro.workloads.rpc_echo import RPCEchoWorkload
 from repro.workloads.atomic_counter import LockFreeCounterWorkload
 from repro.workloads.work_stealing import AtomicWorkStealingWorkload
 from repro.workloads.reduction import OneSidedReductionWorkload
@@ -58,6 +67,8 @@ __all__ = [
     "MasterWorkerWorkload",
     "StencilWorkload",
     "VerbsStencilWorkload",
+    "SendRecvStencilWorkload",
+    "RPCEchoWorkload",
     "LockFreeCounterWorkload",
     "AtomicWorkStealingWorkload",
     "OneSidedReductionWorkload",

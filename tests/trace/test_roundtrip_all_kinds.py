@@ -33,6 +33,7 @@ OPERATIONS = [
     "local_write",
     "fetch_add",
     "compare_and_swap",
+    "send",
     "collective",
 ]
 
@@ -108,6 +109,23 @@ class TestSyncRoundTrip:
         sync = SyncEvent(sync_id=4, time=7.5, participants=(0, 1, 3), kind=kind)
         assert sync_from_dict(sync_to_dict(sync)) == sync
 
+    @pytest.mark.parametrize("kind", ["send_post", "recv_post", "transfer", "recv_complete"])
+    def test_directional_send_recv_kinds_round_trip(self, kind):
+        """The two-sided kinds: participant ORDER and the carried clock are
+        semantic (direction of the happens-before edge) and must survive."""
+        sync = SyncEvent(
+            sync_id=9, time=2.5, participants=(2, 0), kind=kind,
+            clock=(3, 0, 1) if kind in ("transfer", "recv_complete") else None,
+        )
+        decoded = sync_from_dict(sync_to_dict(sync))
+        assert decoded == sync
+        assert decoded.participants == (2, 0)  # not sorted
+
+    def test_legacy_sync_dict_without_clock_decodes(self):
+        data = sync_to_dict(SyncEvent(0, 0.0, (0, 1), kind="barrier"))
+        del data["clock"]  # a version-1 trace written before the SEND era
+        assert sync_from_dict(data).clock is None
+
 
 class TestWholeTraceRoundTrip:
     def test_recorded_verbs_run_round_trips_exactly(self):
@@ -144,3 +162,31 @@ class TestWholeTraceRoundTrip:
         assert syncs2 == syncs
         # And a second encode is byte-identical (stable archival format).
         assert trace_to_json(3, accesses2, operations2, syncs2, indent=2) == text
+
+    def test_recorded_send_recv_run_round_trips_exactly(self):
+        """A two-sided run covers the directional sync kinds losslessly."""
+        runtime = DSMRuntime(RuntimeConfig(world_size=2, latency="uniform"))
+        runtime.declare_array("inbox", 2, owner=1, initial=0)
+
+        def sender(api):
+            yield from api.wait(api.isend(1, [4, 5], symbol="inbox"))
+
+        def receiver(api):
+            api.irecv(0, "inbox", indices=range(2))
+            yield from api.wait_recv(1)
+
+        runtime.set_program(0, sender)
+        runtime.set_program(1, receiver)
+        runtime.run()
+        syncs = runtime.recorder.syncs()
+        kinds = {sync.kind for sync in syncs}
+        assert {"send_post", "recv_post", "transfer", "recv_complete"} <= kinds
+        assert any(sync.clock is not None for sync in syncs)
+        accesses = runtime.recorder.accesses()
+        operations = runtime.recorder.operations()
+        assert any(access.operation == "send" for access in accesses)
+        text = trace_to_json(2, accesses, operations, syncs, indent=2)
+        world, accesses2, operations2, syncs2 = trace_from_json(text)
+        assert (world, accesses2, operations2, syncs2) == (
+            2, accesses, operations, syncs
+        )

@@ -1,0 +1,159 @@
+"""Unit tests for the ibv_comp_channel analogue (event channels)."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.verbs.completion_queue import CompletionQueue
+from repro.verbs.event_channel import EventChannel
+from repro.verbs.work import CompletionStatus, Opcode, WorkCompletion
+
+
+def make_wc(wr_id):
+    return WorkCompletion(
+        wr_id=wr_id, opcode=Opcode.PUT, status=CompletionStatus.SUCCESS,
+        origin=0, peer=1,
+    )
+
+
+def run_process(sim, generator):
+    holder = {}
+
+    def wrapper():
+        holder["result"] = yield from generator
+        return holder["result"]
+
+    sim.process(wrapper())
+    sim.run()
+    return holder.get("result")
+
+
+class TestArmAndNotify:
+    def test_unattached_cq_cannot_arm(self):
+        sim = Simulator()
+        cq = CompletionQueue(sim)
+        with pytest.raises(RuntimeError, match="not attached"):
+            cq.arm()
+
+    def test_armed_cq_notifies_on_push(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim, name="cq-a"))
+        cq.arm()
+        assert channel.poll() is None
+        cq.push(make_wc(1))
+        assert channel.poll() is cq
+        assert channel.events_delivered == 1
+
+    def test_one_arm_buys_exactly_one_event(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        cq.arm()
+        cq.push(make_wc(1))
+        cq.push(make_wc(2))  # second push: disarmed, no second event
+        assert channel.poll() is cq
+        assert channel.poll() is None
+        assert channel.events_delivered == 1
+
+    def test_arming_a_nonempty_cq_fires_immediately(self):
+        # The classic lost-wakeup guard: completions that arrived before the
+        # arm must still produce an event.
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        cq.push(make_wc(1))
+        assert channel.poll() is None
+        cq.arm()
+        assert channel.poll() is cq
+
+    def test_unarmed_pushes_never_notify(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        cq.push(make_wc(1))
+        assert channel.poll() is None and channel.events_delivered == 0
+
+    def test_cq_belongs_to_one_channel_for_life(self):
+        sim = Simulator()
+        first, second = EventChannel(sim, "a"), EventChannel(sim, "b")
+        cq = first.attach(CompletionQueue(sim))
+        first.attach(cq)  # re-attaching to the same channel is fine
+        with pytest.raises(ValueError, match="already attached"):
+            second.attach(cq)
+
+
+class TestWaitAndSelect:
+    def test_wait_blocks_until_an_armed_cq_fires(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        cq.arm()
+        sim.call_after(5.0, lambda: cq.push(make_wc(1)))
+
+        def waiter():
+            fired = yield from channel.wait()
+            return (fired, sim.now)
+
+        fired, at = run_process(sim, waiter())
+        assert fired is cq and at == 5.0
+
+    def test_wait_selects_over_several_cqs_in_arrival_order(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        recv_cq = channel.attach(CompletionQueue(sim, name="recv"))
+        send_cq = channel.attach(CompletionQueue(sim, name="send"))
+        channel.arm_all()
+        sim.call_after(2.0, lambda: send_cq.push(make_wc(1)))
+        sim.call_after(4.0, lambda: recv_cq.push(make_wc(2)))
+
+        def waiter():
+            first = yield from channel.wait()
+            second = yield from channel.wait()
+            return [first, second]
+
+        order = run_process(sim, waiter())
+        assert order == [send_cq, recv_cq]
+
+    def test_pending_events_are_delivered_before_blocking(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        cq.arm()
+        cq.push(make_wc(1))
+
+        def waiter():
+            fired = yield from channel.wait()
+            return fired
+
+        assert run_process(sim, waiter()) is cq
+
+
+class TestServeLoop:
+    def test_serve_drains_handles_and_rearms(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        cq = channel.attach(CompletionQueue(sim))
+        for delay, wr_id in ((1.0, 1), (2.0, 2), (3.0, 3)):
+            sim.call_after(delay, lambda wr_id=wr_id: cq.push(make_wc(wr_id)))
+        seen = []
+
+        def server():
+            handled = yield from channel.serve(
+                lambda wc: seen.append(wc.wr_id), stop=lambda: len(seen) >= 3
+            )
+            return handled
+
+        handled = run_process(sim, server())
+        assert seen == [1, 2, 3] and handled == 3
+        assert cq.depth == 0
+
+    def test_serve_with_satisfied_stop_returns_without_waiting(self):
+        sim = Simulator()
+        channel = EventChannel(sim)
+        channel.attach(CompletionQueue(sim))
+
+        def server():
+            handled = yield from channel.serve(lambda wc: None, stop=lambda: True)
+            return handled
+
+        assert run_process(sim, server()) == 0

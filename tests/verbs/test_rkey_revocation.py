@@ -1,0 +1,165 @@
+"""rkey lifecycle: deregistering a memory region with posted work in flight.
+
+The ROADMAP open item: ``MemoryRegistry.deregister`` existed but nothing
+exercised revocation mid-run.  These tests pin down the semantics:
+
+* an rkey is validated **once, when servicing begins** — at the head of the
+  queue-pair drain, before any lock or memory traffic;
+* a request posted before the revocation but serviced after it fails with a
+  REMOTE_ACCESS_ERROR completion and touches no memory (the verbs protection
+  model: the initiator learns through the completion, never an exception at
+  the post site);
+* a request whose servicing already began when the key was revoked runs to
+  completion — revocation does not abort in-flight DMA;
+* re-registering the region mints a *fresh* rkey; the revoked key stays dead.
+"""
+
+import pytest
+
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.verbs.memory_registration import RemoteAccessError
+from repro.verbs.work import CompletionStatus
+
+
+def make_runtime(**overrides):
+    overrides.setdefault("latency", "constant")
+    return DSMRuntime(RuntimeConfig(world_size=2, **overrides))
+
+
+def revoke(runtime, symbol):
+    """Owner-side revocation: drop the rkey covering ``symbol[0]``."""
+    owner_context = runtime.verbs_contexts[
+        runtime.directory.resolve(symbol, 0).rank
+    ]
+    address = runtime.directory.resolve(symbol, 0)
+    rkey = owner_context.registry.rkey_covering(address)
+    assert rkey is not None, "symbol was never registered"
+    owner_context.registry.deregister(rkey)
+    return rkey
+
+
+class TestDeregisterBeforeServicing:
+    def test_posted_put_fails_cleanly_when_key_revoked_before_drain(self):
+        runtime = make_runtime()
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def initiator(api):
+            request = api.iput("x", 42)  # rkey resolved and queued here
+            revoke(runtime, "x")        # owner revokes before the drain runs
+            (completion,) = yield from api.wait(request, raise_on_error=False)
+            api.private.write("status", completion.status.value)
+            api.private.write("detail", completion.detail)
+
+        def owner(api):
+            yield from api.compute(0.0)
+
+        runtime.set_program(0, initiator)
+        runtime.set_program(1, owner)
+        result = runtime.run()
+        assert result.per_rank_private[0]["status"] == "remote-access-error"
+        assert "not registered" in result.per_rank_private[0]["detail"]
+        # The protection fault is pre-memory: the cell never changed and no
+        # access was traced.
+        assert result.shared_value("x") == 0
+        assert runtime.recorder.accesses(symbol="x") == []
+
+    def test_strict_wait_raises_remote_access_error(self):
+        runtime = make_runtime()
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def initiator(api):
+            request = api.iget("x")
+            revoke(runtime, "x")
+            with pytest.raises(RemoteAccessError):
+                yield from api.wait(request)
+
+        def owner(api):
+            yield from api.compute(0.0)
+
+        runtime.set_program(0, initiator)
+        runtime.set_program(1, owner)
+        runtime.run()
+
+
+class TestDeregisterMidFlight:
+    def test_revocation_between_queued_requests_splits_the_queue(self):
+        """Two puts on one queue pair; the owner revokes between their service
+        windows.  The first (already serviced) sticks; the second fails."""
+        runtime = make_runtime()
+        runtime.declare_array("window", 2, owner=1, initial=0)
+
+        def initiator(api):
+            first = api.iput("window", 11, index=0)
+            second = api.iput("window", 22, index=1)
+            completions = yield from api.wait(first, second, raise_on_error=False)
+            api.private.write(
+                "statuses", [completion.status.value for completion in completions]
+            )
+
+        def owner(api):
+            # Constant latency 1.0: the first put lands at t=1; revoke inside
+            # (1, 2) so the second — queued behind it on the same QP — finds
+            # the key dead at ITS validation point.
+            yield from api.compute(1.5)
+            revoke(runtime, "window")
+
+        runtime.set_program(0, initiator)
+        runtime.set_program(1, owner)
+        result = runtime.run()
+        assert result.per_rank_private[0]["statuses"] == [
+            CompletionStatus.SUCCESS.value,
+            CompletionStatus.REMOTE_ACCESS_ERROR.value,
+        ]
+        assert result.final_shared_values["window"] == [11, 0]
+
+    def test_request_already_being_serviced_completes(self):
+        """Validation happens once, at service start: revoking while the data
+        message is in flight does not abort the operation (no DMA recall)."""
+        runtime = make_runtime()
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def initiator(api):
+            request = api.iput("x", 7)
+            completions = yield from api.wait(request, raise_on_error=False)
+            api.private.write("status", completions[0].status.value)
+
+        def owner(api):
+            # The put is validated at t=0 (drain start) and lands at t=1;
+            # revoking at t=0.5 is too late to stop it.
+            yield from api.compute(0.5)
+            revoke(runtime, "x")
+
+        runtime.set_program(0, initiator)
+        runtime.set_program(1, owner)
+        result = runtime.run()
+        assert result.per_rank_private[0]["status"] == "success"
+        assert result.shared_value("x") == 7
+
+
+class TestReRegistration:
+    def test_fresh_rkey_after_revocation_and_old_key_stays_dead(self):
+        runtime = make_runtime()
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def initiator(api):
+            first = api.iput("x", 1)
+            yield from api.wait(first)
+            old_rkey = revoke(runtime, "x")
+            # Lazy re-registration on the next post mints a fresh key...
+            second = api.iput("x", 2)
+            assert second.rkey is not None and second.rkey != old_rkey
+            yield from api.wait(second)
+            # ...while a request pinning the revoked key still fails.
+            address = api.address_of("x")
+            stale = api.verbs.post_put(address, 3, rkey=old_rkey, symbol="x")
+            completions = yield from api.wait(stale, raise_on_error=False)
+            api.private.write("stale_status", completions[0].status.value)
+
+        def owner(api):
+            yield from api.compute(0.0)
+
+        runtime.set_program(0, initiator)
+        runtime.set_program(1, owner)
+        result = runtime.run()
+        assert result.per_rank_private[0]["stale_status"] == "remote-access-error"
+        assert result.shared_value("x") == 2
