@@ -21,7 +21,8 @@ from repro.analysis.metrics import score_patterns
 from repro.detectors.lockset import LocksetDetector
 from repro.detectors.postmortem import PostMortemDualClockDetector
 from repro.detectors.single_clock import SingleClockDetector
-from repro.workloads.racy_patterns import pattern_corpus
+from repro.explore.campaign import CampaignConfig, run_campaign
+from repro.workloads.racy_patterns import pattern_corpus, rmw_pattern_corpus
 
 SEED = 0
 
@@ -93,5 +94,84 @@ def test_detector_accuracy_on_labelled_corpus(benchmark):
                 "symbol_f1": round(score.symbol_level.f1, 3),
             }
             for name, score in scores.items()
+        ],
+    )
+
+
+def rmw_sweep():
+    """E14 — atomic-aware accuracy across schedules, per RMW-pair knob.
+
+    The RMW corpus is scored through the schedule-exploration campaign
+    runner (not one run per seed): each pattern's verdict aggregates a
+    fuzzed sample of its schedule *space*, once per
+    ``treat_rmw_pairs_as_ordered`` setting.  Labels follow the operational
+    definition, so pure-RMW contention with deterministic outcomes (atomic
+    counter, CAS flag claim) counts against precision while the knob is off
+    and stops being flagged once it is on — with recall pinned by the
+    get-then-put counter and the work-stealing head scans, which must stay
+    flagged under either setting.
+    """
+    reports = {}
+    for ordered in (False, True):
+        config = CampaignConfig(
+            strategy="fuzz",
+            budget=4,
+            seed=SEED,
+            quantum=4.0,
+            treat_rmw_pairs_as_ordered=ordered,
+        )
+        reports[ordered] = run_campaign(config, corpus="rmw")
+    return reports
+
+
+def test_rmw_accuracy_per_ordering_knob_through_campaign(benchmark):
+    reports = benchmark(rmw_sweep)
+    corpus = {p.name: p for p in rmw_pattern_corpus()}
+
+    default_knob = reports[False].detector_scores()["matrix-clock"]
+    ordered_knob = reports[True].detector_scores()["matrix-clock"]
+
+    # The knob buys precision: every pure-RMW benign pattern goes silent.
+    assert ordered_knob.symbol_level.precision > default_knob.symbol_level.precision
+    assert ordered_knob.symbol_level.precision == 1.0
+    assert ordered_knob.program_level.accuracy == 1.0
+    # ... and costs no recall under either setting: plain-access races and
+    # RMW-vs-plain-read races stay flagged.
+    assert default_knob.symbol_level.recall == 1.0
+    assert ordered_knob.symbol_level.recall == 1.0
+
+    # The true race is flagged in every explored schedule, on both settings.
+    for ordered in (False, True):
+        consistency = reports[ordered].matrix_clock_consistency()
+        assert consistency["rmw-counter-getput"]["counter"] == 1.0
+
+    # Under the default knob, each benign pure-RMW pattern is flagged
+    # (that's the imprecision the knob removes).
+    default_flagged = {
+        p["pattern"]: set(p["flagged_in_any"]["matrix-clock"])
+        for p in reports[False].per_pattern
+    }
+    assert "counter" in default_flagged["rmw-counter-atomic"]
+    assert "flag" in default_flagged["rmw-cas-flag"]
+
+    record(
+        benchmark,
+        experiment="E14 atomic-aware accuracy per RMW knob (campaign)",
+        table=[
+            {
+                "treat_rmw_pairs_as_ordered": ordered,
+                "schedules_per_pattern": reports[ordered].config.budget,
+                "patterns": len(corpus),
+                "program_accuracy": round(
+                    reports[ordered].detector_scores()["matrix-clock"].program_level.accuracy, 3
+                ),
+                "symbol_precision": round(
+                    reports[ordered].detector_scores()["matrix-clock"].symbol_level.precision, 3
+                ),
+                "symbol_recall": round(
+                    reports[ordered].detector_scores()["matrix-clock"].symbol_level.recall, 3
+                ),
+            }
+            for ordered in (False, True)
         ],
     )

@@ -1,0 +1,73 @@
+"""Schedule-space exploration: search over interleavings, not just one run.
+
+The paper's central claim is that vector/matrix-clock detection flags a race
+in *every* legal schedule, not just the one that happened to execute.  This
+package turns the single-interleaving harness into a schedule-*space*
+harness:
+
+* :mod:`repro.explore.decisions` — the replayable decision log every
+  nondeterministic choice point is recorded into;
+* :mod:`repro.explore.controller` — the schedule controller hooked into the
+  simulation engine and the network layer, plus the strategy interface
+  (passthrough, replay);
+* :mod:`repro.explore.fuzzer` — seed-controlled schedule fuzzing with
+  configurable delivery-reorder aggressiveness;
+* :mod:`repro.explore.systematic` — a bounded systematic searcher that
+  enumerates delivery-order branchings around conflicting accesses
+  (DPOR-lite) with sleep-set-style fingerprint dedup;
+* :mod:`repro.explore.runner` — one-schedule execution, per-schedule
+  detector verdicts, and the :class:`~repro.explore.runner.Explorer` driving
+  either strategy under a schedule budget;
+* :mod:`repro.explore.minimize` — delta-debugging of a racing decision log
+  to the shortest prefix still producing the race, with a replayable
+  trace-layer artifact;
+* :mod:`repro.explore.campaign` — sharded exploration campaigns across
+  worker processes, aggregating cross-schedule precision/recall per detector
+  into JSON/markdown reports.
+"""
+
+from repro.explore.controller import (
+    PassthroughStrategy,
+    ReplayDivergence,
+    ReplayStrategy,
+    ScheduleController,
+    ScheduleStrategy,
+)
+from repro.explore.decisions import Decision, DecisionLog
+from repro.explore.fuzzer import ScheduleFuzzer
+from repro.explore.minimize import (
+    MinimizedSchedule,
+    minimize_racing_schedule,
+    replay_artifact,
+)
+from repro.explore.runner import (
+    ExplorationResult,
+    Explorer,
+    ScheduleOutcome,
+    run_schedule,
+)
+from repro.explore.systematic import SystematicStrategy, schedule_fingerprint
+from repro.explore.campaign import CampaignConfig, CampaignReport, run_campaign
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "Decision",
+    "DecisionLog",
+    "ExplorationResult",
+    "Explorer",
+    "MinimizedSchedule",
+    "PassthroughStrategy",
+    "ReplayDivergence",
+    "ReplayStrategy",
+    "ScheduleController",
+    "ScheduleFuzzer",
+    "ScheduleOutcome",
+    "ScheduleStrategy",
+    "SystematicStrategy",
+    "minimize_racing_schedule",
+    "replay_artifact",
+    "run_campaign",
+    "run_schedule",
+    "schedule_fingerprint",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.explore`` — run an exploration campaign from the CLI."""
+
+import sys
+
+from repro.explore.campaign import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,366 @@
+"""Sharded exploration campaigns with aggregated accuracy reports.
+
+A *campaign* explores the schedule space of every pattern in a labelled
+corpus, scores each detector's per-schedule verdicts against the corpus
+labels, and aggregates the result into one JSON/markdown report.  Patterns
+are independent, so the campaign shards at pattern granularity across worker
+processes (:mod:`multiprocessing`); workers resolve their pattern by
+``(corpus name, pattern name)`` — corpus builders hold closures that do not
+pickle — and ship back plain-dict payloads, so the aggregate is identical
+whether the campaign ran inline (``workers=0``) or sharded.
+
+Determinism contract (asserted by the tests): a campaign re-run with the
+same seed, budget and knobs reproduces byte-identical reports, schedules
+included, regardless of worker count.
+
+Run a campaign from the command line::
+
+    python -m repro.explore.campaign --corpus default \\
+        --patterns fig5a-concurrent-puts fig5c-arrival-race \\
+        --strategy systematic --budget 6
+
+``--expect-consistent`` makes the process exit non-zero unless the
+matrix-clock detector flagged every labelled racy symbol in **100%** of the
+explored schedules — the paper's every-schedule guarantee, enforced in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import DetectorScore, score_against_labels
+from repro.explore.runner import MATRIX_CLOCK, Explorer
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything one campaign run depends on (picklable, hashable).
+
+    ``treat_rmw_pairs_as_ordered`` — when not ``None``, override the online
+    detector's RMW-pair knob on every built runtime (the atomic-aware
+    accuracy sweep runs one campaign per setting).
+    """
+
+    strategy: str = "fuzz"
+    budget: int = 6
+    seed: int = 0
+    workers: int = 0
+    # fuzz knobs
+    reorder_probability: float = 0.35
+    reorder_aggressiveness: float = 2.0
+    quantum: float = 1.0
+    tie_shuffle_probability: float = 0.15
+    # systematic knobs
+    branch_factor: int = 2
+    max_branch_points: int = 8
+    # detector knob sweeps
+    treat_rmw_pairs_as_ordered: Optional[bool] = None
+
+    def __post_init__(self) -> None:
+        if self.strategy not in ("fuzz", "systematic"):
+            raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.budget < 1:
+            raise ValueError(f"budget must be at least 1, got {self.budget}")
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+
+
+def _resolve_corpus(corpus: str):
+    """Look up a corpus builder by name (late import: corpora are heavy)."""
+    from repro.workloads.racy_patterns import pattern_corpus, rmw_pattern_corpus
+
+    corpora = {"default": pattern_corpus, "rmw": rmw_pattern_corpus}
+    if corpus not in corpora:
+        raise ValueError(f"unknown corpus {corpus!r} (have {sorted(corpora)})")
+    return corpora[corpus]()
+
+
+def _resolve_pattern(corpus: str, name: str):
+    for pattern in _resolve_corpus(corpus):
+        if pattern.name == name:
+            return pattern
+    raise ValueError(f"corpus {corpus!r} has no pattern named {name!r}")
+
+
+def _knob_configure(treat_rmw_pairs_as_ordered: Optional[bool]):
+    if treat_rmw_pairs_as_ordered is None:
+        return None
+
+    def configure(runtime) -> None:
+        runtime.detector.config.treat_rmw_pairs_as_ordered = bool(
+            treat_rmw_pairs_as_ordered
+        )
+
+    return configure
+
+
+def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
+    """One shard: explore one pattern's schedule space (runs in a worker)."""
+    config = CampaignConfig(**task["config"])  # type: ignore[arg-type]
+    pattern = _resolve_pattern(str(task["corpus"]), str(task["pattern"]))
+    explorer = Explorer(
+        pattern.build,
+        seed=config.seed,
+        configure=_knob_configure(config.treat_rmw_pairs_as_ordered),
+    )
+    if config.strategy == "systematic":
+        result = explorer.explore_systematic(
+            config.budget,
+            branch_factor=config.branch_factor,
+            quantum=config.quantum,
+            max_branch_points=config.max_branch_points,
+        )
+    else:
+        result = explorer.explore_fuzzed(
+            config.budget,
+            reorder_probability=config.reorder_probability,
+            reorder_aggressiveness=config.reorder_aggressiveness,
+            quantum=config.quantum,
+            tie_shuffle_probability=config.tie_shuffle_probability,
+        )
+    payload = result.as_dict()
+    payload["pattern"] = pattern.name
+    payload["labelled_racy"] = pattern.racy
+    payload["labelled_racy_symbols"] = sorted(pattern.racy_symbols)
+    return payload
+
+
+@dataclass
+class CampaignReport:
+    """The aggregated outcome of one campaign."""
+
+    config: CampaignConfig
+    corpus: str
+    per_pattern: List[Dict[str, object]] = field(default_factory=list)
+
+    # -- accuracy ------------------------------------------------------------------
+
+    def detector_names(self) -> List[str]:
+        names = set()
+        for payload in self.per_pattern:
+            names.update(payload["flagged_in_any"])
+        return sorted(names, key=lambda n: (n != MATRIX_CLOCK, n))
+
+    def detector_scores(self) -> Dict[str, DetectorScore]:
+        """Symbol/program precision-recall per detector, against the labels.
+
+        A detector "flags" a symbol for a pattern when it flagged it in at
+        least one explored schedule — the recall-friendly reading; how
+        *consistently* it flags is reported separately
+        (:meth:`matrix_clock_consistency`).
+        """
+        labels = {
+            str(p["pattern"]): set(p["labelled_racy_symbols"])
+            for p in self.per_pattern
+        }
+        symbols = {str(p["pattern"]): set(p["symbols"]) for p in self.per_pattern}
+        scores: Dict[str, DetectorScore] = {}
+        for detector in self.detector_names():
+            flagged = {
+                str(p["pattern"]): set(p["flagged_in_any"].get(detector, []))
+                for p in self.per_pattern
+            }
+            scores[detector] = score_against_labels(detector, flagged, labels, symbols)
+        return scores
+
+    def matrix_clock_consistency(self) -> Dict[str, Dict[str, float]]:
+        """Per pattern, the matrix-clock flag fraction of each labelled symbol.
+
+        The paper's claim is that these fractions are **1.0**: a real race
+        is flagged in every schedule, not just the lucky one.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for payload in self.per_pattern:
+            fractions = payload["flag_fractions"].get(MATRIX_CLOCK, {})
+            out[str(payload["pattern"])] = {
+                symbol: float(fractions.get(symbol, 0.0))
+                for symbol in payload["labelled_racy_symbols"]
+            }
+        return out
+
+    def fully_consistent(self) -> bool:
+        """True when every labelled racy symbol was flagged in every schedule."""
+        return all(
+            fraction == 1.0
+            for per_symbol in self.matrix_clock_consistency().values()
+            for fraction in per_symbol.values()
+        )
+
+    # -- serialization ----------------------------------------------------------------
+
+    def as_dict(self) -> Dict[str, object]:
+        scores = {
+            name: {
+                "program_accuracy": score.program_level.accuracy,
+                "symbol_precision": score.symbol_level.precision,
+                "symbol_recall": score.symbol_level.recall,
+                "symbol_f1": score.symbol_level.f1,
+            }
+            for name, score in self.detector_scores().items()
+        }
+        return {
+            "format": "repro-exploration-campaign",
+            "version": 1,
+            "corpus": self.corpus,
+            "config": asdict(self.config),
+            "patterns": self.per_pattern,
+            "detector_scores": scores,
+            "matrix_clock_consistency": self.matrix_clock_consistency(),
+            "fully_consistent": self.fully_consistent(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The JSON report."""
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    def to_markdown(self) -> str:
+        """The human-readable report."""
+        lines = [
+            f"# Exploration campaign — corpus `{self.corpus}`",
+            "",
+            f"strategy `{self.config.strategy}`, budget {self.config.budget} "
+            f"schedules/pattern, seed {self.config.seed}, "
+            f"{len(self.per_pattern)} patterns",
+            "",
+            "## Detector accuracy across explored schedules",
+            "",
+            "| detector | program accuracy | symbol precision | symbol recall | symbol F1 |",
+            "|---|---|---|---|---|",
+        ]
+        for name, score in self.detector_scores().items():
+            lines.append(
+                f"| {name} | {score.program_level.accuracy:.2f} "
+                f"| {score.symbol_level.precision:.2f} "
+                f"| {score.symbol_level.recall:.2f} "
+                f"| {score.symbol_level.f1:.2f} |"
+            )
+        lines += [
+            "",
+            "## Per-pattern exploration",
+            "",
+            "| pattern | schedules | dedup | distinct orders | racy symbols "
+            "(label) | matrix-clock flag fraction |",
+            "|---|---|---|---|---|---|",
+        ]
+        consistency = self.matrix_clock_consistency()
+        for payload in self.per_pattern:
+            name = str(payload["pattern"])
+            per_symbol = consistency.get(name, {})
+            fraction = (
+                ", ".join(
+                    f"{symbol}: {value:.0%}" for symbol, value in sorted(per_symbol.items())
+                )
+                or "—"
+            )
+            lines.append(
+                f"| {name} | {payload['schedules_run']} "
+                f"| {payload['deduplicated']} "
+                f"| {payload['distinct_fingerprints']} "
+                f"| {', '.join(payload['labelled_racy_symbols']) or '—'} "
+                f"| {fraction} |"
+            )
+        lines += [
+            "",
+            f"matrix-clock every-schedule guarantee: "
+            f"{'HOLDS' if self.fully_consistent() else 'VIOLATED'}",
+            "",
+        ]
+        return "\n".join(lines)
+
+
+def run_campaign(
+    config: CampaignConfig,
+    patterns: Optional[Sequence[Union[str, object]]] = None,
+    corpus: str = "default",
+) -> CampaignReport:
+    """Explore every selected pattern and aggregate the report.
+
+    *patterns* selects by name (strings) or by
+    :class:`~repro.workloads.racy_patterns.LabelledPattern` objects whose
+    names exist in *corpus*; ``None`` selects the whole corpus.  With
+    ``config.workers > 0`` the patterns are sharded across that many worker
+    processes; the report is identical either way.
+    """
+    if patterns is None:
+        names = [p.name for p in _resolve_corpus(corpus)]
+    else:
+        names = [p if isinstance(p, str) else p.name for p in patterns]
+    tasks = [
+        {"config": asdict(config), "corpus": corpus, "pattern": name}
+        for name in names
+    ]
+    if config.workers > 0 and len(tasks) > 1:
+        # Tasks are plain dicts resolved by (corpus, name) inside the worker,
+        # so any start method works; prefer fork for speed where it exists
+        # (Linux), fall back to spawn elsewhere (Windows, macOS default).
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:
+            context = multiprocessing.get_context("spawn")
+        with context.Pool(min(config.workers, len(tasks))) as pool:
+            payloads = pool.map(_explore_pattern_task, tasks)
+    else:
+        payloads = [_explore_pattern_task(task) for task in tasks]
+    payloads.sort(key=lambda p: str(p["pattern"]))
+    return CampaignReport(config=config, corpus=corpus, per_pattern=payloads)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (``python -m repro.explore.campaign``)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--corpus", default="default", help="default | rmw")
+    parser.add_argument(
+        "--patterns", nargs="*", default=None, help="pattern names (default: all)"
+    )
+    parser.add_argument("--strategy", default="fuzz", choices=("fuzz", "systematic"))
+    parser.add_argument("--budget", type=int, default=6)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--branch-factor", type=int, default=2)
+    parser.add_argument("--max-branch-points", type=int, default=8)
+    parser.add_argument("--reorder-probability", type=float, default=0.35)
+    parser.add_argument("--reorder-aggressiveness", type=float, default=2.0)
+    parser.add_argument("--quantum", type=float, default=1.0)
+    parser.add_argument("--json", dest="json_path", default=None)
+    parser.add_argument("--markdown", dest="markdown_path", default=None)
+    parser.add_argument(
+        "--expect-consistent",
+        action="store_true",
+        help="exit 1 unless matrix-clock flagged every labelled racy symbol "
+        "in 100%% of explored schedules",
+    )
+    args = parser.parse_args(argv)
+
+    config = CampaignConfig(
+        strategy=args.strategy,
+        budget=args.budget,
+        seed=args.seed,
+        workers=args.workers,
+        branch_factor=args.branch_factor,
+        max_branch_points=args.max_branch_points,
+        reorder_probability=args.reorder_probability,
+        reorder_aggressiveness=args.reorder_aggressiveness,
+        quantum=args.quantum,
+    )
+    report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
+    if args.json_path:
+        with open(args.json_path, "w") as handle:
+            handle.write(report.to_json())
+    markdown = report.to_markdown()
+    if args.markdown_path:
+        with open(args.markdown_path, "w") as handle:
+            handle.write(markdown)
+    print(markdown)
+    if args.expect_consistent and not report.fully_consistent():
+        print("ERROR: matrix-clock missed a labelled race in some schedule")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised by the CI smoke job
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""The schedule controller: every nondeterministic choice point, owned.
+
+A :class:`ScheduleController` is installed on a
+:class:`~repro.sim.engine.Simulator` before the run starts
+(:meth:`~repro.sim.engine.Simulator.install_controller`).  From then on it
+sits at the two places where a run's interleaving is decided:
+
+* **message delivery timing** — :meth:`on_message_latency` is called by
+  :class:`~repro.net.channel.Channel` for every transmitted message with the
+  latency model's draw; the controller may stretch it (delivery reordering
+  across channels; per-channel FIFO is preserved by the channel's clamp);
+* **same-time scheduling** — :meth:`pick_next` is called by the engine's
+  :meth:`~repro.sim.engine.Simulator.step` and chooses which of several
+  events ready at the same simulated time runs first (process scheduling).
+
+Every resolution is appended to a :class:`~repro.explore.decisions.DecisionLog`,
+and what the resolution *is* comes from a pluggable
+:class:`ScheduleStrategy` — passthrough (baseline schedule), fuzzing
+(:class:`~repro.explore.fuzzer.ScheduleFuzzer`), systematic prefix search
+(:class:`~repro.explore.systematic.SystematicStrategy`) or replay of a
+recorded log (:class:`ReplayStrategy`).  Because the simulation is a pure
+function of (seed, decisions), recording and replaying the log reproduces a
+schedule exactly — the property the minimizer and the campaign determinism
+guarantees rest on.
+
+One safety rule lives here rather than in any strategy: two deliveries on
+the same ordered channel are never reordered by the tie hook.  The channel
+layer guarantees FIFO per (source, destination) pair and the detectors rely
+on it; the controller therefore only offers the strategy the *earliest*
+pending delivery of each channel as a candidate.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, List, Optional, Tuple
+
+from repro.explore.decisions import Decision, DecisionLog
+from repro.net.message import Message
+from repro.sim.events import Timeout
+
+
+class ReplayDivergence(RuntimeError):
+    """A replayed decision log does not match the run it is applied to."""
+
+
+def is_reorderable(message: Message) -> bool:
+    """Whether delaying *message* can change which access wins a conflict.
+
+    Data messages carry the accesses themselves; **lock** messages decide
+    the order in which the target NIC serializes conflicting accesses (a
+    LOCK_REQUEST that arrives later acquires later — that *is* the
+    interleaving choice for most races).  Detection and other control
+    traffic rides inside an operation that already holds the cell lock, so
+    delaying it only shifts absolute times, never the conflict order.
+    """
+    return message.kind.is_data or message.kind.is_lock
+
+
+class ScheduleStrategy:
+    """Decides choice points; the base class always picks the default.
+
+    ``choose_latency`` returns ``(extra_delay, alternatives)`` — the delay
+    added on top of the latency model's draw, and how many alternatives a
+    systematic searcher would consider at this point.  ``choose_tie``
+    returns ``(index, alternatives)`` into the eligible ready entries.
+    """
+
+    def choose_latency(
+        self, key: str, message: Message, model_flight: float
+    ) -> Tuple[float, int]:
+        """Extra delivery delay for *message* (default: none)."""
+        return 0.0, 1
+
+    def choose_tie(self, key: str, eligible: int) -> Tuple[int, int]:
+        """Index of the same-time event to run first (default: first)."""
+        return 0, eligible
+
+    def describe(self) -> str:
+        """One-line description used in exploration reports."""
+        return self.__class__.__name__
+
+
+class PassthroughStrategy(ScheduleStrategy):
+    """The uncontrolled schedule, but with every choice point logged.
+
+    Running a program under a passthrough controller produces the same
+    execution as running it bare — plus the decision log that makes the
+    schedule replayable and gives the systematic searcher its branch points.
+    """
+
+    def describe(self) -> str:
+        return "passthrough"
+
+
+class ReplayStrategy(ScheduleStrategy):
+    """Replays a recorded (possibly truncated or sparsified) decision log.
+
+    Choice points are consumed in order.  A ``None`` entry — and every
+    choice point past the end of the log — resolves to the default, which is
+    exactly what the channel/engine would have done uncontrolled.  In strict
+    mode (the default) a kind/key mismatch raises :class:`ReplayDivergence`:
+    the log belongs to a different program, seed or code version.
+    """
+
+    def __init__(self, log: DecisionLog, strict: bool = True) -> None:
+        self._entries = log.entries
+        self._position = 0
+        self.strict = strict
+
+    @property
+    def consumed(self) -> int:
+        """Choice points consumed so far."""
+        return self._position
+
+    def _next(self, kind: str, key: str) -> Optional[Decision]:
+        if self._position >= len(self._entries):
+            return None
+        entry = self._entries[self._position]
+        self._position += 1
+        if entry is None:
+            return None
+        if entry.kind != kind or entry.key != key:
+            if self.strict:
+                raise ReplayDivergence(
+                    f"decision log diverged at position {self._position - 1}: "
+                    f"log has {entry.kind}:{entry.key}, run reached {kind}:{key}"
+                )
+            return None
+        return entry
+
+    def choose_latency(
+        self, key: str, message: Message, model_flight: float
+    ) -> Tuple[float, int]:
+        entry = self._next("latency", key)
+        return (float(entry.choice), 1) if entry is not None else (0.0, 1)
+
+    def choose_tie(self, key: str, eligible: int) -> Tuple[int, int]:
+        entry = self._next("tie", key)
+        if entry is None:
+            return 0, eligible
+        index = int(entry.choice)
+        if index >= eligible:
+            if self.strict:
+                raise ReplayDivergence(
+                    f"decision log diverged at {key}: recorded tie index "
+                    f"{index} but only {eligible} events are eligible"
+                )
+            return 0, eligible
+        return index, eligible
+
+    def describe(self) -> str:
+        return f"replay({len(self._entries)} decisions)"
+
+
+class ScheduleController:
+    """Owns a run's choice points; records every resolution.
+
+    Parameters
+    ----------
+    strategy:
+        The :class:`ScheduleStrategy` resolving each choice point.
+    max_ties:
+        Cap on how many same-time calendar entries are offered to the tie
+        hook at once (the rest simply run on a later step).  Bounds the
+        branching factor without losing any event.
+    """
+
+    def __init__(self, strategy: ScheduleStrategy, max_ties: int = 8) -> None:
+        if max_ties < 1:
+            raise ValueError(f"max_ties must be at least 1, got {max_ties}")
+        self.strategy = strategy
+        self.max_ties = max_ties
+        self.log = DecisionLog()
+        self._latency_index = 0
+        self._tie_index = 0
+        self._sim = None
+
+    def bind(self, sim: Any) -> None:
+        """Called by :meth:`Simulator.install_controller`."""
+        self._sim = sim
+
+    # -- delivery timing (called by Channel.transmit) ---------------------------------
+
+    def on_message_latency(
+        self, message: Message, source: int, destination: int, model_flight: float
+    ) -> float:
+        """Resolve one message's flight time; returns the controlled value."""
+        key = f"latency:{source}->{destination}#{self._latency_index}"
+        self._latency_index += 1
+        extra, alternatives = self.strategy.choose_latency(key, message, model_flight)
+        if extra < 0:
+            raise ValueError(f"strategy produced a negative delay at {key}: {extra}")
+        self.log.append(
+            Decision("latency", key, float(extra), alternatives=alternatives)
+        )
+        return model_flight + extra
+
+    # -- same-time scheduling (called by Simulator.step) --------------------------------
+
+    @staticmethod
+    def _delivery_channel(event: Any) -> Optional[Tuple[int, int]]:
+        """The (source, destination) pair of a delivery timeout, else ``None``."""
+        if isinstance(event, Timeout) and isinstance(event._value, Message):
+            message = event._value
+            return (message.source, message.destination)
+        return None
+
+    def pick_next(self, queue: List[Tuple[float, int, Any]]):
+        """Pop and return the calendar entry to process next.
+
+        Gathers the ready set (entries tied at the earliest time, up to
+        ``max_ties``), restricts it to *eligible* entries — everything
+        except later-posted deliveries on a channel that already has an
+        earlier delivery in the set, so per-channel FIFO survives any
+        choice — and lets the strategy pick among those.
+        """
+        top_time = queue[0][0]
+        ready: List[Tuple[float, int, Any]] = []
+        while queue and queue[0][0] == top_time and len(ready) < self.max_ties:
+            ready.append(heapq.heappop(queue))
+        if len(ready) == 1:
+            return ready[0]
+
+        seen_channels = set()
+        eligible_positions: List[int] = []
+        for position, (_, _, event) in enumerate(ready):
+            channel = self._delivery_channel(event)
+            if channel is not None:
+                if channel in seen_channels:
+                    continue  # a later delivery on an already-represented channel
+                seen_channels.add(channel)
+            eligible_positions.append(position)
+
+        if len(eligible_positions) > 1:
+            key = f"tie#{self._tie_index}"
+            self._tie_index += 1
+            index, _ = self.strategy.choose_tie(key, len(eligible_positions))
+            if not (0 <= index < len(eligible_positions)):
+                raise ValueError(
+                    f"strategy picked tie index {index} of "
+                    f"{len(eligible_positions)} at {key}"
+                )
+            self.log.append(
+                Decision("tie", key, int(index), alternatives=len(eligible_positions))
+            )
+            chosen_position = eligible_positions[index]
+        else:
+            chosen_position = eligible_positions[0]
+
+        chosen = ready[chosen_position]
+        for position, entry in enumerate(ready):
+            if position != chosen_position:
+                heapq.heappush(queue, entry)
+        return chosen
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ScheduleController {self.strategy.describe()} "
+            f"decisions={len(self.log)}>"
+        )

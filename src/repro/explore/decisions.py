@@ -1,0 +1,157 @@
+"""The replayable decision log.
+
+Every nondeterministic choice point the schedule controller owns — a message
+delivery timing, a same-time scheduling tie — produces one :class:`Decision`.
+A run's log is therefore a complete recipe for the schedule: replaying the
+log through a fresh runtime (same program, same seed) reproduces the run
+byte for byte, and *truncating* it replays a prefix with every later choice
+point falling back to its uncontrolled default.  That prefix property is
+what the racing-schedule minimizer delta-debugs over.
+
+Two decision kinds exist:
+
+``latency``
+    The controller stretched (or left alone) one message's flight time.
+    ``choice`` is the extra delay added on top of the latency model's draw;
+    ``0.0`` is the default (the model's timing, untouched).
+``tie``
+    Several events were ready at the same simulated time and the controller
+    picked which runs first.  ``choice`` is the index into the eligible
+    entries (insertion order); ``0`` is the default (the engine's tie rule).
+
+A log serializes to plain JSON (the artifact the minimizer emits), and a
+sparse log — entries replaced by ``None`` — replays those choice points at
+their defaults while keeping every later entry aligned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Union
+
+#: The two controlled choice-point kinds.
+DECISION_KINDS = ("latency", "tie")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One resolved choice point.
+
+    Attributes
+    ----------
+    kind:
+        ``"latency"`` or ``"tie"``.
+    key:
+        Stable identity of the choice point within its run (e.g.
+        ``"latency:0->2#17"``).  Replays assert the key matches, catching a
+        log applied to the wrong program or seed.
+    choice:
+        The controller's decision: extra delivery delay (float, ``latency``)
+        or eligible-entry index (int, ``tie``).  ``0`` always means "the
+        uncontrolled default".
+    alternatives:
+        How many alternatives the searcher considers at this point (1 when
+        the point is not branchable); systematic search metadata only, and
+        deliberately excluded from equality — a replayed log compares equal
+        to its source even though the replay strategy does not re-derive
+        branching metadata.
+    """
+
+    kind: str
+    key: str
+    choice: Union[int, float]
+    alternatives: int = field(default=1, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.kind not in DECISION_KINDS:
+            raise ValueError(f"unknown decision kind {self.kind!r}")
+
+    @property
+    def is_default(self) -> bool:
+        """True when this decision matches the uncontrolled behaviour."""
+        return not self.choice
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe representation."""
+        return {"kind": self.kind, "key": self.key, "choice": self.choice}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Decision":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            kind=str(data["kind"]),
+            key=str(data["key"]),
+            choice=data["choice"],
+        )
+
+
+class DecisionLog:
+    """An ordered sequence of decisions; ``None`` entries mean "default".
+
+    The ``None`` convention keeps alignment intact under minimization:
+    *replacing* a decision by its default leaves every subsequent choice
+    point at the same position, whereas removing it would shift the whole
+    tail and replay a different schedule entirely.
+    """
+
+    def __init__(self, entries: Optional[List[Optional[Decision]]] = None) -> None:
+        self._entries: List[Optional[Decision]] = list(entries or [])
+
+    # -- building -----------------------------------------------------------------
+
+    def append(self, decision: Optional[Decision]) -> None:
+        """Record one resolved choice point (or an explicit default)."""
+        self._entries.append(decision)
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def entries(self) -> List[Optional[Decision]]:
+        """The raw entries, in choice-point order."""
+        return list(self._entries)
+
+    def non_default(self) -> List[Decision]:
+        """The decisions that actually perturbed the schedule."""
+        return [d for d in self._entries if d is not None and not d.is_default]
+
+    def prefix(self, length: int) -> "DecisionLog":
+        """The first *length* entries (later choice points replay as default)."""
+        if length < 0:
+            raise ValueError(f"prefix length must be non-negative, got {length}")
+        return DecisionLog(self._entries[:length])
+
+    def with_default_at(self, index: int) -> "DecisionLog":
+        """A copy with entry *index* replaced by the default marker."""
+        entries = list(self._entries)
+        entries[index] = None
+        return DecisionLog(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[Optional[Decision]]:
+        return iter(list(self._entries))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DecisionLog):
+            return NotImplemented
+        return self._entries == other._entries
+
+    # -- serialization ---------------------------------------------------------------
+
+    def to_jsonable(self) -> List[Optional[Dict[str, object]]]:
+        """A JSON-safe list (the artifact format)."""
+        return [d.to_dict() if d is not None else None for d in self._entries]
+
+    @classmethod
+    def from_jsonable(cls, data: List[Optional[Dict[str, object]]]) -> "DecisionLog":
+        """Inverse of :meth:`to_jsonable`."""
+        return cls(
+            [Decision.from_dict(d) if d is not None else None for d in data]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DecisionLog {len(self._entries)} entries, "
+            f"{len(self.non_default())} non-default>"
+        )

@@ -1,0 +1,93 @@
+"""Seed-controlled schedule fuzzing.
+
+The fuzzer perturbs a run's schedule at the controller's choice points using
+one private :class:`random.Random` stream, so a fuzzed schedule is a pure
+function of its fuzz seed: the same seed replays the same perturbations (and
+the recorded decision log replays them without the RNG at all).
+
+Two independent knobs shape the search:
+
+* ``reorder_probability`` / ``reorder_aggressiveness`` — how often a data
+  message's delivery is delayed and by how much (in units of ``quantum``,
+  which should be on the order of the fabric's typical one-hop latency).
+  Delays *stretch* flight times only; shrinking could not reorder anything
+  per-channel FIFO does not already forbid, and additive delays already
+  reach every cross-channel arrival order;
+* ``tie_shuffle_probability`` — how often a same-time scheduling tie is
+  resolved against insertion order (process-scheduling perturbation).
+
+By default only *reorderable* messages are perturbed — data messages and
+the lock requests that decide which conflicting access the target NIC
+serializes first (see :func:`repro.explore.controller.is_reorderable`);
+detection round-trips ride inside an operation that already holds the cell
+lock, so perturbing them only re-explores equivalent schedules.  Set
+``reorderable_only=False`` to fuzz every message kind.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.explore.controller import ScheduleStrategy, is_reorderable
+from repro.net.message import Message
+
+
+class ScheduleFuzzer(ScheduleStrategy):
+    """Randomized schedule perturbation driven by one fuzz seed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        reorder_probability: float = 0.35,
+        reorder_aggressiveness: float = 2.0,
+        quantum: float = 1.0,
+        tie_shuffle_probability: float = 0.15,
+        reorderable_only: bool = True,
+    ) -> None:
+        if not (0.0 <= reorder_probability <= 1.0):
+            raise ValueError(
+                f"reorder_probability must be in [0, 1], got {reorder_probability}"
+            )
+        if not (0.0 <= tie_shuffle_probability <= 1.0):
+            raise ValueError(
+                f"tie_shuffle_probability must be in [0, 1], got {tie_shuffle_probability}"
+            )
+        if reorder_aggressiveness < 0:
+            raise ValueError(
+                f"reorder_aggressiveness must be non-negative, got {reorder_aggressiveness}"
+            )
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        self.seed = seed
+        self.reorder_probability = reorder_probability
+        self.reorder_aggressiveness = reorder_aggressiveness
+        self.quantum = quantum
+        self.tie_shuffle_probability = tie_shuffle_probability
+        self.reorderable_only = reorderable_only
+        self._rng = random.Random(seed)
+
+    def choose_latency(
+        self, key: str, message: Message, model_flight: float
+    ) -> Tuple[float, int]:
+        if self.reorderable_only and not is_reorderable(message):
+            return 0.0, 1
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0.0, 2
+        extra = self._rng.uniform(
+            0.0, self.reorder_aggressiveness * self.quantum
+        )
+        return extra, 2
+
+    def choose_tie(self, key: str, eligible: int) -> Tuple[int, int]:
+        roll = self._rng.random()
+        if roll >= self.tie_shuffle_probability:
+            return 0, eligible
+        return self._rng.randrange(eligible), eligible
+
+    def describe(self) -> str:
+        return (
+            f"fuzz(seed={self.seed}, p={self.reorder_probability}, "
+            f"aggr={self.reorder_aggressiveness})"
+        )

@@ -1,0 +1,131 @@
+"""Bounded systematic schedule search (DPOR-lite).
+
+Where the fuzzer samples the schedule space, the systematic searcher
+*enumerates* a bounded slice of it: the delivery-order branchings around the
+accesses that can actually conflict.  The moving parts:
+
+* :class:`SystematicStrategy` — a controller strategy that treats the first
+  ``max_branch_points`` *reorderable* delivery choice points of a run (data
+  messages and lock requests — see
+  :func:`~repro.explore.controller.is_reorderable`) as branchable, each with
+  ``branch_factor`` delay slots, slot *k* delaying delivery by
+  ``k * quantum``, and forces a given partial assignment of slots.  Everything else runs at the default, so a node of the search tree
+  is just ``{choice-point key: slot}``;
+* :func:`schedule_fingerprint` — the Mazurkiewicz-style equivalence class
+  of a completed run: the per-cell order of conflicting accesses.  Two
+  schedules with the same fingerprint order every racing pair identically,
+  so running both teaches the detectors nothing new;
+* the :class:`~repro.explore.runner.Explorer` drives the search: it expands
+  children only for *novel* fingerprints — the sleep-set-style dedup that
+  keeps equivalent subtrees from being re-explored — breadth-first, so the
+  schedules nearest the baseline are tried first and a small budget already
+  covers every single-perturbation delivery reordering.
+
+Why delay slots rather than an explicit delivery permutation: the engine is
+a timed discrete-event simulator, so "deliver B before A" *is* "stretch A's
+flight past B's".  Slot enumeration reaches every cross-channel arrival
+order the timing model can express while keeping each branch point's
+alternatives finite and replayable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Sequence, Tuple
+
+from repro.explore.controller import ScheduleStrategy, is_reorderable
+from repro.memory.consistency import MemoryAccess
+from repro.net.message import Message
+
+
+def schedule_fingerprint(accesses: Sequence[MemoryAccess]) -> str:
+    """The schedule's conflict-order equivalence class, as a stable digest.
+
+    For every cell touched by at least one *conflicting pair* (two accesses
+    from different ranks, not both reads — the paper's potential races,
+    Section III-C), take the cell's access sequence in observation order
+    projected to ``(rank, kind)``.  Cells with no possible conflict are
+    dropped: reordering commuting accesses does not change any detector's
+    verdict, so schedules differing only there are equivalent.
+    """
+    by_address: Dict[object, List[MemoryAccess]] = {}
+    for access in sorted(accesses, key=lambda a: (a.time, a.access_id)):
+        by_address.setdefault(access.address, []).append(access)
+    parts: List[str] = []
+    for address in sorted(by_address, key=repr):
+        cell_accesses = by_address[address]
+        has_conflict = any(
+            a.conflicts_with(b)
+            for i, a in enumerate(cell_accesses)
+            for b in cell_accesses[i + 1 :]
+        )
+        if not has_conflict:
+            continue
+        order = ",".join(f"{a.rank}:{a.kind.value}" for a in cell_accesses)
+        parts.append(f"{address!r}:{order}")
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()[:16]
+
+
+class SystematicStrategy(ScheduleStrategy):
+    """Forces a partial slot assignment; records the branch points it meets.
+
+    Parameters
+    ----------
+    forced:
+        Mapping from latency choice-point key to delay slot (``1`` to
+        ``branch_factor - 1``); every other choice point runs at default.
+    branch_factor:
+        Delay slots per branch point, slot 0 being the default timing.
+    quantum:
+        Delay per slot, on the order of the fabric's one-hop latency.
+    max_branch_points:
+        How many reorderable deliveries of one run are branchable; bounds
+        the search tree's width (the "around conflicting accesses" budget —
+        data messages carry the accesses, lock requests decide the order in
+        which the target serializes conflicting ones).
+    """
+
+    def __init__(
+        self,
+        forced: Dict[str, int],
+        branch_factor: int = 3,
+        quantum: float = 1.0,
+        max_branch_points: int = 8,
+    ) -> None:
+        if branch_factor < 2:
+            raise ValueError(f"branch_factor must be at least 2, got {branch_factor}")
+        if quantum <= 0:
+            raise ValueError(f"quantum must be positive, got {quantum}")
+        if max_branch_points < 1:
+            raise ValueError(
+                f"max_branch_points must be at least 1, got {max_branch_points}"
+            )
+        for key, slot in forced.items():
+            if not (1 <= slot < branch_factor):
+                raise ValueError(
+                    f"forced slot for {key} must be in [1, {branch_factor - 1}], "
+                    f"got {slot}"
+                )
+        self.forced = dict(forced)
+        self.branch_factor = branch_factor
+        self.quantum = quantum
+        self.max_branch_points = max_branch_points
+        #: Branchable choice-point keys met during the run, in order.
+        self.branch_points: List[str] = []
+
+    def choose_latency(
+        self, key: str, message: Message, model_flight: float
+    ) -> Tuple[float, int]:
+        if not is_reorderable(message):
+            return 0.0, 1
+        branchable = len(self.branch_points) < self.max_branch_points
+        if branchable:
+            self.branch_points.append(key)
+        slot = self.forced.get(key, 0)
+        return slot * self.quantum, self.branch_factor if branchable else 1
+
+    def describe(self) -> str:
+        return (
+            f"systematic({len(self.forced)} forced, "
+            f"bf={self.branch_factor}, depth={self.max_branch_points})"
+        )

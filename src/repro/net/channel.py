@@ -75,6 +75,16 @@ class Channel:
         now = self._sim.now
         flight = self._latency_model.latency(message, hops=self._hops)
         require_non_negative(flight, "latency")
+        controller = self._sim.controller
+        if controller is not None:
+            # The schedule controller owns delivery timing: it sees the
+            # model's draw and may stretch it (a logged, replayable decision).
+            # The FIFO clamp below still applies, so per-channel ordering is
+            # preserved in every controlled schedule.
+            flight = controller.on_message_latency(
+                message, self.source, self.destination, flight
+            )
+            require_non_negative(flight, "controlled latency")
         start = now
         if self._bandwidth is not None:
             # The link serializes messages: a message cannot start transmission

@@ -253,6 +253,39 @@ class ProcessAPI:
         address = self._directory.resolve(symbol, index)
         return self.verbs.post_compare_and_swap(address, expected, desired, symbol=symbol)
 
+    # -- throttled posting (configurable send backpressure) -------------------------------
+
+    def iput_throttled(self, symbol: str, value: Any, index: int = 0) -> Generator:
+        """Post a put under the configured backpressure policy (generator).
+
+        With ``RuntimeConfig.verbs_backpressure="raise"`` this is
+        :meth:`iput` (a full send queue raises
+        :class:`~repro.verbs.queue_pair.SendQueueFull`); with ``"block"``
+        the program yields until a completion frees a slot, then posts —
+        the blocking-post mode of many runtime libraries.  Use with
+        ``yield from``; returns the posted work request.
+        """
+        address = self._directory.resolve(symbol, index)
+        request = yield from self.verbs.post_put_throttled(address, value, symbol=symbol)
+        return request
+
+    def isend_throttled(
+        self,
+        destination: int,
+        values: Union[Any, Sequence[Any]],
+        symbol: Optional[str] = None,
+    ) -> Generator:
+        """Post a two-sided SEND under the configured backpressure policy.
+
+        The blocking-mode counterpart of :meth:`isend`; see
+        :meth:`iput_throttled` for the policy semantics.
+        """
+        payload = list(values) if isinstance(values, (list, tuple)) else [values]
+        request = yield from self.verbs.post_send_throttled(
+            destination, payload, symbol=symbol
+        )
+        return request
+
     # -- two-sided (SEND/RECV) interface --------------------------------------------------
 
     def _resolve_local_scatter(
@@ -338,6 +371,14 @@ class ProcessAPI:
     def create_srq(self, max_wr: Optional[int] = None) -> SharedReceiveQueue:
         """Create this rank's shared receive queue (before any traffic arrives)."""
         return self.verbs.create_srq(max_wr=max_wr)
+
+    def arm_srq_limit(self, threshold: int) -> None:
+        """Arm the SRQ low-watermark event (fires once below *threshold*)."""
+        self.verbs.arm_srq_limit(threshold)
+
+    def take_srq_limit_event(self) -> bool:
+        """Consume one pending SRQ limit event (the bulk-replenish trigger)."""
+        return self.verbs.take_srq_limit_event()
 
     def wait_recv(self, count: int = 1) -> Generator:
         """Block until *count* receive completions retire; returns them in order.

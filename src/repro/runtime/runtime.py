@@ -86,6 +86,15 @@ class RuntimeConfig:
         RNR retries before a SEND fails with an RNR_RETRY_EXCEEDED
         completion; ``None`` retries forever (the InfiniBand ``rnr_retry=7``
         encoding).
+    verbs_backpressure:
+        What a throttled post does when the send queue is full:
+        ``"raise"`` (default) raises
+        :class:`~repro.verbs.queue_pair.SendQueueFull` at the post site;
+        ``"block"`` yields the posting process until a completion frees a
+        slot (the blocking-post mode of many runtime libraries, which keeps
+        saturation benchmarks free of exception plumbing).  Applies to the
+        ``*_throttled`` posting surface; the plain ``iput``/``isend`` posts
+        always raise, since they cannot yield.
     """
 
     world_size: int = 4
@@ -104,6 +113,7 @@ class RuntimeConfig:
     verbs_max_recv_wr: int = 128
     verbs_rnr_backoff: float = 1.0
     verbs_rnr_retry_limit: Optional[int] = None
+    verbs_backpressure: str = "raise"
 
     def with_overrides(self, **kwargs: Any) -> "RuntimeConfig":
         """Return a copy with the given fields replaced."""
@@ -199,6 +209,7 @@ class DSMRuntime:
                 max_recv_wr=self.config.verbs_max_recv_wr,
                 rnr_backoff=self.config.verbs_rnr_backoff,
                 rnr_retry_limit=self.config.verbs_rnr_retry_limit,
+                backpressure=self.config.verbs_backpressure,
             )
             for rank in range(self.config.world_size)
         ]

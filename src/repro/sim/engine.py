@@ -5,6 +5,14 @@
 :class:`~repro.sim.events.Event` objects; the engine pops them in time order
 and runs their callbacks.  Ties are broken by insertion order so that a run is
 a pure function of the seed and the program — a property the tests rely on.
+
+A :dfn:`schedule controller` (see :mod:`repro.explore.controller`) may be
+installed with :meth:`Simulator.install_controller` *before* the run starts.
+The controller then owns the engine's one scheduling choice point — which of
+several events ready at the same simulated time runs first — and, through the
+network layer's latency hook, every message-delivery timing choice.  With no
+controller installed the engine behaves exactly as before (insertion-order
+ties), so ordinary runs pay a single attribute check per step.
 """
 
 from __future__ import annotations
@@ -40,6 +48,9 @@ class Simulator:
         self._processes: List[Process] = []
         self._failures: List[Tuple[Process, BaseException]] = []
         self._events_processed = 0
+        #: Optional schedule controller owning nondeterministic choice points
+        #: (see :meth:`install_controller`); ``None`` means default behaviour.
+        self.controller = None
         self.rng = RandomStreams(seed)
         # Note: an empty SimLogger is falsy (len == 0), so test for None explicitly.
         self.logger = logger if logger is not None else SimLogger()
@@ -100,6 +111,30 @@ class Simulator:
         require_non_negative(delay, "delay")
         return self.call_at(self._now + delay, callback, name=name)
 
+    # -- schedule control ------------------------------------------------------
+
+    def install_controller(self, controller: Any) -> None:
+        """Install a schedule controller owning this run's choice points.
+
+        The *controller* must provide ``pick_next(queue)`` (called by
+        :meth:`step` with the live event heap; must pop and return one
+        ``(time, sequence, event)`` entry) and ``on_message_latency(...)``
+        (called by the network layer).  At most one controller per simulator,
+        installed before any event is processed — a schedule is only
+        replayable when every choice point was controlled from the start.
+        """
+        if self.controller is not None:
+            raise SimulationError("a schedule controller is already installed")
+        if self._events_processed:
+            raise SimulationError(
+                "install_controller() must be called before the run starts "
+                f"({self._events_processed} events already processed)"
+            )
+        self.controller = controller
+        bind = getattr(controller, "bind", None)
+        if bind is not None:
+            bind(self)
+
     # -- scheduling internals ------------------------------------------------
 
     def _push(self, time: float, event: Event) -> None:
@@ -128,7 +163,10 @@ class Simulator:
         """Process exactly one event from the calendar."""
         if not self._queue:
             raise SimulationError("step() called on an empty event queue")
-        time, _seq, event = heapq.heappop(self._queue)
+        if self.controller is not None:
+            time, _seq, event = self.controller.pick_next(self._queue)
+        else:
+            time, _seq, event = heapq.heappop(self._queue)
         if time < self._now:
             raise SimulationError(
                 f"event calendar corrupted: popped t={time} < now={self._now}"

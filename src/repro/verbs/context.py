@@ -56,7 +56,12 @@ class VerbsContext:
         max_recv_wr: int = 128,
         rnr_backoff: float = 1.0,
         rnr_retry_limit: Optional[int] = None,
+        backpressure: str = "raise",
     ) -> None:
+        if backpressure not in ("raise", "block"):
+            raise ValueError(
+                f"backpressure must be 'raise' or 'block', got {backpressure!r}"
+            )
         self.sim = sim
         self.nic = nic
         self.rank = nic.rank
@@ -68,6 +73,10 @@ class VerbsContext:
         #: InfiniBand ``rnr_retry=7`` encoding).
         self.rnr_backoff = rnr_backoff
         self.rnr_retry_limit = rnr_retry_limit
+        #: Send backpressure policy for the ``*_throttled`` posting surface:
+        #: ``"raise"`` (SendQueueFull at the post site) or ``"block"``
+        #: (yield until a completion frees a slot).
+        self.backpressure = backpressure
         self.registry = MemoryRegistry(self.rank)
         self.cq = CompletionQueue(sim, capacity=cq_capacity, name=f"cq-P{self.rank}")
         #: Receive completions (matched two-sided sends) land here, away from
@@ -80,6 +89,10 @@ class VerbsContext:
         self._queue_pairs: Dict[int, QueuePair] = {}
         self._peers: Dict[int, "VerbsContext"] = {self.rank: self}
         self._srq: Optional[SharedReceiveQueue] = None
+        #: SRQ low-watermark limit events (``IBV_EVENT_SRQ_LIMIT_REACHED``
+        #: analogue), as ``(time, depth_at_firing)`` pairs, in firing order.
+        self.srq_limit_events: List[tuple] = []
+        self._srq_limit_pending = 0
         #: Receiver-side asynchronous errors, as ``(time, detail)`` pairs —
         #: the ``ibv_async_event`` channel in miniature (currently: receive
         #: CQ overflows, which lose the completion but not the payload).
@@ -128,12 +141,42 @@ class VerbsContext:
         self._srq = SharedReceiveQueue(
             self.rank, max_wr=self.max_recv_wr if max_wr is None else max_wr
         )
+        self._srq.set_limit_listener(self._on_srq_limit)
         return self._srq
 
     @property
     def srq(self) -> Optional[SharedReceiveQueue]:
         """This rank's shared receive queue, if one was created."""
         return self._srq
+
+    # -- SRQ limit events (IBV_EVENT_SRQ_LIMIT_REACHED analogue) -----------------------
+
+    def _on_srq_limit(self, depth: int) -> None:
+        self.srq_limit_events.append((self.sim.now, depth))
+        self._srq_limit_pending += 1
+
+    def arm_srq_limit(self, threshold: int) -> None:
+        """Arm the SRQ's low-watermark event (``ibv_modify_srq`` with
+        ``IBV_SRQ_LIMIT``): one event fires when the posted-buffer count
+        drops below *threshold*, then the limit disarms until re-armed.
+        """
+        if self._srq is None:
+            raise RuntimeError(
+                f"rank {self.rank} has no shared receive queue; call create_srq first"
+            )
+        self._srq.arm_limit(threshold)
+
+    def take_srq_limit_event(self) -> bool:
+        """Consume one pending SRQ limit event, if any fired since last taken.
+
+        The miniature ``ibv_get_async_event`` loop: a server checks this
+        from its completion handler and replenishes receives in bulk when it
+        returns true.
+        """
+        if self._srq_limit_pending:
+            self._srq_limit_pending -= 1
+            return True
+        return False
 
     def receive_queue_from(self, source: int) -> ReceiveQueue:
         """The queue incoming SENDs from *source* consume posted buffers from."""
@@ -403,6 +446,47 @@ class VerbsContext:
         self.queue_pair(peer).post(request)
         self._outstanding[request.wr_id] = request
         return request
+
+    # -- throttled posting (configurable backpressure) -----------------------------------
+
+    def wait_send_slot(self, peer: int):
+        """Generator: apply the configured backpressure towards *peer*.
+
+        In ``"block"`` mode, yields until the queue pair has a free send
+        slot; in ``"raise"`` mode returns immediately (the subsequent post
+        raises :class:`~repro.verbs.queue_pair.SendQueueFull` if full).
+        """
+        if self.backpressure == "block":
+            yield from self.queue_pair(peer).wait_send_slot()
+        return None
+
+    def post_put_throttled(
+        self,
+        target: GlobalAddress,
+        value: Any,
+        rkey: Optional[int] = None,
+        symbol: Optional[str] = None,
+    ):
+        """Generator: :meth:`post_put` under the configured backpressure policy."""
+        yield from self.wait_send_slot(target.rank)
+        return self.post_put(target, value, rkey=rkey, symbol=symbol)
+
+    def post_send_throttled(
+        self,
+        peer: int,
+        values: Optional[Sequence[Any]] = None,
+        gather_from: Optional[Sequence[GlobalAddress]] = None,
+        symbol: Optional[str] = None,
+    ):
+        """Generator: :meth:`post_send` under the configured backpressure policy.
+
+        In ``"block"`` mode the posting event — the sender's clock tick and
+        snapshot — happens when the slot is granted, not when the caller
+        first asked: a blocked post has not happened yet, so nothing it
+        later sends can claim to precede the completions that unblocked it.
+        """
+        yield from self.wait_send_slot(peer)
+        return self.post_send(peer, values, gather_from=gather_from, symbol=symbol)
 
     # -- completion handling -----------------------------------------------------------
 

@@ -85,6 +85,11 @@ class QueuePair:
         self._pending: Deque[WorkRequest] = deque()
         self._in_service: Optional[WorkRequest] = None
         self._draining = False
+        #: Processes parked in :meth:`wait_send_slot` (blocking backpressure),
+        #: woken in arrival order as completions free slots.
+        self._slot_waiters: list = []
+        #: Times a blocking post found the queue full and had to park.
+        self.blocked_posts = 0
         self.posted = 0
         self.completed = 0
 
@@ -127,6 +132,23 @@ class QueuePair:
             )
         return request
 
+    def wait_send_slot(self) -> Generator:
+        """Yield the calling process until this queue pair has a free slot.
+
+        The blocking half of the backpressure policy: a throttled post in
+        ``"block"`` mode waits here instead of raising
+        :class:`SendQueueFull`.  Several processes may wait on one queue
+        pair; each freed slot wakes one of them, in arrival order, and the
+        loop re-checks on wake-up — a slot snatched by a same-instant
+        non-blocking post just parks the waiter again.
+        """
+        while self.outstanding >= self.max_send_wr:
+            self.blocked_posts += 1
+            gate = self._sim.event(name=f"qp-slot-P{self.origin}->P{self.peer}")
+            self._slot_waiters.append(gate)
+            yield gate
+        return None
+
     # -- NIC-side servicing ---------------------------------------------------------
 
     def _drain(self) -> Generator:
@@ -138,6 +160,12 @@ class QueuePair:
             self._in_service = None
             self.completed += 1
             self._context.deliver(completion)
+            # One retired completion frees one slot: wake one waiter.  The
+            # woken process re-checks before posting, so over-waking could
+            # only thrash; under-waking cannot happen (every completion
+            # passes through here).
+            if self._slot_waiters and self.outstanding < self.max_send_wr:
+                self._slot_waiters.pop(0).succeed()
         self._draining = False
 
     def _execute(self, request: WorkRequest) -> Generator:

@@ -19,7 +19,12 @@ Two flavours:
 * :class:`SharedReceiveQueue` — the ``ibv_srq`` analogue: one pool of posted
   buffers that *every* attached queue pair drains from, so a server sizes its
   buffering for aggregate load instead of per-client worst case.  Per-source
-  match counters record which peers actually consumed buffers.
+  match counters record which peers actually consumed buffers.  An SRQ also
+  carries the low-watermark *limit* event of real hardware
+  (``IBV_EVENT_SRQ_LIMIT_REACHED`` via ``ibv_modify_srq``/``IBV_SRQ_LIMIT``):
+  arm a threshold and one asynchronous event fires when the pool drops below
+  it — the hook servers use to replenish receives in bulk instead of one per
+  completion.
 """
 
 from __future__ import annotations
@@ -164,6 +169,10 @@ class SharedReceiveQueue(ReceiveQueue):
     def __init__(self, rank: int, max_wr: int = 128, name: Optional[str] = None) -> None:
         super().__init__(rank, max_wr=max_wr, name=name or f"srq-P{rank}")
         self._attached: Set[int] = set()
+        self._limit = 0
+        self._limit_listener = None
+        #: Low-watermark events fired over this SRQ's lifetime.
+        self.limit_events_fired = 0
 
     def attach(self, peer: int) -> None:
         """Record that the queue pair facing *peer* drains from this SRQ."""
@@ -173,3 +182,38 @@ class SharedReceiveQueue(ReceiveQueue):
     def attached_peers(self) -> Tuple[int, ...]:
         """Ranks whose queue pairs share this SRQ, in sorted order."""
         return tuple(sorted(self._attached))
+
+    # -- limit events (IBV_EVENT_SRQ_LIMIT_REACHED) -----------------------------------
+
+    @property
+    def limit(self) -> int:
+        """The armed low watermark (0 when disarmed)."""
+        return self._limit
+
+    def set_limit_listener(self, listener) -> None:
+        """Install the callback fired (with the depth) when the limit trips."""
+        self._limit_listener = listener
+
+    def arm_limit(self, threshold: int) -> None:
+        """Arm a one-shot low-watermark event at *threshold* posted buffers.
+
+        The verbs contract: the event fires when a consumed receive drops
+        the pool strictly below the limit, then the limit resets to zero
+        (disarmed) until the application re-arms it — one warning per
+        replenish cycle, not a storm.
+        """
+        require_positive(threshold, "threshold")
+        if threshold > self.max_wr:
+            raise ValueError(
+                f"{self.name}: limit {threshold} exceeds queue capacity {self.max_wr}"
+            )
+        self._limit = threshold
+
+    def match(self, source: int) -> ReceiveWorkRequest:
+        request = super().match(source)
+        if self._limit and len(self._pending) < self._limit:
+            self._limit = 0
+            self.limit_events_fired += 1
+            if self._limit_listener is not None:
+                self._limit_listener(len(self._pending))
+        return request

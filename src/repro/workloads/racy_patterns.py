@@ -21,6 +21,7 @@ from typing import Callable, List, Optional, Set
 
 from repro.memory.directory import PlacementPolicy
 from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.workloads.atomic_counter import LockFreeCounterWorkload
 from repro.workloads.figures import (
     figure4_concurrent_reads,
     figure5a_concurrent_puts,
@@ -31,6 +32,7 @@ from repro.workloads.master_worker import MasterWorkerWorkload
 from repro.workloads.producer_consumer import ProducerConsumerWorkload
 from repro.workloads.reduction import OneSidedReductionWorkload
 from repro.workloads.stencil import StencilWorkload
+from repro.workloads.work_stealing import AtomicWorkStealingWorkload
 
 
 @dataclass(frozen=True)
@@ -124,6 +126,31 @@ def _unsynchronized_counter(seed: int = 0) -> DSMRuntime:
         yield from api.compute(float(rng.uniform()))
         value = yield from api.get("counter")
         yield from api.put("counter", (value or 0) + 1)
+
+    runtime.set_spmd_program(program)
+    return runtime
+
+
+def _cas_flag_claim(seed: int = 0) -> DSMRuntime:
+    """Ranks race to claim a flag with CAS; exactly one wins, observably.
+
+    Every rank attempts ``CAS(flag, 0, 1)``; the single winner deposits a
+    constant into ``prize``.  The outcome is deterministic on every schedule
+    (flag ends 1, prize ends 42, the CAS observations form the same multiset
+    — one 0, the rest 1) even though *which* rank wins varies freely: the
+    canonical benign pure-RMW contention the
+    ``treat_rmw_pairs_as_ordered`` knob exists to silence.
+    """
+    runtime = DSMRuntime(RuntimeConfig(world_size=3, seed=seed, latency="uniform"))
+    runtime.declare_scalar("flag", owner=0, initial=0)
+    runtime.declare_scalar("prize", owner=0, initial=0)
+
+    def program(api):
+        rng = runtime.sim.rng.stream(f"pattern.casflag.P{api.rank}")
+        yield from api.compute(float(rng.uniform()))
+        prior = yield from api.compare_and_swap("flag", 0, 1)
+        if prior == 0:
+            yield from api.put("prize", 42)
 
     runtime.set_spmd_program(program)
     return runtime
@@ -240,5 +267,66 @@ def pattern_corpus() -> List[LabelledPattern]:
             racy=True,
             racy_symbols=frozenset({"ticket", "completed", "results"}),
             description="self-scheduling master/worker with intentionally racy coordination",
+        ),
+    ]
+
+
+def rmw_pattern_corpus() -> List[LabelledPattern]:
+    """The atomic-aware (RMW) corpus for the ``treat_rmw_pairs_as_ordered`` sweep.
+
+    Labels follow the paper's *operational* race definition — observable
+    behaviour diverging between executions — which is exactly where atomics
+    differ from plain accesses: a lock-free algorithm's RMW traffic is
+    causally unordered yet its outcome never diverges.  The patterns span
+    the three regimes the sweep needs:
+
+    * pure-RMW contention with a deterministic outcome (atomic counter, CAS
+      flag claim): flagged only while the knob is off — the knob's
+      precision win;
+    * the same counter with the get-then-put idiom: a true race under both
+      knob settings — the knob must not cost recall;
+    * mixed RMW-and-plain-read contention (work stealing: thieves *scan*
+      victims' heads with plain gets before the CAS): the head cells'
+      observable read streams genuinely diverge across schedules, and an
+      RMW unordered with a plain read stays a race under either setting.
+    """
+    return [
+        LabelledPattern(
+            name="rmw-counter-atomic",
+            build=LockFreeCounterWorkload(
+                world_size=3, increments=3, use_atomics=True
+            ).build,
+            racy=False,
+            racy_symbols=frozenset(),
+            description="fetch_add counter: unordered RMW pairs, outcome never diverges",
+        ),
+        LabelledPattern(
+            name="rmw-counter-getput",
+            build=LockFreeCounterWorkload(
+                world_size=3, increments=3, use_atomics=False
+            ).build,
+            racy=True,
+            racy_symbols=frozenset({"counter"}),
+            description="get-then-put counter: the same traffic as plain accesses, lost updates",
+        ),
+        LabelledPattern(
+            name="rmw-cas-flag",
+            build=_cas_flag_claim,
+            racy=False,
+            racy_symbols=frozenset(),
+            description="CAS flag claim: contended RMWs, deterministic winner effect",
+        ),
+        LabelledPattern(
+            name="rmw-work-stealing",
+            build=AtomicWorkStealingWorkload(world_size=3, tasks_per_rank=2).build,
+            racy=True,
+            # Only the heads that stay *contended* race: rank 0 is the
+            # fastest (cost scales with rank), so it drains head0 before any
+            # thief scans it, and the shared done counter's clock gossip
+            # orders every later read — verified against the schedule-space
+            # ground truth.  head1/head2 see plain thief scans racing with
+            # owner RMWs under either knob setting.
+            racy_symbols=frozenset({"head1", "head2"}),
+            description="work stealing: plain head scans race with CAS claims on every knob setting",
         ),
     ]

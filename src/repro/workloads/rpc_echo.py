@@ -14,6 +14,11 @@ the ROADMAP names: two-sided matching for control flow, with the detector
 observing every landed payload cell as an ordinary write plus the matching
 happens-before edge.
 
+``srq_replenish="bulk"`` switches the server from per-completion reposting
+to the low-watermark pattern of real SRQ deployments: consumed slots are
+parked until the armed ``IBV_EVENT_SRQ_LIMIT_REACHED`` analogue fires, then
+reposted in one burst and the limit re-armed.
+
 ``racy_buffer_reuse`` injects the classic two-sided bug: after posting its
 reply buffer and firing the request, the client computes for ``reuse_delay``
 — roughly a round trip, so the timing straddles the reply's arrival — and
@@ -49,18 +54,34 @@ class RPCEchoWorkload(WorkloadScenario):
         compute_between: float = 1.0,
         racy_buffer_reuse: bool = False,
         reuse_delay: float = 12.0,
+        srq_replenish: str = "per-completion",
+        srq_limit: Optional[int] = None,
         config: Optional[RuntimeConfig] = None,
     ) -> None:
         super().__init__(config)
         require_positive(num_clients, "num_clients")
         require_positive(requests_per_client, "requests_per_client")
         require_positive(payload_cells, "payload_cells")
+        if srq_replenish not in ("per-completion", "bulk"):
+            raise ValueError(
+                f"srq_replenish must be 'per-completion' or 'bulk', "
+                f"got {srq_replenish!r}"
+            )
         self.num_clients = num_clients
         self.requests_per_client = requests_per_client
         self.payload_cells = payload_cells
         self.compute_between = compute_between
         self.racy_buffer_reuse = racy_buffer_reuse
         self.reuse_delay = reuse_delay
+        #: How the server refills its SRQ: ``"per-completion"`` reposts each
+        #: consumed slot from the handler (the PR-2 behaviour); ``"bulk"``
+        #: parks consumed slots and reposts them all when the SRQ's
+        #: low-watermark limit event fires (the
+        #: ``IBV_EVENT_SRQ_LIMIT_REACHED`` replenish pattern).
+        self.srq_replenish = srq_replenish
+        #: The armed low watermark in bulk mode (default: half the pool,
+        #: at least one).
+        self.srq_limit = srq_limit if srq_limit is not None else max(1, num_clients // 2)
         self.world_size = num_clients + 1
         self.total_requests = num_clients * requests_per_client
         self.expected_racy = racy_buffer_reuse
@@ -104,16 +125,36 @@ class RPCEchoWorkload(WorkloadScenario):
                         (slot + 1) * workload.payload_cells,
                     ),
                 )
+            bulk = workload.srq_replenish == "bulk"
+            if bulk:
+                api.arm_srq_limit(workload.srq_limit)
             channel = api.verbs.create_event_channel()
             channel.attach(api.verbs.recv_cq)
             channel.attach(api.verbs.cq)
-            progress = {"served": 0, "echoed": 0}
+            progress = {"served": 0, "echoed": 0, "bulk_replenishes": 0}
+            free_slots = []
 
             def handle(completion):
                 if completion.opcode is Opcode.RECV:
-                    # Replenish the consumed slot first: the next request may
-                    # already be in flight (RNR otherwise).
-                    api.verbs.post_srq_recv(completion.addresses, symbol="rpc_slots")
+                    if bulk:
+                        # Park the consumed slot; the SRQ limit event is the
+                        # replenish trigger.  A drained pool in the meantime
+                        # is absorbed by the senders' RNR retry protocol.
+                        free_slots.append(completion.addresses)
+                        if api.take_srq_limit_event():
+                            for addresses in free_slots:
+                                api.verbs.post_srq_recv(
+                                    addresses, symbol="rpc_slots"
+                                )
+                            free_slots.clear()
+                            progress["bulk_replenishes"] += 1
+                            api.arm_srq_limit(workload.srq_limit)
+                    else:
+                        # Replenish the consumed slot first: the next request
+                        # may already be in flight (RNR otherwise).
+                        api.verbs.post_srq_recv(
+                            completion.addresses, symbol="rpc_slots"
+                        )
                     api.isend(
                         completion.peer,
                         [value * 2 for value in completion.value],
@@ -130,6 +171,7 @@ class RPCEchoWorkload(WorkloadScenario):
             api.private.write("served", progress["served"])
             api.private.write("echoed", progress["echoed"])
             api.private.write("events_handled", handled)
+            api.private.write("bulk_replenishes", progress["bulk_replenishes"])
 
         def client(api):
             replies = []

@@ -1,0 +1,116 @@
+"""The schedule controller's core contract: owned, logged, replayable.
+
+Exploration is only trustworthy if (a) a controller with a passthrough
+strategy changes nothing, (b) a recorded decision log replays to a
+byte-identical schedule, and (c) divergence between a log and the program it
+is applied to is *detected*, not silently absorbed.
+"""
+
+import pytest
+
+from repro.explore import (
+    PassthroughStrategy,
+    ReplayDivergence,
+    ReplayStrategy,
+    ScheduleController,
+    ScheduleFuzzer,
+    run_schedule,
+)
+from repro.explore.decisions import Decision, DecisionLog
+from repro.workloads.racy_patterns import pattern_corpus
+
+CORPUS = {p.name: p for p in pattern_corpus()}
+
+
+def test_passthrough_controller_matches_bare_run():
+    pattern = CORPUS["fig5a-concurrent-puts"]
+    bare = pattern.build(0).run()
+    controlled = run_schedule(pattern.build, 0, PassthroughStrategy())
+    assert controlled.final_values == {
+        s: tuple(v) for s, v in bare.final_shared_values.items()
+    }
+    assert controlled.flagged["matrix-clock"] == {
+        s for s in bare.races.by_symbol() if s is not None
+    }
+    assert controlled.elapsed_sim_time == bare.elapsed_sim_time
+    # Every choice point was logged as a default decision.
+    assert len(controlled.decisions) > 0
+    assert not controlled.decisions.non_default()
+
+
+@pytest.mark.parametrize(
+    "name", ["fig5a-concurrent-puts", "unsynchronized-counter", "producer-consumer-unsync"]
+)
+def test_fuzzed_schedule_replays_identically(name):
+    pattern = CORPUS[name]
+    fuzzed = run_schedule(
+        pattern.build, 0, ScheduleFuzzer(seed=7, reorder_probability=0.5, quantum=4.0)
+    )
+    replayed = run_schedule(pattern.build, 0, ReplayStrategy(fuzzed.decisions))
+    assert replayed.decisions == fuzzed.decisions
+    assert replayed.fingerprint == fuzzed.fingerprint
+    assert replayed.final_values == fuzzed.final_values
+    assert replayed.read_values == fuzzed.read_values
+    assert replayed.flagged["matrix-clock"] == fuzzed.flagged["matrix-clock"]
+    assert replayed.elapsed_sim_time == fuzzed.elapsed_sim_time
+
+
+def test_same_fuzz_seed_reproduces_same_schedule():
+    pattern = CORPUS["unsynchronized-counter"]
+    first = run_schedule(pattern.build, 0, ScheduleFuzzer(seed=3, quantum=4.0))
+    second = run_schedule(pattern.build, 0, ScheduleFuzzer(seed=3, quantum=4.0))
+    assert first.decisions == second.decisions
+    assert first.fingerprint == second.fingerprint
+    assert first.final_values == second.final_values
+
+
+def test_truncated_log_replays_prefix_with_defaults_after():
+    pattern = CORPUS["unsynchronized-counter"]
+    fuzzed = run_schedule(
+        pattern.build, 0, ScheduleFuzzer(seed=5, reorder_probability=0.6, quantum=4.0)
+    )
+    assert fuzzed.decisions.non_default(), "fuzz produced no perturbations to truncate"
+    truncated = run_schedule(pattern.build, 0, ReplayStrategy(fuzzed.decisions.prefix(0)))
+    baseline = run_schedule(pattern.build, 0, PassthroughStrategy())
+    assert truncated.fingerprint == baseline.fingerprint
+    assert truncated.final_values == baseline.final_values
+
+
+def test_replay_divergence_is_detected():
+    pattern = CORPUS["fig5a-concurrent-puts"]
+    recorded = run_schedule(pattern.build, 0, PassthroughStrategy())
+    bogus = DecisionLog(
+        [Decision("latency", "latency:9->9#0", 2.5)]
+        + recorded.decisions.entries[1:]
+    )
+    with pytest.raises(Exception) as excinfo:
+        run_schedule(pattern.build, 0, ReplayStrategy(bogus))
+    assert isinstance(
+        excinfo.value.__cause__ if excinfo.value.__cause__ else excinfo.value,
+        ReplayDivergence,
+    ) or "diverged" in str(excinfo.value)
+
+
+def test_decision_log_json_round_trip():
+    pattern = CORPUS["unsynchronized-counter"]
+    fuzzed = run_schedule(pattern.build, 0, ScheduleFuzzer(seed=11, quantum=4.0))
+    restored = DecisionLog.from_jsonable(fuzzed.decisions.to_jsonable())
+    assert restored == fuzzed.decisions
+    replayed = run_schedule(pattern.build, 0, ReplayStrategy(restored))
+    assert replayed.fingerprint == fuzzed.fingerprint
+
+
+def test_controller_cannot_be_installed_twice_or_late():
+    from repro.sim.engine import Simulator
+    from repro.sim.events import SimulationError
+
+    sim = Simulator(seed=0)
+    sim.install_controller(ScheduleController(PassthroughStrategy()))
+    with pytest.raises(SimulationError):
+        sim.install_controller(ScheduleController(PassthroughStrategy()))
+
+    sim2 = Simulator(seed=0)
+    sim2.call_after(1.0, lambda: None)
+    sim2.run()
+    with pytest.raises(SimulationError):
+        sim2.install_controller(ScheduleController(PassthroughStrategy()))

@@ -1,0 +1,95 @@
+"""The subsystem's acceptance bar, from the issue:
+
+* the systematic searcher finds every ground-truth race the fuzzer finds
+  with a **strictly smaller** schedule budget;
+* the campaign report shows matrix-clock detection flagging each injected
+  race in **100%** of explored schedules;
+* exploration is fully deterministic: same seed/budget → identical
+  schedules and verdicts.
+"""
+
+from repro.explore import Explorer
+from repro.explore.campaign import CampaignConfig, run_campaign
+from repro.workloads.racy_patterns import pattern_corpus
+
+CORPUS = {p.name: p for p in pattern_corpus()}
+
+#: The injected-race corpus: labelled-racy patterns whose race manifests at
+#: delivery-reordering timescales (fig5c's outcome flip needs a >30-time-unit
+#: delay — its *detection* is still checked below, in every schedule).
+INJECTED = ["fig5a-concurrent-puts", "write-after-read-unsync", "unsynchronized-counter"]
+
+FUZZ_BUDGET = 10
+SYSTEMATIC_BUDGET = 6
+QUANTUM = 4.0
+
+
+def test_systematic_beats_fuzzer_on_a_strictly_smaller_budget():
+    assert SYSTEMATIC_BUDGET < FUZZ_BUDGET
+    for name in INJECTED:
+        explorer = Explorer(CORPUS[name].build, seed=0)
+        fuzzed = explorer.explore_fuzzed(FUZZ_BUDGET, quantum=QUANTUM)
+        systematic = explorer.explore_systematic(
+            SYSTEMATIC_BUDGET, branch_factor=3, quantum=QUANTUM
+        )
+        fuzz_found = fuzzed.ground_truth_racy_symbols()
+        systematic_found = systematic.ground_truth_racy_symbols()
+        assert fuzz_found <= systematic_found, (
+            f"{name}: fuzzer found {fuzz_found} in {FUZZ_BUDGET} schedules, "
+            f"systematic only {systematic_found} in {SYSTEMATIC_BUDGET}"
+        )
+        # And the labelled race is genuinely in the systematic searcher's
+        # reach at this budget — the comparison is not vacuous.
+        assert CORPUS[name].racy_symbols <= systematic_found, name
+
+
+def test_systematic_dedup_prunes_equivalent_schedules():
+    pruned = 0
+    for name in INJECTED:
+        result = Explorer(CORPUS[name].build, seed=0).explore_systematic(
+            SYSTEMATIC_BUDGET, branch_factor=3, quantum=QUANTUM
+        )
+        pruned += result.deduplicated
+        # Dedup may only skip *expansion*, never distort verdicts.
+        assert result.schedules_run <= SYSTEMATIC_BUDGET
+    assert pruned > 0, "no equivalent schedule was ever deduplicated"
+
+
+def test_campaign_reports_matrix_clock_flagging_every_injected_race():
+    config = CampaignConfig(
+        strategy="systematic",
+        budget=SYSTEMATIC_BUDGET,
+        seed=0,
+        branch_factor=3,
+        quantum=QUANTUM,
+    )
+    report = run_campaign(config, patterns=INJECTED)
+    consistency = report.matrix_clock_consistency()
+    for name in INJECTED:
+        for symbol in CORPUS[name].racy_symbols:
+            assert consistency[name][symbol] == 1.0, (
+                f"{name}: matrix-clock flagged {symbol} in only "
+                f"{consistency[name][symbol]:.0%} of schedules"
+            )
+    assert report.fully_consistent()
+    assert "HOLDS" in report.to_markdown()
+
+
+def test_campaign_rerun_reproduces_identical_schedules_and_verdicts():
+    config = CampaignConfig(
+        strategy="systematic", budget=4, seed=0, branch_factor=2, quantum=QUANTUM
+    )
+    first = run_campaign(config, patterns=INJECTED)
+    second = run_campaign(config, patterns=INJECTED)
+    assert first.to_json() == second.to_json()
+
+
+def test_detection_holds_even_where_the_outcome_cannot_flip():
+    """fig5c: no explored schedule flips the outcome (the racing arrival
+    needs a delay far beyond the perturbation scale), yet the clocks flag
+    the race in every single schedule — detection sees what outcome
+    comparison cannot."""
+    explorer = Explorer(CORPUS["fig5c-arrival-race"].build, seed=0)
+    result = explorer.explore_systematic(SYSTEMATIC_BUDGET, branch_factor=3, quantum=QUANTUM)
+    assert result.ground_truth_racy_symbols() == set()
+    assert result.flag_fraction("matrix-clock", "a") == 1.0
