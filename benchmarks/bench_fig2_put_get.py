@@ -38,6 +38,44 @@ def test_fig2_put_one_message_get_two(benchmark):
     )
 
 
+def test_fig2_decomposition_invariant_under_clock_transport(benchmark):
+    """Recalibration for the clock-transport layer: piggybacking clocks must
+    leave Figure 2's data decomposition untouched (1 put message, 2 get
+    messages) while the entire detection-message category disappears —
+    the clocks ride inside the data payloads instead."""
+
+    def run(mode):
+        runtime = figure2_put_get(clock_transport=mode)
+        result = runtime.run()
+        return runtime, result
+
+    (roundtrip_rt, roundtrip), (piggyback_rt, piggyback) = benchmark(
+        lambda: (run("roundtrip"), run("piggyback"))
+    )
+    for runtime in (roundtrip_rt, piggyback_rt):
+        assert runtime.fabric.message_count(MessageKind.PUT_DATA) == 1
+        assert runtime.fabric.message_count(MessageKind.GET_REQUEST) == 1
+        assert runtime.fabric.message_count(MessageKind.GET_REPLY) == 1
+    assert roundtrip.fabric_stats.detection_messages == 4  # 2 per access
+    assert piggyback.fabric_stats.detection_messages == 0
+    # Riders: the put's data message, the get's request (origin clock out)
+    # and the get's reply (datum history back) — mirroring Algorithm 5's
+    # fetch + update pair without any extra message.
+    assert piggyback.clock_transport_stats["piggybacked_messages"] == 3
+    assert (
+        piggyback.fabric_stats.total_messages
+        == roundtrip.fabric_stats.total_messages - 4
+    ), "piggybacking must remove exactly the clock round trips"
+    assert piggyback.race_count == roundtrip.race_count == 0
+    record(
+        benchmark,
+        experiment="E2 / clock-transport recalibration",
+        total_roundtrip=roundtrip.fabric_stats.total_messages,
+        total_piggyback=piggyback.fabric_stats.total_messages,
+        piggybacked_bytes=piggyback.clock_transport_stats["piggybacked_bytes"],
+    )
+
+
 def test_fig2_message_counts_scale_linearly_with_operations(benchmark):
     """Shape check: k puts + k gets => k data messages + 2k data messages."""
     from repro.runtime.runtime import DSMRuntime, RuntimeConfig

@@ -19,29 +19,43 @@ same multi-plane stencil under both transports; the receive buffers are
 pre-posted, so the send mode never pays an RNR retransmission (asserted).
 """
 
+import os
+
 from conftest import record
 
 from repro.net.message import HEADER_BYTES
+from repro.runtime.runtime import RuntimeConfig
 from repro.workloads import SendRecvStencilWorkload
 
 WORLD, CELLS, PLANE, ITERS, COST = 4, 6, 4, 3, 1.0
+#: The CI clock-transport smoke job re-runs this whole file with
+#: ``REPRO_CLOCK_TRANSPORT=piggyback``: every claim must hold under both
+#: transports (they are verdict- and numerics-identical by construction).
+CLOCK_TRANSPORT = os.environ.get("REPRO_CLOCK_TRANSPORT", "roundtrip")
 
 
 def _pair(seed: int, plane=PLANE, world=WORLD):
     send = SendRecvStencilWorkload(
         world_size=world, cells_per_rank=CELLS, plane_width=plane,
         iterations=ITERS, compute_cost=COST, transport="send",
+        config=RuntimeConfig(clock_transport=CLOCK_TRANSPORT),
     ).run(seed)
     puts = SendRecvStencilWorkload(
         world_size=world, cells_per_rank=CELLS, plane_width=plane,
         iterations=ITERS, compute_cost=COST, transport="puts",
+        config=RuntimeConfig(clock_transport=CLOCK_TRANSPORT),
     ).run(seed)
     return send, puts
 
 
-def _payload_bytes(stats):
-    """Data bytes net of per-message headers: what the application moved."""
-    return stats.data_bytes - stats.data_messages * HEADER_BYTES
+def _payload_bytes(run):
+    """Data bytes net of headers and piggybacked clocks: what the app moved."""
+    stats = run.fabric_stats
+    return (
+        stats.data_bytes
+        - stats.data_messages * HEADER_BYTES
+        - run.clock_transport_stats.get("piggybacked_bytes", 0)
+    )
 
 
 def test_gathered_send_same_bytes_fewer_messages(benchmark):
@@ -56,9 +70,7 @@ def test_gathered_send_same_bytes_fewer_messages(benchmark):
             ), "gathered sends must not change the numerics"
         assert send.run.race_count == 0 and puts.run.race_count == 0
         # Same application bytes on the wire...
-        assert _payload_bytes(send.run.fabric_stats) == _payload_bytes(
-            puts.run.fabric_stats
-        ), "both transports must move exactly the same payload bytes"
+        assert _payload_bytes(send.run) == _payload_bytes(puts.run), "both transports must move exactly the same payload bytes"
         # ...carried by strictly fewer messages...
         assert (
             send.run.fabric_stats.data_messages
@@ -81,7 +93,7 @@ def test_gathered_send_same_bytes_fewer_messages(benchmark):
         plane_width=PLANE,
         data_messages_send=send.run.fabric_stats.data_messages,
         data_messages_puts=puts.run.fabric_stats.data_messages,
-        payload_bytes=_payload_bytes(send.run.fabric_stats),
+        payload_bytes=_payload_bytes(send.run),
         time_send=round(send.run.elapsed_sim_time, 3),
         time_puts=round(puts.run.elapsed_sim_time, 3),
     )
@@ -113,20 +125,31 @@ def test_message_saving_grows_with_plane_width(benchmark):
 
 
 def test_detection_overhead_shrinks_with_gathered_sends(benchmark):
-    """One batched clock round trip per SEND message vs one per put: the
-    detection traffic attributable to the exchange must shrink."""
+    """One batched clock per SEND message vs one per put: the detection
+    traffic attributable to the exchange must shrink — dedicated round
+    trips under the roundtrip transport, piggybacked clock bytes under
+    piggyback (where no CLOCK message ever crosses the fabric)."""
 
     def run():
         return _pair(0)
 
     send, puts = benchmark(run)
-    assert (
-        send.run.fabric_stats.detection_messages
-        < puts.run.fabric_stats.detection_messages
-    ), "batched clock traffic must beat per-cell clock round trips"
+    if CLOCK_TRANSPORT == "piggyback":
+        assert send.run.fabric_stats.detection_messages == 0
+        assert puts.run.fabric_stats.detection_messages == 0
+        assert (
+            send.run.clock_transport_stats["piggybacked_bytes"]
+            < puts.run.clock_transport_stats["piggybacked_bytes"]
+        ), "fewer data messages must mean fewer piggybacked clocks"
+    else:
+        assert (
+            send.run.fabric_stats.detection_messages
+            < puts.run.fabric_stats.detection_messages
+        ), "batched clock traffic must beat per-cell clock round trips"
     record(
         benchmark,
         experiment="E15 / detection overhead",
+        clock_transport=CLOCK_TRANSPORT,
         detection_messages_send=send.run.fabric_stats.detection_messages,
         detection_messages_puts=puts.run.fabric_stats.detection_messages,
     )

@@ -15,21 +15,32 @@ asserts:
   up to the point where computation fully covers the exchange.
 """
 
+import os
+
 from conftest import record
 
+from repro.runtime.runtime import RuntimeConfig
 from repro.workloads import StencilWorkload, VerbsStencilWorkload
 
 WORLD, CELLS, ITERS, COST = 4, 8, 3, 4.0
+#: The CI clock-transport smoke job re-runs this whole file with
+#: ``REPRO_CLOCK_TRANSPORT=piggyback``: every claim must hold under both
+#: transports (they are verdict- and numerics-identical by construction).
+CLOCK_TRANSPORT = os.environ.get("REPRO_CLOCK_TRANSPORT", "roundtrip")
+
+
+def _config():
+    return RuntimeConfig(clock_transport=CLOCK_TRANSPORT)
 
 
 def _pair(seed: int, world=WORLD, compute_cost=COST):
     blocking = StencilWorkload(
         world_size=world, cells_per_rank=CELLS, iterations=ITERS,
-        compute_cost=compute_cost,
+        compute_cost=compute_cost, config=_config(),
     ).run(seed)
     overlapped = VerbsStencilWorkload(
         world_size=world, cells_per_rank=CELLS, iterations=ITERS,
-        compute_cost=compute_cost,
+        compute_cost=compute_cost, config=_config(),
     ).run(seed)
     return blocking, overlapped
 

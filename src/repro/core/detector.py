@@ -175,6 +175,25 @@ class DetectorConfig:
             return False
         return not self.compare(first, second) and not self.compare(second, first)
 
+    def reference_unknown(self, reference: VectorClock, event: VectorClock) -> bool:
+        """The race test for *carried* events: datum history not in the snapshot.
+
+        A carried operation takes effect at the memory *now*, after every
+        access the datum clock records — but its event clock is the
+        post-time snapshot, which may be arbitrarily stale.  The pair is
+        ordered only when the snapshot already contains the datum's history
+        (``reference <= event``); mere incomparability-freedom is not
+        enough, because a dominated snapshot (``event < reference``) means
+        the effect is landing after accesses the poster never knew about —
+        Figure 5c's arrival-order race, same-origin edition.  For live
+        events the two tests coincide (a freshly ticked clock can never be
+        dominated by the datum clock), which is why
+        :meth:`clocks_unordered` is stated symmetrically in the paper.
+        """
+        if self.comparison is ComparisonMode.MATTERN and reference == event:
+            return False
+        return not self.compare(reference, event)
+
 
 @dataclass
 class AccessCheckResult:
@@ -195,15 +214,35 @@ class AccessCheckResult:
 
 @dataclass
 class _LastAccessInfo:
-    """Detector-side memory of who last touched a datum (for reporting only)."""
+    """Detector-side memory of who last touched a datum.
+
+    Beyond the reporting fields, each "last X" records whether that access
+    was *live* (the process's own clock ticked at the access — blocking
+    operations) or *carried* (the NIC engine acted from a post-time snapshot
+    the message physically carried — posted one-sided work and two-sided
+    scatter writes), plus the origin-component of its event clock.  The
+    refined ``same_origin_program_order`` guard needs both: program order
+    only orders same-origin pairs whose issue-to-effect paths are themselves
+    ordered (live/live, carried/carried on one queue pair, or live-then-post
+    where the snapshot proves the post came after the blocking access
+    returned) — a posted-but-unwaited operation and a later live access by
+    the same rank are NOT ordered, which is exactly the async blind spot the
+    clock-transport refactor closes.
+    """
 
     last_writer: Optional[int] = None
+    last_writer_live: bool = True
+    last_writer_component: int = 0
     last_accessor: Optional[int] = None
     last_access_kind: AccessKind = AccessKind.WRITE
+    last_accessor_live: bool = True
+    last_accessor_component: int = 0
     # Last *non-atomic* accessor, consulted by RMW checks when
     # ``treat_rmw_pairs_as_ordered`` is enabled.
     last_plain_accessor: Optional[int] = None
     last_plain_kind: AccessKind = AccessKind.WRITE
+    last_plain_live: bool = True
+    last_plain_component: int = 0
 
 
 class DualClockRaceDetector:
@@ -300,6 +339,34 @@ class DualClockRaceDetector:
             carried_clock, source_rank=sender
         )
 
+    def on_completion_retired(
+        self,
+        origin: int,
+        target_rank: int,
+        carried_clock: Optional[VectorClock] = None,
+    ) -> Optional[VectorClock]:
+        """Retiring a one-sided work completion: the initiator learns the datum.
+
+        The completion of a posted put/get/atomic carries the datum's clock
+        back to the initiator (piggybacked on the ack/reply, or fetched by
+        the roundtrip transport); merging it at *retirement* — not at
+        service — is the one-sided twin of :meth:`on_recv_complete`.  Until
+        the initiator waits, nothing orders it after the operation's effect
+        at the owner's memory, so a posted-but-unwaited operation and a
+        later same-rank access to the same cell stay causally unordered —
+        the false-negative class the post-time snapshot discipline closes.
+
+        Under the per-queue-pair batched transport the carried clock is the
+        join of every datum clock the drain serviced so far on that queue
+        pair, which is sound because RC completes requests in order: one
+        merge per retirement batch covers the whole burst.
+        """
+        if not self.config.enabled or carried_clock is None:
+            return None
+        return self.process_clock(origin).observe_vector(
+            carried_clock, source_rank=target_rank
+        )
+
     # -- bookkeeping helpers ------------------------------------------------------
 
     def _ensure_cell_clocks(self, cell: MemoryCell) -> None:
@@ -331,8 +398,17 @@ class DualClockRaceDetector:
         self._clock_bytes_on_wire += result.extra_clock_bytes
 
     def _overhead_for_check(self) -> Tuple[int, int]:
+        """Control messages and clock bytes booked per instrumented access.
+
+        One vector clock per booked control message (Algorithm 5's fetch +
+        update each move one).  A piggybacked deployment sets
+        ``control_messages_per_check = 0`` and books nothing here — its
+        clock bytes ride on data messages and are accounted by the
+        clock-transport layer (``RunResult.clock_transport_stats``), so the
+        two figures never contradict each other for the same run.
+        """
         messages = self.config.control_messages_per_check
-        clock_bytes = 2 * self._world_size * self.BYTES_PER_ENTRY
+        clock_bytes = messages * self._world_size * self.BYTES_PER_ENTRY
         return messages, clock_bytes
 
     # -- the instrumented operations ------------------------------------------------
@@ -347,6 +423,7 @@ class DualClockRaceDetector:
         time: float = 0.0,
         operation: str = "put",
         carried_clock: Optional[VectorClock] = None,
+        owner_event: Optional[bool] = None,
     ) -> AccessCheckResult:
         """Algorithm 1: instrument a remote write (``put``) into *cell*.
 
@@ -354,11 +431,25 @@ class DualClockRaceDetector:
 
         *carried_clock* is for writes the NIC engine performs on the origin's
         behalf from a clock the message physically carried — the scattered
-        cells of a matched two-sided SEND.  The check then uses that snapshot
-        as the event clock instead of ticking the origin's live clock, and
-        the origin learns nothing back (it is not there to learn): a
-        receiver's buffer scribble concurrent with the in-flight send stays
-        causally unordered with the scatter, so the detector keeps seeing it.
+        cells of a matched two-sided SEND, and every *posted* one-sided put
+        under the clock-transport discipline.  The check then uses that
+        snapshot as the event clock instead of ticking the origin's live
+        clock, and the origin learns nothing back at service time (it is not
+        there to learn — it synchronizes later, at completion retirement): a
+        buffer scribble or same-origin access concurrent with the in-flight
+        operation stays causally unordered with it, so the detector keeps
+        seeing it.
+
+        *owner_event* controls whether the write's arrival still counts as an
+        event of the owning process when a carried clock is in play.  Posted
+        one-sided puts pass ``True`` — their landing is an owner event
+        exactly like a blocking put's (the ``write_effect_ticks_owner``
+        convention) — while two-sided scatter writes keep the default
+        exemption: their owner synchronizes explicitly at completion
+        retirement, and an implicit owner event would hide buffer accesses
+        the receiver makes between landing and retirement.  ``None`` (the
+        default) resolves to "owner event iff no carried clock", the
+        pre-existing behaviour.
         """
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
@@ -368,6 +459,10 @@ class DualClockRaceDetector:
             event_clock = self.process_clock(origin).tick()
         else:
             event_clock = carried_clock.copy()
+        live = carried_clock is None
+        origin_component = event_clock.component(origin)
+        if owner_event is None:
+            owner_event = live
         reference = (
             cell.access_clock
             if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
@@ -375,25 +470,29 @@ class DualClockRaceDetector:
         )
         assert reference is not None  # _ensure_cell_clocks ran
         info = self._info(address)
+        use_access = self.config.write_check is WriteCheckMode.ACCESS_CLOCK
         race = self._check(
             origin=origin,
             address=address,
             kind=AccessKind.WRITE,
             event_clock=event_clock,
             reference_clock=reference,
-            previous_rank=(
-                info.last_accessor
-                if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
-                else info.last_writer
-            ),
+            previous_rank=(info.last_accessor if use_access else info.last_writer),
             previous_kind=(
-                info.last_access_kind
-                if self.config.write_check is WriteCheckMode.ACCESS_CLOCK
-                else AccessKind.WRITE
+                info.last_access_kind if use_access else AccessKind.WRITE
             ),
             symbol=symbol,
             time=time,
             operation=operation,
+            current_live=live,
+            previous_live=(
+                info.last_accessor_live if use_access else info.last_writer_live
+            ),
+            previous_component=(
+                info.last_accessor_component
+                if use_access
+                else info.last_writer_component
+            ),
         )
         if carried_clock is None and self.config.origin_learns_on_put_check:
             # The writer fetched the datum clock for the check; it now knows it.
@@ -407,17 +506,20 @@ class DualClockRaceDetector:
         if (
             self.config.write_effect_ticks_owner
             and address.rank != origin
-            and carried_clock is None
+            and owner_event
         ):
             # The arrival of the write at the owner's memory is an event of the
             # owning process (this is how the paper's Figure 5 space-time
             # diagrams advance the target's clock on reception of a put): the
             # owner merges the incoming clock, ticks its own component, and the
             # datum clocks record that reception event.  Two-sided scatter
-            # writes (carried_clock set) are exempt: their owner synchronizes
+            # writes (owner_event False) are exempt: their owner synchronizes
             # explicitly at completion retirement (on_recv_complete), and an
             # implicit owner event here would order — and hide — buffer
             # accesses the receiver makes between landing and retirement.
+            # Posted one-sided puts (carried clock, owner_event True) keep the
+            # owner event: the tick is what a later unwaited same-origin
+            # access cannot know about, making the async race detectable.
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
@@ -428,10 +530,16 @@ class DualClockRaceDetector:
             self.process_clock(origin).observe_vector(cell.access_clock)
         self._note_plain_access(address, event_clock)
         info.last_writer = origin
+        info.last_writer_live = live
+        info.last_writer_component = origin_component
         info.last_accessor = origin
         info.last_access_kind = AccessKind.WRITE
+        info.last_accessor_live = live
+        info.last_accessor_component = origin_component
         info.last_plain_accessor = origin
         info.last_plain_kind = AccessKind.WRITE
+        info.last_plain_live = live
+        info.last_plain_component = origin_component
         self._checks_performed += 1
         messages, clock_bytes = self._overhead_for_check()
         result = AccessCheckResult(
@@ -454,16 +562,34 @@ class DualClockRaceDetector:
         symbol: Optional[str] = None,
         time: float = 0.0,
         operation: str = "get",
+        carried_clock: Optional[VectorClock] = None,
     ) -> AccessCheckResult:
         """Algorithm 2: instrument a remote read (``get``) of *cell*.
 
         Must be called while the NIC lock on *address* is held.
+
+        *carried_clock* is the post-time snapshot of a *posted* get, carried
+        to the target by the request message: the check uses it as the event
+        clock instead of ticking the origin's live clock, and the datum's
+        causal history flows back at completion retirement
+        (:meth:`on_completion_retired`) rather than at service.  The arrival
+        of a carried read additionally counts as an owner event folded into
+        the *access* clock only (never the write clock — a read is not a
+        write): that tick is what a later unwaited same-origin write to the
+        cell cannot know about, making the read side of the async blind spot
+        detectable.  A blocking get keeps the paper's calibration — servicing
+        it ticks nobody (Figure 5b).
         """
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
         self._ensure_cell_clocks(cell)
-        event_clock = self.process_clock(origin).tick()
+        if carried_clock is None:
+            event_clock = self.process_clock(origin).tick()
+        else:
+            event_clock = carried_clock.copy()
+        live = carried_clock is None
+        origin_component = event_clock.component(origin)
         info = self._info(address)
         race = self._check(
             origin=origin,
@@ -476,17 +602,38 @@ class DualClockRaceDetector:
             symbol=symbol,
             time=time,
             operation=operation,
+            current_live=live,
+            previous_live=info.last_writer_live,
+            previous_component=info.last_writer_component,
         )
-        if self.config.origin_learns_on_get:
+        if carried_clock is None and self.config.origin_learns_on_get:
             # The data (and its causal history) flows back to the reader.
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
         cell.access_clock.merge_in_place(event_clock)
+        if (
+            carried_clock is not None
+            and self.config.write_effect_ticks_owner
+            and address.rank != origin
+        ):
+            # The NIC-engine read's arrival is an owner event recorded in the
+            # access clock only: later writes (checked against V(x)) see it,
+            # later reads (checked against W(x)) do not — concurrent reads
+            # stay silent, Figure 4.
+            owner_clock = self.process_clock(address.rank)
+            owner_clock.observe_vector(event_clock)
+            owner_view = owner_clock.tick()
+            cell.access_clock.merge_in_place(owner_view)
+            self._note_plain_access(address, owner_view)
         self._note_plain_access(address, event_clock)
         info.last_accessor = origin
         info.last_access_kind = AccessKind.READ
+        info.last_accessor_live = live
+        info.last_accessor_component = origin_component
         info.last_plain_accessor = origin
         info.last_plain_kind = AccessKind.READ
+        info.last_plain_live = live
+        info.last_plain_component = origin_component
         self._checks_performed += 1
         messages, clock_bytes = self._overhead_for_check()
         result = AccessCheckResult(
@@ -509,6 +656,7 @@ class DualClockRaceDetector:
         symbol: Optional[str] = None,
         time: float = 0.0,
         operation: str = "fetch_add",
+        carried_clock: Optional[VectorClock] = None,
     ) -> AccessCheckResult:
         """Instrument a one-sided atomic read-modify-write of *cell*.
 
@@ -520,22 +668,37 @@ class DualClockRaceDetector:
         ``treat_rmw_pairs_as_ordered`` the check only consults the plain
         (non-RMW) accesses, modelling the target NIC's atomic execution unit
         serializing RMW/RMW pairs.
+
+        *carried_clock* is the post-time snapshot of a *posted* atomic: the
+        event clock is the snapshot, the origin learns the reply's history at
+        completion retirement (:meth:`on_completion_retired`) instead of at
+        service, and the effect at the owner's memory still counts as an
+        owner event (an RMW writes, exactly as a posted put does).
         """
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
         self._ensure_cell_clocks(cell)
-        event_clock = self.process_clock(origin).tick()
+        if carried_clock is None:
+            event_clock = self.process_clock(origin).tick()
+        else:
+            event_clock = carried_clock.copy()
+        live = carried_clock is None
+        origin_component = event_clock.component(origin)
         info = self._info(address)
         if self.config.treat_rmw_pairs_as_ordered:
             reference: VectorClock = self._plain_clock(address)
             previous_rank = info.last_plain_accessor
             previous_kind = info.last_plain_kind
+            previous_live = info.last_plain_live
+            previous_component = info.last_plain_component
         else:
             assert cell.access_clock is not None  # _ensure_cell_clocks ran
             reference = cell.access_clock
             previous_rank = info.last_accessor
             previous_kind = info.last_access_kind
+            previous_live = info.last_accessor_live
+            previous_component = info.last_accessor_component
         race = self._check(
             origin=origin,
             address=address,
@@ -547,8 +710,11 @@ class DualClockRaceDetector:
             symbol=symbol,
             time=time,
             operation=operation,
+            current_live=live,
+            previous_live=previous_live,
+            previous_component=previous_component,
         )
-        if self.config.origin_learns_on_get:
+        if carried_clock is None and self.config.origin_learns_on_get:
             # The old value flows back in the ATOMIC_REPLY, and with it the
             # datum's causal history (same rule as a get).
             self.process_clock(origin).observe_vector(cell.access_clock)
@@ -564,13 +730,17 @@ class DualClockRaceDetector:
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
-            if self.config.origin_learns_on_get:
+            if carried_clock is None and self.config.origin_learns_on_get:
                 # The reply leaves the owner after the reception event.
                 self.process_clock(origin).observe_vector(cell.access_clock)
                 event_clock = self.current_clock(origin)
         info.last_writer = origin
+        info.last_writer_live = live
+        info.last_writer_component = origin_component
         info.last_accessor = origin
         info.last_access_kind = AccessKind.RMW
+        info.last_accessor_live = live
+        info.last_accessor_component = origin_component
         self._checks_performed += 1
         messages, clock_bytes = self._overhead_for_check()
         result = AccessCheckResult(
@@ -583,6 +753,37 @@ class DualClockRaceDetector:
         )
         self._charge_overhead(result)
         return result
+
+    @staticmethod
+    def _same_origin_ordered(
+        origin: int,
+        event_clock: VectorClock,
+        current_live: bool,
+        previous_live: bool,
+        previous_component: int,
+    ) -> bool:
+        """Is a same-origin (previous, current) access pair surely ordered?
+
+        * live → live: program order — the process issued both and the first
+          completed before the second was issued;
+        * live → carried: ordered iff the current post's snapshot already
+          contains the previous event's tick (the post was made after the
+          blocking access returned); a snapshot older than the previous
+          event means the operation was posted *before* it, and the NIC
+          engine may service it on either side;
+        * carried → carried: same origin + same cell implies the same queue
+          pair, whose drain services posts in order (the RC guarantee);
+        * carried → live: nothing orders the NIC engine's effect against the
+          process's later access — the posted-but-unwaited blind spot, so
+          the clock comparison must run.
+        """
+        if previous_live and current_live:
+            return True
+        if previous_live and not current_live:
+            return event_clock.component(origin) > previous_component
+        if not previous_live and not current_live:
+            return True
+        return False
 
     def _uninstrumented(self, origin: int, cell: MemoryCell) -> AccessCheckResult:
         """Detection disabled: no clocks, no checks, no overhead."""
@@ -608,14 +809,23 @@ class DualClockRaceDetector:
         symbol: Optional[str],
         time: float,
         operation: str,
+        current_live: bool = True,
+        previous_live: bool = True,
+        previous_component: int = 0,
     ) -> Optional[RaceRecord]:
         """Corollary 1: signal a race when the clocks are incomparable.
 
         A virgin datum (all-zero reference clock) has never been accessed:
         the zero clock happens-before every non-zero clock, so no race can be
         reported for a first access.  When the last conflicting access was
-        made by the same process, program order plus FIFO delivery already
-        orders the pair and the check is skipped (``same_origin_program_order``).
+        made by the same process AND the pair is ordered by an issue-to-effect
+        path — program order for live/live, RC in-order servicing for
+        carried/carried (same origin + same cell implies the same queue
+        pair), or a post provably made after a live access returned — the
+        check is skipped (``same_origin_program_order``).  A carried access
+        followed by a live one is the async blind spot: nothing orders the
+        NIC engine's effect against the process's later access, so the clock
+        comparison runs.
         """
         if reference_clock.total() == 0:
             return None
@@ -623,9 +833,16 @@ class DualClockRaceDetector:
             self.config.same_origin_program_order
             and previous_rank is not None
             and previous_rank == origin
+            and self._same_origin_ordered(
+                origin, event_clock, current_live, previous_live, previous_component
+            )
         ):
             return None
-        if not self.config.clocks_unordered(event_clock, reference_clock):
+        if current_live:
+            racy = self.config.clocks_unordered(event_clock, reference_clock)
+        else:
+            racy = self.config.reference_unknown(reference_clock, event_clock)
+        if not racy:
             return None
         record = RaceRecord(
             address=address,

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import DetectorScore, score_against_labels
 from repro.explore.runner import MATRIX_CLOCK, Explorer
+from repro.net.clock_transport import CLOCK_TRANSPORT_MODES, validate_clock_transport
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,12 @@ class CampaignConfig:
     ``treat_rmw_pairs_as_ordered`` — when not ``None``, override the online
     detector's RMW-pair knob on every built runtime (the atomic-aware
     accuracy sweep runs one campaign per setting).
+
+    ``clock_transport`` — when not ``None``, select how clocks travel with
+    verbs traffic on every built runtime (``"roundtrip"`` or
+    ``"piggyback"``); the clock-transport acceptance runs one campaign per
+    mode and asserts byte-identical verdicts with strictly fewer messages
+    under piggybacking.
     """
 
     strategy: str = "fuzz"
@@ -60,6 +67,8 @@ class CampaignConfig:
     max_branch_points: int = 8
     # detector knob sweeps
     treat_rmw_pairs_as_ordered: Optional[bool] = None
+    # clock-transport sweep
+    clock_transport: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("fuzz", "systematic"):
@@ -68,6 +77,8 @@ class CampaignConfig:
             raise ValueError(f"budget must be at least 1, got {self.budget}")
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.clock_transport is not None:
+            validate_clock_transport(self.clock_transport)
 
 
 def _resolve_corpus(corpus: str):
@@ -87,14 +98,20 @@ def _resolve_pattern(corpus: str, name: str):
     raise ValueError(f"corpus {corpus!r} has no pattern named {name!r}")
 
 
-def _knob_configure(treat_rmw_pairs_as_ordered: Optional[bool]):
-    if treat_rmw_pairs_as_ordered is None:
+def _knob_configure(
+    treat_rmw_pairs_as_ordered: Optional[bool],
+    clock_transport: Optional[str] = None,
+):
+    if treat_rmw_pairs_as_ordered is None and clock_transport is None:
         return None
 
     def configure(runtime) -> None:
-        runtime.detector.config.treat_rmw_pairs_as_ordered = bool(
-            treat_rmw_pairs_as_ordered
-        )
+        if treat_rmw_pairs_as_ordered is not None:
+            runtime.detector.config.treat_rmw_pairs_as_ordered = bool(
+                treat_rmw_pairs_as_ordered
+            )
+        if clock_transport is not None:
+            runtime.set_clock_transport(clock_transport)
 
     return configure
 
@@ -106,7 +123,9 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
     explorer = Explorer(
         pattern.build,
         seed=config.seed,
-        configure=_knob_configure(config.treat_rmw_pairs_as_ordered),
+        configure=_knob_configure(
+            config.treat_rmw_pairs_as_ordered, config.clock_transport
+        ),
     )
     if config.strategy == "systematic":
         result = explorer.explore_systematic(
@@ -326,6 +345,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--reorder-probability", type=float, default=0.35)
     parser.add_argument("--reorder-aggressiveness", type=float, default=2.0)
     parser.add_argument("--quantum", type=float, default=1.0)
+    parser.add_argument(
+        "--clock-transport",
+        default=None,
+        choices=CLOCK_TRANSPORT_MODES,
+        help="clock transport for every explored runtime (default: the "
+        "pattern's own configuration)",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument("--markdown", dest="markdown_path", default=None)
     parser.add_argument(
@@ -346,6 +372,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         reorder_probability=args.reorder_probability,
         reorder_aggressiveness=args.reorder_aggressiveness,
         quantum=args.quantum,
+        clock_transport=args.clock_transport,
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
     if args.json_path:

@@ -11,7 +11,11 @@ sits at the two places where a run's interleaving is decided:
   across channels; per-channel FIFO is preserved by the channel's clamp);
 * **same-time scheduling** — :meth:`pick_next` is called by the engine's
   :meth:`~repro.sim.engine.Simulator.step` and chooses which of several
-  events ready at the same simulated time runs first (process scheduling).
+  events ready at the same simulated time runs first (process scheduling);
+* **RNR retry timing** — :meth:`on_rnr_backoff` is called by
+  :meth:`~repro.net.nic.NIC.send_payload` before every RNR retransmission
+  with the configured backoff; the controller may stretch it, which decides
+  how a storm of retransmissions interleaves with the receiver's reposts.
 
 Every resolution is appended to a :class:`~repro.explore.decisions.DecisionLog`,
 and what the resolution *is* comes from a pluggable
@@ -75,6 +79,12 @@ class ScheduleStrategy:
     def choose_tie(self, key: str, eligible: int) -> Tuple[int, int]:
         """Index of the same-time event to run first (default: first)."""
         return 0, eligible
+
+    def choose_rnr(
+        self, key: str, attempt: int, base_backoff: float
+    ) -> Tuple[float, int]:
+        """Extra delay added to one RNR retry backoff (default: none)."""
+        return 0.0, 1
 
     def describe(self) -> str:
         """One-line description used in exploration reports."""
@@ -149,6 +159,12 @@ class ReplayStrategy(ScheduleStrategy):
             return 0, eligible
         return index, eligible
 
+    def choose_rnr(
+        self, key: str, attempt: int, base_backoff: float
+    ) -> Tuple[float, int]:
+        entry = self._next("rnr", key)
+        return (float(entry.choice), 1) if entry is not None else (0.0, 1)
+
     def describe(self) -> str:
         return f"replay({len(self._entries)} decisions)"
 
@@ -174,6 +190,7 @@ class ScheduleController:
         self.log = DecisionLog()
         self._latency_index = 0
         self._tie_index = 0
+        self._rnr_index = 0
         self._sim = None
 
     def bind(self, sim: Any) -> None:
@@ -195,6 +212,26 @@ class ScheduleController:
             Decision("latency", key, float(extra), alternatives=alternatives)
         )
         return model_flight + extra
+
+    # -- RNR retry timing (called by NIC.send_payload) ----------------------------------
+
+    def on_rnr_backoff(
+        self, origin: int, destination: int, attempt: int, base_backoff: float
+    ) -> float:
+        """Resolve one RNR retry backoff; returns the controlled delay.
+
+        *attempt* is the 1-based retransmission count of the failing SEND.
+        The strategy may stretch the configured backoff (never shrink —
+        additive delays already reach every retransmission/repost order the
+        timing model can express).
+        """
+        key = f"rnr:{origin}->{destination}#{self._rnr_index}"
+        self._rnr_index += 1
+        extra, alternatives = self.strategy.choose_rnr(key, attempt, base_backoff)
+        if extra < 0:
+            raise ValueError(f"strategy produced a negative RNR delay at {key}: {extra}")
+        self.log.append(Decision("rnr", key, float(extra), alternatives=alternatives))
+        return base_backoff + extra
 
     # -- same-time scheduling (called by Simulator.step) --------------------------------
 

@@ -8,7 +8,7 @@ byte for byte, and *truncating* it replays a prefix with every later choice
 point falling back to its uncontrolled default.  That prefix property is
 what the racing-schedule minimizer delta-debugs over.
 
-Two decision kinds exist:
+Three decision kinds exist:
 
 ``latency``
     The controller stretched (or left alone) one message's flight time.
@@ -18,6 +18,13 @@ Two decision kinds exist:
     Several events were ready at the same simulated time and the controller
     picked which runs first.  ``choice`` is the index into the eligible
     entries (insertion order); ``0`` is the default (the engine's tie rule).
+``rnr``
+    A two-sided SEND found the receiver not ready and backed off before
+    retransmitting; the controller stretched (or left alone) the RNR retry
+    timer.  ``choice`` is the extra delay on top of the configured backoff;
+    ``0.0`` is the default.  Owning this timer lets the searchers branch on
+    retry-storm interleavings — which retransmission lands before which
+    repost — that delivery latencies alone cannot reach.
 
 A log serializes to plain JSON (the artifact the minimizer emits), and a
 sparse log — entries replaced by ``None`` — replays those choice points at
@@ -29,8 +36,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
-#: The two controlled choice-point kinds.
-DECISION_KINDS = ("latency", "tie")
+#: The controlled choice-point kinds.
+DECISION_KINDS = ("latency", "tie", "rnr")
 
 
 @dataclass(frozen=True)
@@ -40,7 +47,7 @@ class Decision:
     Attributes
     ----------
     kind:
-        ``"latency"`` or ``"tie"``.
+        ``"latency"``, ``"tie"`` or ``"rnr"``.
     key:
         Stable identity of the choice point within its run (e.g.
         ``"latency:0->2#17"``).  Replays assert the key matches, catching a

@@ -86,6 +86,17 @@ class ScheduleFuzzer(ScheduleStrategy):
             return 0, eligible
         return self._rng.randrange(eligible), eligible
 
+    def choose_rnr(
+        self, key: str, attempt: int, base_backoff: float
+    ) -> Tuple[float, int]:
+        # RNR retry timers are perturbed like delivery latencies: stretching
+        # a backoff explores which retransmission races which repost.
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0.0, 2
+        extra = self._rng.uniform(0.0, self.reorder_aggressiveness * self.quantum)
+        return extra, 2
+
     def describe(self) -> str:
         return (
             f"fuzz(seed={self.seed}, p={self.reorder_probability}, "

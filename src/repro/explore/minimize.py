@@ -3,18 +3,25 @@
 A fuzzer that finds a race hands back a decision log with dozens of
 perturbations, most of them irrelevant.  :func:`minimize_racing_schedule`
 delta-debugs that log against a replay predicate ("does the matrix-clock
-detector still flag the target symbols?") in two passes:
+detector still flag the target symbols?") in three passes:
 
 1. **prefix truncation** — binary search for the shortest log prefix that
    still produces the race (every choice point past the prefix replays at
    its default), using the standard bisection invariant: the upper bound
    always satisfies the predicate, so the returned prefix is guaranteed
    racing even if the predicate is not monotone in between;
-2. **sparsification** — within the surviving prefix, each remaining
-   non-default decision is individually replaced by the default marker
-   (``None``) and the replacement kept when the race survives, walking from
-   the back so later decisions (the ones most likely to be mere noise) are
-   removed first.
+2. **chunked removal (ddmin)** — within the surviving prefix, *chunks* of
+   the remaining non-default decisions are replaced wholesale by the
+   default marker (``None``), starting with half the decisions per chunk
+   and halving on a sweep that removes nothing.  Racing schedules found
+   mainly through tie shuffling have their irrelevant perturbations
+   scattered across the whole log, where prefix truncation removes nothing;
+   chunking defaults them in O(log n) sweeps instead of one replay each;
+3. **sparsification** — each surviving non-default decision is individually
+   replaced by the default and the replacement kept when the race survives,
+   walking from the back so later decisions (the ones most likely to be
+   mere noise) are removed first.  After the chunk pass this is cheap:
+   only the genuinely load-bearing decisions remain.
 
 The result replays deterministically, and :func:`save_artifact` emits a
 self-contained JSON artifact: the decision recipe plus the minimized run's
@@ -30,7 +37,7 @@ import json
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional, Set
 
-from repro.explore.controller import ReplayStrategy, ScheduleController
+from repro.explore.controller import ReplayDivergence, ReplayStrategy, ScheduleController
 from repro.explore.decisions import DecisionLog
 from repro.explore.runner import (
     MATRIX_CLOCK,
@@ -38,10 +45,18 @@ from repro.explore.runner import (
     ScheduleOutcome,
     run_schedule,
 )
+from repro.sim.events import SimulationError
 from repro.trace.serialization import trace_to_json
 
 #: Artifact format marker (bumped on incompatible changes).
 ARTIFACT_FORMAT = "repro-racing-schedule"
+#: Version 2: decision logs gained the positional ``rnr`` choice-point kind
+#: (controller-owned RNR backoffs), so version-1 logs recorded from runs
+#: that hit an RNR retry no longer align against current replays.
+ARTIFACT_VERSION = 2
+#: Versions this loader still accepts (v1 replays fine when its schedule
+#: never hit an RNR backoff; a divergence is reported loudly otherwise).
+SUPPORTED_ARTIFACT_VERSIONS = (1, 2)
 
 
 @dataclass
@@ -72,14 +87,30 @@ def _replay(
     seed: int,
     log: DecisionLog,
     max_ties: int,
-) -> ScheduleOutcome:
-    return run_schedule(
-        factory,
-        seed,
-        ReplayStrategy(log),
-        offline_detectors=(),
-        max_ties=max_ties,
-    )
+) -> Optional[ScheduleOutcome]:
+    """Replay one candidate log; ``None`` when the candidate misaligns.
+
+    Defaulting a *tie* decision can change which events exist downstream,
+    so a sparsified candidate may stop matching its own tail — strict
+    replay then raises :class:`ReplayDivergence` (possibly wrapped in a
+    :class:`SimulationError` when the divergence hits inside a simulated
+    process).  A divergent candidate is simply not a valid shrink: the
+    minimizer treats it exactly like one that lost the race.
+    """
+    try:
+        return run_schedule(
+            factory,
+            seed,
+            ReplayStrategy(log),
+            offline_detectors=(),
+            max_ties=max_ties,
+        )
+    except ReplayDivergence:
+        return None
+    except SimulationError as error:
+        if isinstance(error.__cause__, ReplayDivergence):
+            return None
+        raise
 
 
 def minimize_racing_schedule(
@@ -119,7 +150,7 @@ def minimize_racing_schedule(
         nonlocal replays
         replays += 1
         outcome = _replay(factory, seed, log, max_ties)
-        if holds(outcome):
+        if outcome is not None and holds(outcome):
             return outcome
         return None
 
@@ -143,7 +174,44 @@ def minimize_racing_schedule(
             low = mid + 1
     log = full.prefix(high)
 
-    # Pass 2: default-out individually unnecessary perturbations.
+    # Pass 2: chunked (ddmin-style) removal.  Default-out whole chunks of
+    # the surviving non-default decisions; halve the chunk size whenever a
+    # full sweep removes nothing.  Tie-shuffle-found schedules — whose
+    # irrelevant perturbations are scattered, not clustered at the tail —
+    # converge in O(log n) sweeps here instead of one replay per decision.
+    def non_default_indices(current: DecisionLog):
+        return [
+            index
+            for index, entry in enumerate(current.entries)
+            if entry is not None and not entry.is_default
+        ]
+
+    chunk = len(non_default_indices(log)) // 2
+    while chunk >= 2:
+        removed = False
+        indices = non_default_indices(log)
+        for start in range(0, len(indices), chunk):
+            batch = indices[start:start + chunk]
+            if not batch:
+                continue
+            candidate_log = log
+            for index in batch:
+                candidate_log = candidate_log.with_default_at(index)
+            candidate = races(candidate_log)
+            if candidate is not None:
+                log, best = candidate_log, candidate
+                removed = True
+        if not removed:
+            chunk //= 2
+        else:
+            chunk = min(chunk, max(2, len(non_default_indices(log)) // 2))
+        if not non_default_indices(log):
+            break
+
+    # Pass 3: default-out individually unnecessary perturbations (the
+    # chunk-1 granularity the ddmin pass deliberately leaves to this sweep,
+    # walking from the back so later decisions — the ones most likely to be
+    # mere noise — are removed first).
     for index in reversed(range(len(log))):
         entry = log.entries[index]
         if entry is None or entry.is_default:
@@ -185,7 +253,7 @@ def save_artifact(
     result = runtime.run()
     artifact: Dict[str, object] = {
         "format": ARTIFACT_FORMAT,
-        "version": 1,
+        "version": ARTIFACT_VERSION,
         "pattern": pattern,
         "seed": seed,
         "max_ties": max_ties,
@@ -215,6 +283,12 @@ def load_artifact(path: str) -> Dict[str, object]:
     if artifact.get("format") != ARTIFACT_FORMAT:
         raise ValueError(
             f"not a racing-schedule artifact (format={artifact.get('format')!r})"
+        )
+    if int(artifact.get("version", 0)) not in SUPPORTED_ARTIFACT_VERSIONS:
+        raise ValueError(
+            f"unsupported racing-schedule artifact version "
+            f"{artifact.get('version')!r} (supported: "
+            f"{SUPPORTED_ARTIFACT_VERSIONS})"
         )
     return artifact
 

@@ -74,6 +74,13 @@ class ScheduleOutcome:
     symbols: Set[str]
     elapsed_sim_time: float
     events_processed: int
+    #: Fabric traffic of the schedule, for the clock-transport comparisons:
+    #: piggyback mode must move strictly fewer messages than roundtrip at
+    #: byte-identical verdicts.
+    total_messages: int = 0
+    data_messages: int = 0
+    detection_messages: int = 0
+    detection_bytes: int = 0
 
     @property
     def racy(self) -> bool:
@@ -91,6 +98,10 @@ class ScheduleOutcome:
             "perturbations": len(self.decisions.non_default()),
             "elapsed_sim_time": self.elapsed_sim_time,
             "events_processed": self.events_processed,
+            "total_messages": self.total_messages,
+            "data_messages": self.data_messages,
+            "detection_messages": self.detection_messages,
+            "detection_bytes": self.detection_bytes,
         }
 
 
@@ -156,6 +167,10 @@ def run_schedule(
         symbols={symbol.name for symbol in runtime.directory.symbols()},
         elapsed_sim_time=result.elapsed_sim_time,
         events_processed=runtime.sim.events_processed,
+        total_messages=result.fabric_stats.total_messages,
+        data_messages=result.fabric_stats.data_messages,
+        detection_messages=result.fabric_stats.detection_messages,
+        detection_bytes=result.fabric_stats.detection_bytes,
     )
 
 

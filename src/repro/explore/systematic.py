@@ -118,6 +118,18 @@ class SystematicStrategy(ScheduleStrategy):
     ) -> Tuple[float, int]:
         if not is_reorderable(message):
             return 0.0, 1
+        return self._branch(key)
+
+    def choose_rnr(
+        self, key: str, attempt: int, base_backoff: float
+    ) -> Tuple[float, int]:
+        # RNR backoffs are branch points exactly like reorderable
+        # deliveries: slot k stretches the retry timer by k quanta, which
+        # enumerates how a retransmission storm interleaves with the
+        # receiver's reposts.
+        return self._branch(key)
+
+    def _branch(self, key: str) -> Tuple[float, int]:
         branchable = len(self.branch_points) < self.max_branch_points
         if branchable:
             self.branch_points.append(key)

@@ -109,6 +109,7 @@ class Channel:
             send_time=now,
             deliver_time=deliver_at,
             operation_tag=message.operation_tag,
+            carried_clock=message.carried_clock,
         )
         self.stats.messages += 1
         self.stats.bytes += stamped.total_bytes

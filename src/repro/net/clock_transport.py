@@ -1,0 +1,213 @@
+"""The clock-transport layer: how causal clocks travel with verbs traffic.
+
+The paper's Algorithm 5 moves clocks with an explicit CLOCK_FETCH /
+CLOCK_UPDATE round trip per instrumented remote access; Section V-B alludes
+to an optimized implementation in which the clocks ride on the data messages
+themselves.  This module makes that choice a first-class, per-run policy
+shared by *every* verbs path — one-sided puts/gets/atomics and two-sided
+SEND/RECV alike — instead of a per-call-site accident:
+
+``"roundtrip"`` (the paper's literal Algorithm 5, the default)
+    Every instrumented remote access charges one CLOCK_FETCH + CLOCK_UPDATE
+    pair on the fabric (when the NIC is configured to charge detection
+    messages at all), and the detector books
+    ``control_messages_per_check`` control messages per check.
+
+``"piggyback"`` (the optimized implementation)
+    No clock message ever crosses the fabric on its own.  Data messages grow
+    by one vector clock (``world_size * BYTES_PER_ENTRY`` bytes, stamped
+    into :attr:`~repro.net.message.Message.carried_clock` so the payload is
+    inspectable), and the per-queue-pair drain *batches* the origin-side
+    clock joins: each completion carries the join of every datum clock the
+    drain has serviced so far on that queue pair, so a burst of posts
+    retired together costs one clock merge per drain — not one per access.
+    Batching is sound because requests on one queue pair complete in order
+    (the RC guarantee): retiring a later completion proves every earlier
+    operation on that queue pair has taken effect.
+
+The two modes are *verdict-identical by construction*: they share the same
+post-time snapshots, the same carried-clock detector checks and the same
+retirement joins, and differ only in what traffic the fabric sees and how
+many joins the origin performs.  The benchmarks
+(``benchmarks/bench_clock_transport.py``) pin down the strictly-fewer-
+messages claim; the exploration campaign pins down verdict identity across
+schedules.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Generator, Optional
+
+from repro.net.message import MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.clocks import VectorClock
+    from repro.net.nic import NIC
+
+#: Legal values of the ``clock_transport`` knob.
+CLOCK_TRANSPORT_MODES = ("roundtrip", "piggyback")
+
+
+def validate_clock_transport(mode: str) -> str:
+    """Return *mode* if legal, raise ``ValueError`` otherwise."""
+    if mode not in CLOCK_TRANSPORT_MODES:
+        raise ValueError(
+            f"clock_transport must be one of {CLOCK_TRANSPORT_MODES}, got {mode!r}"
+        )
+    return mode
+
+
+@dataclass
+class ClockTransportStats:
+    """Per-rank accounting of how clocks moved during one run."""
+
+    #: CLOCK_FETCH/CLOCK_UPDATE pairs charged on the fabric (roundtrip mode).
+    round_trips: int = 0
+    #: Data messages that carried a piggybacked clock (piggyback mode).
+    piggybacked_messages: int = 0
+    #: Clock bytes that rode on data messages instead of dedicated traffic.
+    piggybacked_bytes: int = 0
+    #: Origin-side clock joins actually performed at completion retirement.
+    joins_performed: int = 0
+    #: Retirements whose join was elided because a later completion of the
+    #: same queue pair (whose batched clock dominates) had already merged.
+    joins_elided: int = 0
+
+    def merge(self, other: "ClockTransportStats") -> "ClockTransportStats":
+        """Accumulate *other* into this record (whole-machine totals)."""
+        self.round_trips += other.round_trips
+        self.piggybacked_messages += other.piggybacked_messages
+        self.piggybacked_bytes += other.piggybacked_bytes
+        self.joins_performed += other.joins_performed
+        self.joins_elided += other.joins_elided
+        return self
+
+    def as_dict(self) -> Dict[str, int]:
+        """Flat dictionary for reports and the benchmark JSON."""
+        return {
+            "round_trips": self.round_trips,
+            "piggybacked_messages": self.piggybacked_messages,
+            "piggybacked_bytes": self.piggybacked_bytes,
+            "joins_performed": self.joins_performed,
+            "joins_elided": self.joins_elided,
+        }
+
+
+class ClockTransport:
+    """One rank's clock-movement policy, consulted by NIC and verbs layers.
+
+    The mode is read from the owning NIC's config on every decision — that
+    is what lets :meth:`~repro.runtime.runtime.DSMRuntime.set_clock_transport`
+    switch an already-built runtime (the campaign runner's configure hook).
+    Always switch through that method (or ``RuntimeConfig.clock_transport``
+    at construction): it also keeps the detector's per-check control
+    accounting in step, which a bare ``NICConfig.clock_transport``
+    assignment would not.
+    """
+
+    def __init__(self, nic: "NIC") -> None:
+        self._nic = nic
+        self.stats = ClockTransportStats()
+
+    # -- mode ---------------------------------------------------------------------
+
+    @property
+    def mode(self) -> str:
+        """The active transport mode (``"roundtrip"`` or ``"piggyback"``)."""
+        return validate_clock_transport(self._nic.config.clock_transport)
+
+    @property
+    def piggyback(self) -> bool:
+        """True when clocks ride on the data messages."""
+        return self.mode == "piggyback"
+
+    def _active(self) -> bool:
+        detector = self._nic.detector
+        return detector is not None and detector.config.enabled
+
+    def clock_bytes(self) -> int:
+        """Wire size of one vector clock for this world."""
+        return self._nic._clock_bytes()
+
+    # -- wire traffic --------------------------------------------------------------
+
+    def data_overhead_bytes(self) -> int:
+        """Clock bytes added to one data message under the active policy.
+
+        Piggyback mode always rides the clock on the data message; roundtrip
+        mode does so only in the legacy ``charge_detection_messages=False``
+        accounting (clocks assumed piggybacked, free).
+        """
+        if not self._active():
+            return 0
+        if self.piggyback or not self._nic.config.charge_detection_messages:
+            return self.clock_bytes()
+        return 0
+
+    def request_overhead_bytes(self) -> int:
+        """Clock bytes added to a get/atomic *request* message.
+
+        Piggyback only: the target-side check consumes the origin's clock,
+        so under piggybacking it must physically travel on the request (the
+        reply then carries the datum's history back — two riders per
+        get/atomic, mirroring Algorithm 5's fetch + update pair).  The
+        legacy ``charge_detection_messages=False`` accounting keeps its
+        historical single-rider figure.
+        """
+        return self.clock_bytes() if self._active() and self.piggyback else 0
+
+    def stamp(self, clock) -> Optional[tuple]:
+        """The frozen clock to stamp into a data message, if one rides on it.
+
+        Accepts a :class:`~repro.core.clocks.VectorClock` or an
+        already-frozen tuple; returns ``None`` unless detection is active
+        and the piggyback transport is selected.
+        """
+        if clock is None or not self._active() or not self.piggyback:
+            return None
+        self.stats.piggybacked_messages += 1
+        self.stats.piggybacked_bytes += self.clock_bytes()
+        if hasattr(clock, "frozen"):
+            return clock.frozen()
+        return tuple(int(entry) for entry in clock)
+
+    def round_trip(self, target_rank: int, tag: str) -> Generator:
+        """Charge Algorithm 5's CLOCK_FETCH/CLOCK_UPDATE pair, when owed.
+
+        A generator driven by the simulation kernel; returns the number of
+        control messages charged (0 in piggyback mode, where the clock
+        already rode on the data message).
+        """
+        if (
+            not self._active()
+            or self.piggyback
+            or not self._nic.config.charge_detection_messages
+            or target_rank == self._nic.rank
+        ):
+            return 0
+        fetch, _ = self._nic.fabric.send(
+            MessageKind.CLOCK_FETCH, self._nic.rank, target_rank,
+            payload_bytes=0, operation_tag=tag,
+        )
+        yield fetch
+        reply, _ = self._nic.fabric.send(
+            MessageKind.CLOCK_UPDATE, target_rank, self._nic.rank,
+            payload_bytes=self.clock_bytes(), operation_tag=tag,
+        )
+        yield reply
+        self.stats.round_trips += 1
+        return 2
+
+    # -- retirement joins ------------------------------------------------------------
+
+    def note_join(self, performed: bool) -> None:
+        """Book one completion retirement: a join done, or elided by batching."""
+        if performed:
+            self.stats.joins_performed += 1
+        else:
+            self.stats.joins_elided += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ClockTransport P{self._nic.rank} mode={self.mode}>"

@@ -144,13 +144,16 @@ class Fabric:
         payload: Any = None,
         payload_bytes: int = 8,
         operation_tag: Optional[str] = None,
+        carried_clock: Optional[tuple] = None,
     ) -> Tuple[Event, Message]:
         """Send one message; returns ``(delivery_event, stamped_message)``.
 
         Self-messages (``source == destination``) are delivered after zero
         simulated time but still pass through the accounting — a local access
         to one's own public memory does not cross the wire, so callers should
-        avoid sending them; the NIC short-circuits that case.
+        avoid sending them; the NIC short-circuits that case.  *carried_clock*
+        is the piggybacked vector clock, stamped by the clock-transport layer
+        in ``"piggyback"`` mode (its bytes are part of *payload_bytes*).
         """
         message = Message(
             message_id=self._ids.next_int(),
@@ -160,6 +163,7 @@ class Fabric:
             payload=payload,
             payload_bytes=payload_bytes,
             operation_tag=operation_tag,
+            carried_clock=carried_clock,
         )
         if source == destination:
             event = self._sim.timeout(0.0, value=message, name=f"local:{kind.value}")

@@ -85,6 +85,12 @@ class Message:
     operation_tag:
         Identifier of the high-level operation (put/get) this message belongs
         to, for trace correlation.
+    carried_clock:
+        The vector clock piggybacked on this message, as a frozen tuple —
+        set only under the ``"piggyback"`` clock transport, where the causal
+        clock rides on the data/atomic message itself instead of a dedicated
+        CLOCK_FETCH/CLOCK_UPDATE round trip.  ``payload_bytes`` already
+        includes its wire size when present.
     """
 
     message_id: int
@@ -96,6 +102,7 @@ class Message:
     send_time: float = 0.0
     deliver_time: float = 0.0
     operation_tag: Optional[str] = None
+    carried_clock: Optional[tuple] = None
 
     @property
     def total_bytes(self) -> int:

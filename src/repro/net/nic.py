@@ -13,9 +13,19 @@ of the following live in the NIC:
   ``get`` sends a request and receives a reply;
 * the instrumentation hooks of Algorithms 1 and 2 — the race detector is
   invoked at the target memory, under the lock, when the operation takes
-  effect, and the extra clock traffic of Algorithm 5 is charged as explicit
-  ``CLOCK_FETCH`` / ``CLOCK_UPDATE`` messages so the overhead benchmarks can
-  separate it from application traffic.
+  effect, and the extra clock traffic of Algorithm 5 is routed through the
+  :class:`~repro.net.clock_transport.ClockTransport` layer: explicit
+  ``CLOCK_FETCH`` / ``CLOCK_UPDATE`` messages under the ``"roundtrip"``
+  transport (so the overhead benchmarks can separate them from application
+  traffic), or clocks piggybacked on the data messages themselves under
+  ``"piggyback"`` (the optimized implementation of Section V-B).
+
+Posted (verbs) operations hand every public method a *post-time clock
+snapshot* (``clock_snapshot``): the NIC then performs the access on the
+origin's behalf from the clock the message physically carried, instead of
+ticking the origin's live clock at service time — the discipline that keeps
+a posted-but-unwaited operation causally unordered with the origin's later
+accesses, so the detector can see same-origin async races.
 
 Every public method that performs communication is a *generator* meant to be
 driven by the simulation kernel (``result = yield from nic.rdma_put(...)``),
@@ -27,11 +37,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Sequence, Tuple
 
+from repro.core.clocks import VectorClock
 from repro.core.detector import AccessCheckResult, DualClockRaceDetector
 from repro.memory.address import GlobalAddress
 from repro.memory.consistency import AccessKind, MemoryAccess
 from repro.memory.locks import LockRequest, MemoryLockTable
 from repro.memory.public import PublicMemory
+from repro.net.clock_transport import ClockTransport
 from repro.net.fabric import Fabric
 from repro.net.message import MessageKind
 from repro.sim.engine import Simulator
@@ -57,10 +69,19 @@ class NICConfig:
         (request + grant + release); when false, locks are acquired with zero
         network cost (as if piggybacked on the data messages).
     charge_detection_messages:
-        When detection is enabled, add one CLOCK_FETCH/CLOCK_UPDATE round trip
-        per instrumented remote access (Algorithm 5's clock traffic).  When
-        false, clocks are assumed piggybacked on the data messages (the
-        optimized implementation Section V-B alludes to).
+        When detection is enabled under the ``"roundtrip"`` transport, add
+        one CLOCK_FETCH/CLOCK_UPDATE round trip per instrumented remote
+        access (Algorithm 5's clock traffic).  When false, clocks are
+        assumed piggybacked on the data messages for free (the legacy
+        accounting shortcut); the ``"piggyback"`` transport below models
+        that piggybacking explicitly and ignores this knob.
+    clock_transport:
+        How causal clocks travel with the data (see
+        :mod:`repro.net.clock_transport`): ``"roundtrip"`` charges
+        Algorithm 5's explicit clock messages per access, ``"piggyback"``
+        rides the clock on every data message and batches origin-side joins
+        per queue-pair drain.  The two modes produce byte-identical
+        detector verdicts; only the traffic differs.
     cell_bytes:
         Modelled size of one memory cell's value on the wire.
     """
@@ -68,6 +89,7 @@ class NICConfig:
     lock_remote_accesses: bool = True
     charge_lock_messages: bool = True
     charge_detection_messages: bool = True
+    clock_transport: str = "roundtrip"
     cell_bytes: int = 8
 
 
@@ -164,6 +186,9 @@ class NIC:
         self.detector = detector
         self.config = config or NICConfig()
         self.recorder = recorder
+        #: The clock-transport policy (roundtrip vs piggyback) shared by every
+        #: instrumented path through this NIC.
+        self.clock_transport = ClockTransport(self)
         self._peers: Dict[int, "NIC"] = {rank: self}
         self._tags = IdAllocator(f"op-P{rank}")
         # Counters consumed by the overhead and scalability experiments.
@@ -263,35 +288,58 @@ class NIC:
             target_nic.locks.release(request)
 
     def _detection_round_trip(self, target_rank: int, tag: str) -> Generator:
-        """Charge the clock fetch/update traffic of Algorithm 5, when configured."""
-        if not (
-            self._detection_active()
-            and self.config.charge_detection_messages
-            and target_rank != self.rank
-        ):
-            return 0
-        clock_bytes = self._clock_bytes()
-        fetch, _ = self.fabric.send(
-            MessageKind.CLOCK_FETCH, self.rank, target_rank,
-            payload_bytes=0, operation_tag=tag,
-        )
-        yield fetch
-        reply, _ = self.fabric.send(
-            MessageKind.CLOCK_UPDATE, target_rank, self.rank,
-            payload_bytes=clock_bytes, operation_tag=tag,
-        )
-        yield reply
-        return 2
+        """Charge Algorithm 5's clock traffic via the clock-transport layer."""
+        count = yield from self.clock_transport.round_trip(target_rank, tag)
+        return count
+
+    def _wire_clock(self, clock_snapshot: Optional[VectorClock]) -> Optional[VectorClock]:
+        """The clock a data message leaving this rank would carry.
+
+        The post-time snapshot for posted operations; the origin's live
+        clock for blocking ones (which tick at the target under the lock —
+        the carried value is the best pre-send approximation and is used
+        only for wire accounting, never for detection).  Returns ``None``
+        outright unless the piggyback transport will actually stamp it, so
+        the default roundtrip hot path allocates nothing.
+        """
+        if not self._detection_active() or not self.clock_transport.piggyback:
+            return None
+        if clock_snapshot is not None:
+            return clock_snapshot
+        return self.detector.current_clock(self.rank)
+
+    def _record_wr_transfer(
+        self, target_rank: int, clock_snapshot: Optional[VectorClock]
+    ) -> None:
+        """Trace the snapshot a posted one-sided operation was serviced with.
+
+        Recorded immediately before the instrumented access (adjacent trace
+        ids), so offline replay pairs each ``wr_transfer`` with the access
+        that consumed it and re-runs the check with the exact carried clock.
+        """
+        if clock_snapshot is not None and self.recorder is not None:
+            self.recorder.record_transfer(
+                self.rank, target_rank, time=self._sim.now,
+                kind="wr_transfer", clock=clock_snapshot.frozen(),
+            )
 
     # -- one-sided operations ------------------------------------------------------------
 
     def rdma_put(
-        self, value: Any, target: GlobalAddress, symbol: Optional[str] = None
+        self,
+        value: Any,
+        target: GlobalAddress,
+        symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """One-sided write of *value* into *target* (Algorithm 1).
 
         Involves exactly one data message (Figure 2) plus, when configured,
-        lock and clock control traffic.  Returns a
+        lock and clock control traffic.  *clock_snapshot* is the post-time
+        clock of a posted (verbs) put: the write is then checked with the
+        carried snapshot instead of the origin's live clock, the landing
+        still counts as an owner event, and the origin synchronizes only
+        when it retires the completion.  Returns a
         :class:`RemoteOperationResult`.
         """
         require_type(target, GlobalAddress, "target")
@@ -305,24 +353,24 @@ class NIC:
         lock_request = yield from self._acquire_lock(target_nic, target, "put", tag)
         control_messages += yield from self._detection_round_trip(target.rank, tag)
 
-        payload_bytes = self.config.cell_bytes
-        if self._detection_active() and not self.config.charge_detection_messages:
-            # Piggyback the clock on the data message.
-            payload_bytes += self._clock_bytes()
+        payload_bytes = self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
         if target.rank != self.rank:
             event, _ = self.fabric.send(
                 MessageKind.PUT_DATA, self.rank, target.rank,
                 payload=value, payload_bytes=payload_bytes, operation_tag=tag,
+                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
             )
             yield event
             data_messages += 1
             target_nic.remote_ops_serviced += 1
 
+        self._record_wr_transfer(target.rank, clock_snapshot)
         check: Optional[AccessCheckResult] = None
         if self._detection_active():
             cell = target_nic.memory.cell(target)
             check = self.detector.on_write(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="put",
+                carried_clock=clock_snapshot, owner_event=True,
             )
         target_nic.memory.write(target, value, writer=self.rank)
         self._record(AccessKind.WRITE, target, value, symbol, "put")
@@ -341,13 +389,19 @@ class NIC:
         )
 
     def rdma_get(
-        self, target: GlobalAddress, symbol: Optional[str] = None
+        self,
+        target: GlobalAddress,
+        symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """One-sided read of *target* (Algorithm 2).
 
         Involves two data messages — the request and the reply carrying the
-        data (Figure 2).  Returns a :class:`RemoteOperationResult` whose
-        ``value`` is the value read.
+        data (Figure 2).  *clock_snapshot* is the post-time clock of a
+        posted (verbs) get; the datum's causal history then flows back to
+        the origin at completion retirement rather than at service.
+        Returns a :class:`RemoteOperationResult` whose ``value`` is the
+        value read.
         """
         require_type(target, GlobalAddress, "target")
         start = self._sim.now
@@ -363,28 +417,35 @@ class NIC:
         if target.rank != self.rank:
             request_event, _ = self.fabric.send(
                 MessageKind.GET_REQUEST, self.rank, target.rank,
-                payload_bytes=0, operation_tag=tag,
+                payload_bytes=self.clock_transport.request_overhead_bytes(),
+                operation_tag=tag,
+                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
             )
             yield request_event
             data_messages += 1
             target_nic.remote_ops_serviced += 1
 
+        self._record_wr_transfer(target.rank, clock_snapshot)
         check: Optional[AccessCheckResult] = None
         if self._detection_active():
             cell = target_nic.memory.cell(target)
             check = self.detector.on_read(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="get",
+                carried_clock=clock_snapshot,
             )
         value = target_nic.memory.read(target)
         self._record(AccessKind.READ, target, value, symbol, "get")
 
         if target.rank != self.rank:
-            payload_bytes = self.config.cell_bytes
-            if self._detection_active() and not self.config.charge_detection_messages:
-                payload_bytes += self._clock_bytes()
+            payload_bytes = (
+                self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
+            )
             reply_event, _ = self.fabric.send(
                 MessageKind.GET_REPLY, target.rank, self.rank,
                 payload=value, payload_bytes=payload_bytes, operation_tag=tag,
+                carried_clock=self.clock_transport.stamp(
+                    check.datum_access_clock if check is not None else None
+                ),
             )
             yield reply_event
             data_messages += 1
@@ -405,7 +466,11 @@ class NIC:
     # -- one-sided atomics ---------------------------------------------------------------
 
     def fetch_add(
-        self, target: GlobalAddress, amount: Any = 1, symbol: Optional[str] = None
+        self,
+        target: GlobalAddress,
+        amount: Any = 1,
+        symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """One-sided atomic fetch-and-add on *target*.
 
@@ -421,6 +486,7 @@ class NIC:
         result = yield from self._atomic(
             "fetch_add", target, apply, operand=amount,
             operand_bytes=self.config.cell_bytes, symbol=symbol,
+            clock_snapshot=clock_snapshot,
         )
         if result.value is None:
             # The returned old value follows the same uninitialized-is-zero
@@ -435,6 +501,7 @@ class NIC:
         expected: Any,
         desired: Any,
         symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """One-sided atomic compare-and-swap on *target*.
 
@@ -450,6 +517,7 @@ class NIC:
         result = yield from self._atomic(
             "compare_and_swap", target, apply, operand=(expected, desired),
             operand_bytes=2 * self.config.cell_bytes, symbol=symbol,
+            clock_snapshot=clock_snapshot,
         )
         return result
 
@@ -461,6 +529,7 @@ class NIC:
         operand: Any,
         operand_bytes: int,
         symbol: Optional[str],
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """Common read-modify-write machinery for the one-sided atomics.
 
@@ -468,6 +537,9 @@ class NIC:
         the operands, one ATOMIC_REPLY carrying the prior value.  A local
         atomic (the caller owns the cell) crosses no wire but still takes the
         NIC lock and the detector check, as for every public-memory access.
+        *clock_snapshot* is the post-time clock of a posted atomic (see
+        :meth:`rdma_put`); the reply's causal history then merges at
+        completion retirement.
         """
         require_type(target, GlobalAddress, "target")
         start = self._sim.now
@@ -484,18 +556,22 @@ class NIC:
         if remote:
             event, _ = self.fabric.send(
                 MessageKind.ATOMIC_REQUEST, self.rank, target.rank,
-                payload=operand, payload_bytes=operand_bytes, operation_tag=tag,
+                payload=operand,
+                payload_bytes=operand_bytes + self.clock_transport.request_overhead_bytes(),
+                operation_tag=tag,
+                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
             )
             yield event
             data_messages += 1
             target_nic.remote_ops_serviced += 1
 
+        self._record_wr_transfer(target.rank, clock_snapshot)
         check: Optional[AccessCheckResult] = None
         if self._detection_active():
             cell = target_nic.memory.cell(target)
             check = self.detector.on_rmw(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now,
-                operation=operation,
+                operation=operation, carried_clock=clock_snapshot,
             )
         old_value = target_nic.memory.read(target)
         new_value = apply(old_value)
@@ -505,12 +581,15 @@ class NIC:
         )
 
         if remote:
-            payload_bytes = self.config.cell_bytes
-            if self._detection_active() and not self.config.charge_detection_messages:
-                payload_bytes += self._clock_bytes()
+            payload_bytes = (
+                self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
+            )
             reply_event, _ = self.fabric.send(
                 MessageKind.ATOMIC_REPLY, target.rank, self.rank,
                 payload=old_value, payload_bytes=payload_bytes, operation_tag=tag,
+                carried_clock=self.clock_transport.stamp(
+                    check.datum_access_clock if check is not None else None
+                ),
             )
             yield reply_event
             data_messages += 1
@@ -588,9 +667,10 @@ class NIC:
         data_messages = 0
         control_messages = 0
 
-        payload_bytes = len(values) * self.config.cell_bytes
-        if self._detection_active() and not self.config.charge_detection_messages:
-            payload_bytes += self._clock_bytes()
+        payload_bytes = (
+            len(values) * self.config.cell_bytes
+            + self.clock_transport.data_overhead_bytes()
+        )
 
         retries = 0
         while True:
@@ -599,6 +679,7 @@ class NIC:
                     MessageKind.SEND_REQUEST, self.rank, destination,
                     payload=tuple(values), payload_bytes=payload_bytes,
                     operation_tag=tag,
+                    carried_clock=self.clock_transport.stamp(clock_snapshot),
                 )
                 yield event
                 data_messages += 1
@@ -611,7 +692,17 @@ class NIC:
                         f"after {retries} retries ({error})"
                     ) from error
                 retries += 1
-                yield self._sim.timeout(rnr_backoff, name=f"rnr-backoff:{tag}")
+                backoff = rnr_backoff
+                controller = self._sim.controller
+                if controller is not None and hasattr(controller, "on_rnr_backoff"):
+                    # The schedule controller owns RNR retry timing: the
+                    # systematic searcher can branch on how long a storm of
+                    # retransmissions backs off (a logged, replayable
+                    # decision), exactly as it owns delivery latencies.
+                    backoff = controller.on_rnr_backoff(
+                        self.rank, destination, retries, rnr_backoff
+                    )
+                yield self._sim.timeout(backoff, name=f"rnr-backoff:{tag}")
                 continue
             break
         if remote:
@@ -697,7 +788,11 @@ class NIC:
     # -- local public-memory accesses ----------------------------------------------------
 
     def local_write(
-        self, address: GlobalAddress, value: Any, symbol: Optional[str] = None
+        self,
+        address: GlobalAddress,
+        value: Any,
+        symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """Write to this rank's own public memory.
 
@@ -705,6 +800,8 @@ class NIC:
         a remote process and from the process that actually maps this address
         space" (Section III-A), so local public accesses go through the same
         lock and the same detection check — just without any network traffic.
+        A posted local write carries its post-time *clock_snapshot* exactly
+        like a remote one.
         """
         if address.rank != self.rank:
             raise ValueError(
@@ -713,11 +810,13 @@ class NIC:
         self.local_writes += 1
         tag = self._tags.next_str()
         lock_request = yield from self._acquire_lock(self, address, "local_write", tag)
+        self._record_wr_transfer(address.rank, clock_snapshot)
         check: Optional[AccessCheckResult] = None
         if self._detection_active():
             check = self.detector.on_write(
                 self.rank, address, self.memory.cell(address),
                 symbol=symbol, time=self._sim.now, operation="local_write",
+                carried_clock=clock_snapshot, owner_event=True,
             )
         self.memory.write(address, value, writer=self.rank)
         self._record(AccessKind.WRITE, address, value, symbol, "local_write")
@@ -735,7 +834,10 @@ class NIC:
         )
 
     def local_read(
-        self, address: GlobalAddress, symbol: Optional[str] = None
+        self,
+        address: GlobalAddress,
+        symbol: Optional[str] = None,
+        clock_snapshot: Optional[VectorClock] = None,
     ) -> Generator:
         """Read from this rank's own public memory (lock + detection, no messages)."""
         if address.rank != self.rank:
@@ -745,11 +847,13 @@ class NIC:
         self.local_reads += 1
         tag = self._tags.next_str()
         lock_request = yield from self._acquire_lock(self, address, "local_read", tag)
+        self._record_wr_transfer(address.rank, clock_snapshot)
         check: Optional[AccessCheckResult] = None
         if self._detection_active():
             check = self.detector.on_read(
                 self.rank, address, self.memory.cell(address),
                 symbol=symbol, time=self._sim.now, operation="local_read",
+                carried_clock=clock_snapshot,
             )
         value = self.memory.read(address)
         self._record(AccessKind.READ, address, value, symbol, "local_read")

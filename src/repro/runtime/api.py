@@ -232,6 +232,16 @@ class ProcessAPI:
         The returned :class:`~repro.verbs.work.WorkRequest` is retired with
         :meth:`wait` or :meth:`wait_all`; until then the operation proceeds in
         the background while this program keeps computing.
+
+        Posting captures a post-time clock snapshot (the unified
+        clock-transport discipline, all opcodes): the NIC checks the access
+        with the carried snapshot, and this rank synchronizes with the
+        operation's effect only when it retires the completion — so an
+        access to the same *remote* cell before waiting is a detectable
+        race, under either ``RuntimeConfig.clock_transport`` mode.  (A
+        posted operation on this rank's own memory shares the poster's
+        clock identity and keeps the pre-existing blind spot — see
+        :mod:`repro.verbs.queue_pair`.)
         """
         address = self._directory.resolve(symbol, index)
         return self.verbs.post_put(address, value, symbol=symbol)

@@ -21,6 +21,7 @@ from repro.memory.directory import PlacementPolicy, SymbolDirectory
 from repro.memory.locks import MemoryLockTable
 from repro.memory.private import PrivateMemory
 from repro.memory.public import PublicMemory
+from repro.net.clock_transport import ClockTransportStats, validate_clock_transport
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.latency import ConstantLatency, LatencyModel, LogGPLatency, UniformLatency
 from repro.net.nic import NIC, NICConfig
@@ -61,6 +62,18 @@ class RuntimeConfig:
         an uninstrumented run).
     nic:
         NIC behaviour (lock and clock message charging).
+    clock_transport:
+        How causal clocks travel with verbs traffic (see
+        :mod:`repro.net.clock_transport`): ``"roundtrip"`` charges
+        Algorithm 5's explicit CLOCK_FETCH/CLOCK_UPDATE pair per
+        instrumented remote access; ``"piggyback"`` rides the clock on the
+        data messages themselves (no dedicated clock traffic, a vector
+        clock of extra payload per data message) and batches origin-side
+        clock joins per queue-pair drain.  Detector verdicts are identical
+        in both modes; only traffic and join counts differ.  ``None`` (the
+        default) follows ``nic.clock_transport`` — effectively
+        ``"roundtrip"`` unless the NIC config names a mode; naming
+        *conflicting* modes here and on the NIC config is an error.
     signal_policy:
         What to do when a race is signalled (collect / warn / abort).
     trace_values:
@@ -105,6 +118,7 @@ class RuntimeConfig:
     latency_scale: float = 1.0
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     nic: NICConfig = field(default_factory=NICConfig)
+    clock_transport: Optional[str] = None
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
     echo_log: bool = False
@@ -134,6 +148,11 @@ class RunResult:
     clock_storage_entries: int
     final_shared_values: Dict[str, List[Any]]
     per_rank_private: Dict[int, Dict[str, Any]]
+    #: Which clock transport the run used (``"roundtrip"`` / ``"piggyback"``).
+    clock_transport: str = "roundtrip"
+    #: Whole-machine clock-transport accounting (round trips charged,
+    #: piggybacked clocks, retirement joins performed/elided).
+    clock_transport_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def race_count(self) -> int:
@@ -229,6 +248,71 @@ class DSMRuntime:
         self._apis: Dict[int, ProcessAPI] = {}
         self._initial_values: Dict[GlobalAddress, Any] = {}
         self._ran = False
+        self._control_messages_before_piggyback: Optional[int] = None
+        # Resolve the two places the transport can be named.  ``None`` on
+        # the runtime knob means "follow the NIC config"; naming two
+        # *different* modes explicitly is a configuration error, not a
+        # precedence puzzle.
+        if self.config.clock_transport is None:
+            mode = validate_clock_transport(self.config.nic.clock_transport)
+        else:
+            mode = validate_clock_transport(self.config.clock_transport)
+            if (
+                self.config.nic.clock_transport != "roundtrip"
+                and self.config.nic.clock_transport != mode
+            ):
+                raise ValueError(
+                    f"conflicting clock transports: RuntimeConfig says {mode!r} "
+                    f"but NICConfig says {self.config.nic.clock_transport!r}"
+                )
+        # Route through set_clock_transport so the detector's per-check
+        # control accounting matches the mode however it was requested —
+        # except for plain roundtrip, where there is nothing to adjust and
+        # a user-supplied DetectorConfig must be left exactly as given.
+        if mode != "roundtrip":
+            self.set_clock_transport(mode)
+        else:
+            self.config.clock_transport = mode
+
+    # -- clock transport ----------------------------------------------------------------
+
+    def set_clock_transport(self, mode: str) -> None:
+        """Select how clocks travel with verbs traffic (before :meth:`run`).
+
+        ``"roundtrip"`` or ``"piggyback"`` — see
+        :mod:`repro.net.clock_transport`.  Piggybacking zeroes the
+        detector's per-check control-message accounting (the clocks ride on
+        messages the application sends anyway, Algorithm 5's dedicated pair
+        disappears); switching back restores the previous figure (a custom
+        ``control_messages_per_check`` is preserved, not reset).  The
+        campaign runner's configure hook uses this to sweep the knob on an
+        already-built runtime.
+        """
+        validate_clock_transport(mode)
+        if self._ran:
+            raise RuntimeError("set_clock_transport() must be called before run()")
+        detector_config = self.config.detector
+        if mode == "piggyback":
+            if detector_config.control_messages_per_check != 0:
+                self._control_messages_before_piggyback = (
+                    detector_config.control_messages_per_check
+                )
+            detector_config.control_messages_per_check = 0
+        elif detector_config.control_messages_per_check == 0:
+            # Only undo what a previous switch to piggyback zeroed.
+            restored = self._control_messages_before_piggyback
+            detector_config.control_messages_per_check = (
+                restored if restored is not None else 2
+            )
+        self.config.clock_transport = mode
+        self.config.nic.clock_transport = mode
+
+    def clock_transport_stats(self) -> ClockTransportStats:
+        """Whole-machine clock-transport accounting (summed over ranks)."""
+        total = ClockTransportStats()
+        for nic in self.nics:
+            total.merge(nic.clock_transport.stats)
+        return total
 
     # -- construction helpers -------------------------------------------------------
 
@@ -392,6 +476,8 @@ class DSMRuntime:
             clock_storage_entries=clock_entries,
             final_shared_values=final_shared,
             per_rank_private=per_rank_private,
+            clock_transport=self.config.clock_transport,
+            clock_transport_stats=self.clock_transport_stats().as_dict(),
         )
 
     # -- post-run helpers -----------------------------------------------------------------------

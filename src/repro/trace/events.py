@@ -39,7 +39,18 @@ class SyncEvent:
     * ``"recv_complete"``: ``participants[0]`` (the receiver) retired the
       matched completion and merged ``clock`` — the directional
       happens-before edge of two-sided communication (the sender,
-      ``participants[1]``, learns nothing).
+      ``participants[1]``, learns nothing);
+    * ``"wr_post"``: a one-sided work request was posted — an event of
+      ``participants[0]`` (the poster ticks and its snapshot rides in the
+      request; ``participants[1]`` is the destination rank);
+    * ``"wr_transfer"``: a posted one-sided operation was serviced at
+      ``participants[1]``'s memory with ``clock`` — the post-time snapshot
+      the message carried — as its event clock (recorded immediately before
+      the access it instruments, so replay pairs them exactly);
+    * ``"wr_retire"``: ``participants[0]`` (the initiator) retired a
+      one-sided completion and merged ``clock`` — the batched join of the
+      datum clocks its queue pair to ``participants[1]`` had serviced (the
+      one-sided twin of ``"recv_complete"``).
     """
 
     sync_id: int

@@ -11,11 +11,13 @@ Happens-before is reconstructed from three sources: the program order of each
 rank, the data flow of shared-memory accesses (the same clock rules the online
 detector applies), and the explicit synchronization events
 (:class:`~repro.trace.events.SyncEvent`) recorded in the trace — symmetric
-barriers, and the directional ``send_post``/``transfer`` pairs of two-sided
-SEND/RECV matching (whose recorded clock snapshots replay the exact message
-clocks).  With all three, offline replay produces exactly the same race
-report as the online detector — the integration and property tests assert
-that equivalence.
+barriers, the directional ``send_post``/``transfer``/``recv_complete``
+machinery of two-sided SEND/RECV matching, and the
+``wr_post``/``wr_transfer``/``wr_retire`` triple of posted one-sided work
+(whose recorded clock snapshots replay the exact carried clocks of the
+unified clock transport).  With all three, offline replay produces exactly
+the same race report as the online detector — the integration and property
+tests assert that equivalence.
 """
 
 from __future__ import annotations
@@ -81,6 +83,13 @@ class TraceReplayer:
         # Sends on one queue pair are serviced in order, so "most recent" is
         # always the matching one.
         transfer_clocks: Dict[tuple, VectorClock] = {}
+        # Pending post-time snapshots of serviced one-sided work requests,
+        # FIFO per directed (origin, target rank) pair.  A ``wr_transfer``
+        # sync is recorded immediately before the access it instruments
+        # (adjacent trace ids), so the head entry always belongs to the next
+        # matching access — which replays with the carried snapshot as its
+        # event clock, exactly as online.
+        wr_clocks: Dict[tuple, List[VectorClock]] = {}
         stream: List[tuple] = [
             (access.time, access.access_id, "access", access) for access in accesses
         ]
@@ -90,11 +99,13 @@ class TraceReplayer:
         replayed = 0
         for _time, _eid, kind, event in stream:
             if kind == "sync":
-                self._apply_sync(detector, event, transfer_clocks)
+                self._apply_sync(detector, event, transfer_clocks, wr_clocks)
                 continue
             access = event
             replayed += 1
             cell = cells.setdefault(access.address, MemoryCell())
+            pending = wr_clocks.get((access.rank, access.address.rank))
+            carried = pending.pop(0) if pending else None
             if access.kind is AccessKind.RMW:
                 detector.on_rmw(
                     access.rank,
@@ -103,9 +114,11 @@ class TraceReplayer:
                     symbol=access.symbol,
                     time=access.time,
                     operation=access.operation or "fetch_add",
+                    carried_clock=carried,
                 )
                 cell.value = access.value
             elif access.kind is AccessKind.WRITE:
+                is_send = access.operation == "send"
                 detector.on_write(
                     access.rank,
                     access.address,
@@ -113,11 +126,16 @@ class TraceReplayer:
                     symbol=access.symbol,
                     time=access.time,
                     operation=access.operation or "put",
+                    # Scatter writes replay with the matched message's clock
+                    # and keep the owner-tick exemption (owner_event=None
+                    # resolves to it whenever a carried clock is present);
+                    # every other write is an owner event, carried or live.
                     carried_clock=(
                         transfer_clocks.get((access.rank, access.address.rank))
-                        if access.operation == "send"
-                        else None
+                        if is_send
+                        else carried
                     ),
+                    owner_event=None if is_send else True,
                 )
                 cell.value = access.value
             else:
@@ -128,6 +146,7 @@ class TraceReplayer:
                     symbol=access.symbol,
                     time=access.time,
                     operation=access.operation or "get",
+                    carried_clock=carried,
                 )
         return ReplayOutcome(
             races=detector.races(),
@@ -140,28 +159,53 @@ class TraceReplayer:
         detector: DualClockRaceDetector,
         sync: SyncEvent,
         transfer_clocks: Optional[Dict[tuple, VectorClock]] = None,
+        wr_clocks: Optional[Dict[tuple, List[VectorClock]]] = None,
     ) -> None:
         """Re-apply one recorded synchronization to the replay clocks.
 
         Symmetric kinds (barriers) merge every participant to the common
         upper bound.  The two-sided kinds are *directional* and replay the
         exact clock flow the online detector performed: ``send_post`` /
-        ``recv_post`` tick the posting rank (posting is an event),
-        ``transfer`` records the clock the matched message carried (used by
-        the scatter writes that follow it — the landing synchronizes
-        nobody), and ``recv_complete`` merges that carried clock into the
-        retiring receiver.  Recorded snapshots — never the replayed live
-        clocks — drive the merges, so a buffer-reuse race stays a race
+        ``recv_post`` / ``wr_post`` tick the posting rank (posting is an
+        event), ``transfer`` records the clock the matched message carried
+        (used by the scatter writes that follow it — the landing
+        synchronizes nobody), ``wr_transfer`` queues the carried snapshot
+        of a serviced one-sided work request for the access that follows
+        it, and ``recv_complete`` / ``wr_retire`` merge the carried clock
+        into the retiring rank.  Recorded snapshots — never the replayed
+        live clocks — drive the merges, so a buffer-reuse race stays a race
         offline.
         """
         participants = [
             rank for rank in sync.participants if 0 <= rank < detector.world_size
         ]
-        if sync.kind in ("send_post", "recv_post"):
-            # Posting a send or a receive is an event of participants[0]; the
-            # other participant only records who the post was aimed at.
+        if sync.kind in ("send_post", "recv_post", "wr_post"):
+            # Posting (a send, a receive buffer, or a one-sided work
+            # request) is an event of participants[0]; the other
+            # participant only records who the post was aimed at.
             if participants:
                 detector.local_event(participants[0])
+            return
+        if sync.kind == "wr_transfer":
+            if len(sync.participants) != 2 or sync.clock is None:
+                return
+            origin, target = sync.participants
+            if wr_clocks is not None:
+                wr_clocks.setdefault((origin, target), []).append(
+                    VectorClock.from_entries(sync.clock)
+                )
+            return
+        if sync.kind == "wr_retire":
+            if len(sync.participants) != 2 or sync.clock is None:
+                return
+            origin, target = sync.participants
+            if not (0 <= origin < detector.world_size):
+                return
+            detector.on_completion_retired(
+                origin,
+                target if 0 <= target < detector.world_size else origin,
+                VectorClock.from_entries(sync.clock),
+            )
             return
         if sync.kind == "transfer":
             if len(sync.participants) != 2:

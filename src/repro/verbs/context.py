@@ -101,6 +101,11 @@ class VerbsContext:
         self._outstanding: Dict[int, WorkRequest] = {}
         #: Retired-but-unclaimed completions, by wr_id.
         self._retired: Dict[int, WorkCompletion] = {}
+        #: Per-peer highest service sequence whose batched clock has been
+        #: merged at retirement; joins for earlier completions of the same
+        #: queue pair are elided under the piggyback transport (their
+        #: batched clock is dominated by what already merged).
+        self._joined_seq: Dict[int, int] = {}
 
     # -- wiring -------------------------------------------------------------------
 
@@ -347,12 +352,28 @@ class VerbsContext:
             compare=compare,
             symbol=symbol,
         )
-        # Register only after the queue pair accepted the request: a
-        # SendQueueFull must not leave a phantom entry that wait_all() would
-        # block on forever.  (Posting cannot complete synchronously — the
-        # drain process only runs once the simulator resumes — so there is
-        # no window where a completion could arrive unregistered.)
+        # Tick, snapshot and register only after the queue pair accepted the
+        # request: a SendQueueFull must not leave a phantom entry that
+        # wait_all() would block on forever, nor a phantom wr_post trace
+        # event / clock tick for an operation that never existed.  (Posting
+        # cannot complete synchronously — the drain process only runs once
+        # the simulator resumes — so setting the snapshot right after the
+        # post is equivalent to setting it before.)
         self.queue_pair(target.rank).post(request)
+        # Posting is itself an event, for every opcode: the poster's clock
+        # ticks and the request carries a snapshot of it — the clock the NIC
+        # engine will act from when it services the request (the unified
+        # clock-transport discipline, mirroring post_send).  The snapshot,
+        # not the live clock, is what keeps a posted-but-unwaited operation
+        # causally unordered with the poster's later accesses.
+        detector = self.nic.detector
+        if detector is not None and detector.config.enabled:
+            detector.local_event(self.rank)
+            request.clock_snapshot = detector.current_clock(self.rank)
+        if self.nic.recorder is not None:
+            self.nic.recorder.record_transfer(
+                self.rank, target.rank, time=self.sim.now, kind="wr_post"
+            )
         self._outstanding[request.wr_id] = request
         return request
 
@@ -435,6 +456,10 @@ class VerbsContext:
             gather_from=tuple(gather_from) if gather_from else None,
             symbol=symbol,
         )
+        # As in _post: the posting tick/snapshot/trace happen only once the
+        # queue pair accepted the request (a rejected post is a non-event),
+        # which is safe because the drain cannot run before we return.
+        self.queue_pair(peer).post(request)
         detector = self.nic.detector
         if detector is not None and detector.config.enabled:
             detector.local_event(self.rank)
@@ -443,7 +468,6 @@ class VerbsContext:
             self.nic.recorder.record_transfer(
                 self.rank, peer, time=self.sim.now, kind="send_post"
             )
-        self.queue_pair(peer).post(request)
         self._outstanding[request.wr_id] = request
         return request
 
@@ -491,8 +515,50 @@ class VerbsContext:
     # -- completion handling -----------------------------------------------------------
 
     def deliver(self, completion: WorkCompletion) -> None:
-        """Called by a queue pair when a request finishes (CQ delivery)."""
+        """Called by a queue pair when a request finishes (CQ delivery).
+
+        A completion carrying a clock (every successful posted one-sided
+        operation under detection) installs a retirement hook: popping it
+        from the CQ is when the initiator finally synchronizes with its
+        operation's effect — until then, poster and effect stay causally
+        unordered.
+        """
+        if completion.sync_clock is not None:
+            completion.on_retire = self._on_wr_retired
         self.cq.push(completion)
+
+    def _on_wr_retired(self, completion: WorkCompletion) -> None:
+        """Merge a retired one-sided completion's batched clock, once useful.
+
+        Under the ``"piggyback"`` transport, a completion whose queue pair
+        already merged a later (dominating) batched clock is elided — a
+        burst of posts retired together costs one clock join per drain, not
+        one per access.  The ``"roundtrip"`` transport joins per completion,
+        as Algorithm 5 would; the resulting clocks are identical (the
+        batched clock of the newest completion dominates its siblings'), so
+        verdicts never depend on the mode.
+        """
+        detector = self.nic.detector
+        transport = self.nic.clock_transport
+        if detector is None or not detector.config.enabled:
+            return
+        last = self._joined_seq.get(completion.peer, 0)
+        if transport.piggyback and completion.sync_seq <= last:
+            transport.note_join(performed=False)
+            return
+        detector.on_completion_retired(
+            self.rank, completion.peer, completion.sync_clock
+        )
+        self._joined_seq[completion.peer] = max(last, completion.sync_seq)
+        transport.note_join(performed=True)
+        if self.nic.recorder is not None:
+            self.nic.recorder.record_transfer(
+                self.rank,
+                completion.peer,
+                time=self.sim.now,
+                kind="wr_retire",
+                clock=completion.sync_clock.frozen(),
+            )
 
     def _file(self, completions: Iterable[WorkCompletion]) -> None:
         for completion in completions:

@@ -22,14 +22,24 @@ Two properties matter for the workloads built on top:
 * requests on **different** queue pairs proceed concurrently, which is where
   the communication/computation overlap comes from.
 
-Known detection limitation: a serviced request ticks the *origin process's*
-clock (the drain process acts on the origin's behalf, exactly as the NIC DMA
-engine does in the paper's model), so a posted-but-unwaited operation and a
-later access by the same rank to the same cell are always clock-ordered —
-the detector cannot flag the "forgot to wait before reusing the data" bug,
-which is a *same-origin* race the paper's per-process clock identity cannot
-express.  Cross-rank races through posted operations are detected normally.
-See the ROADMAP open item on NIC-engine clock identities.
+Clock identity: a serviced request is checked with the *post-time clock
+snapshot* its work request carried (the unified clock-transport discipline —
+the drain acts from the clock the message physically carried, exactly as the
+NIC DMA engine would), never the origin's live clock.  A
+posted-but-unwaited operation and a later access by the same rank to the
+same *remote* cell therefore stay causally unordered — the "forgot to wait
+before reusing the data" bug is flagged in every schedule (the owner's
+reception tick is knowledge the unwaited poster cannot have).  The origin
+synchronizes at completion *retirement*: each completion carries the join
+of the datum clocks this queue pair has serviced so far (batched per drain;
+sound because RC completes requests in order), and retiring it merges that
+join into the origin's clock.
+
+Residual limitation: a posted operation targeting the poster's OWN public
+memory (verbs loopback) keeps the blind spot, because the origin and the
+owner are the same clock identity — there is no reception tick the poster
+could be missing, so the pair always looks ordered.  Closing it needs a
+separate clock identity for the NIC engine (see the ROADMAP follow-up).
 """
 
 from __future__ import annotations
@@ -37,6 +47,7 @@ from __future__ import annotations
 from collections import deque
 from typing import TYPE_CHECKING, Deque, Generator, Optional
 
+from repro.core.clocks import VectorClock
 from repro.net.nic import ReceiveLengthError, RnrRetryExceeded
 from repro.util.validation import require_positive
 from repro.verbs.memory_registration import RemoteAccessError
@@ -92,6 +103,12 @@ class QueuePair:
         self.blocked_posts = 0
         self.posted = 0
         self.completed = 0
+        #: Join of the datum clocks of every one-sided request this queue
+        #: pair has serviced (the batched clock-transport payload);
+        #: completions carry a copy, the origin merges at retirement.
+        self._serviced_clock: Optional[VectorClock] = None
+        #: Service-order sequence stamped into completions (sync_seq).
+        self._service_seq = 0
 
     @property
     def uses_srq(self) -> bool:
@@ -192,27 +209,36 @@ class QueuePair:
 
         nic = self._context.nic
         local = request.target.rank == nic.rank
+        snapshot = request.clock_snapshot
         if request.opcode is Opcode.PUT:
             if local:
                 result = yield from nic.local_write(
-                    request.target, request.value, symbol=request.symbol
+                    request.target, request.value, symbol=request.symbol,
+                    clock_snapshot=snapshot,
                 )
             else:
                 result = yield from nic.rdma_put(
-                    request.value, request.target, symbol=request.symbol
+                    request.value, request.target, symbol=request.symbol,
+                    clock_snapshot=snapshot,
                 )
         elif request.opcode is Opcode.GET:
             if local:
-                result = yield from nic.local_read(request.target, symbol=request.symbol)
+                result = yield from nic.local_read(
+                    request.target, symbol=request.symbol, clock_snapshot=snapshot
+                )
             else:
-                result = yield from nic.rdma_get(request.target, symbol=request.symbol)
+                result = yield from nic.rdma_get(
+                    request.target, symbol=request.symbol, clock_snapshot=snapshot
+                )
         elif request.opcode is Opcode.FETCH_ADD:
             result = yield from nic.fetch_add(
-                request.target, request.value, symbol=request.symbol
+                request.target, request.value, symbol=request.symbol,
+                clock_snapshot=snapshot,
             )
         elif request.opcode is Opcode.COMPARE_AND_SWAP:
             result = yield from nic.compare_and_swap(
-                request.target, request.compare, request.value, symbol=request.symbol
+                request.target, request.compare, request.value,
+                symbol=request.symbol, clock_snapshot=snapshot,
             )
         else:  # pragma: no cover - exhaustive over Opcode
             raise ValueError(f"unknown opcode {request.opcode!r}")
@@ -221,7 +247,7 @@ class QueuePair:
             nic.recorder.record_operation(
                 result, symbol=request.symbol, posted_time=request.posted_at
             )
-        return WorkCompletion(
+        completion = WorkCompletion(
             wr_id=request.wr_id,
             opcode=request.opcode,
             status=CompletionStatus.SUCCESS,
@@ -232,6 +258,29 @@ class QueuePair:
             posted_at=request.posted_at,
             completed_at=self._sim.now,
         )
+        self._attach_sync_clock(completion, result, snapshot)
+        return completion
+
+    def _attach_sync_clock(self, completion, result, snapshot) -> None:
+        """Stamp the batched clock-transport payload onto one completion.
+
+        The datum clock the operation left behind (post-check, including any
+        owner tick) joins this queue pair's running service clock; the
+        completion carries a copy of the join plus its service-order
+        sequence.  Retiring it is how the origin finally learns what its
+        posted operation did — and, via the batch, everything the queue pair
+        serviced before it (the RC in-order guarantee makes that sound).
+        """
+        if snapshot is None or result.check is None or not result.check.datum_access_clock:
+            return  # detection off, or an unsnapshotted (non-posted) path
+        datum_clock = VectorClock.from_entries(result.check.datum_access_clock)
+        if self._serviced_clock is None:
+            self._serviced_clock = datum_clock
+        else:
+            self._serviced_clock.merge_in_place(datum_clock)
+        self._service_seq += 1
+        completion.sync_clock = self._serviced_clock.copy()
+        completion.sync_seq = self._service_seq
 
     def _execute_send(self, request: WorkRequest) -> Generator:
         """Run one two-sided SEND; returns the sender-side completion.

@@ -130,11 +130,14 @@ class WorkRequest:
         SEND only: local addresses to read (instrumented) at service time and
         append to *payload* — the gather half of scatter/gather.
     clock_snapshot:
-        SEND only: the sender's vector clock captured at post time.  The
-        message carries it; the scatter writes use its join with the
-        receive buffer's post-time snapshot, and the receiver merges that
-        join when it retires the completion
-        (:meth:`~repro.core.detector.DualClockRaceDetector.on_recv_complete`).
+        The poster's vector clock captured at post time — for *every*
+        opcode, one- and two-sided alike (the unified clock-transport
+        discipline).  The message carries it: a SEND's scatter writes use
+        its join with the receive buffer's post-time snapshot, and a posted
+        one-sided operation is checked at the target with the snapshot as
+        its event clock (never the origin's live clock, which would
+        manufacture ordering the NIC engine does not have).  The origin
+        synchronizes only at completion retirement.
     symbol:
         Symbolic name of the shared variable, for traces and race reports.
     posted_at:
@@ -192,11 +195,18 @@ class WorkCompletion:
     posted_at: float = 0.0
     completed_at: float = 0.0
     detail: str = ""
-    #: RECV completions: the clock the matched message carried (sender's
-    #: post-time snapshot merged with the buffer's post-time snapshot).  The
-    #: receiver merges it at retirement — the synchronization point of
-    #: two-sided communication.
+    #: The clock this completion hands its retiring process.  RECV: the
+    #: clock the matched message carried (sender's post-time snapshot merged
+    #: with the buffer's post-time snapshot).  One-sided completions: the
+    #: join of the datum clocks the queue-pair drain has serviced so far
+    #: (the batched clock-transport payload — sound because RC completes in
+    #: order).  Merged at retirement, the synchronization point of both
+    #: communication styles.
     sync_clock: Any = field(default=None, repr=False, compare=False)
+    #: Position of this completion in its queue pair's service order; the
+    #: retirement join is elided when a later completion of the same queue
+    #: pair (whose batched clock dominates) already merged.
+    sync_seq: int = field(default=0, repr=False, compare=False)
     #: Fired exactly once when the completion is handed to its retiring
     #: process (popped from a completion queue); installed by the verbs
     #: context to drive the retirement clock merge.

@@ -62,6 +62,7 @@ def _base_config(
     world_size: int,
     seed: int,
     detector: Optional[DetectorConfig],
+    clock_transport: str = "roundtrip",
 ) -> RuntimeConfig:
     return RuntimeConfig(
         world_size=world_size,
@@ -69,6 +70,7 @@ def _base_config(
         topology="complete",
         latency="constant",
         detector=detector if detector is not None else DetectorConfig(),
+        clock_transport=clock_transport,
     )
 
 
@@ -82,7 +84,9 @@ def _idle(api):
 # ---------------------------------------------------------------------------
 
 def figure2_put_get(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """P2 writes into P1's memory then reads it back (Figure 2).
 
@@ -90,7 +94,7 @@ def figure2_put_get(
     benchmark checks the message decomposition instead: the put generates one
     data message, the get generates two.
     """
-    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime = DSMRuntime(_base_config(3, seed, detector, clock_transport))
     runtime.declare_scalar("x", owner=1, initial=0)
 
     def p2(api):
@@ -109,7 +113,9 @@ def figure2_put_get(
 # ---------------------------------------------------------------------------
 
 def figure3_lock_serialization(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """P2 gets a datum of P1 while P0 tries to put into it (Figure 3).
 
@@ -118,7 +124,7 @@ def figure3_lock_serialization(
     and only takes effect after the get completes.  The test asserts the lock
     table saw contention and the final value is P0's (the put lands last).
     """
-    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime = DSMRuntime(_base_config(3, seed, detector, clock_transport))
     runtime.declare_scalar("d", owner=1, initial="initial")
 
     def p2_reader(api):
@@ -141,14 +147,16 @@ def figure3_lock_serialization(
 # ---------------------------------------------------------------------------
 
 def figure4_concurrent_reads(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """P0 and P2 concurrently get variable ``a`` initialized to ``A`` (Figure 4).
 
     Neither operation modifies the value, so the dual-clock detector must not
     signal anything; both readers must observe the initial value ``"A"``.
     """
-    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime = DSMRuntime(_base_config(3, seed, detector, clock_transport))
     runtime.declare_scalar("a", owner=1, initial="A")
 
     def reader(api):
@@ -166,14 +174,16 @@ def figure4_concurrent_reads(
 # ---------------------------------------------------------------------------
 
 def figure5a_concurrent_puts(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """P0 and P2 both put into P1's datum without synchronization (Figure 5a).
 
     The two writes carry incomparable clocks (paper: ``110 × 001``), so the
     detector must signal a race on reception of the second one.
     """
-    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime = DSMRuntime(_base_config(3, seed, detector, clock_transport))
     runtime.declare_scalar("a", owner=1, initial=0)
 
     def writer(api):
@@ -193,7 +203,9 @@ def figure5a_concurrent_puts(
 # ---------------------------------------------------------------------------
 
 def figure5b_causal_chain(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """The causal chain of Figure 5b: get1, m1, m2, m3 — no race.
 
@@ -206,7 +218,7 @@ def figure5b_causal_chain(
     that flows along the chain, so the detector must stay silent even though
     four different processes touch ``a``, ``b`` and ``c``.
     """
-    runtime = DSMRuntime(_base_config(3, seed, detector))
+    runtime = DSMRuntime(_base_config(3, seed, detector, clock_transport))
     runtime.declare_scalar("a", owner=0, initial="A0")
     runtime.declare_scalar("b", owner=1, initial=None)
     runtime.declare_scalar("c", owner=2, initial=None)
@@ -244,7 +256,9 @@ def figure5b_causal_chain(
 # ---------------------------------------------------------------------------
 
 def figure5c_four_process_chain(
-    seed: int = 0, detector: Optional[DetectorConfig] = None
+    seed: int = 0,
+    detector: Optional[DetectorConfig] = None,
+    clock_transport: str = "roundtrip",
 ) -> DSMRuntime:
     """Figure 5c: the arrivals of ``m1`` and ``m3`` at the same datum race.
 
@@ -262,7 +276,7 @@ def figure5c_four_process_chain(
     owner tick from ``m1``, which P2 cannot know without communicating with
     P1 (paper: "race condition detected between m1 (put) and m3 (put)").
     """
-    runtime = DSMRuntime(_base_config(4, seed, detector))
+    runtime = DSMRuntime(_base_config(4, seed, detector, clock_transport))
     runtime.declare_scalar("a", owner=1, initial=0)
     runtime.declare_scalar("t", owner=2, initial=None)
     runtime.declare_scalar("done", owner=3, initial=None)

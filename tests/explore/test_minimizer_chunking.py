@@ -1,0 +1,108 @@
+"""Chunked (ddmin-style) minimization over scattered decisions.
+
+Prefix truncation is enough when a race rides on a tail of latency
+perturbations, but schedules found mainly through tie shuffling keep their
+irrelevant decisions scattered across the whole log — there the old
+per-decision sparsification paid one replay per decision.  The chunk pass
+defaults whole batches at once, and strict-replay misalignment (defaulting
+a tie can change which choice points even exist downstream) is treated as
+a failed shrink instead of crashing the minimization.
+"""
+
+import math
+
+from repro.explore.controller import ReplayStrategy
+from repro.explore.fuzzer import ScheduleFuzzer
+from repro.explore.minimize import minimize_racing_schedule
+from repro.explore.runner import run_schedule
+from repro.workloads.racy_patterns import pattern_corpus
+
+CORPUS = {p.name: p for p in pattern_corpus()}
+
+
+def _fuzzed_log(name, seed=5, tie_shuffle=0.0):
+    pattern = CORPUS[name]
+    outcome = run_schedule(
+        pattern.build,
+        0,
+        ScheduleFuzzer(
+            seed=seed,
+            reorder_probability=1.0,
+            tie_shuffle_probability=tie_shuffle,
+            quantum=1.0,
+        ),
+    )
+    return pattern, outcome.decisions
+
+
+def _keep_last_perturbation_predicate(log):
+    """Predicate pinning the last non-default decision: the worst case for
+    prefix truncation (nothing can be cut from the tail), the best case for
+    chunking (everything before it is noise)."""
+    target_index = max(
+        i for i, e in enumerate(log.entries) if e is not None and not e.is_default
+    )
+    target = log.entries[target_index]
+
+    def predicate(outcome):
+        entries = outcome.decisions.entries
+        return (
+            len(entries) > target_index
+            and entries[target_index] is not None
+            and entries[target_index].choice == target.choice
+        )
+
+    return predicate
+
+
+def test_chunking_converges_in_fewer_replays_than_one_per_decision():
+    pattern, log = _fuzzed_log("unsynchronized-counter")
+    perturbations = len(log.non_default())
+    assert perturbations >= 20, "the scenario must scatter plenty of noise"
+    minimized = minimize_racing_schedule(
+        pattern.build, 0, log, set(pattern.racy_symbols),
+        predicate=_keep_last_perturbation_predicate(log),
+    )
+    # Converged: almost all scattered perturbations identified as noise.
+    assert minimized.perturbations <= perturbations // 3
+    # Strictly cheaper than the pre-chunking algorithm, whose floor is the
+    # prefix bisection (>= log2(len)+1 replays, none of which can truncate
+    # here) plus one replay per surviving non-default decision.
+    per_decision_floor = 1 + math.ceil(math.log2(len(log) + 1)) + perturbations
+    assert minimized.replays_used < per_decision_floor, (
+        f"chunking used {minimized.replays_used} replays; one-per-decision "
+        f"needs at least {per_decision_floor}"
+    )
+
+
+def test_minimized_log_still_satisfies_the_predicate_on_replay():
+    pattern, log = _fuzzed_log("fig5c-arrival-race")
+    predicate = _keep_last_perturbation_predicate(log)
+    minimized = minimize_racing_schedule(
+        pattern.build, 0, log, set(pattern.racy_symbols), predicate=predicate,
+    )
+    replayed = run_schedule(
+        pattern.build, 0, ReplayStrategy(minimized.decisions), offline_detectors=()
+    )
+    assert predicate(replayed)
+    assert set(pattern.racy_symbols) <= replayed.flagged["matrix-clock"]
+
+
+def test_tie_shuffled_logs_minimize_without_divergence_crashes():
+    """Defaulting tie decisions can misalign the tail; the minimizer must
+    treat that as a failed shrink, not an error (this scenario crashed the
+    strict replayer before divergence handling)."""
+    pattern, log = _fuzzed_log("fig5a-concurrent-puts", seed=3, tie_shuffle=0.5)
+    assert any(
+        d.kind == "tie" for d in log.non_default()
+    ), "the log must actually contain shuffled ties"
+    minimized = minimize_racing_schedule(
+        pattern.build, 0, log, set(pattern.racy_symbols),
+        predicate=_keep_last_perturbation_predicate(log),
+    )
+    assert minimized.perturbations <= len(log.non_default())
+    # The result is still a valid, aligned schedule.
+    replayed = run_schedule(
+        pattern.build, 0, ReplayStrategy(minimized.decisions), offline_detectors=()
+    )
+    assert set(pattern.racy_symbols) <= replayed.flagged["matrix-clock"]

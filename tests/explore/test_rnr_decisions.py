@@ -1,0 +1,121 @@
+"""Controller ownership of RNR retry timing.
+
+PR 3 left RNR backoff timers uncontrolled (deterministic but not
+branchable); the schedule controller now owns them exactly as it owns
+delivery latencies: every backoff is a logged, replayable ``rnr`` decision,
+the fuzzer perturbs them, and the systematic searcher treats them as branch
+points — so retry-storm interleavings (which retransmission lands before
+which repost) are part of the explored schedule space.
+"""
+
+from repro.explore.controller import (
+    PassthroughStrategy,
+    ReplayStrategy,
+    ScheduleController,
+)
+from repro.explore.fuzzer import ScheduleFuzzer
+from repro.explore.runner import run_schedule
+from repro.explore.systematic import SystematicStrategy
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+
+
+def rnr_factory(seed):
+    """A SEND that must retry: the receiver posts its buffer late."""
+    runtime = DSMRuntime(
+        RuntimeConfig(
+            world_size=2,
+            seed=seed,
+            latency="constant",
+            verbs_rnr_backoff=1.0,
+        )
+    )
+    runtime.declare_array("inbox", 2, owner=1, initial=0)
+
+    def sender(api):
+        request = api.isend(1, [7, 8], symbol="inbox")
+        yield from api.wait(request)
+
+    def late_receiver(api):
+        yield from api.compute(6.0)  # several backoff periods of silence
+        api.irecv(source=0, symbol="inbox", indices=range(2))
+        yield from api.wait_recv(1)
+
+    runtime.set_program(0, sender)
+    runtime.set_program(1, late_receiver)
+    return runtime
+
+
+def rnr_decisions(log):
+    return [d for d in log.entries if d is not None and d.kind == "rnr"]
+
+
+class TestRnrChoicePointsAreOwned:
+    def test_passthrough_logs_every_backoff(self):
+        outcome = run_schedule(rnr_factory, 0, PassthroughStrategy())
+        decisions = rnr_decisions(outcome.decisions)
+        assert decisions, "an RNR-retrying send must produce rnr decisions"
+        assert all(d.choice == 0.0 for d in decisions), (
+            "passthrough must leave every backoff at its configured value"
+        )
+        assert all(d.key.startswith("rnr:0->1#") for d in decisions)
+
+    def test_recorded_log_replays_byte_identically(self):
+        baseline = run_schedule(rnr_factory, 0, PassthroughStrategy())
+        replayed = run_schedule(rnr_factory, 0, ReplayStrategy(baseline.decisions))
+        assert replayed.fingerprint == baseline.fingerprint
+        assert replayed.final_values == baseline.final_values
+        assert replayed.decisions == baseline.decisions
+
+    def test_fuzzer_perturbs_backoffs_deterministically(self):
+        def fuzzed():
+            return run_schedule(
+                rnr_factory,
+                0,
+                ScheduleFuzzer(seed=7, reorder_probability=1.0, quantum=1.0),
+            )
+
+        first, second = fuzzed(), fuzzed()
+        perturbed = [d for d in rnr_decisions(first.decisions) if d.choice > 0.0]
+        assert perturbed, "a p=1.0 fuzzer must stretch at least one backoff"
+        assert first.decisions == second.decisions, "fuzzing must be a pure function of its seed"
+        assert first.final_values == second.final_values
+        # The stretched schedule still delivers the payload.
+        assert first.final_values["inbox"] == (7, 8)
+
+    def test_stretched_backoff_replays_from_the_log_alone(self):
+        fuzzed = run_schedule(
+            rnr_factory,
+            0,
+            ScheduleFuzzer(seed=7, reorder_probability=1.0, quantum=1.0),
+        )
+        replayed = run_schedule(rnr_factory, 0, ReplayStrategy(fuzzed.decisions))
+        assert replayed.fingerprint == fuzzed.fingerprint
+        assert replayed.elapsed_sim_time == fuzzed.elapsed_sim_time
+
+
+class TestSystematicBranchesOnRetryTiming:
+    def test_rnr_points_become_branch_points(self):
+        strategy = SystematicStrategy({}, branch_factor=2, max_branch_points=32)
+        run_schedule(rnr_factory, 0, strategy)
+        rnr_points = [k for k in strategy.branch_points if k.startswith("rnr:")]
+        assert rnr_points, (
+            "the systematic searcher must be able to branch on RNR backoffs"
+        )
+
+    def test_forcing_a_backoff_slot_changes_the_retry_count(self):
+        baseline_strategy = SystematicStrategy({}, branch_factor=3, max_branch_points=32)
+        baseline = run_schedule(rnr_factory, 0, baseline_strategy)
+        key = next(k for k in baseline_strategy.branch_points if k.startswith("rnr:"))
+        forced = run_schedule(
+            rnr_factory,
+            0,
+            SystematicStrategy({key: 2}, branch_factor=3, quantum=1.0,
+                               max_branch_points=32),
+        )
+        # Stretching one backoff by two quanta swallows later retry slots:
+        # the run resolves strictly fewer rnr choice points.
+        assert len(rnr_decisions(forced.decisions)) < len(
+            rnr_decisions(baseline.decisions)
+        )
+        # ...at identical delivered payloads (reliability is not schedule-dependent).
+        assert forced.final_values == baseline.final_values

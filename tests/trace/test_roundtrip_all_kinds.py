@@ -109,13 +109,21 @@ class TestSyncRoundTrip:
         sync = SyncEvent(sync_id=4, time=7.5, participants=(0, 1, 3), kind=kind)
         assert sync_from_dict(sync_to_dict(sync)) == sync
 
-    @pytest.mark.parametrize("kind", ["send_post", "recv_post", "transfer", "recv_complete"])
-    def test_directional_send_recv_kinds_round_trip(self, kind):
-        """The two-sided kinds: participant ORDER and the carried clock are
-        semantic (direction of the happens-before edge) and must survive."""
+    @pytest.mark.parametrize("kind", [
+        "send_post", "recv_post", "transfer", "recv_complete",
+        "wr_post", "wr_transfer", "wr_retire",
+    ])
+    def test_directional_kinds_round_trip(self, kind):
+        """The two-sided AND posted one-sided kinds: participant ORDER and
+        the carried clock are semantic (direction of the happens-before
+        edge) and must survive."""
         sync = SyncEvent(
             sync_id=9, time=2.5, participants=(2, 0), kind=kind,
-            clock=(3, 0, 1) if kind in ("transfer", "recv_complete") else None,
+            clock=(
+                (3, 0, 1)
+                if kind in ("transfer", "recv_complete", "wr_transfer", "wr_retire")
+                else None
+            ),
         )
         decoded = sync_from_dict(sync_to_dict(sync))
         assert decoded == sync
@@ -149,10 +157,15 @@ class TestWholeTraceRoundTrip:
         accesses = runtime.recorder.accesses()
         operations = runtime.recorder.operations()
         syncs = runtime.recorder.syncs()
-        # The run really covered every access kind and the posted path.
+        # The run really covered every access kind and the posted path —
+        # including the clock-transport sync triple of posted one-sided work.
         assert {a.kind for a in accesses} == set(AccessKind)
         assert any(op.was_posted for op in operations)
         assert syncs
+        assert {"wr_post", "wr_transfer", "wr_retire"} <= {s.kind for s in syncs}
+        assert any(
+            s.clock is not None for s in syncs if s.kind in ("wr_transfer", "wr_retire")
+        )
 
         text = trace_to_json(3, accesses, operations, syncs, indent=2)
         world, accesses2, operations2, syncs2 = trace_from_json(text)

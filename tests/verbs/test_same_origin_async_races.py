@@ -1,0 +1,188 @@
+"""Same-origin async races: posted-but-unwaited work vs later own accesses.
+
+The false-negative class the clock-transport refactor closes.  Before it, a
+serviced one-sided work request ticked the *origin process's* clock, so a
+posted-but-unwaited put and a later access by the same rank to the same cell
+were always clock-ordered — the "forgot to wait before reusing the data" bug
+was invisible by construction.  With post-time snapshots carried by every
+work request, owner ticks on carried arrivals and synchronization deferred
+to completion retirement, the matrix-clock detector must now flag these
+races in **every** explored schedule (the paper's every-schedule guarantee),
+while the properly-waited twins stay silent in every schedule (no false
+positives) — under both clock transports.
+
+Ground truth is established two ways: the schedule-space oracle (observable
+behaviour diverges across explored interleavings of one seed) and, for the
+put case, the final value flipping between the posted and the program-order
+write.
+"""
+
+import pytest
+
+from repro.explore import Explorer
+from repro.explore.runner import MATRIX_CLOCK
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.trace.replay import TraceReplayer
+
+WORLD = 3
+BUDGET = 8
+
+
+def idle(api):
+    yield from api.compute(0.0)
+
+
+def make_factory(op, waited, clock_transport="roundtrip"):
+    """Rank 0 posts one operation on ``x`` and then touches ``x`` again.
+
+    ``op`` picks the posted operation; the follow-up access conflicts with
+    it (a write after a posted read, a read after a posted write/atomic).
+    With ``waited=False`` nothing orders the NIC engine's effect against
+    the follow-up — the outcome is schedule-dependent and must be flagged
+    in every schedule; with ``waited=True`` retirement synchronizes the
+    pair and nothing may be flagged in any schedule.
+    """
+
+    def factory(seed):
+        runtime = DSMRuntime(
+            RuntimeConfig(
+                world_size=WORLD,
+                seed=seed,
+                latency="uniform",
+                clock_transport=clock_transport,
+            )
+        )
+        runtime.declare_scalar("x", owner=1, initial=0)
+
+        def rank0(api):
+            if op == "put":
+                request = api.iput("x", 5)
+            elif op == "get":
+                request = api.iget("x")
+            elif op == "fetch_add":
+                request = api.ifetch_add("x", 1)
+            else:
+                request = api.icompare_and_swap("x", 0, 7)
+            if waited:
+                yield from api.wait(request)
+            else:
+                # Yield once so the queue-pair drain and this program race
+                # for the wire: whether the posted operation or the
+                # follow-up access transmits first is then a genuine
+                # scheduling choice (a same-time tie the controller owns),
+                # exactly the nondeterminism of a real NIC DMA engine
+                # racing the CPU's next access.
+                yield from api.compute(0.0)
+            if op == "get":
+                # Write-after-posted-read: the read observes 0 or 9
+                # depending on which side the NIC serializes first.
+                yield from api.put("x", 9)
+            else:
+                # Read-after-posted-write: the read observes the old or the
+                # new value depending on arrival order.
+                value = yield from api.get("x")
+                api.private.write("seen", value)
+            yield from api.wait_all()
+
+        runtime.set_program(0, rank0)
+        for rank in range(1, WORLD):
+            runtime.set_program(rank, idle)
+        return runtime
+
+    return factory
+
+
+OPS = ("put", "get", "fetch_add", "compare_and_swap")
+
+
+class TestUnwaitedPostsRaceInEverySchedule:
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("clock_transport", ["roundtrip", "piggyback"])
+    def test_flagged_in_100_percent_of_explored_schedules(self, op, clock_transport):
+        result = Explorer(
+            make_factory(op, waited=False, clock_transport=clock_transport), seed=0
+        ).explore_fuzzed(BUDGET, quantum=2.0)
+        # Ground truth: the schedule space genuinely diverges on x...
+        assert "x" in result.ground_truth_racy_symbols(), (
+            f"{op}: the unwaited scenario must be observably racy"
+        )
+        # ...and the matrix clock flags it in every single schedule.
+        assert result.flag_fraction(MATRIX_CLOCK, "x") == 1.0, (
+            f"{op}/{clock_transport}: matrix-clock missed the same-origin "
+            f"async race in some schedule"
+        )
+
+    def test_posted_put_vs_own_blocking_put_flips_the_final_value(self):
+        def factory(seed):
+            runtime = DSMRuntime(
+                RuntimeConfig(world_size=WORLD, seed=seed, latency="uniform")
+            )
+            runtime.declare_scalar("x", owner=1, initial=0)
+
+            def rank0(api):
+                api.iput("x", 5)
+                yield from api.compute(0.0)
+                yield from api.put("x", 6)
+                yield from api.wait_all()
+
+            runtime.set_program(0, rank0)
+            for rank in range(1, WORLD):
+                runtime.set_program(rank, idle)
+            return runtime
+
+        result = Explorer(factory, seed=0).explore_fuzzed(BUDGET, quantum=2.0)
+        finals = {o.final_values["x"] for o in result.outcomes}
+        assert finals == {(5,), (6,)}, (
+            "the posted put and the blocking put must serialize both ways "
+            f"across schedules (saw {finals})"
+        )
+        assert result.flag_fraction(MATRIX_CLOCK, "x") == 1.0
+
+
+class TestWaitedPostsStaySilentInEverySchedule:
+    @pytest.mark.parametrize("op", OPS)
+    @pytest.mark.parametrize("clock_transport", ["roundtrip", "piggyback"])
+    def test_no_false_positives_once_waited(self, op, clock_transport):
+        result = Explorer(
+            make_factory(op, waited=True, clock_transport=clock_transport), seed=0
+        ).explore_fuzzed(BUDGET, quantum=2.0)
+        assert result.ground_truth_racy_symbols() == set()
+        assert result.flagged_in_any(MATRIX_CLOCK) == set(), (
+            f"{op}/{clock_transport}: waiting orders the pair; flagging it "
+            f"is a false positive"
+        )
+
+
+class TestTransportsAgreeAndReplayMatches:
+    @pytest.mark.parametrize("op", OPS)
+    def test_verdicts_identical_across_transports(self, op):
+        for seed in range(4):
+            runs = {}
+            for mode in ("roundtrip", "piggyback"):
+                runtime = make_factory(op, waited=False, clock_transport=mode)(seed)
+                result = runtime.run()
+                runs[mode] = (runtime, result)
+            roundtrip, piggyback = runs["roundtrip"][1], runs["piggyback"][1]
+            assert roundtrip.race_count == piggyback.race_count
+            assert {r.symbol for r in roundtrip.race_records()} == {
+                r.symbol for r in piggyback.race_records()
+            }
+            assert (
+                piggyback.fabric_stats.total_messages
+                < roundtrip.fabric_stats.total_messages
+            )
+
+    @pytest.mark.parametrize("clock_transport", ["roundtrip", "piggyback"])
+    def test_offline_replay_reproduces_the_async_race(self, clock_transport):
+        for op in OPS:
+            runtime = make_factory(op, waited=False, clock_transport=clock_transport)(0)
+            result = runtime.run()
+            replay = TraceReplayer(WORLD).replay(
+                runtime.recorder.accesses(), syncs=runtime.recorder.syncs()
+            )
+            assert replay.race_count == result.race_count, (
+                f"{op}: offline replay diverged from the online detector"
+            )
+            assert {r.address for r in replay.races} == {
+                r.address for r in result.race_records()
+            }
