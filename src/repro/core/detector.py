@@ -397,19 +397,28 @@ class DualClockRaceDetector:
         self._control_messages += result.extra_control_messages
         self._clock_bytes_on_wire += result.extra_clock_bytes
 
-    def _overhead_for_check(self) -> Tuple[int, int]:
+    def _overhead_for_check(
+        self, wire_clock_bytes: Optional[int] = None
+    ) -> Tuple[int, int]:
         """Control messages and clock bytes booked per instrumented access.
 
         One vector clock per booked control message (Algorithm 5's fetch +
-        update each move one).  A piggybacked deployment sets
-        ``control_messages_per_check = 0`` and books nothing here — its
-        clock bytes ride on data messages and are accounted by the
-        clock-transport layer (``RunResult.clock_transport_stats``), so the
-        two figures never contradict each other for the same run.
+        update each move one).  *wire_clock_bytes* is the clock's measured
+        wire size under the active ``clock_wire`` format, passed in by the
+        NIC when it actually charged the round trip; ``None`` books the
+        uncompressed ``world_size × BYTES_PER_ENTRY`` figure.  A piggybacked
+        deployment sets ``control_messages_per_check = 0`` and books nothing
+        here — its clock bytes ride on data messages and are accounted by
+        the clock-transport layer (``RunResult.clock_transport_stats``), so
+        the two figures never contradict each other for the same run.
         """
         messages = self.config.control_messages_per_check
-        clock_bytes = messages * self._world_size * self.BYTES_PER_ENTRY
-        return messages, clock_bytes
+        per_clock = (
+            wire_clock_bytes
+            if wire_clock_bytes is not None
+            else self._world_size * self.BYTES_PER_ENTRY
+        )
+        return messages, messages * per_clock
 
     # -- the instrumented operations ------------------------------------------------
 
@@ -424,6 +433,7 @@ class DualClockRaceDetector:
         operation: str = "put",
         carried_clock: Optional[VectorClock] = None,
         owner_event: Optional[bool] = None,
+        wire_clock_bytes: Optional[int] = None,
     ) -> AccessCheckResult:
         """Algorithm 1: instrument a remote write (``put``) into *cell*.
 
@@ -541,7 +551,7 @@ class DualClockRaceDetector:
         info.last_plain_live = live
         info.last_plain_component = origin_component
         self._checks_performed += 1
-        messages, clock_bytes = self._overhead_for_check()
+        messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
             event_clock=event_clock.frozen(),
@@ -563,6 +573,7 @@ class DualClockRaceDetector:
         time: float = 0.0,
         operation: str = "get",
         carried_clock: Optional[VectorClock] = None,
+        wire_clock_bytes: Optional[int] = None,
     ) -> AccessCheckResult:
         """Algorithm 2: instrument a remote read (``get``) of *cell*.
 
@@ -635,7 +646,7 @@ class DualClockRaceDetector:
         info.last_plain_live = live
         info.last_plain_component = origin_component
         self._checks_performed += 1
-        messages, clock_bytes = self._overhead_for_check()
+        messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
             event_clock=event_clock.frozen(),
@@ -657,6 +668,7 @@ class DualClockRaceDetector:
         time: float = 0.0,
         operation: str = "fetch_add",
         carried_clock: Optional[VectorClock] = None,
+        wire_clock_bytes: Optional[int] = None,
     ) -> AccessCheckResult:
         """Instrument a one-sided atomic read-modify-write of *cell*.
 
@@ -742,7 +754,7 @@ class DualClockRaceDetector:
         info.last_accessor_live = live
         info.last_accessor_component = origin_component
         self._checks_performed += 1
-        messages, clock_bytes = self._overhead_for_check()
+        messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
             event_clock=event_clock.frozen(),

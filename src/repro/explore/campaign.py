@@ -35,7 +35,12 @@ from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import DetectorScore, score_against_labels
 from repro.explore.runner import MATRIX_CLOCK, Explorer
-from repro.net.clock_transport import CLOCK_TRANSPORT_MODES, validate_clock_transport
+from repro.net.clock_transport import (
+    CLOCK_TRANSPORT_MODES,
+    CLOCK_WIRE_FORMATS,
+    validate_clock_transport,
+    validate_clock_wire,
+)
 
 
 @dataclass(frozen=True)
@@ -51,6 +56,16 @@ class CampaignConfig:
     ``"piggyback"``); the clock-transport acceptance runs one campaign per
     mode and asserts byte-identical verdicts with strictly fewer messages
     under piggybacking.
+
+    ``clock_wire`` — when not ``None``, select how clocks are encoded on
+    the wire (``"full"``, ``"delta"`` or ``"truncated"``); every format
+    decodes to the exact clock, so ``--expect-consistent`` must hold for
+    every combination (the CI knob-matrix gate).
+
+    ``cq_moderation`` — when not ``None``, force completion coalescing on
+    (``True``) or off (``False``) on every built runtime; coalescing only
+    changes completion-event accounting and CQ visibility timing, never a
+    verdict.
     """
 
     strategy: str = "fuzz"
@@ -69,6 +84,10 @@ class CampaignConfig:
     treat_rmw_pairs_as_ordered: Optional[bool] = None
     # clock-transport sweep
     clock_transport: Optional[str] = None
+    # clock wire-format sweep
+    clock_wire: Optional[str] = None
+    # completion-coalescing sweep
+    cq_moderation: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("fuzz", "systematic"):
@@ -79,6 +98,8 @@ class CampaignConfig:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
         if self.clock_transport is not None:
             validate_clock_transport(self.clock_transport)
+        if self.clock_wire is not None:
+            validate_clock_wire(self.clock_wire)
 
 
 def _resolve_corpus(corpus: str):
@@ -101,8 +122,15 @@ def _resolve_pattern(corpus: str, name: str):
 def _knob_configure(
     treat_rmw_pairs_as_ordered: Optional[bool],
     clock_transport: Optional[str] = None,
+    clock_wire: Optional[str] = None,
+    cq_moderation: Optional[bool] = None,
 ):
-    if treat_rmw_pairs_as_ordered is None and clock_transport is None:
+    if (
+        treat_rmw_pairs_as_ordered is None
+        and clock_transport is None
+        and clock_wire is None
+        and cq_moderation is None
+    ):
         return None
 
     def configure(runtime) -> None:
@@ -112,6 +140,10 @@ def _knob_configure(
             )
         if clock_transport is not None:
             runtime.set_clock_transport(clock_transport)
+        if clock_wire is not None:
+            runtime.set_clock_wire(clock_wire)
+        if cq_moderation is not None:
+            runtime.set_cq_moderation(cq_moderation)
 
     return configure
 
@@ -124,7 +156,10 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
         pattern.build,
         seed=config.seed,
         configure=_knob_configure(
-            config.treat_rmw_pairs_as_ordered, config.clock_transport
+            config.treat_rmw_pairs_as_ordered,
+            config.clock_transport,
+            config.clock_wire,
+            config.cq_moderation,
         ),
     )
     if config.strategy == "systematic":
@@ -352,6 +387,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="clock transport for every explored runtime (default: the "
         "pattern's own configuration)",
     )
+    parser.add_argument(
+        "--clock-wire",
+        default=None,
+        choices=CLOCK_WIRE_FORMATS,
+        help="clock wire format for every explored runtime (default: the "
+        "pattern's own configuration)",
+    )
+    parser.add_argument(
+        "--cq-moderation",
+        default=None,
+        choices=("on", "off"),
+        help="force completion coalescing on or off for every explored "
+        "runtime (default: the pattern's own configuration)",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument("--markdown", dest="markdown_path", default=None)
     parser.add_argument(
@@ -373,6 +422,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         reorder_aggressiveness=args.reorder_aggressiveness,
         quantum=args.quantum,
         clock_transport=args.clock_transport,
+        clock_wire=args.clock_wire,
+        cq_moderation=(
+            None if args.cq_moderation is None else args.cq_moderation == "on"
+        ),
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
     if args.json_path:

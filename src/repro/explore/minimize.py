@@ -268,6 +268,7 @@ def save_artifact(
                 runtime.recorder.accesses(),
                 operations=runtime.recorder.operations(),
                 syncs=runtime.recorder.syncs(),
+                run_info=runtime.recorder.run_info(),
             )
         ),
     }

@@ -32,14 +32,45 @@ many joins the origin performs.  The benchmarks
 (``benchmarks/bench_clock_transport.py``) pin down the strictly-fewer-
 messages claim; the exploration campaign pins down verdict identity across
 schedules.
+
+Orthogonal to *how* clocks travel is *what they cost on the wire* — the
+``clock_wire`` knob.  A full vector clock is ``world_size × 8`` bytes, which
+makes the piggyback transport linear in world size per data message.  The
+wire-format layer (:class:`ClockWireEncoder` / :class:`ClockWireDecoder`)
+compresses each directed channel's clock stream:
+
+``"full"`` (the default)
+    Every rider is the whole vector, ``world_size × BYTES_PER_ENTRY`` bytes —
+    byte-identical to the pre-compression accounting.
+
+``"delta"``
+    Each rider encodes only the components that changed since the last clock
+    sent on this ``(source, destination)`` channel, as ``(rank, increment)``
+    pairs — the receiver reconstructs by applying the increments to its
+    last-acknowledged view.  Every ``resync_period`` messages (and whenever
+    the sparse encoding would not actually be smaller) a tagged *full*
+    frame resynchronizes the channel.
+
+``"truncated"``
+    Like delta, but each changed component travels as its absolute value
+    (``(rank, value)`` pairs) — simpler to apply, slightly larger entries,
+    same resync protocol.
+
+All three formats decode to the *exact* clock — the transport round-trips
+every frame through the decoder and verifies it against the frozen snapshot
+before stamping, so compressed runs are verdict-identical to ``"full"`` by
+construction (property-tested in ``tests/net/test_clock_wire.py``).  Both
+ends of a channel's codec state advance in lockstep at send time, which is
+sound here because the per-queue-pair RC transport delivers in order.
 """
 
 from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, Generator, Optional
+from typing import TYPE_CHECKING, Dict, Generator, List, Optional, Tuple
 
+from repro.core.detector import DualClockRaceDetector
 from repro.net.message import MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -49,6 +80,25 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Legal values of the ``clock_transport`` knob.
 CLOCK_TRANSPORT_MODES = ("roundtrip", "piggyback")
 
+#: Legal values of the ``clock_wire`` knob.
+CLOCK_WIRE_FORMATS = ("full", "delta", "truncated")
+
+#: Bytes per full vector-clock entry on the wire — the detector's storage
+#: figure is the single source of truth, so wire and storage accounting can
+#: never drift apart.
+BYTES_PER_ENTRY = DualClockRaceDetector.BYTES_PER_ENTRY
+#: One-byte frame tag discriminating sparse frames from resync frames.  The
+#: plain ``"full"`` format is untagged (the legacy wire layout), so choosing
+#: ``clock_wire="full"`` is byte-identical to the pre-compression accounting.
+WIRE_TAG_BYTES = 1
+#: One-byte changed-entry count in a sparse frame (worlds up to 255 ranks).
+WIRE_COUNT_BYTES = 1
+#: Bytes naming the rank of one sparse entry.
+WIRE_RANK_BYTES = 2
+#: Bytes for one delta increment (small by construction: the change since
+#: the previous message on the same channel).
+WIRE_DELTA_BYTES = 4
+
 
 def validate_clock_transport(mode: str) -> str:
     """Return *mode* if legal, raise ``ValueError`` otherwise."""
@@ -57,6 +107,148 @@ def validate_clock_transport(mode: str) -> str:
             f"clock_transport must be one of {CLOCK_TRANSPORT_MODES}, got {mode!r}"
         )
     return mode
+
+
+def validate_clock_wire(wire_format: str) -> str:
+    """Return *wire_format* if legal, raise ``ValueError`` otherwise."""
+    if wire_format not in CLOCK_WIRE_FORMATS:
+        raise ValueError(
+            f"clock_wire must be one of {CLOCK_WIRE_FORMATS}, got {wire_format!r}"
+        )
+    return wire_format
+
+
+@dataclass(frozen=True)
+class ClockWireFrame:
+    """One encoded clock as it would travel on a directed channel.
+
+    ``entries`` is the absolute clock for full/resync frames and a tuple of
+    ``(rank, increment)`` (delta) or ``(rank, value)`` (truncated) pairs for
+    sparse frames.  ``wire_bytes`` is the modelled wire size, already
+    including tag and count headers.
+    """
+
+    wire_format: str
+    full: bool
+    entries: Tuple
+    wire_bytes: int
+
+
+class ClockWireEncoder:
+    """Sender half of one directed channel's clock compression.
+
+    Tracks the last clock sent on the channel; :meth:`encode` emits either a
+    sparse frame covering the components that changed since then, or a full
+    resync frame — on the first message, every ``resync_period`` messages,
+    and whenever the sparse encoding would not beat the full one.
+    """
+
+    def __init__(
+        self,
+        world_size: int,
+        wire_format: str,
+        resync_period: int = 64,
+        entry_bytes: int = BYTES_PER_ENTRY,
+    ) -> None:
+        if world_size <= 0:
+            raise ValueError(f"world_size must be positive, got {world_size}")
+        if resync_period < 1:
+            raise ValueError(f"resync_period must be >= 1, got {resync_period}")
+        self.world_size = world_size
+        self.wire_format = validate_clock_wire(wire_format)
+        self.resync_period = resync_period
+        self.entry_bytes = entry_bytes
+        self._last_sent: Optional[List[int]] = None
+        self._since_resync = 0
+
+    def _full_frame(self, clock: Tuple[int, ...], tagged: bool) -> ClockWireFrame:
+        return ClockWireFrame(
+            wire_format=self.wire_format,
+            full=True,
+            entries=tuple(clock),
+            wire_bytes=(WIRE_TAG_BYTES if tagged else 0)
+            + self.world_size * self.entry_bytes,
+        )
+
+    def encode(self, clock) -> ClockWireFrame:
+        """Encode one clock (any int sequence of length ``world_size``)."""
+        entries = tuple(int(value) for value in clock)
+        if len(entries) != self.world_size:
+            raise ValueError(
+                f"clock has {len(entries)} entries, channel covers "
+                f"{self.world_size} ranks"
+            )
+        if self.wire_format == "full":
+            # The legacy untagged layout: nothing to resync, nothing saved.
+            self._last_sent = list(entries)
+            return self._full_frame(entries, tagged=False)
+        resync_due = (
+            self._last_sent is None or self._since_resync >= self.resync_period
+        )
+        if not resync_due:
+            changed = [
+                (rank, value - self._last_sent[rank])
+                if self.wire_format == "delta"
+                else (rank, value)
+                for rank, value in enumerate(entries)
+                if value != self._last_sent[rank]
+            ]
+            entry_cost = WIRE_RANK_BYTES + (
+                WIRE_DELTA_BYTES if self.wire_format == "delta" else self.entry_bytes
+            )
+            sparse_bytes = (
+                WIRE_TAG_BYTES + WIRE_COUNT_BYTES + len(changed) * entry_cost
+            )
+            full_bytes = WIRE_TAG_BYTES + self.world_size * self.entry_bytes
+            if sparse_bytes < full_bytes:
+                self._last_sent = list(entries)
+                self._since_resync += 1
+                return ClockWireFrame(
+                    wire_format=self.wire_format,
+                    full=False,
+                    entries=tuple(changed),
+                    wire_bytes=sparse_bytes,
+                )
+        # Resync: first message, period reached, or sparse would not pay.
+        self._last_sent = list(entries)
+        self._since_resync = 0
+        return self._full_frame(entries, tagged=True)
+
+
+class ClockWireDecoder:
+    """Receiver half of one directed channel's clock compression.
+
+    Reconstructs the exact clock from the frame stream: full frames replace
+    the channel view, sparse frames patch it.  A sparse frame before any
+    full frame is a protocol violation (the encoder always opens with a
+    resync) and raises.
+    """
+
+    def __init__(self, world_size: int, wire_format: str) -> None:
+        self.world_size = world_size
+        self.wire_format = validate_clock_wire(wire_format)
+        self._view: Optional[List[int]] = None
+
+    def decode(self, frame: ClockWireFrame) -> Tuple[int, ...]:
+        """Apply one frame; returns the reconstructed absolute clock."""
+        if frame.wire_format != self.wire_format:
+            raise ValueError(
+                f"frame format {frame.wire_format!r} on a "
+                f"{self.wire_format!r} channel"
+            )
+        if frame.full:
+            self._view = list(frame.entries)
+        elif self._view is None:
+            raise ValueError(
+                "sparse clock frame received before any full resync frame"
+            )
+        else:
+            for rank, value in frame.entries:
+                if self.wire_format == "delta":
+                    self._view[rank] += value
+                else:
+                    self._view[rank] = value
+        return tuple(self._view)
 
 
 @dataclass
@@ -74,6 +266,20 @@ class ClockTransportStats:
     #: Retirements whose join was elided because a later completion of the
     #: same queue pair (whose batched clock dominates) had already merged.
     joins_elided: int = 0
+    #: Full (resync or format="full") clock frames stamped on messages.
+    wire_frames_full: int = 0
+    #: Sparse (delta/truncated) clock frames stamped on messages.
+    wire_frames_sparse: int = 0
+    #: Bytes the wire format saved versus shipping full clocks everywhere.
+    wire_bytes_saved: int = 0
+    #: Completion events (CQEs) delivered; CQ moderation coalesces a drain
+    #: burst into one event, so this is what moderation shrinks.
+    completion_events: int = 0
+    #: Completions that shared a coalesced event with an earlier sibling.
+    completions_coalesced: int = 0
+    #: Clock bytes riding on completions (one batched clock per event — per
+    #: completion uncoalesced, per drain burst under CQ moderation).
+    completion_clock_bytes: int = 0
 
     def merge(self, other: "ClockTransportStats") -> "ClockTransportStats":
         """Accumulate *other* into this record (whole-machine totals)."""
@@ -82,6 +288,12 @@ class ClockTransportStats:
         self.piggybacked_bytes += other.piggybacked_bytes
         self.joins_performed += other.joins_performed
         self.joins_elided += other.joins_elided
+        self.wire_frames_full += other.wire_frames_full
+        self.wire_frames_sparse += other.wire_frames_sparse
+        self.wire_bytes_saved += other.wire_bytes_saved
+        self.completion_events += other.completion_events
+        self.completions_coalesced += other.completions_coalesced
+        self.completion_clock_bytes += other.completion_clock_bytes
         return self
 
     def as_dict(self) -> Dict[str, int]:
@@ -92,6 +304,12 @@ class ClockTransportStats:
             "piggybacked_bytes": self.piggybacked_bytes,
             "joins_performed": self.joins_performed,
             "joins_elided": self.joins_elided,
+            "wire_frames_full": self.wire_frames_full,
+            "wire_frames_sparse": self.wire_frames_sparse,
+            "wire_bytes_saved": self.wire_bytes_saved,
+            "completion_events": self.completion_events,
+            "completions_coalesced": self.completions_coalesced,
+            "completion_clock_bytes": self.completion_clock_bytes,
         }
 
 
@@ -110,6 +328,11 @@ class ClockTransport:
     def __init__(self, nic: "NIC") -> None:
         self._nic = nic
         self.stats = ClockTransportStats()
+        #: Per-destination codec state for clocks *this rank sends*: both
+        #: halves advance in lockstep at send time (sound under the RC
+        #: in-order delivery of each queue pair's channel).
+        self._encoders: Dict[int, ClockWireEncoder] = {}
+        self._decoders: Dict[int, ClockWireDecoder] = {}
 
     # -- mode ---------------------------------------------------------------------
 
@@ -123,62 +346,115 @@ class ClockTransport:
         """True when clocks ride on the data messages."""
         return self.mode == "piggyback"
 
+    @property
+    def wire_format(self) -> str:
+        """The active clock wire format (``full``/``delta``/``truncated``)."""
+        return validate_clock_wire(self._nic.config.clock_wire)
+
     def _active(self) -> bool:
         detector = self._nic.detector
         return detector is not None and detector.config.enabled
 
     def clock_bytes(self) -> int:
-        """Wire size of one vector clock for this world."""
+        """Wire size of one *full* vector clock for this world."""
         return self._nic._clock_bytes()
+
+    # -- wire format (per-destination codecs) ----------------------------------------
+
+    def _codec(self, destination: int) -> Tuple[ClockWireEncoder, ClockWireDecoder]:
+        encoder = self._encoders.get(destination)
+        if encoder is None or encoder.wire_format != self.wire_format:
+            encoder = ClockWireEncoder(
+                self._nic.detector.world_size,
+                self.wire_format,
+                resync_period=self._nic.config.clock_wire_resync,
+            )
+            self._encoders[destination] = encoder
+            self._decoders[destination] = ClockWireDecoder(
+                encoder.world_size, self.wire_format
+            )
+        return encoder, self._decoders[destination]
+
+    def encode_clock(self, clock_entries, destination: int) -> int:
+        """Run one clock through *destination*'s channel codec; returns bytes.
+
+        The frame is immediately decoded and verified against the input —
+        the "verdict-identical by construction" guarantee: whatever the wire
+        format, the clock the receiver reconstructs is the exact snapshot
+        the detector checks with.
+        """
+        encoder, decoder = self._codec(destination)
+        frame = encoder.encode(clock_entries)
+        decoded = decoder.decode(frame)
+        if decoded != tuple(int(v) for v in clock_entries):
+            raise RuntimeError(
+                f"clock wire codec corrupted a clock on channel "
+                f"P{self._nic.rank}->P{destination}: {clock_entries} "
+                f"decoded as {decoded}"
+            )
+        if frame.full:
+            self.stats.wire_frames_full += 1
+        else:
+            self.stats.wire_frames_sparse += 1
+        self.stats.wire_bytes_saved += max(0, self.clock_bytes() - frame.wire_bytes)
+        return frame.wire_bytes
 
     # -- wire traffic --------------------------------------------------------------
 
     def data_overhead_bytes(self) -> int:
-        """Clock bytes added to one data message under the active policy.
+        """Clock bytes added to one data message under the *legacy* accounting.
 
-        Piggyback mode always rides the clock on the data message; roundtrip
-        mode does so only in the legacy ``charge_detection_messages=False``
-        accounting (clocks assumed piggybacked, free).
+        Piggyback riders are sized per message by :meth:`ride` (the wire
+        format decides); this figure covers only the roundtrip transport's
+        ``charge_detection_messages=False`` shortcut, where clocks are
+        assumed piggybacked on data messages for free at full size.
         """
         if not self._active():
             return 0
-        if self.piggyback or not self._nic.config.charge_detection_messages:
+        if not self.piggyback and not self._nic.config.charge_detection_messages:
             return self.clock_bytes()
         return 0
 
-    def request_overhead_bytes(self) -> int:
-        """Clock bytes added to a get/atomic *request* message.
+    def ride(self, clock, destination: int, request: bool = False) -> Tuple[Optional[tuple], int]:
+        """Stamp a clock rider onto one message bound for *destination*.
 
-        Piggyback only: the target-side check consumes the origin's clock,
-        so under piggybacking it must physically travel on the request (the
-        reply then carries the datum's history back — two riders per
-        get/atomic, mirroring Algorithm 5's fetch + update pair).  The
-        legacy ``charge_detection_messages=False`` accounting keeps its
-        historical single-rider figure.
+        Returns ``(frozen_clock_or_None, clock_wire_bytes)``: the frozen
+        snapshot to put in :attr:`~repro.net.message.Message.carried_clock`
+        (``None`` when no clock rides this message) and the clock's share of
+        ``payload_bytes``.  Under the piggyback transport the rider is
+        encoded through the channel's wire-format codec — ``full`` costs the
+        whole vector, ``delta``/``truncated`` cost only the components that
+        changed since the channel's last clock (plus periodic resyncs).
+        Under roundtrip, *request* messages add nothing and data messages
+        add the legacy ``charge_detection_messages=False`` allowance.
         """
-        return self.clock_bytes() if self._active() and self.piggyback else 0
-
-    def stamp(self, clock) -> Optional[tuple]:
-        """The frozen clock to stamp into a data message, if one rides on it.
-
-        Accepts a :class:`~repro.core.clocks.VectorClock` or an
-        already-frozen tuple; returns ``None`` unless detection is active
-        and the piggyback transport is selected.
-        """
-        if clock is None or not self._active() or not self.piggyback:
-            return None
-        self.stats.piggybacked_messages += 1
-        self.stats.piggybacked_bytes += self.clock_bytes()
-        if hasattr(clock, "frozen"):
-            return clock.frozen()
-        return tuple(int(entry) for entry in clock)
+        if not self._active():
+            return None, 0
+        if self.piggyback:
+            if clock is None:
+                return None, 0
+            frozen = (
+                clock.frozen()
+                if hasattr(clock, "frozen")
+                else tuple(int(entry) for entry in clock)
+            )
+            wire_bytes = self.encode_clock(frozen, destination)
+            self.stats.piggybacked_messages += 1
+            self.stats.piggybacked_bytes += wire_bytes
+            return frozen, wire_bytes
+        return None, (0 if request else self.data_overhead_bytes())
 
     def round_trip(self, target_rank: int, tag: str) -> Generator:
         """Charge Algorithm 5's CLOCK_FETCH/CLOCK_UPDATE pair, when owed.
 
-        A generator driven by the simulation kernel; returns the number of
-        control messages charged (0 in piggyback mode, where the clock
-        already rode on the data message).
+        A generator driven by the simulation kernel; returns ``(messages,
+        update_clock_bytes)`` — the number of control messages charged (0 in
+        piggyback mode, where the clock already rode on the data message)
+        and the wire size of the clock the CLOCK_UPDATE carried (``None``
+        when no round trip was charged).  Under a compressed wire format the
+        update payload travels through the *target's* channel codec — the
+        update is the target's message — so Algorithm 5's dedicated clock
+        traffic also shrinks.
         """
         if (
             not self._active()
@@ -186,21 +462,29 @@ class ClockTransport:
             or not self._nic.config.charge_detection_messages
             or target_rank == self._nic.rank
         ):
-            return 0
+            return 0, None
         fetch, _ = self._nic.fabric.send(
             MessageKind.CLOCK_FETCH, self._nic.rank, target_rank,
             payload_bytes=0, operation_tag=tag,
         )
         yield fetch
+        if self.wire_format == "full":
+            update_bytes = self.clock_bytes()
+        else:
+            target_transport = self._nic.peer(target_rank).clock_transport
+            update_bytes = target_transport.encode_clock(
+                self._nic.detector.current_clock(target_rank).frozen(),
+                self._nic.rank,
+            )
         reply, _ = self._nic.fabric.send(
             MessageKind.CLOCK_UPDATE, target_rank, self._nic.rank,
-            payload_bytes=self.clock_bytes(), operation_tag=tag,
+            payload_bytes=update_bytes, operation_tag=tag,
         )
         yield reply
         self.stats.round_trips += 1
-        return 2
+        return 2, update_bytes
 
-    # -- retirement joins ------------------------------------------------------------
+    # -- retirement joins and completion events ------------------------------------------
 
     def note_join(self, performed: bool) -> None:
         """Book one completion retirement: a join done, or elided by batching."""
@@ -208,6 +492,19 @@ class ClockTransport:
             self.stats.joins_performed += 1
         else:
             self.stats.joins_elided += 1
+
+    def note_completion_event(self, completions: int, carries_clock: bool) -> None:
+        """Book one CQE delivery covering *completions* work completions.
+
+        Uncoalesced delivery books one event per completion; CQ moderation
+        books one event per drain burst, so the clock the event carries — the
+        batched retirement join, charged here at full vector size — is paid
+        once per burst instead of once per completion.
+        """
+        self.stats.completion_events += 1
+        self.stats.completions_coalesced += max(0, completions - 1)
+        if carries_clock:
+            self.stats.completion_clock_bytes += self.clock_bytes()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ClockTransport P{self._nic.rank} mode={self.mode}>"

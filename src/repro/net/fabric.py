@@ -145,6 +145,7 @@ class Fabric:
         payload_bytes: int = 8,
         operation_tag: Optional[str] = None,
         carried_clock: Optional[tuple] = None,
+        clock_wire_bytes: int = 0,
     ) -> Tuple[Event, Message]:
         """Send one message; returns ``(delivery_event, stamped_message)``.
 
@@ -153,7 +154,8 @@ class Fabric:
         to one's own public memory does not cross the wire, so callers should
         avoid sending them; the NIC short-circuits that case.  *carried_clock*
         is the piggybacked vector clock, stamped by the clock-transport layer
-        in ``"piggyback"`` mode (its bytes are part of *payload_bytes*).
+        in ``"piggyback"`` mode; *clock_wire_bytes* is its exact share of
+        *payload_bytes* under the active ``clock_wire`` format.
         """
         message = Message(
             message_id=self._ids.next_int(),
@@ -164,6 +166,7 @@ class Fabric:
             payload_bytes=payload_bytes,
             operation_tag=operation_tag,
             carried_clock=carried_clock,
+            clock_wire_bytes=clock_wire_bytes,
         )
         if source == destination:
             event = self._sim.timeout(0.0, value=message, name=f"local:{kind.value}")

@@ -91,6 +91,11 @@ class Message:
         clock rides on the data/atomic message itself instead of a dedicated
         CLOCK_FETCH/CLOCK_UPDATE round trip.  ``payload_bytes`` already
         includes its wire size when present.
+    clock_wire_bytes:
+        The clock rider's exact share of ``payload_bytes``, as sized by the
+        active ``clock_wire`` format (full vector, or a delta/truncated
+        sparse frame against the channel's last-acknowledged view).  Zero
+        when no clock rides this message.
     """
 
     message_id: int
@@ -103,6 +108,7 @@ class Message:
     deliver_time: float = 0.0
     operation_tag: Optional[str] = None
     carried_clock: Optional[tuple] = None
+    clock_wire_bytes: int = 0
 
     @property
     def total_bytes(self) -> int:

@@ -82,6 +82,17 @@ class NICConfig:
         rides the clock on every data message and batches origin-side joins
         per queue-pair drain.  The two modes produce byte-identical
         detector verdicts; only the traffic differs.
+    clock_wire:
+        How a clock is *encoded* when it crosses the wire (see
+        :mod:`repro.net.clock_transport`): ``"full"`` ships the whole
+        vector (``world_size × 8`` bytes), ``"delta"`` /``"truncated"``
+        ship only the components that changed since the channel's last
+        clock (as increments or absolute values), with a full resync every
+        ``clock_wire_resync`` messages.  All formats decode to the exact
+        clock, so verdicts never depend on this knob; only bytes do.
+    clock_wire_resync:
+        Messages between full-clock resync frames on each directed channel
+        under the sparse wire formats.
     cell_bytes:
         Modelled size of one memory cell's value on the wire.
     """
@@ -90,6 +101,8 @@ class NICConfig:
     charge_lock_messages: bool = True
     charge_detection_messages: bool = True
     clock_transport: str = "roundtrip"
+    clock_wire: str = "full"
+    clock_wire_resync: int = 64
     cell_bytes: int = 8
 
 
@@ -288,9 +301,14 @@ class NIC:
             target_nic.locks.release(request)
 
     def _detection_round_trip(self, target_rank: int, tag: str) -> Generator:
-        """Charge Algorithm 5's clock traffic via the clock-transport layer."""
-        count = yield from self.clock_transport.round_trip(target_rank, tag)
-        return count
+        """Charge Algorithm 5's clock traffic via the clock-transport layer.
+
+        Returns ``(messages, update_clock_bytes)``; the second element feeds
+        the detector's per-check byte accounting so a compressed wire format
+        is reflected there too (``None`` when no round trip was charged).
+        """
+        outcome = yield from self.clock_transport.round_trip(target_rank, tag)
+        return outcome
 
     def _wire_clock(self, clock_snapshot: Optional[VectorClock]) -> Optional[VectorClock]:
         """The clock a data message leaving this rank would carry.
@@ -351,14 +369,21 @@ class NIC:
         control_messages = 0
 
         lock_request = yield from self._acquire_lock(target_nic, target, "put", tag)
-        control_messages += yield from self._detection_round_trip(target.rank, tag)
+        round_trips, update_clock_bytes = yield from self._detection_round_trip(
+            target.rank, tag
+        )
+        control_messages += round_trips
 
-        payload_bytes = self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
         if target.rank != self.rank:
+            carried, clock_wire_bytes = self.clock_transport.ride(
+                self._wire_clock(clock_snapshot), target.rank
+            )
             event, _ = self.fabric.send(
                 MessageKind.PUT_DATA, self.rank, target.rank,
-                payload=value, payload_bytes=payload_bytes, operation_tag=tag,
-                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
+                payload=value,
+                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
+                operation_tag=tag,
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
             )
             yield event
             data_messages += 1
@@ -371,6 +396,7 @@ class NIC:
             check = self.detector.on_write(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="put",
                 carried_clock=clock_snapshot, owner_event=True,
+                wire_clock_bytes=update_clock_bytes,
             )
         target_nic.memory.write(target, value, writer=self.rank)
         self._record(AccessKind.WRITE, target, value, symbol, "put")
@@ -412,14 +438,24 @@ class NIC:
         control_messages = 0
 
         lock_request = yield from self._acquire_lock(target_nic, target, "get", tag)
-        control_messages += yield from self._detection_round_trip(target.rank, tag)
+        round_trips, update_clock_bytes = yield from self._detection_round_trip(
+            target.rank, tag
+        )
+        control_messages += round_trips
 
         if target.rank != self.rank:
+            # Under piggybacking the target-side check consumes the origin's
+            # clock, so it must physically travel on the request (the reply
+            # then carries the datum's history back — two riders per get,
+            # mirroring Algorithm 5's fetch + update pair).
+            carried, clock_wire_bytes = self.clock_transport.ride(
+                self._wire_clock(clock_snapshot), target.rank, request=True
+            )
             request_event, _ = self.fabric.send(
                 MessageKind.GET_REQUEST, self.rank, target.rank,
-                payload_bytes=self.clock_transport.request_overhead_bytes(),
+                payload_bytes=clock_wire_bytes,
                 operation_tag=tag,
-                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
             )
             yield request_event
             data_messages += 1
@@ -431,21 +467,23 @@ class NIC:
             cell = target_nic.memory.cell(target)
             check = self.detector.on_read(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now, operation="get",
-                carried_clock=clock_snapshot,
+                carried_clock=clock_snapshot, wire_clock_bytes=update_clock_bytes,
             )
         value = target_nic.memory.read(target)
         self._record(AccessKind.READ, target, value, symbol, "get")
 
         if target.rank != self.rank:
-            payload_bytes = (
-                self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
+            # The reply is the target's message: its rider goes through the
+            # target's channel codec towards this rank.
+            carried, clock_wire_bytes = target_nic.clock_transport.ride(
+                check.datum_access_clock if check is not None else None, self.rank
             )
             reply_event, _ = self.fabric.send(
                 MessageKind.GET_REPLY, target.rank, self.rank,
-                payload=value, payload_bytes=payload_bytes, operation_tag=tag,
-                carried_clock=self.clock_transport.stamp(
-                    check.datum_access_clock if check is not None else None
-                ),
+                payload=value,
+                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
+                operation_tag=tag,
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
             )
             yield reply_event
             data_messages += 1
@@ -551,15 +589,21 @@ class NIC:
         control_messages = 0
 
         lock_request = yield from self._acquire_lock(target_nic, target, operation, tag)
-        control_messages += yield from self._detection_round_trip(target.rank, tag)
+        round_trips, update_clock_bytes = yield from self._detection_round_trip(
+            target.rank, tag
+        )
+        control_messages += round_trips
 
         if remote:
+            carried, clock_wire_bytes = self.clock_transport.ride(
+                self._wire_clock(clock_snapshot), target.rank, request=True
+            )
             event, _ = self.fabric.send(
                 MessageKind.ATOMIC_REQUEST, self.rank, target.rank,
                 payload=operand,
-                payload_bytes=operand_bytes + self.clock_transport.request_overhead_bytes(),
+                payload_bytes=operand_bytes + clock_wire_bytes,
                 operation_tag=tag,
-                carried_clock=self.clock_transport.stamp(self._wire_clock(clock_snapshot)),
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
             )
             yield event
             data_messages += 1
@@ -572,6 +616,7 @@ class NIC:
             check = self.detector.on_rmw(
                 self.rank, target, cell, symbol=symbol, time=self._sim.now,
                 operation=operation, carried_clock=clock_snapshot,
+                wire_clock_bytes=update_clock_bytes,
             )
         old_value = target_nic.memory.read(target)
         new_value = apply(old_value)
@@ -581,15 +626,15 @@ class NIC:
         )
 
         if remote:
-            payload_bytes = (
-                self.config.cell_bytes + self.clock_transport.data_overhead_bytes()
+            carried, clock_wire_bytes = target_nic.clock_transport.ride(
+                check.datum_access_clock if check is not None else None, self.rank
             )
             reply_event, _ = self.fabric.send(
                 MessageKind.ATOMIC_REPLY, target.rank, self.rank,
-                payload=old_value, payload_bytes=payload_bytes, operation_tag=tag,
-                carried_clock=self.clock_transport.stamp(
-                    check.datum_access_clock if check is not None else None
-                ),
+                payload=old_value,
+                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
+                operation_tag=tag,
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
             )
             yield reply_event
             data_messages += 1
@@ -667,19 +712,22 @@ class NIC:
         data_messages = 0
         control_messages = 0
 
-        payload_bytes = (
-            len(values) * self.config.cell_bytes
-            + self.clock_transport.data_overhead_bytes()
-        )
-
         retries = 0
         while True:
             if remote:
+                # Each transmission (including RNR retransmits) stamps its
+                # own rider: under the sparse wire formats a retransmission
+                # of an unchanged clock costs only an empty sparse frame.
+                carried, clock_wire_bytes = self.clock_transport.ride(
+                    clock_snapshot, destination
+                )
                 event, _ = self.fabric.send(
                     MessageKind.SEND_REQUEST, self.rank, destination,
-                    payload=tuple(values), payload_bytes=payload_bytes,
+                    payload=tuple(values),
+                    payload_bytes=len(values) * self.config.cell_bytes
+                    + clock_wire_bytes,
                     operation_tag=tag,
-                    carried_clock=self.clock_transport.stamp(clock_snapshot),
+                    carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
                 )
                 yield event
                 data_messages += 1
@@ -716,7 +764,10 @@ class NIC:
                 recv_wr=recv_wr,
             )
 
-        control_messages += yield from self._detection_round_trip(destination, tag)
+        round_trips, update_clock_bytes = yield from self._detection_round_trip(
+            destination, tag
+        )
+        control_messages += round_trips
         # The delivery event is causally after BOTH posts: the SEND's
         # (snapshot carried by the message) and the matched RECV's (snapshot
         # taken when the buffer was posted — the permission point).  Their
@@ -754,6 +805,7 @@ class NIC:
                     symbol=symbol or recv_wr.symbol,
                     time=self._sim.now, operation="send",
                     carried_clock=effective_clock,
+                    wire_clock_bytes=update_clock_bytes,
                 )
                 # The result's single check slot keeps the first flagged
                 # scatter access (or the first cell's when none raced), so

@@ -117,6 +117,17 @@ class ProcessAPI:
         """All one-sided operations this rank has completed, in order."""
         return list(self._operation_results)
 
+    def clock_transport_stats(self) -> dict:
+        """This rank's clock-traffic accounting, as a flat dictionary.
+
+        The per-rank slice of ``RunResult.clock_transport_stats``: round
+        trips charged, piggybacked riders and their wire-format bytes,
+        completion events (coalesced or not), and retirement joins.  Useful
+        inside a program to observe how the ``clock_transport`` /
+        ``clock_wire`` / ``cq_moderation`` knobs change what this rank pays.
+        """
+        return self._nic.clock_transport.stats.as_dict()
+
     def owner_of(self, symbol: str, index: int = 0) -> int:
         """Rank that physically holds ``symbol[index]``."""
         return self._directory.owner_of(symbol, index)

@@ -21,7 +21,11 @@ from repro.memory.directory import PlacementPolicy, SymbolDirectory
 from repro.memory.locks import MemoryLockTable
 from repro.memory.private import PrivateMemory
 from repro.memory.public import PublicMemory
-from repro.net.clock_transport import ClockTransportStats, validate_clock_transport
+from repro.net.clock_transport import (
+    ClockTransportStats,
+    validate_clock_transport,
+    validate_clock_wire,
+)
 from repro.net.fabric import Fabric, FabricStats
 from repro.net.latency import ConstantLatency, LatencyModel, LogGPLatency, UniformLatency
 from repro.net.nic import NIC, NICConfig
@@ -74,6 +78,29 @@ class RuntimeConfig:
         default) follows ``nic.clock_transport`` — effectively
         ``"roundtrip"`` unless the NIC config names a mode; naming
         *conflicting* modes here and on the NIC config is an error.
+    clock_wire:
+        How each clock is encoded when it crosses the wire (see
+        :mod:`repro.net.clock_transport`): ``"full"`` ships the whole
+        vector per rider (``world_size × 8`` bytes — linear in world size),
+        ``"delta"`` ships per-channel increments of the components that
+        changed since the last clock on that channel, ``"truncated"``
+        ships their absolute values; both sparse formats resync with a
+        full frame every ``clock_wire_resync`` messages.  Every format
+        decodes to the exact clock (verified on every frame), so detector
+        verdicts never depend on this knob — only bytes do.  ``None``
+        (the default) follows ``nic.clock_wire``; naming *conflicting*
+        formats here and on the NIC config is an error.
+    clock_wire_resync:
+        Channel messages between full-clock resync frames under the sparse
+        wire formats (``None`` keeps ``nic.clock_wire_resync``).
+    cq_moderation:
+        Completion coalescing: when true, each queue pair drain delivers
+        its burst of work completions as ONE CQE event (as real NICs do
+        with CQ moderation), and the batched retirement clock the event
+        carries is charged once per burst instead of once per completion.
+        Consumer semantics (wait/wait_all/poll, backpressure, event
+        channels) are unchanged, so verdicts cannot depend on it; only the
+        completion-traffic accounting and CQ visibility timing do.
     signal_policy:
         What to do when a race is signalled (collect / warn / abort).
     trace_values:
@@ -119,6 +146,9 @@ class RuntimeConfig:
     detector: DetectorConfig = field(default_factory=DetectorConfig)
     nic: NICConfig = field(default_factory=NICConfig)
     clock_transport: Optional[str] = None
+    clock_wire: Optional[str] = None
+    clock_wire_resync: Optional[int] = None
+    cq_moderation: bool = False
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
     echo_log: bool = False
@@ -151,8 +181,13 @@ class RunResult:
     #: Which clock transport the run used (``"roundtrip"`` / ``"piggyback"``).
     clock_transport: str = "roundtrip"
     #: Whole-machine clock-transport accounting (round trips charged,
-    #: piggybacked clocks, retirement joins performed/elided).
+    #: piggybacked clocks, wire frames, completion events, retirement joins
+    #: performed/elided).
     clock_transport_stats: Dict[str, int] = field(default_factory=dict)
+    #: Which clock wire format sized the riders (``full``/``delta``/``truncated``).
+    clock_wire: str = "full"
+    #: Whether completion coalescing (one CQE per drain burst) was active.
+    cq_moderation: bool = False
 
     @property
     def race_count(self) -> int:
@@ -229,6 +264,7 @@ class DSMRuntime:
                 rnr_backoff=self.config.verbs_rnr_backoff,
                 rnr_retry_limit=self.config.verbs_rnr_retry_limit,
                 backpressure=self.config.verbs_backpressure,
+                cq_moderation=self.config.cq_moderation,
             )
             for rank in range(self.config.world_size)
         ]
@@ -273,6 +309,24 @@ class DSMRuntime:
             self.set_clock_transport(mode)
         else:
             self.config.clock_transport = mode
+        # Resolve the clock wire format the same way: ``None`` follows the
+        # NIC config; naming two different formats explicitly is an error.
+        if self.config.clock_wire is None:
+            wire = validate_clock_wire(self.config.nic.clock_wire)
+        else:
+            wire = validate_clock_wire(self.config.clock_wire)
+            if (
+                self.config.nic.clock_wire != "full"
+                and self.config.nic.clock_wire != wire
+            ):
+                raise ValueError(
+                    f"conflicting clock wire formats: RuntimeConfig says {wire!r} "
+                    f"but NICConfig says {self.config.nic.clock_wire!r}"
+                )
+        self.set_clock_wire(wire)
+        if self.config.clock_wire_resync is not None:
+            require_positive(self.config.clock_wire_resync, "clock_wire_resync")
+            self.config.nic.clock_wire_resync = self.config.clock_wire_resync
 
     # -- clock transport ----------------------------------------------------------------
 
@@ -306,6 +360,34 @@ class DSMRuntime:
             )
         self.config.clock_transport = mode
         self.config.nic.clock_transport = mode
+
+    def set_clock_wire(self, wire_format: str) -> None:
+        """Select the clock wire encoding (before :meth:`run`).
+
+        ``"full"``, ``"delta"`` or ``"truncated"`` — see
+        :mod:`repro.net.clock_transport`.  Purely a byte-accounting policy:
+        every format decodes to the exact clock, so switching it can never
+        change a verdict.  The campaign runner's configure hook uses this
+        to sweep the knob on an already-built runtime.
+        """
+        validate_clock_wire(wire_format)
+        if self._ran:
+            raise RuntimeError("set_clock_wire() must be called before run()")
+        self.config.clock_wire = wire_format
+        self.config.nic.clock_wire = wire_format
+
+    def set_cq_moderation(self, enabled: bool) -> None:
+        """Enable/disable completion coalescing (before :meth:`run`).
+
+        One CQE per queue-pair drain burst instead of one per completion —
+        see :class:`RuntimeConfig`.  The campaign runner's configure hook
+        uses this to sweep the knob on an already-built runtime.
+        """
+        if self._ran:
+            raise RuntimeError("set_cq_moderation() must be called before run()")
+        self.config.cq_moderation = bool(enabled)
+        for context in self.verbs_contexts:
+            context.cq_moderation = bool(enabled)
 
     def clock_transport_stats(self) -> ClockTransportStats:
         """Whole-machine clock-transport accounting (summed over ranks)."""
@@ -433,6 +515,13 @@ class DSMRuntime:
         if not self._programs:
             raise RuntimeError("no programs registered; call set_program/set_spmd_program first")
         self._ran = True
+        self.recorder.set_run_info(
+            world_size=self.config.world_size,
+            seed=self.config.seed,
+            clock_transport=self.config.clock_transport,
+            clock_wire=self.config.clock_wire,
+            cq_moderation=self.config.cq_moderation,
+        )
         ranks_without_program = [
             rank for rank in range(self.config.world_size) if rank not in self._programs
         ]
@@ -478,6 +567,8 @@ class DSMRuntime:
             per_rank_private=per_rank_private,
             clock_transport=self.config.clock_transport,
             clock_transport_stats=self.clock_transport_stats().as_dict(),
+            clock_wire=self.config.clock_wire,
+            cq_moderation=self.config.cq_moderation,
         )
 
     # -- post-run helpers -----------------------------------------------------------------------

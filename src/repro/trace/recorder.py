@@ -29,6 +29,11 @@ class TraceRecorder:
         self._accesses: List[MemoryAccess] = []
         self._operations: List[OperationRecord] = []
         self._syncs: List[SyncEvent] = []
+        #: Provenance of the traced run (clock transport, wire format, CQ
+        #: moderation, ...) — archived with the trace so a saved artifact
+        #: records which knobs produced it.  Purely informational: replay
+        #: uses the recorded clocks, which are knob-independent.
+        self._run_info: Dict[str, object] = {}
         # Accesses and syncs share one id sequence so that sorting a combined
         # stream by (time, id) reproduces the exact order in which the online
         # system processed them.
@@ -38,6 +43,14 @@ class TraceRecorder:
     def world_size(self) -> int:
         """Number of ranks in the traced execution."""
         return self._world_size
+
+    def set_run_info(self, **info: object) -> None:
+        """Merge provenance fields into the trace header."""
+        self._run_info.update(info)
+
+    def run_info(self) -> Dict[str, object]:
+        """Provenance of the traced run, as recorded so far."""
+        return dict(self._run_info)
 
     # -- recording --------------------------------------------------------------
 

@@ -233,6 +233,11 @@ class TraceReplayer:
                 source_rank=sender if 0 <= sender < detector.world_size else None,
             )
             return
+        if sync.kind not in ("barrier", "join", "notify"):
+            # Unknown kinds from newer trace producers are skipped rather
+            # than misread as a symmetric barrier: replay exactness demands
+            # that only events whose semantics we know move clocks.
+            return
         if len(participants) < 2:
             return
         merged = detector.current_clock(participants[0]).copy()

@@ -122,8 +122,16 @@ def trace_to_json(
     operations: Optional[List[OperationRecord]] = None,
     syncs: Optional[List[SyncEvent]] = None,
     indent: Optional[int] = None,
+    run_info: Optional[Dict[str, object]] = None,
 ) -> str:
-    """Serialize a whole trace to a JSON string."""
+    """Serialize a whole trace to a JSON string.
+
+    *run_info* archives the producing run's provenance (clock transport,
+    wire format, CQ moderation, ...) in the header; it is optional and
+    ignored by the replayer — recorded clocks are knob-independent, which
+    is exactly why replay reproduces the online report for every knob
+    setting.
+    """
     payload = {
         "format": "repro-dsm-trace",
         "version": 1,
@@ -132,13 +140,19 @@ def trace_to_json(
         "operations": [operation_to_dict(o) for o in (operations or [])],
         "syncs": [sync_to_dict(s) for s in (syncs or [])],
     }
+    if run_info:
+        payload["run_info"] = {key: _safe_value(value) for key, value in run_info.items()}
     return json.dumps(payload, indent=indent)
 
 
 def trace_from_json(
     text: str,
 ) -> Tuple[int, List[MemoryAccess], List[OperationRecord], List[SyncEvent]]:
-    """Parse a JSON trace; returns ``(world_size, accesses, operations, syncs)``."""
+    """Parse a JSON trace; returns ``(world_size, accesses, operations, syncs)``.
+
+    The optional ``run_info`` header survives in the raw JSON for
+    provenance tooling but is not part of the replay inputs.
+    """
     payload = json.loads(text)
     if payload.get("format") != "repro-dsm-trace":
         raise ValueError(

@@ -57,6 +57,7 @@ class VerbsContext:
         rnr_backoff: float = 1.0,
         rnr_retry_limit: Optional[int] = None,
         backpressure: str = "raise",
+        cq_moderation: bool = False,
     ) -> None:
         if backpressure not in ("raise", "block"):
             raise ValueError(
@@ -77,6 +78,12 @@ class VerbsContext:
         #: ``"raise"`` (SendQueueFull at the post site) or ``"block"``
         #: (yield until a completion frees a slot).
         self.backpressure = backpressure
+        #: CQ moderation: when true, each queue pair's drain delivers the
+        #: completions of one burst together as a single CQE event (send CQ
+        #: only — receive completions are the peer's business), and the
+        #: batched retirement clock is charged once per burst instead of
+        #: once per completion.
+        self.cq_moderation = cq_moderation
         self.registry = MemoryRegistry(self.rank)
         self.cq = CompletionQueue(sim, capacity=cq_capacity, name=f"cq-P{self.rank}")
         #: Receive completions (matched two-sided sends) land here, away from
@@ -272,6 +279,10 @@ class VerbsContext:
             self.recv_cq.push(completion)
         except CompletionQueueOverflow as error:
             self.async_errors.append((self.sim.now, str(error)))
+        else:
+            self.nic.clock_transport.note_completion_event(
+                1, carries_clock=completion.sync_clock is not None
+            )
 
     def _on_recv_retired(self, completion: WorkCompletion) -> None:
         detector = self.nic.detector
@@ -526,6 +537,33 @@ class VerbsContext:
         if completion.sync_clock is not None:
             completion.on_retire = self._on_wr_retired
         self.cq.push(completion)
+        # Booked only after the push: an overflowing CQ must not leave the
+        # stats claiming completion traffic that never reached the queue.
+        self.nic.clock_transport.note_completion_event(
+            1, carries_clock=completion.sync_clock is not None
+        )
+
+    def deliver_burst(self, completions: List[WorkCompletion]) -> None:
+        """Deliver a coalesced drain burst to the send CQ (CQ moderation).
+
+        Each completion keeps its own retirement hook and batched clock —
+        the origin may retire them in any order, and every retirement still
+        merges exactly what one-at-a-time delivery would have merged (the
+        per-queue-pair join batching makes the older siblings' joins
+        dominated anyway) — but the burst counts as ONE completion event,
+        and the batched retirement clock it carries is charged once, not
+        once per completion.  That is the completion-traffic saving the
+        model books for moderation; verdicts cannot depend on it.
+        """
+        for completion in completions:
+            if completion.sync_clock is not None:
+                completion.on_retire = self._on_wr_retired
+        self.cq.push_batch(completions)
+        # Booked only after the batch landed (see deliver()).
+        self.nic.clock_transport.note_completion_event(
+            len(completions),
+            carries_clock=any(c.sync_clock is not None for c in completions),
+        )
 
     def _on_wr_retired(self, completion: WorkCompletion) -> None:
         """Merge a retired one-sided completion's batched clock, once useful.

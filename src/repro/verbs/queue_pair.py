@@ -169,20 +169,47 @@ class QueuePair:
     # -- NIC-side servicing ---------------------------------------------------------
 
     def _drain(self) -> Generator:
-        """Service queued requests one at a time, in posting order."""
+        """Service queued requests one at a time, in posting order.
+
+        Under ``cq_moderation`` the completions of one drain burst are held
+        back and delivered together when the send queue runs dry — one CQE
+        per burst, as a real NIC's CQ moderation timer would coalesce them.
+        Send-slot accounting stays per request (a completion frees its slot
+        the moment the request is serviced), so backpressure is unaffected;
+        only CQ visibility is deferred.  A *bounded* CQ splits the burst
+        early: real moderation hardware fires the event the moment the CQ
+        fills, so coalescing must never overflow a queue the uncoalesced
+        delivery (whose consumer retires between distinct delivery times)
+        would have kept within capacity.
+        """
+        burst: Optional[list] = [] if self._context.cq_moderation else None
         while self._pending:
             request = self._pending.popleft()
             self._in_service = request
             completion = yield from self._execute(request)
             self._in_service = None
             self.completed += 1
-            self._context.deliver(completion)
+            if burst is None:
+                self._context.deliver(completion)
+            else:
+                burst.append(completion)
+                capacity = self._context.cq.capacity
+                if (
+                    capacity is not None
+                    and len(burst) >= capacity - self._context.cq.depth
+                ):
+                    # The CQ is about to fill: fire the coalesced event now
+                    # so the consumer can retire before the next burst.
+                    self._context.deliver_burst(burst)
+                    burst = []
             # One retired completion frees one slot: wake one waiter.  The
             # woken process re-checks before posting, so over-waking could
             # only thrash; under-waking cannot happen (every completion
             # passes through here).
             if self._slot_waiters and self.outstanding < self.max_send_wr:
                 self._slot_waiters.pop(0).succeed()
+        if burst:
+            self._context.deliver_burst(burst)
         self._draining = False
 
     def _execute(self, request: WorkRequest) -> Generator:

@@ -1,0 +1,158 @@
+"""The perf gate demonstrably fails on an injected regression.
+
+Acceptance for the CI satellite: ``tools/perf_gate.py`` compares fresh
+benchmark artifacts against committed baselines, tolerates noise and
+improvements, and exits non-zero the moment a cost metric (messages, bytes,
+events, ...) grows beyond the tolerance — including the sneaky case of a
+metric silently disappearing from the artifact.
+"""
+
+import copy
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+spec = importlib.util.spec_from_file_location(
+    "perf_gate", REPO_ROOT / "tools" / "perf_gate.py"
+)
+perf_gate = importlib.util.module_from_spec(spec)
+sys.modules["perf_gate"] = perf_gate
+spec.loader.exec_module(perf_gate)
+
+
+BASELINE = {
+    "format": "repro-bench-clock-wire",
+    "version": 1,
+    "workloads": {
+        "ring": {
+            "delta": {
+                "total_messages": 200,
+                "clock_bytes_per_message": 14.5,
+                "wire_bytes_saved": 4000,
+                "joins_elided": 12,
+                "races": 0,
+            },
+            "full": {"total_messages": 200, "clock_bytes_per_message": 256.0},
+        }
+    },
+}
+
+
+class TestCompareTrees:
+    def test_identical_trees_pass(self):
+        regressions, improvements = perf_gate.compare_trees(
+            copy.deepcopy(BASELINE), BASELINE
+        )
+        assert regressions == [] and improvements == []
+
+    def test_injected_regression_fails(self):
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["total_messages"] = 260  # +30%
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE, tolerance=0.05)
+        assert [f.path for f in regressions] == [
+            "workloads.ring.delta.total_messages"
+        ]
+        assert "200" in regressions[0].describe()
+
+    def test_growth_within_tolerance_passes(self):
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["clock_bytes_per_message"] = 14.9
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE, tolerance=0.05)
+        assert regressions == []
+
+    def test_improvement_is_reported_but_never_fails(self):
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["total_messages"] = 150
+        regressions, improvements = perf_gate.compare_trees(fresh, BASELINE)
+        assert regressions == []
+        assert [f.path for f in improvements] == [
+            "workloads.ring.delta.total_messages"
+        ]
+
+    def test_benefit_metrics_are_never_gated(self):
+        # joins_elided and wire_bytes_saved DROPPING is not a regression:
+        # they are higher-is-better figures, excluded from the cost gate.
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["wire_bytes_saved"] = 1
+        fresh["workloads"]["ring"]["delta"]["joins_elided"] = 0
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE)
+        assert regressions == []
+
+    def test_zero_baseline_tolerates_no_growth(self):
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["races"] = 1
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE)
+        assert [f.path for f in regressions] == ["workloads.ring.delta.races"]
+
+    def test_disappeared_metric_is_a_regression(self):
+        fresh = copy.deepcopy(BASELINE)
+        del fresh["workloads"]["ring"]["delta"]["total_messages"]
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE)
+        assert any(f.missing for f in regressions)
+
+    def test_new_fresh_metrics_pass_until_baselined(self):
+        fresh = copy.deepcopy(BASELINE)
+        fresh["workloads"]["ring"]["delta"]["completion_events"] = 999
+        regressions, _ = perf_gate.compare_trees(fresh, BASELINE)
+        assert regressions == []
+
+
+class TestCliGate:
+    def _write(self, directory, name, tree):
+        path = directory / name
+        path.write_text(json.dumps(tree))
+        return path
+
+    def test_exit_zero_on_clean_artifact(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_x.json", BASELINE)
+        fresh = self._write(tmp_path, "BENCH_x.json", BASELINE)
+        assert perf_gate.main([str(fresh), "--baselines", str(baselines)]) == 0
+
+    def test_exit_one_on_injected_regression(self, tmp_path, capsys):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        self._write(baselines, "BENCH_x.json", BASELINE)
+        broken = copy.deepcopy(BASELINE)
+        broken["workloads"]["ring"]["full"]["total_messages"] = 400
+        fresh = self._write(tmp_path, "BENCH_x.json", broken)
+        assert perf_gate.main([str(fresh), "--baselines", str(baselines)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "total_messages" in out
+
+    def test_missing_baseline_fails_with_the_fix(self, tmp_path, capsys):
+        fresh = self._write(tmp_path, "BENCH_new.json", BASELINE)
+        assert (
+            perf_gate.main([str(fresh), "--baselines", str(tmp_path / "nowhere")])
+            == 1
+        )
+        assert "cp " in capsys.readouterr().out
+
+    def test_missing_fresh_artifact_fails(self, tmp_path):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        assert (
+            perf_gate.main(
+                [str(tmp_path / "BENCH_absent.json"), "--baselines", str(baselines)]
+            )
+            == 1
+        )
+
+    def test_gates_the_real_committed_baselines(self):
+        """The committed baselines gate themselves: byte-identical artifacts
+        pass, and the gate actually has something to protect."""
+        baselines = REPO_ROOT / "benchmarks" / "baselines"
+        artifacts = sorted(baselines.glob("BENCH_*.json"))
+        assert artifacts, "no committed baselines under benchmarks/baselines/"
+        assert (
+            perf_gate.main(
+                [str(a) for a in artifacts] + ["--baselines", str(baselines)]
+            )
+            == 0
+        )

@@ -1,0 +1,220 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over committed benchmark baselines.
+
+The benchmarks write machine-readable artifacts (``BENCH_clock_transport.json``,
+``BENCH_clock_wire.json``) from fully seeded, deterministic simulations, so
+their message/byte counts are stable run to run.  This gate compares a freshly
+produced artifact against the committed baseline under
+``benchmarks/baselines/`` and fails the job when a *cost* metric regressed
+beyond the tolerance — which starts (and then protects) the repo's perf
+trajectory.
+
+Usage (what CI runs)::
+
+    python tools/perf_gate.py BENCH_clock_transport.json BENCH_clock_wire.json \
+        --baselines benchmarks/baselines --tolerance 0.05
+
+Semantics:
+
+* leaves whose key names a **cost** (``*messages*``, ``*bytes*``,
+  ``*_per_op``, ``*per_message*``, ``round_trips``, ``joins_performed``,
+  ``*events*``, ``races``) are gated: ``fresh > baseline * (1 + tolerance)``
+  is a regression (a zero baseline tolerates no growth at all);
+* leaves whose key names a **benefit** (``*elided*``, ``*saved*``,
+  ``*coalesced*``) are informational and never gated;
+* a metric present in the baseline but missing from the fresh artifact is a
+  regression (the benchmark silently stopped measuring it); brand-new fresh
+  metrics pass (commit a refreshed baseline to start gating them);
+* a missing baseline file is an error with the exact ``cp`` to run —
+  committing the first baseline is how a new benchmark joins the gate.
+
+Improvements are reported but never fail the job; refresh the baseline to
+bank them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+#: Key substrings marking a leaf as a gated cost metric (higher is worse).
+COST_TOKENS = (
+    "messages",
+    "bytes",
+    "per_op",
+    "per_message",
+    "round_trips",
+    "joins_performed",
+    "events",
+    "races",
+)
+
+#: Key substrings marking a leaf as a benefit metric (higher is better) —
+#: checked first, so e.g. ``wire_bytes_saved`` is not gated as a cost.
+BENEFIT_TOKENS = ("elided", "saved", "coalesced")
+
+DEFAULT_TOLERANCE = 0.05
+DEFAULT_BASELINES_DIR = os.path.join("benchmarks", "baselines")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One gated metric's comparison outcome."""
+
+    path: str
+    baseline: float
+    fresh: Optional[float]
+
+    @property
+    def missing(self) -> bool:
+        """True when the fresh artifact no longer reports this metric."""
+        return self.fresh is None
+
+    def describe(self) -> str:
+        if self.missing:
+            return f"{self.path}: metric disappeared (baseline {self.baseline:g})"
+        delta = self.fresh - self.baseline
+        pct = (delta / self.baseline * 100.0) if self.baseline else float("inf")
+        return (
+            f"{self.path}: {self.baseline:g} -> {self.fresh:g} "
+            f"({'+' if delta >= 0 else ''}{delta:g}, {pct:+.1f}%)"
+        )
+
+
+def is_gated_cost(path: str) -> bool:
+    """Is the leaf at dotted *path* a cost metric the gate enforces?"""
+    lowered = path.lower()
+    if any(token in lowered for token in BENEFIT_TOKENS):
+        return False
+    return any(token in lowered for token in COST_TOKENS)
+
+
+def _numeric_leaves(tree: object, prefix: str = "") -> Iterator[Tuple[str, float]]:
+    if isinstance(tree, bool):
+        return
+    if isinstance(tree, (int, float)):
+        yield prefix, float(tree)
+        return
+    if isinstance(tree, dict):
+        for key in sorted(tree):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            yield from _numeric_leaves(tree[key], child)
+    elif isinstance(tree, list):
+        for index, item in enumerate(tree):
+            yield from _numeric_leaves(item, f"{prefix}[{index}]")
+
+
+def compare_trees(
+    fresh: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> Tuple[List[Finding], List[Finding]]:
+    """Compare two benchmark JSON trees; returns ``(regressions, improvements)``.
+
+    Only gated cost leaves (see :func:`is_gated_cost`) participate.  A fresh
+    value above ``baseline * (1 + tolerance)`` — or any growth from a zero
+    baseline — is a regression; a fresh value below the baseline is an
+    improvement (reported, never failing).
+    """
+    fresh_leaves = dict(_numeric_leaves(fresh))
+    regressions: List[Finding] = []
+    improvements: List[Finding] = []
+    for path, base_value in _numeric_leaves(baseline):
+        if not is_gated_cost(path):
+            continue
+        fresh_value = fresh_leaves.get(path)
+        if fresh_value is None:
+            regressions.append(Finding(path, base_value, None))
+            continue
+        allowance = base_value * (1.0 + tolerance)
+        if fresh_value > allowance:
+            regressions.append(Finding(path, base_value, fresh_value))
+        elif fresh_value < base_value:
+            improvements.append(Finding(path, base_value, fresh_value))
+    return regressions, improvements
+
+
+def gate_artifact(
+    fresh_path: str,
+    baselines_dir: str = DEFAULT_BASELINES_DIR,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Tuple[List[Finding], List[Finding]]:
+    """Gate one artifact file against its committed baseline twin.
+
+    Raises ``FileNotFoundError`` with the exact fix when either file is
+    absent — a benchmark without a committed baseline is not yet gated, and
+    silently skipping it would defeat the point.
+    """
+    if not os.path.exists(fresh_path):
+        raise FileNotFoundError(
+            f"fresh benchmark artifact {fresh_path!r} not found — did the "
+            f"benchmark step run before the gate?"
+        )
+    baseline_path = os.path.join(baselines_dir, os.path.basename(fresh_path))
+    if not os.path.exists(baseline_path):
+        raise FileNotFoundError(
+            f"no committed baseline for {os.path.basename(fresh_path)!r}; "
+            f"start the trajectory with: cp {fresh_path} {baseline_path}"
+        )
+    with open(fresh_path) as handle:
+        fresh = json.load(handle)
+    with open(baseline_path) as handle:
+        baseline = json.load(handle)
+    return compare_trees(fresh, baseline, tolerance)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifacts", nargs="+", help="freshly produced BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--baselines",
+        default=DEFAULT_BASELINES_DIR,
+        help="directory of committed baseline artifacts "
+        f"(default: {DEFAULT_BASELINES_DIR})",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help=f"allowed relative growth per cost metric "
+        f"(default: {DEFAULT_TOLERANCE})",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    for artifact in args.artifacts:
+        try:
+            regressions, improvements = gate_artifact(
+                artifact, baselines_dir=args.baselines, tolerance=args.tolerance
+            )
+        except FileNotFoundError as error:
+            print(f"ERROR: {error}")
+            failed = True
+            continue
+        name = os.path.basename(artifact)
+        for finding in improvements:
+            print(f"IMPROVED  [{name}] {finding.describe()}")
+        for finding in regressions:
+            print(f"REGRESSED [{name}] {finding.describe()}")
+        if regressions:
+            failed = True
+        else:
+            print(
+                f"OK        [{name}] no cost metric grew beyond "
+                f"{args.tolerance:.0%} of baseline"
+            )
+    if failed:
+        print(
+            "\nperf gate FAILED — if a regression is intended and justified, "
+            "refresh the baseline under benchmarks/baselines/ in the same PR."
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
