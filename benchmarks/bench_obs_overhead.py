@@ -1,0 +1,96 @@
+"""Observability must be free of observable effect: obs on/off, same run.
+
+The observability layer (``repro.obs``) is always-on for metrics and
+opt-in for span tracing, and its hard rule is that neither mode may perturb
+the simulation: verdicts, final shared values, and the metric snapshot itself
+must be byte-identical whether span tracing is enabled or not, and
+byte-identical across reruns at a fixed seed.  This benchmark asserts exactly
+that on both a racy and a clean workload, measures the Python-side cost of
+tracing, and writes ``BENCH_obs_overhead.json`` so ``tools/perf_gate.py``
+catches silent growth in trace volume or instrument count.
+"""
+
+import json
+import os
+
+from conftest import record
+
+from repro.runtime.runtime import RuntimeConfig
+from repro.workloads.rpc_echo import RPCEchoWorkload
+from repro.workloads.stencil import StencilWorkload
+
+#: Where the per-push perf artifact lands (CI uploads it).
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_obs_overhead.json")
+
+
+def _verdict(run):
+    """The race report reduced to a comparable value (order-insensitive)."""
+    return sorted(
+        (r.address.rank, r.address.offset, r.current_rank, r.current_kind.value,
+         r.previous_rank, r.symbol)
+        for r in run.race_records()
+    )
+
+
+def _build(workload_name, trace_spans, seed=0):
+    config = RuntimeConfig(trace_spans=trace_spans)
+    if workload_name == "stencil-racy":
+        workload = StencilWorkload(
+            world_size=4, cells_per_rank=6, iterations=2, use_barriers=False,
+            config=config,
+        )
+    else:
+        workload = RPCEchoWorkload(
+            num_clients=3, requests_per_client=2, racy_buffer_reuse=True,
+            config=config,
+        )
+    return workload.run(seed=seed)
+
+
+def test_span_tracing_does_not_perturb_the_simulation(benchmark):
+    benchmark(lambda: _build("rpc-echo", trace_spans=True))
+
+    report = {}
+    for name in ("stencil-racy", "rpc-echo"):
+        plain = _build(name, trace_spans=False)
+        traced = _build(name, trace_spans=True)
+
+        # Tracing changes nothing the simulation can see.
+        assert _verdict(traced.run) == _verdict(plain.run), name
+        assert traced.run.final_shared_values == plain.run.final_shared_values, name
+        assert traced.run.race_count > 0 and plain.run.race_count > 0, name
+        # The metric snapshot itself is part of the contract: canonical JSON,
+        # byte-identical with tracing on or off, and across reruns.
+        plain_snapshot = json.dumps(plain.run.metrics, sort_keys=True)
+        assert json.dumps(traced.run.metrics, sort_keys=True) == plain_snapshot, name
+        rerun = _build(name, trace_spans=False)
+        assert json.dumps(rerun.run.metrics, sort_keys=True) == plain_snapshot, name
+
+        # With tracing off the span buffer stays empty; on, it holds a
+        # deterministic event count.
+        assert len(plain.runtime.sim.obs.spans.events()) == 0, name
+        events = traced.runtime.sim.obs.spans.events()
+        assert len(events) > 0, name
+        report[name] = {
+            "trace_events": len(events),
+            "trace_tracks": len(traced.runtime.sim.obs.spans.tracks()),
+            "instruments": len(traced.run.metrics),
+            "races": traced.run.race_count,
+            "checks": sum(
+                entry["checks"] for entry in traced.run.detection_profile.values()
+            ),
+        }
+
+    _write_artifact(report)
+    record(benchmark, experiment="obs overhead", **{
+        f"{name}_{key}": value
+        for name, stats in report.items()
+        for key, value in stats.items()
+    })
+
+
+def _write_artifact(report: dict) -> None:
+    payload = {"format": "repro-bench-obs-overhead", "version": 1, **report}
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -7,14 +7,27 @@ the same program is run with detection off (baseline) and on (instrumented),
 and the comparison must show (a) identical application results, (b) identical
 data-message counts, (c) a bounded number of extra control messages per remote
 access, and (d) clock storage matching the analytical model.
+
+The detection profiler refines (c)/(d) into a per-check-type breakdown —
+read/write/rmw × live/carried, each with its clock compare and join counts —
+written to ``BENCH_overhead_detection.json`` and gated by
+``tools/perf_gate.py`` so the detection hot path cannot silently grow more
+expensive per check.
 """
+
+import json
+import os
 
 from conftest import record
 
 from repro.analysis.overhead import compare_runs
 from repro.core.detector import DetectorConfig
+from repro.obs.profiler import CHECK_TYPES
 from repro.runtime.runtime import RuntimeConfig
 from repro.workloads.stencil import StencilWorkload
+
+#: Where the per-push perf artifact lands (CI uploads it).
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_overhead_detection.json")
 
 
 def run_pair(world_size=6, iterations=3):
@@ -53,6 +66,87 @@ def test_detection_overhead_on_synchronized_stencil(benchmark):
         experiment="E11 / Section V-A",
         **comparison.as_dict(),
     )
+
+
+def test_per_check_type_cost_breakdown(benchmark):
+    """Profile the detection hot path per check type and write the gate artifact.
+
+    Two workloads cover the whole check-type matrix: the blocking stencil
+    drives *live* checks (the caller's own clock ticks at the access) while
+    the verbs stencil drives *carried* checks (posted operations travel with
+    post-time clock snapshots).  The resulting compare/join counts are the
+    costs an epoch-optimised hot path must shrink, so they are committed as a
+    baseline and gated.
+    """
+    from repro.workloads.verbs_stencil import VerbsStencilWorkload
+
+    def run():
+        blocking = StencilWorkload(
+            world_size=6, cells_per_rank=6, iterations=3, use_barriers=True
+        ).run(seed=0)
+        overlapped = VerbsStencilWorkload(
+            world_size=6, cells_per_rank=6, iterations=3, use_barriers=True
+        ).run(seed=0)
+        return blocking, overlapped
+
+    blocking, overlapped = benchmark(run)
+    profiles = {
+        "stencil_blocking": blocking.run.detection_profile,
+        "stencil_verbs": overlapped.run.detection_profile,
+    }
+
+    for name, profile in profiles.items():
+        # Every check type is present, in canonical order, counts only (no
+        # nondeterministic wall time in the default configuration).
+        assert list(profile) == sorted(f"{k}_{p}" for k, p in CHECK_TYPES), name
+        for entry in profile.values():
+            assert set(entry) == {"checks", "compares", "joins"}, name
+        # The profiler's check total is the detector's, exactly.
+        runtime = (blocking if name == "stencil_blocking" else overlapped).runtime
+        total_checks = sum(entry["checks"] for entry in profile.values())
+        assert total_checks == runtime.detector.checks_performed, name
+
+    # The blocking stencil only ever performs live checks; the verbs stencil
+    # posts its halo puts, so its write checks are carried.
+    assert profiles["stencil_blocking"]["write_live"]["checks"] > 0
+    assert profiles["stencil_blocking"]["write_carried"]["checks"] == 0
+    assert profiles["stencil_verbs"]["write_carried"]["checks"] > 0
+    # Joins (clock merges) happen on every check path; compares only where a
+    # previous access forced an ordering test.
+    assert all(
+        sum(entry["joins"] for entry in profile.values()) > 0
+        for profile in profiles.values()
+    )
+
+    totals = {
+        name: {
+            key: sum(entry[key] for entry in profile.values())
+            for key in ("checks", "compares", "joins")
+        }
+        for name, profile in profiles.items()
+    }
+    _write_artifact({"profiles": profiles, "totals": totals})
+    record(
+        benchmark,
+        experiment="E11 per-check-type profile",
+        **{
+            f"{name}_{key}": value
+            for name, total in totals.items()
+            for key, value in total.items()
+        },
+    )
+
+
+def _write_artifact(report: dict) -> None:
+    payload = {
+        "format": "repro-bench-overhead-detection",
+        "version": 1,
+        "check_types": [f"{k}_{p}" for k, p in CHECK_TYPES],
+        **report,
+    }
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
 
 
 def test_piggybacked_clocks_remove_message_overhead(benchmark):

@@ -63,6 +63,7 @@ from repro.core.races import RaceRecord, RaceReport, SignalPolicy
 from repro.memory.address import GlobalAddress
 from repro.memory.consistency import AccessKind
 from repro.memory.public import MemoryCell
+from repro.obs.profiler import DetectionProfiler
 from repro.util.validation import require_positive, require_rank
 
 
@@ -272,6 +273,23 @@ class DualClockRaceDetector:
         self._checks_performed = 0
         self._control_messages = 0
         self._clock_bytes_on_wire = 0
+        # Per-check-type cost attribution; a private profiler until the
+        # runtime binds the simulator-wide one (bind_observability).
+        self._profiler = DetectionProfiler()
+        self._last_check_compares = 0
+        self._spans = None
+
+    def bind_observability(self, obs: object) -> None:
+        """Route hot-path profiling and race instants into a shared bundle."""
+        profiler = getattr(obs, "profiler", None)
+        if profiler is not None:
+            self._profiler = profiler
+        self._spans = getattr(obs, "spans", None)
+
+    @property
+    def profiler(self) -> DetectionProfiler:
+        """The per-check-type cost profiler in use."""
+        return self._profiler
 
     # -- clocks ---------------------------------------------------------------
 
@@ -388,10 +406,16 @@ class DualClockRaceDetector:
 
     def _note_plain_access(
         self, address: GlobalAddress, event_clock: VectorClock
-    ) -> None:
-        """Fold a plain access into the per-datum non-RMW clock, when needed."""
+    ) -> int:
+        """Fold a plain access into the per-datum non-RMW clock, when needed.
+
+        Returns the number of clock joins performed (0 or 1) so the hot-path
+        profiler can attribute the cost to the enclosing check.
+        """
         if self.config.treat_rmw_pairs_as_ordered:
             self._plain_clock(address).merge_in_place(event_clock)
+            return 1
+        return 0
 
     def _charge_overhead(self, result: AccessCheckResult) -> None:
         self._control_messages += result.extra_control_messages
@@ -464,6 +488,8 @@ class DualClockRaceDetector:
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
+        profile_started = self._profiler.start()
+        joins = 0
         self._ensure_cell_clocks(cell)
         if carried_clock is None:
             event_clock = self.process_clock(origin).tick()
@@ -508,11 +534,13 @@ class DualClockRaceDetector:
             # The writer fetched the datum clock for the check; it now knows it.
             self.process_clock(origin).observe_vector(reference)
             event_clock = self.current_clock(origin)
+            joins += 1
         # Algorithm 5 (update_clock / update_clock_W): merge the event clock
         # into both per-datum clocks; the write's effect at the owner's memory
         # additionally counts as an event of the owning process.
         cell.access_clock.merge_in_place(event_clock)
         cell.write_clock.merge_in_place(event_clock)
+        joins += 2
         if (
             self.config.write_effect_ticks_owner
             and address.rank != origin
@@ -535,10 +563,11 @@ class DualClockRaceDetector:
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
-            self._note_plain_access(address, owner_view)
+            joins += 3 + self._note_plain_access(address, owner_view)
         if carried_clock is None and self.config.origin_learns_datum_after_write:
             self.process_clock(origin).observe_vector(cell.access_clock)
-        self._note_plain_access(address, event_clock)
+            joins += 1
+        joins += self._note_plain_access(address, event_clock)
         info.last_writer = origin
         info.last_writer_live = live
         info.last_writer_component = origin_component
@@ -551,6 +580,13 @@ class DualClockRaceDetector:
         info.last_plain_live = live
         info.last_plain_component = origin_component
         self._checks_performed += 1
+        self._profiler.record(
+            "write",
+            live,
+            started=profile_started,
+            compares=self._last_check_compares,
+            joins=joins,
+        )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
@@ -594,6 +630,8 @@ class DualClockRaceDetector:
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
+        profile_started = self._profiler.start()
+        joins = 0
         self._ensure_cell_clocks(cell)
         if carried_clock is None:
             event_clock = self.process_clock(origin).tick()
@@ -621,7 +659,9 @@ class DualClockRaceDetector:
             # The data (and its causal history) flows back to the reader.
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
+            joins += 1
         cell.access_clock.merge_in_place(event_clock)
+        joins += 1
         if (
             carried_clock is not None
             and self.config.write_effect_ticks_owner
@@ -635,8 +675,8 @@ class DualClockRaceDetector:
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
-            self._note_plain_access(address, owner_view)
-        self._note_plain_access(address, event_clock)
+            joins += 2 + self._note_plain_access(address, owner_view)
+        joins += self._note_plain_access(address, event_clock)
         info.last_accessor = origin
         info.last_access_kind = AccessKind.READ
         info.last_accessor_live = live
@@ -646,6 +686,13 @@ class DualClockRaceDetector:
         info.last_plain_live = live
         info.last_plain_component = origin_component
         self._checks_performed += 1
+        self._profiler.record(
+            "read",
+            live,
+            started=profile_started,
+            compares=self._last_check_compares,
+            joins=joins,
+        )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
@@ -690,6 +737,8 @@ class DualClockRaceDetector:
         require_rank(origin, self._world_size, "origin")
         if not self.config.enabled:
             return self._uninstrumented(origin, cell)
+        profile_started = self._profiler.start()
+        joins = 0
         self._ensure_cell_clocks(cell)
         if carried_clock is None:
             event_clock = self.process_clock(origin).tick()
@@ -731,21 +780,25 @@ class DualClockRaceDetector:
             # datum's causal history (same rule as a get).
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
+            joins += 1
         # The RMW writes: both per-datum clocks advance, and the effect at the
         # owner's memory counts as an event of the owning process, exactly as
         # for a put.  The plain-access clock is deliberately *not* touched.
         cell.access_clock.merge_in_place(event_clock)
         cell.write_clock.merge_in_place(event_clock)
+        joins += 2
         if self.config.write_effect_ticks_owner and address.rank != origin:
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
+            joins += 3
             if carried_clock is None and self.config.origin_learns_on_get:
                 # The reply leaves the owner after the reception event.
                 self.process_clock(origin).observe_vector(cell.access_clock)
                 event_clock = self.current_clock(origin)
+                joins += 1
         info.last_writer = origin
         info.last_writer_live = live
         info.last_writer_component = origin_component
@@ -754,6 +807,13 @@ class DualClockRaceDetector:
         info.last_accessor_live = live
         info.last_accessor_component = origin_component
         self._checks_performed += 1
+        self._profiler.record(
+            "rmw",
+            live,
+            started=profile_started,
+            compares=self._last_check_compares,
+            joins=joins,
+        )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
             race=race,
@@ -839,6 +899,7 @@ class DualClockRaceDetector:
         NIC engine's effect against the process's later access, so the clock
         comparison runs.
         """
+        self._last_check_compares = 0
         if reference_clock.total() == 0:
             return None
         if (
@@ -851,8 +912,12 @@ class DualClockRaceDetector:
         ):
             return None
         if current_live:
+            # Two directional O(n) comparisons (neither clock precedes the other).
+            self._last_check_compares = 2
             racy = self.config.clocks_unordered(event_clock, reference_clock)
         else:
+            # One directional O(n) comparison (is the datum history in the snapshot?).
+            self._last_check_compares = 1
             racy = self.config.reference_unknown(reference_clock, event_clock)
         if not racy:
             return None
@@ -870,6 +935,15 @@ class DualClockRaceDetector:
             detail=f"compare_clocks failed both ways ({self.config.comparison.value})",
         )
         self.report.signal(record)
+        if self._spans is not None:
+            self._spans.instant(
+                f"rank-P{origin}",
+                "race_signal",
+                time,
+                symbol=symbol or str(address),
+                operation=operation,
+                previous=f"P{previous_rank}" if previous_rank is not None else "?",
+            )
         return record
 
     # -- overhead accounting ---------------------------------------------------------

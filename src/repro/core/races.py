@@ -109,16 +109,33 @@ class RaceRecord:
 
 
 class RaceReport:
-    """Aggregates race records for one execution."""
+    """Aggregates race records for one execution.
 
-    def __init__(self, policy: SignalPolicy = SignalPolicy.COLLECT) -> None:
+    When a :class:`~repro.util.logging.SimLogger` is bound (the runtime binds
+    its own), every signalled race is also routed through it as a
+    ``warning``-severity record under the ``"race"`` category — so race
+    reports flow through the same structured log as everything else, and
+    ``to_jsonl()`` exports them alongside the run's other records.  Under the
+    ``WARN`` policy the paper-prescribed stdout line is still printed.
+    """
+
+    def __init__(
+        self,
+        policy: SignalPolicy = SignalPolicy.COLLECT,
+        logger: Optional[object] = None,
+    ) -> None:
         self._policy = policy
         self._records: List[RaceRecord] = []
+        self._logger = logger
 
     @property
     def policy(self) -> SignalPolicy:
         """The active signalling policy."""
         return self._policy
+
+    def bind_logger(self, logger: object) -> None:
+        """Attach the structured logger race signals are routed through."""
+        self._logger = logger
 
     def signal(self, record: RaceRecord) -> None:
         """Handle one detected race according to the policy."""
@@ -128,6 +145,10 @@ class RaceReport:
                 f"{record} — the paper explicitly excludes concurrent reads (Fig. 4)"
             )
         self._records.append(record)
+        if self._logger is not None:
+            self._logger.log(
+                "race", str(record), rank=record.current_rank, level="warning"
+            )
         if self._policy is SignalPolicy.WARN:
             print(str(record))
         elif self._policy is SignalPolicy.ABORT:

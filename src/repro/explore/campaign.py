@@ -320,6 +320,26 @@ class CampaignReport:
             )
         lines += [
             "",
+            "## Per-pattern traffic (from the per-schedule metric snapshots)",
+            "",
+            "| pattern | messages | detection messages | detection bytes "
+            "| metric instruments |",
+            "|---|---|---|---|---|",
+        ]
+        for payload in self.per_pattern:
+            outcomes = payload.get("outcomes", [])
+            instruments = max(
+                (len(o.get("metrics", {})) for o in outcomes), default=0
+            )
+            lines.append(
+                f"| {payload['pattern']} "
+                f"| {sum(o['total_messages'] for o in outcomes)} "
+                f"| {sum(o['detection_messages'] for o in outcomes)} "
+                f"| {sum(o['detection_bytes'] for o in outcomes)} "
+                f"| {instruments} |"
+            )
+        lines += [
+            "",
             f"matrix-clock every-schedule guarantee: "
             f"{'HOLDS' if self.fully_consistent() else 'VIOLATED'}",
             "",

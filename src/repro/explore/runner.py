@@ -81,6 +81,10 @@ class ScheduleOutcome:
     data_messages: int = 0
     detection_messages: int = 0
     detection_bytes: int = 0
+    #: The schedule's canonical metric snapshot (``RunResult.metrics``):
+    #: per-schedule observability that campaign workers ship back verbatim,
+    #: byte-identical for byte-identical schedules.
+    metrics: Dict[str, object] = field(default_factory=dict)
 
     @property
     def racy(self) -> bool:
@@ -102,6 +106,7 @@ class ScheduleOutcome:
             "data_messages": self.data_messages,
             "detection_messages": self.detection_messages,
             "detection_bytes": self.detection_bytes,
+            "metrics": dict(self.metrics),
         }
 
 
@@ -171,6 +176,7 @@ def run_schedule(
         data_messages=result.fabric_stats.data_messages,
         detection_messages=result.fabric_stats.detection_messages,
         detection_bytes=result.fabric_stats.detection_bytes,
+        metrics=result.metrics,
     )
 
 

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.memory.address import GlobalAddress
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.sim.events import Event, SimulationError
 from repro.util.ids import IdAllocator
@@ -69,6 +70,7 @@ class MemoryLockTable:
         self._ids = IdAllocator(f"lock-P{rank}")
         self._history: List[LockRequest] = []
         self._contended_acquisitions = 0
+        self._obs = Observability.of(sim)
 
     @property
     def rank(self) -> int:
@@ -99,10 +101,12 @@ class MemoryLockTable:
             queued_at=self._sim.now,
         )
         self._history.append(request)
+        self._obs.metrics.counter("memory.lock_requests", rank=self._rank).inc()
         if address not in self._holders:
             self._grant(request)
         else:
             self._contended_acquisitions += 1
+            self._obs.metrics.counter("memory.lock_contended", rank=self._rank).inc()
             self._queues.setdefault(address, []).append(request)
         return request
 
@@ -111,6 +115,22 @@ class MemoryLockTable:
         request.state = LockState.GRANTED
         request.granted_at = self._sim.now
         request.event.succeed(request)
+        wait = request.granted_at - request.queued_at
+        self._obs.metrics.histogram(
+            "memory.lock_wait_time", layout="sim_time", rank=self._rank
+        ).observe(wait)
+        # The request→grant interval as a span on the owner's NIC track —
+        # zero-length for uncontended grants, the Figure 3 serialization
+        # otherwise.
+        self._obs.spans.complete(
+            f"nic-P{self._rank}",
+            "lock_wait",
+            request.queued_at,
+            request.granted_at,
+            address=str(request.address),
+            requester=f"P{request.requester}",
+            purpose=request.purpose,
+        )
 
     # -- release ----------------------------------------------------------------
 

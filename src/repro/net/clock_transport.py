@@ -76,6 +76,7 @@ from repro.net.message import MessageKind
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.clocks import VectorClock
     from repro.net.nic import NIC
+    from repro.obs.metrics import MetricsRegistry
 
 #: Legal values of the ``clock_transport`` knob.
 CLOCK_TRANSPORT_MODES = ("roundtrip", "piggyback")
@@ -251,66 +252,106 @@ class ClockWireDecoder:
         return tuple(self._view)
 
 
-@dataclass
-class ClockTransportStats:
-    """Per-rank accounting of how clocks moved during one run."""
+#: The clock-transport accounting fields, in reporting order.  Field
+#: semantics (docstrings live on :class:`ClockTransportStats`):
+#: ``round_trips`` — CLOCK_FETCH/CLOCK_UPDATE pairs charged on the fabric;
+#: ``piggybacked_messages``/``piggybacked_bytes`` — data messages carrying a
+#: clock rider and the rider bytes; ``joins_performed``/``joins_elided`` —
+#: origin-side retirement joins done vs skipped thanks to batching;
+#: ``wire_frames_full``/``wire_frames_sparse`` — resync vs compressed clock
+#: frames; ``wire_bytes_saved`` — bytes the wire format saved vs full
+#: clocks; ``completion_events``/``completions_coalesced`` — CQEs delivered
+#: and completions that shared one; ``completion_clock_bytes`` — clock bytes
+#: riding on completion events.
+CLOCK_TRANSPORT_FIELDS = (
+    "round_trips",
+    "piggybacked_messages",
+    "piggybacked_bytes",
+    "joins_performed",
+    "joins_elided",
+    "wire_frames_full",
+    "wire_frames_sparse",
+    "wire_bytes_saved",
+    "completion_events",
+    "completions_coalesced",
+    "completion_clock_bytes",
+)
 
-    #: CLOCK_FETCH/CLOCK_UPDATE pairs charged on the fabric (roundtrip mode).
-    round_trips: int = 0
-    #: Data messages that carried a piggybacked clock (piggyback mode).
-    piggybacked_messages: int = 0
-    #: Clock bytes that rode on data messages instead of dedicated traffic.
-    piggybacked_bytes: int = 0
-    #: Origin-side clock joins actually performed at completion retirement.
-    joins_performed: int = 0
-    #: Retirements whose join was elided because a later completion of the
-    #: same queue pair (whose batched clock dominates) had already merged.
-    joins_elided: int = 0
-    #: Full (resync or format="full") clock frames stamped on messages.
-    wire_frames_full: int = 0
-    #: Sparse (delta/truncated) clock frames stamped on messages.
-    wire_frames_sparse: int = 0
-    #: Bytes the wire format saved versus shipping full clocks everywhere.
-    wire_bytes_saved: int = 0
-    #: Completion events (CQEs) delivered; CQ moderation coalesces a drain
-    #: burst into one event, so this is what moderation shrinks.
-    completion_events: int = 0
-    #: Completions that shared a coalesced event with an earlier sibling.
-    completions_coalesced: int = 0
-    #: Clock bytes riding on completions (one batched clock per event — per
-    #: completion uncoalesced, per drain burst under CQ moderation).
-    completion_clock_bytes: int = 0
+
+def _transport_field(name: str) -> property:
+    """A field of :class:`ClockTransportStats` backed by a registry counter.
+
+    Both halves matter: call sites *increment* fields in place
+    (``stats.round_trips += 1``), and ``merge`` read-modify-writes them — so
+    each field is a getter/setter pair over the counter's value.
+    """
+
+    def getter(self: "ClockTransportStats") -> int:
+        return self._counters[name].value
+
+    def setter(self: "ClockTransportStats", value: int) -> None:
+        self._counters[name].value = value
+
+    return property(getter, setter, doc=f"Registry-backed ``{name}`` count.")
+
+
+class ClockTransportStats:
+    """Per-rank accounting of how clocks moved during one run.
+
+    A *view* over the metrics registry: every field is a
+    ``clock_transport.<field>`` counter (labelled ``rank=<rank>`` when owned
+    by a NIC's transport), so ``RunResult.metrics`` and this object can never
+    disagree.  Constructed bare — e.g. for whole-machine totals built with
+    :meth:`merge` — it owns a private registry.
+    """
+
+    __slots__ = ("_counters",)
+
+    def __init__(
+        self,
+        registry: Optional["MetricsRegistry"] = None,
+        rank: Optional[int] = None,
+    ) -> None:
+        if registry is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        labels = {} if rank is None else {"rank": rank}
+        self._counters = {
+            name: registry.counter(f"clock_transport.{name}", **labels)
+            for name in CLOCK_TRANSPORT_FIELDS
+        }
+
+    round_trips = _transport_field("round_trips")
+    piggybacked_messages = _transport_field("piggybacked_messages")
+    piggybacked_bytes = _transport_field("piggybacked_bytes")
+    joins_performed = _transport_field("joins_performed")
+    joins_elided = _transport_field("joins_elided")
+    wire_frames_full = _transport_field("wire_frames_full")
+    wire_frames_sparse = _transport_field("wire_frames_sparse")
+    wire_bytes_saved = _transport_field("wire_bytes_saved")
+    completion_events = _transport_field("completion_events")
+    completions_coalesced = _transport_field("completions_coalesced")
+    completion_clock_bytes = _transport_field("completion_clock_bytes")
 
     def merge(self, other: "ClockTransportStats") -> "ClockTransportStats":
         """Accumulate *other* into this record (whole-machine totals)."""
-        self.round_trips += other.round_trips
-        self.piggybacked_messages += other.piggybacked_messages
-        self.piggybacked_bytes += other.piggybacked_bytes
-        self.joins_performed += other.joins_performed
-        self.joins_elided += other.joins_elided
-        self.wire_frames_full += other.wire_frames_full
-        self.wire_frames_sparse += other.wire_frames_sparse
-        self.wire_bytes_saved += other.wire_bytes_saved
-        self.completion_events += other.completion_events
-        self.completions_coalesced += other.completions_coalesced
-        self.completion_clock_bytes += other.completion_clock_bytes
+        for name in CLOCK_TRANSPORT_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
         return self
 
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary for reports and the benchmark JSON."""
-        return {
-            "round_trips": self.round_trips,
-            "piggybacked_messages": self.piggybacked_messages,
-            "piggybacked_bytes": self.piggybacked_bytes,
-            "joins_performed": self.joins_performed,
-            "joins_elided": self.joins_elided,
-            "wire_frames_full": self.wire_frames_full,
-            "wire_frames_sparse": self.wire_frames_sparse,
-            "wire_bytes_saved": self.wire_bytes_saved,
-            "completion_events": self.completion_events,
-            "completions_coalesced": self.completions_coalesced,
-            "completion_clock_bytes": self.completion_clock_bytes,
-        }
+        return {name: getattr(self, name) for name in CLOCK_TRANSPORT_FIELDS}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ClockTransportStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nonzero = {k: v for k, v in self.as_dict().items() if v}
+        return f"ClockTransportStats({nonzero})"
 
 
 class ClockTransport:
@@ -326,8 +367,12 @@ class ClockTransport:
     """
 
     def __init__(self, nic: "NIC") -> None:
+        from repro.obs.observability import Observability
+
         self._nic = nic
-        self.stats = ClockTransportStats()
+        self.stats = ClockTransportStats(
+            registry=Observability.of(nic._sim).metrics, rank=nic.rank
+        )
         #: Per-destination codec state for clocks *this rank sends*: both
         #: halves advance in lockstep at send time (sound under the RC
         #: in-order delivery of each queue pair's channel).

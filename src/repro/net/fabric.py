@@ -10,61 +10,121 @@ application code.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Tuple
 
 from repro.net.channel import Channel
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message, MessageKind
 from repro.net.topology import Topology
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.util.ids import IdAllocator
 from repro.util.validation import require_rank
 
+#: The traffic categories FabricStats splits counts by.
+_CATEGORIES = ("data", "lock", "detection", "other")
 
-@dataclass
+
 class FabricStats:
-    """Message/byte counters split by traffic category."""
+    """Message/byte counters split by traffic category.
 
-    data_messages: int = 0
-    lock_messages: int = 0
-    detection_messages: int = 0
-    other_messages: int = 0
-    data_bytes: int = 0
-    lock_bytes: int = 0
-    detection_bytes: int = 0
-    other_bytes: int = 0
+    A *view* over the metrics registry: the numbers live in
+    ``fabric.messages{category=...}`` / ``fabric.bytes{category=...}``
+    counters, and the historical attribute surface (``data_messages``,
+    ``detection_bytes``, ...) reads straight through to them — one source of
+    truth whichever spelling a caller uses.  Constructed without a registry
+    (tests, ad-hoc accounting) it owns a private one.
+    """
+
+    __slots__ = ("_messages", "_bytes", "_by_kind")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        registry = registry if registry is not None else MetricsRegistry()
+        self._messages = {
+            category: registry.counter("fabric.messages", category=category)
+            for category in _CATEGORIES
+        }
+        self._bytes = {
+            category: registry.counter("fabric.bytes", category=category)
+            for category in _CATEGORIES
+        }
+        self._by_kind = {
+            kind: registry.counter("fabric.messages_by_kind", kind=kind.value)
+            for kind in MessageKind
+        }
+
+    # -- the historical attribute surface ------------------------------------------
+
+    @property
+    def data_messages(self) -> int:
+        return self._messages["data"].value
+
+    @property
+    def lock_messages(self) -> int:
+        return self._messages["lock"].value
+
+    @property
+    def detection_messages(self) -> int:
+        return self._messages["detection"].value
+
+    @property
+    def other_messages(self) -> int:
+        return self._messages["other"].value
+
+    @property
+    def data_bytes(self) -> int:
+        return self._bytes["data"].value
+
+    @property
+    def lock_bytes(self) -> int:
+        return self._bytes["lock"].value
+
+    @property
+    def detection_bytes(self) -> int:
+        return self._bytes["detection"].value
+
+    @property
+    def other_bytes(self) -> int:
+        return self._bytes["other"].value
 
     @property
     def total_messages(self) -> int:
         """All messages that crossed the fabric."""
-        return (
-            self.data_messages
-            + self.lock_messages
-            + self.detection_messages
-            + self.other_messages
-        )
+        return sum(counter.value for counter in self._messages.values())
 
     @property
     def total_bytes(self) -> int:
         """All bytes that crossed the fabric."""
-        return self.data_bytes + self.lock_bytes + self.detection_bytes + self.other_bytes
+        return sum(counter.value for counter in self._bytes.values())
 
     def record(self, message: Message) -> None:
         """Account one message into the appropriate category."""
         if message.kind.is_data:
-            self.data_messages += 1
-            self.data_bytes += message.total_bytes
+            category = "data"
         elif message.kind.is_lock:
-            self.lock_messages += 1
-            self.lock_bytes += message.total_bytes
+            category = "lock"
         elif message.kind.is_detection:
-            self.detection_messages += 1
-            self.detection_bytes += message.total_bytes
+            category = "detection"
         else:
-            self.other_messages += 1
-            self.other_bytes += message.total_bytes
+            category = "other"
+        self._messages[category].inc()
+        self._bytes[category].inc(message.total_bytes)
+        self._by_kind[message.kind].inc()
+
+    def message_count_for_kind(self, kind: MessageKind) -> int:
+        """Messages sent with exactly *kind* (finer than the categories)."""
+        return self._by_kind[kind].value
+
+    def reset(self) -> None:
+        """Zero every counter in place (instrument identities survive)."""
+        for counter in self._messages.values():
+            counter.value = 0
+        for counter in self._bytes.values():
+            counter.value = 0
+        for counter in self._by_kind.values():
+            counter.value = 0
 
     def as_dict(self) -> Dict[str, int]:
         """Flat dictionary used by the reporting helpers."""
@@ -80,6 +140,17 @@ class FabricStats:
             "other_bytes": self.other_bytes,
             "total_bytes": self.total_bytes,
         }
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, FabricStats):
+            return NotImplemented
+        return self.as_dict() == other.as_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FabricStats(messages={self.total_messages}, "
+            f"bytes={self.total_bytes})"
+        )
 
 
 class Fabric:
@@ -98,8 +169,7 @@ class Fabric:
         self._bandwidth = bandwidth_bytes_per_time
         self._channels: Dict[Tuple[int, int], Channel] = {}
         self._ids = IdAllocator("msg")
-        self.stats = FabricStats()
-        self._per_kind_count: Dict[MessageKind, int] = {kind: 0 for kind in MessageKind}
+        self.stats = FabricStats(registry=Observability.of(sim).metrics)
 
     # -- wiring ----------------------------------------------------------------
 
@@ -174,7 +244,6 @@ class Fabric:
         else:
             event, stamped = self.channel(source, destination).transmit(message)
         self.stats.record(stamped)
-        self._per_kind_count[kind] += 1
         return event, stamped
 
     # -- accounting ----------------------------------------------------------------
@@ -183,7 +252,7 @@ class Fabric:
         """Total messages sent, optionally restricted to one kind."""
         if kind is None:
             return self.stats.total_messages
-        return self._per_kind_count[kind]
+        return self.stats.message_count_for_kind(kind)
 
     def channels(self) -> Dict[Tuple[int, int], Channel]:
         """All channels created so far."""
@@ -191,8 +260,7 @@ class Fabric:
 
     def reset_stats(self) -> None:
         """Zero the counters (channels and ids are preserved)."""
-        self.stats = FabricStats()
-        self._per_kind_count = {kind: 0 for kind in MessageKind}
+        self.stats.reset()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

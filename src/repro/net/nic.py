@@ -46,12 +46,44 @@ from repro.memory.public import PublicMemory
 from repro.net.clock_transport import ClockTransport
 from repro.net.fabric import Fabric
 from repro.net.message import MessageKind
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.util.ids import IdAllocator
 from repro.util.validation import require_rank, require_type
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.trace.recorder import TraceRecorder
+
+#: The per-NIC issue/service tallies, each a ``nic.<name>{rank=...}`` counter
+#: in the metrics registry (the overhead and scalability experiments read
+#: them through the attribute surface below).
+NIC_COUNTER_FIELDS = (
+    "puts_issued",
+    "gets_issued",
+    "atomics_issued",
+    "sends_issued",
+    "local_reads",
+    "local_writes",
+    "remote_ops_serviced",
+    "rnr_retries",
+)
+
+
+def _nic_counter(name: str) -> property:
+    """A NIC tally backed by a registry counter.
+
+    Call sites increment in place (``nic.puts_issued += 1``, including
+    cross-object ``target_nic.remote_ops_serviced += 1``), so each field is
+    a getter/setter pair over the counter's value.
+    """
+
+    def getter(self: "NIC") -> int:
+        return self._counters[name].value
+
+    def setter(self: "NIC", value: int) -> None:
+        self._counters[name].value = value
+
+    return property(getter, setter, doc=f"Registry-backed ``{name}`` tally.")
 
 
 @dataclass
@@ -199,19 +231,34 @@ class NIC:
         self.detector = detector
         self.config = config or NICConfig()
         self.recorder = recorder
+        #: Observability bundle shared by everything on this simulator; the
+        #: issue/service tallies live in its metrics registry.
+        self._obs = Observability.of(sim)
+        self._counters = {
+            name: self._obs.metrics.counter(f"nic.{name}", rank=rank)
+            for name in NIC_COUNTER_FIELDS
+        }
         #: The clock-transport policy (roundtrip vs piggyback) shared by every
         #: instrumented path through this NIC.
         self.clock_transport = ClockTransport(self)
         self._peers: Dict[int, "NIC"] = {rank: self}
         self._tags = IdAllocator(f"op-P{rank}")
-        # Counters consumed by the overhead and scalability experiments.
-        self.puts_issued = 0
-        self.gets_issued = 0
-        self.atomics_issued = 0
-        self.sends_issued = 0
-        self.local_reads = 0
-        self.local_writes = 0
-        self.remote_ops_serviced = 0
+
+    # Tallies consumed by the overhead and scalability experiments —
+    # registry-backed views (see NIC_COUNTER_FIELDS).
+    puts_issued = _nic_counter("puts_issued")
+    gets_issued = _nic_counter("gets_issued")
+    atomics_issued = _nic_counter("atomics_issued")
+    sends_issued = _nic_counter("sends_issued")
+    local_reads = _nic_counter("local_reads")
+    local_writes = _nic_counter("local_writes")
+    remote_ops_serviced = _nic_counter("remote_ops_serviced")
+    rnr_retries = _nic_counter("rnr_retries")
+
+    @property
+    def engine_track(self) -> str:
+        """Span-trace track name of this NIC's DMA engine."""
+        return f"nic-P{self.rank}"
 
     # -- wiring ------------------------------------------------------------------
 
@@ -402,6 +449,10 @@ class NIC:
         self._record(AccessKind.WRITE, target, value, symbol, "put")
 
         self._release_lock(target_nic, lock_request, tag)
+        self._obs.spans.complete(
+            self.engine_track, "put", start, self._sim.now,
+            target=f"P{target.rank}",
+        )
         return RemoteOperationResult(
             operation="put",
             origin=self.rank,
@@ -489,6 +540,10 @@ class NIC:
             data_messages += 1
 
         self._release_lock(target_nic, lock_request, tag)
+        self._obs.spans.complete(
+            self.engine_track, "get", start, self._sim.now,
+            target=f"P{target.rank}",
+        )
         return RemoteOperationResult(
             operation="get",
             origin=self.rank,
@@ -640,6 +695,10 @@ class NIC:
             data_messages += 1
 
         self._release_lock(target_nic, lock_request, tag)
+        self._obs.spans.complete(
+            self.engine_track, operation, start, self._sim.now,
+            target=f"P{target.rank}",
+        )
         return RemoteOperationResult(
             operation=operation,
             origin=self.rank,
@@ -740,6 +799,11 @@ class NIC:
                         f"after {retries} retries ({error})"
                     ) from error
                 retries += 1
+                self.rnr_retries += 1
+                self._obs.spans.instant(
+                    self.engine_track, "rnr_retry", self._sim.now,
+                    destination=f"P{destination}", retry=retries,
+                )
                 backoff = rnr_backoff
                 controller = self._sim.controller
                 if controller is not None and hasattr(controller, "on_rnr_backoff"):
@@ -823,6 +887,10 @@ class NIC:
             recv_wr.addresses[0]
             if recv_wr.addresses
             else GlobalAddress(destination, 0)
+        )
+        self._obs.spans.complete(
+            self.engine_track, "send", start, self._sim.now,
+            target=f"P{destination}", cells=len(values), retries=retries,
         )
         result = RemoteOperationResult(
             operation="send",

@@ -1,0 +1,194 @@
+"""``python -m repro.obs`` — observability command line.
+
+Subcommands::
+
+    python -m repro.obs summarize [METRICS.json] [--seed N]
+        Print a human-readable summary of a metrics snapshot.  With a file,
+        summarize it; without, run the RPC-echo example and summarize that.
+
+    python -m repro.obs diff BEFORE.json AFTER.json
+        Structural diff of two metric snapshots (added/removed/changed keys).
+        Exits 1 when the snapshots differ, 0 when byte-identical content.
+
+    python -m repro.obs export-trace [--out TRACE.json] [--seed N] [--racy]
+                                     [--validate] [--metrics METRICS.json]
+        Run the RPC-echo workload with span tracing enabled and write the
+        Chrome trace-event JSON (open it at https://ui.perfetto.dev).  With
+        ``--metrics`` also write the run's metric snapshot.
+
+    python -m repro.obs validate TRACE.json
+        Check a trace file against the Chrome trace-event schema subset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_chrome_trace
+
+
+def _run_rpc_echo(seed: int, racy: bool, trace_spans: bool):
+    from repro.runtime.runtime import RuntimeConfig
+    from repro.workloads import RPCEchoWorkload
+
+    workload = RPCEchoWorkload(
+        num_clients=3,
+        requests_per_client=2,
+        racy_buffer_reuse=racy,
+        config=RuntimeConfig(trace_spans=trace_spans),
+    )
+    return workload.run(seed=seed)
+
+
+def _print_summary(snapshot: dict, title: str) -> None:
+    print(f"== {title} ({len(snapshot)} instruments)")
+    counters = {
+        key: value for key, value in snapshot.items() if isinstance(value, (int, float))
+    }
+    gauges = {
+        key: value
+        for key, value in snapshot.items()
+        if isinstance(value, dict) and "high_watermark" in value
+    }
+    histograms = {
+        key: value
+        for key, value in snapshot.items()
+        if isinstance(value, dict) and "buckets" in value
+    }
+    if counters:
+        print(f"-- counters ({len(counters)})")
+        for key, value in counters.items():
+            print(f"   {key} = {value}")
+    if gauges:
+        print(f"-- gauges ({len(gauges)})")
+        for key, value in gauges.items():
+            print(f"   {key} = {value['value']} (high {value['high_watermark']})")
+    if histograms:
+        print(f"-- histograms ({len(histograms)})")
+        for key, value in histograms.items():
+            print(f"   {key}: count={value['count']} sum={value['sum']:g}")
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    if args.metrics_file:
+        with open(args.metrics_file) as handle:
+            snapshot = json.load(handle)
+        _print_summary(snapshot, args.metrics_file)
+        return 0
+    result = _run_rpc_echo(args.seed, racy=False, trace_spans=False)
+    _print_summary(
+        result.run.metrics, f"rpc-echo seed={args.seed}"
+    )
+    print(f"-- races detected: {result.run.race_count}")
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    with open(args.before) as handle:
+        before = json.load(handle)
+    with open(args.after) as handle:
+        after = json.load(handle)
+    delta = MetricsRegistry.diff(before, after)
+    identical = not (delta["added"] or delta["removed"] or delta["changed"])
+    if identical:
+        print("snapshots are identical")
+        return 0
+    for key, value in delta["added"].items():
+        print(f"ADDED    {key} = {value}")
+    for key, value in delta["removed"].items():
+        print(f"REMOVED  {key} (was {value})")
+    for key, value in delta["changed"].items():
+        print(f"CHANGED  {key}: {value['before']} -> {value['after']}")
+    return 1
+
+
+def cmd_export_trace(args: argparse.Namespace) -> int:
+    result = _run_rpc_echo(args.seed, racy=args.racy, trace_spans=True)
+    tracer = result.runtime.sim.obs.spans
+    trace = tracer.to_chrome_trace()
+    with open(args.out, "w") as handle:
+        json.dump(trace, handle, indent=2, sort_keys=True)
+    print(
+        f"wrote {args.out}: {len(trace['traceEvents'])} events on "
+        f"{len(tracer.tracks())} tracks "
+        f"(open at https://ui.perfetto.dev)"
+    )
+    if args.metrics:
+        with open(args.metrics, "w") as handle:
+            handle.write(json.dumps(result.run.metrics, indent=2, sort_keys=True))
+        print(f"wrote {args.metrics}: {len(result.run.metrics)} instruments")
+    if args.validate:
+        problems = validate_chrome_trace(trace)
+        if problems:
+            for problem in problems:
+                print(f"INVALID: {problem}")
+            return 1
+        print("trace validates against the Chrome trace-event schema subset")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    with open(args.trace) as handle:
+        trace = json.load(handle)
+    problems = validate_chrome_trace(trace)
+    if problems:
+        for problem in problems:
+            print(f"INVALID: {problem}")
+        return 1
+    events = trace.get("traceEvents", [])
+    print(f"{args.trace}: valid ({len(events)} events)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description=__doc__.splitlines()[0]
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    p_sum = subparsers.add_parser(
+        "summarize", help="summarize a metrics snapshot (or a fresh RPC-echo run)"
+    )
+    p_sum.add_argument(
+        "metrics_file", nargs="?", default=None, help="metrics JSON to summarize"
+    )
+    p_sum.add_argument("--seed", type=int, default=0)
+    p_sum.set_defaults(func=cmd_summarize)
+
+    p_diff = subparsers.add_parser("diff", help="diff two metric snapshots")
+    p_diff.add_argument("before")
+    p_diff.add_argument("after")
+    p_diff.set_defaults(func=cmd_diff)
+
+    p_export = subparsers.add_parser(
+        "export-trace", help="run RPC echo with tracing; write Chrome trace JSON"
+    )
+    p_export.add_argument("--out", default="trace_rpc_echo.json")
+    p_export.add_argument("--seed", type=int, default=0)
+    p_export.add_argument(
+        "--racy", action="store_true", help="use the racy buffer-reuse variant"
+    )
+    p_export.add_argument(
+        "--validate", action="store_true", help="validate the exported trace"
+    )
+    p_export.add_argument(
+        "--metrics", default=None, help="also write the metric snapshot here"
+    )
+    p_export.set_defaults(func=cmd_export_trace)
+
+    p_val = subparsers.add_parser(
+        "validate", help="validate a Chrome trace-event JSON file"
+    )
+    p_val.add_argument("trace")
+    p_val.set_defaults(func=cmd_validate)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,277 @@
+"""A deterministic metrics registry: counters, gauges, histograms.
+
+The registry is the single place run-time accounting lives.  Subsystems either
+use it directly (``registry.counter("nic.rnr_retries", rank="0").inc()``) or
+through thin legacy views (``FabricStats``, ``ClockTransportStats``) whose
+fields are properties over registry instruments — one source of truth, two
+spellings.
+
+Design constraints, in priority order:
+
+* **Determinism.**  :meth:`MetricsRegistry.snapshot` returns a plain dict with
+  sorted keys and only int/float values; :meth:`MetricsRegistry.to_json` is
+  ``json.dumps(..., sort_keys=True)``.  Two runs with equal seeds and knobs
+  produce byte-identical snapshots.
+* **Cheapness.**  Instruments are memoized by ``(name, labels)``; the hot path
+  is one dict hit plus an integer add.  No wall-clock, no locks, no I/O.
+* **Zero behavioural footprint.**  Nothing in here touches simulation clocks,
+  scheduling order, or randomness — metrics on/off cannot change verdicts.
+
+Instrument identity is ``name{label=value,...}`` with labels sorted by key,
+the same spelling used as snapshot keys, e.g.
+``fabric.messages{category=data}`` or ``nic.puts_issued{rank=2}``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Named fixed bucket layouts for histograms.  Fixed layouts (rather than
+#: data-driven ones) keep snapshots byte-identical across runs and make
+#: baselines comparable across commits.
+BUCKET_LAYOUTS: Dict[str, Tuple[float, ...]] = {
+    # Simulated-time durations (latency-model units).
+    "sim_time": (0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0),
+    # Queue depths / occupancies.
+    "depth": (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0),
+    # Message / payload sizes in bytes.
+    "bytes": (8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0),
+}
+
+
+def _label_suffix(labels: Sequence[Tuple[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{key}={value}" for key, value in labels)
+    return "{" + inner + "}"
+
+
+class Counter:
+    """A monotonically increasing integer.
+
+    ``value`` is a plain public attribute on purpose: the legacy stats views
+    implement ``stats.field += n`` through property setters that assign it
+    directly, and ``merge`` needs read-modify-write.
+    """
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: Sequence[Tuple[str, str]] = ()) -> None:
+        self.name = name
+        self.labels = tuple(labels)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (default 1)."""
+        self.value += amount
+
+    @property
+    def key(self) -> str:
+        """Snapshot key: ``name{label=value,...}``."""
+        return self.name + _label_suffix(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.key}={self.value}>"
+
+
+class Gauge:
+    """A value that can go up and down (queue depth, outstanding requests)."""
+
+    __slots__ = ("name", "labels", "value", "high_watermark")
+
+    def __init__(self, name: str, labels: Sequence[Tuple[str, str]] = ()) -> None:
+        self.name = name
+        self.labels = tuple(labels)
+        self.value = 0
+        self.high_watermark = 0
+
+    def set(self, value: int) -> None:
+        """Set the current value, tracking the high watermark."""
+        self.value = value
+        if value > self.high_watermark:
+            self.high_watermark = value
+
+    def inc(self, amount: int = 1) -> None:
+        self.set(self.value + amount)
+
+    def dec(self, amount: int = 1) -> None:
+        self.value -= amount
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.key}={self.value} high={self.high_watermark}>"
+
+
+class Histogram:
+    """Fixed-bucket histogram (cumulative-style buckets plus sum/count).
+
+    Bucket upper bounds come from a named layout in :data:`BUCKET_LAYOUTS`;
+    values above the last bound land in the implicit overflow bucket.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total")
+
+    def __init__(
+        self,
+        name: str,
+        labels: Sequence[Tuple[str, str]] = (),
+        layout: str = "sim_time",
+    ) -> None:
+        self.name = name
+        self.labels = tuple(labels)
+        self.bounds: Tuple[float, ...] = BUCKET_LAYOUTS[layout]
+        self.bucket_counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                index = i
+                break
+        self.bucket_counts[index] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def key(self) -> str:
+        return self.name + _label_suffix(self.labels)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Deterministic flat summary of this histogram."""
+        buckets: Dict[str, int] = {}
+        for bound, count in zip(self.bounds, self.bucket_counts):
+            buckets[f"le_{bound:g}"] = count
+        buckets["le_inf"] = self.bucket_counts[-1]
+        return {"buckets": buckets, "count": self.count, "sum": self.total}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.key} count={self.count} sum={self.total:g}>"
+
+
+class MetricsRegistry:
+    """Memoizing factory and snapshot point for all instruments."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Counter] = {}
+        self._gauges: Dict[Tuple[str, Tuple[Tuple[str, str], ...]], Gauge] = {}
+        self._histograms: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], Histogram
+        ] = {}
+
+    @staticmethod
+    def _key(name: str, labels: Dict[str, object]) -> Tuple[str, Tuple[Tuple[str, str], ...]]:
+        return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        """The counter for ``name`` + *labels*, created on first use."""
+        key = self._key(name, labels)
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter(name, key[1])
+        return instrument
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        """The gauge for ``name`` + *labels*, created on first use."""
+        key = self._key(name, labels)
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge(name, key[1])
+        return instrument
+
+    def histogram(
+        self, name: str, layout: str = "sim_time", **labels: object
+    ) -> Histogram:
+        """The histogram for ``name`` + *labels*, created on first use."""
+        key = self._key(name, labels)
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(name, key[1], layout)
+        return instrument
+
+    # -- snapshots -----------------------------------------------------------------
+
+    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """All instruments as one sorted flat dict.
+
+        Counters map to their value; gauges to ``{"value", "high_watermark"}``;
+        histograms to ``{"buckets", "count", "sum"}``.  Zero-valued counters
+        that were merely *created* (e.g. by a stats view's property getters)
+        are included — creation order does not matter because keys are sorted.
+        With *prefix*, only instruments whose name starts with it are
+        included (e.g. ``"nic."`` for one subsystem).
+        """
+        out: Dict[str, object] = {}
+        for counter in self._counters.values():
+            if prefix is not None and not counter.name.startswith(prefix):
+                continue
+            out[counter.key] = counter.value
+        for gauge in self._gauges.values():
+            if prefix is not None and not gauge.name.startswith(prefix):
+                continue
+            out[gauge.key] = {
+                "high_watermark": gauge.high_watermark,
+                "value": gauge.value,
+            }
+        for histogram in self._histograms.values():
+            if prefix is not None and not histogram.name.startswith(prefix):
+                continue
+            out[histogram.key] = histogram.as_dict()
+        return {key: out[key] for key in sorted(out)}
+
+    def snapshot_for_rank(self, rank: int) -> Dict[str, object]:
+        """The slice of the snapshot labelled with ``rank=<rank>``."""
+        needle = f"rank={rank}"
+        return {
+            key: value
+            for key, value in self.snapshot().items()
+            if "{" in key
+            and needle in key[key.index("{") :].strip("{}").split(",")
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of :meth:`snapshot` — byte-identical for equal runs."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    @staticmethod
+    def diff(
+        before: Dict[str, object], after: Dict[str, object]
+    ) -> Dict[str, Dict[str, object]]:
+        """Structural diff of two snapshots.
+
+        Returns ``{"added": {...}, "removed": {...}, "changed": {key:
+        {"before": ..., "after": ...}}}`` with sorted keys throughout.
+        """
+        added = {k: after[k] for k in sorted(set(after) - set(before))}
+        removed = {k: before[k] for k in sorted(set(before) - set(after))}
+        changed = {
+            k: {"after": after[k], "before": before[k]}
+            for k in sorted(set(before) & set(after))
+            if before[k] != after[k]
+        }
+        return {"added": added, "changed": changed, "removed": removed}
+
+    def reset(self) -> None:
+        """Zero every instrument in place (identities survive, so views keep
+        working after e.g. ``Fabric.reset_stats``)."""
+        for counter in self._counters.values():
+            counter.value = 0
+        for gauge in self._gauges.values():
+            gauge.value = 0
+            gauge.high_watermark = 0
+        for histogram in self._histograms.values():
+            histogram.bucket_counts = [0] * (len(histogram.bounds) + 1)
+            histogram.count = 0
+            histogram.total = 0.0
+
+    def instruments(self) -> Iterable[object]:
+        """All instruments (tests use this for well-formedness checks)."""
+        yield from self._counters.values()
+        yield from self._gauges.values()
+        yield from self._histograms.values()

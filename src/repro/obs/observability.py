@@ -1,0 +1,53 @@
+"""The per-simulator observability facade.
+
+One :class:`Observability` instance hangs off each
+:class:`~repro.sim.engine.Simulator` as ``sim.obs`` and owns the three
+instruments: the metrics registry (always on — counting is cheap and
+deterministic), the span tracer (off unless ``RuntimeConfig.trace_spans``),
+and the detection profiler.  Subsystems reach it with
+``Observability.of(sim)``, which tolerates simulators (or test doubles)
+created before this layer existed by attaching a fresh instance on demand.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profiler import DetectionProfiler
+from repro.obs.spans import SpanTracer
+
+
+class Observability:
+    """Bundle of metrics registry, span tracer and detection profiler."""
+
+    def __init__(
+        self,
+        trace_spans: bool = False,
+        wall_clock: bool = False,
+    ) -> None:
+        self.metrics = MetricsRegistry()
+        self.spans = SpanTracer(enabled=trace_spans, wall_clock=wall_clock)
+        self.profiler = DetectionProfiler(wall_clock=wall_clock)
+
+    @classmethod
+    def of(cls, sim: object) -> "Observability":
+        """The observability bundle of *sim*, created on first access."""
+        obs = getattr(sim, "obs", None)
+        if obs is None:
+            obs = cls()
+            try:
+                sim.obs = obs  # type: ignore[attr-defined]
+            except AttributeError:  # pragma: no cover - frozen test doubles
+                pass
+        return obs
+
+    def configure(self, trace_spans: bool, wall_clock: bool = False) -> None:
+        """Flip tracing/profiling modes in place (before the run starts)."""
+        self.spans.enabled = trace_spans
+        self.spans.wall_clock = wall_clock
+        self.profiler.wall_clock = wall_clock
+
+    def reset(self) -> None:
+        """Clear all recorded state, keeping instrument identities."""
+        self.metrics.reset()
+        self.spans.clear()
+        self.profiler.reset()

@@ -1,0 +1,239 @@
+"""Sim-time span tracing with Chrome trace-event (Perfetto) export.
+
+Spans are recorded against *simulated* time: one trace "process" per rank plus
+one per NIC engine, each a Perfetto track.  Sim time maps to trace
+microseconds as ``sim_time * 1000.0`` — one simulated time unit renders as one
+millisecond, which keeps sub-unit latencies visible.
+
+Event kinds emitted (Chrome trace-event ``ph`` codes):
+
+* ``X`` — complete spans with explicit duration (the common case: a WR's
+  service interval, a lock wait, a barrier wait, a drain burst);
+* ``B``/``E`` — open/close pairs for spans whose end is only known later;
+* ``i`` — instants (RNR retry, SRQ limit event, detector race signal);
+* ``s``/``f`` — flow events stitching a WR's post on the origin rank to its
+  retirement, across tracks;
+* ``M`` — metadata naming the tracks.
+
+The tracer is disabled by default and every recording method is a cheap no-op
+then; enabling it (``RuntimeConfig.trace_spans``) must not change simulation
+behaviour, only record it.  Optional wall-clock profiling attaches
+``wall_ns`` arguments to spans for hot-path attribution; it is off by default
+because wall time is nondeterministic and would break byte-identical traces.
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+from typing import Dict, List, Optional, Tuple
+
+#: One simulated time unit == this many trace microseconds.
+SIM_TIME_TO_US = 1000.0
+
+
+class SpanHandle:
+    """Returned by :meth:`SpanTracer.begin`; pass back to :meth:`SpanTracer.end`."""
+
+    __slots__ = ("track", "name", "start", "args", "wall_start")
+
+    def __init__(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        args: Optional[Dict[str, object]],
+        wall_start: Optional[int],
+    ) -> None:
+        self.track = track
+        self.name = name
+        self.start = start
+        self.args = args
+        self.wall_start = wall_start
+
+
+class SpanTracer:
+    """Records spans/instants/flows and exports Chrome trace-event JSON."""
+
+    def __init__(self, enabled: bool = False, wall_clock: bool = False) -> None:
+        self.enabled = enabled
+        self.wall_clock = wall_clock
+        self._events: List[Dict[str, object]] = []
+        #: First-seen track name -> deterministic (pid, tid).
+        self._tracks: Dict[str, Tuple[int, int]] = {}
+        self._flow_ids: Dict[object, int] = {}
+        self._next_flow_id = 1
+        self._open_spans: List[SpanHandle] = []
+
+    # -- track bookkeeping -------------------------------------------------------
+
+    def _track(self, track: str) -> Tuple[int, int]:
+        ids = self._tracks.get(track)
+        if ids is None:
+            pid = len(self._tracks) + 1
+            ids = self._tracks[track] = (pid, 1)
+            self._events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 1,
+                    "args": {"name": track},
+                }
+            )
+        return ids
+
+    def _wall(self) -> Optional[int]:
+        return _time.perf_counter_ns() if self.wall_clock else None
+
+    # -- recording ---------------------------------------------------------------
+
+    def begin(
+        self,
+        track: str,
+        name: str,
+        sim_time: float,
+        **args: object,
+    ) -> Optional[SpanHandle]:
+        """Open a span on *track*; close it with :meth:`end`.
+
+        Returns ``None`` when tracing is disabled (and :meth:`end` accepts
+        ``None`` as a no-op), so call sites need no enabled-guard.
+        """
+        if not self.enabled:
+            return None
+        handle = SpanHandle(track, name, sim_time, dict(args) or None, self._wall())
+        self._open_spans.append(handle)
+        return handle
+
+    def end(self, handle: Optional[SpanHandle], sim_time: float) -> None:
+        """Close a span opened by :meth:`begin` (no-op on ``None``)."""
+        if handle is None or not self.enabled:
+            return
+        try:
+            self._open_spans.remove(handle)
+        except ValueError:  # pragma: no cover - double close; keep the event
+            pass
+        args = dict(handle.args or {})
+        if handle.wall_start is not None:
+            args["wall_ns"] = _time.perf_counter_ns() - handle.wall_start
+        self.complete(
+            handle.track, handle.name, handle.start, sim_time, **args
+        )
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start: float,
+        end: float,
+        **args: object,
+    ) -> None:
+        """Record a complete (``ph: X``) span from *start* to *end* sim time."""
+        if not self.enabled:
+            return
+        pid, tid = self._track(track)
+        event: Dict[str, object] = {
+            "ph": "X",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts": start * SIM_TIME_TO_US,
+            "dur": max(0.0, (end - start) * SIM_TIME_TO_US),
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def instant(self, track: str, name: str, sim_time: float, **args: object) -> None:
+        """Record an instant (``ph: i``) event."""
+        if not self.enabled:
+            return
+        pid, tid = self._track(track)
+        event: Dict[str, object] = {
+            "ph": "i",
+            "s": "t",
+            "name": name,
+            "pid": pid,
+            "tid": tid,
+            "ts": sim_time * SIM_TIME_TO_US,
+        }
+        if args:
+            event["args"] = args
+        self._events.append(event)
+
+    def _flow_id(self, key: object) -> int:
+        flow_id = self._flow_ids.get(key)
+        if flow_id is None:
+            flow_id = self._flow_ids[key] = self._next_flow_id
+            self._next_flow_id += 1
+        return flow_id
+
+    def flow_start(self, track: str, name: str, sim_time: float, key: object) -> None:
+        """Open a flow (``ph: s``) — e.g. a WR's post on the origin rank."""
+        if not self.enabled:
+            return
+        pid, tid = self._track(track)
+        self._events.append(
+            {
+                "ph": "s",
+                "name": name,
+                "cat": "flow",
+                "id": self._flow_id(key),
+                "pid": pid,
+                "tid": tid,
+                "ts": sim_time * SIM_TIME_TO_US,
+            }
+        )
+
+    def flow_end(self, track: str, name: str, sim_time: float, key: object) -> None:
+        """Close a flow (``ph: f``) — e.g. the WR's retirement."""
+        if not self.enabled:
+            return
+        pid, tid = self._track(track)
+        self._events.append(
+            {
+                "ph": "f",
+                "bp": "e",
+                "name": name,
+                "cat": "flow",
+                "id": self._flow_id(key),
+                "pid": pid,
+                "tid": tid,
+                "ts": sim_time * SIM_TIME_TO_US,
+            }
+        )
+
+    # -- introspection / export ---------------------------------------------------
+
+    def open_spans(self) -> List[SpanHandle]:
+        """Spans begun but not yet ended (tests assert this drains to [])."""
+        return list(self._open_spans)
+
+    def events(self) -> List[Dict[str, object]]:
+        """The raw recorded events, in recording order."""
+        return list(self._events)
+
+    def tracks(self) -> List[str]:
+        """Track names in first-seen (deterministic) order."""
+        return list(self._tracks)
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The Chrome trace-event JSON object (``{"traceEvents": [...]}``)."""
+        return {
+            "displayTimeUnit": "ms",
+            "otherData": {"time_base": "simulated", "sim_time_to_us": SIM_TIME_TO_US},
+            "traceEvents": list(self._events),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """Canonical JSON of :meth:`to_chrome_trace`."""
+        return json.dumps(self.to_chrome_trace(), indent=indent, sort_keys=True)
+
+    def clear(self) -> None:
+        """Drop all recorded events and track bindings."""
+        self._events.clear()
+        self._tracks.clear()
+        self._flow_ids.clear()
+        self._next_flow_id = 1
+        self._open_spans.clear()

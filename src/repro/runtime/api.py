@@ -128,6 +128,19 @@ class ProcessAPI:
         """
         return self._nic.clock_transport.stats.as_dict()
 
+    def metrics(self) -> dict:
+        """This rank's slice of the run's metric snapshot.
+
+        Every instrument in ``sim.obs.metrics`` whose labels include
+        ``rank=<this rank>`` — NIC operation counters, clock-transport
+        accounting, queue occupancy — keyed ``name{label=value,...}`` and
+        sorted, exactly as in ``RunResult.metrics``.  Useful inside a
+        program to observe what this rank has paid so far.
+        """
+        from repro.obs.observability import Observability
+
+        return Observability.of(self._sim).metrics.snapshot_for_rank(self.rank)
+
     def owner_of(self, symbol: str, index: int = 0) -> int:
         """Rank that physically holds ``symbol[index]``."""
         return self._directory.owner_of(symbol, index)

@@ -24,6 +24,7 @@ from repro.core.clocks import VectorClock
 from repro.core.detector import DualClockRaceDetector
 from repro.net.fabric import Fabric
 from repro.net.message import MessageKind
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.util.validation import require_positive, require_rank
@@ -62,6 +63,7 @@ class Barrier:
         self._merged: Optional[VectorClock] = None
         self._release_events: Dict[int, Event] = {}
         self._crossings = 0
+        self._obs = Observability.of(sim)
 
     @property
     def crossings(self) -> int:
@@ -80,6 +82,7 @@ class Barrier:
             self._crossings += 1
             return self._generation
         generation = self._generation
+        arrived_at = self._sim.now
         # Arrival notification to the root (charged as a message for non-root ranks).
         if rank != self._root and self._charge_messages:
             event, _ = self._fabric.send(
@@ -104,6 +107,18 @@ class Barrier:
         # Every participant leaves knowing everything every participant knew.
         if self._detector is not None and self._merged is not None:
             self._detector.process_clock(rank).observe_vector(self._merged)
+        # The fan-in span: from this rank's arrival to its release — the
+        # straggler's span is ~zero, the first arrival's spans the longest.
+        self._obs.spans.complete(
+            f"rank-P{rank}",
+            "barrier_wait",
+            arrived_at,
+            self._sim.now,
+            generation=generation,
+        )
+        self._obs.metrics.histogram(
+            "barrier.wait_time", layout="sim_time", rank=rank
+        ).observe(self._sim.now - arrived_at)
         return generation
 
     def _open(self, generation: int) -> None:
@@ -135,6 +150,7 @@ class Barrier:
         self._arrived = 0
         self._release_events = {}
         self._crossings += 1
+        self._obs.metrics.counter("barrier.crossings").inc()
         for rank, release in releases.items():
             if rank != self._root and self._charge_messages:
                 event, _ = self._fabric.send(

@@ -106,6 +106,15 @@ class RuntimeConfig:
     trace_values:
         Whether the trace keeps the transferred values (turn off for very
         large scalability runs).
+    trace_spans:
+        Record sim-time spans (WR post→retire, drain bursts, lock waits,
+        barrier fan-in) on ``sim.obs.spans`` for Chrome trace-event export
+        (``python -m repro.obs export-trace``).  Off by default: tracing is
+        observe-only and cannot change verdicts, but it allocates.
+    obs_wall_clock:
+        Additionally record host wall time on spans and in the detection
+        profiler.  Off by default because wall time is nondeterministic and
+        would break byte-identical artifacts.
     echo_log:
         Print structured log records as they are emitted.
     verbs_cq_capacity:
@@ -151,6 +160,8 @@ class RuntimeConfig:
     cq_moderation: bool = False
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
+    trace_spans: bool = False
+    obs_wall_clock: bool = False
     echo_log: bool = False
     verbs_cq_capacity: Optional[int] = None
     verbs_max_send_wr: int = 128
@@ -188,6 +199,12 @@ class RunResult:
     clock_wire: str = "full"
     #: Whether completion coalescing (one CQE per drain burst) was active.
     cq_moderation: bool = False
+    #: Canonical metric snapshot of the run (``sim.obs.metrics``): every
+    #: counter/gauge/histogram keyed ``name{label=value,...}``, sorted.
+    metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Detection hot-path costs per check type (``read_live`` ... ``rmw_carried``),
+    #: each with checks/compares/joins counts (``sim.obs.profiler``).
+    detection_profile: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def race_count(self) -> int:
@@ -218,14 +235,19 @@ class DSMRuntime:
 
         self.logger = SimLogger(echo=self.config.echo_log)
         self.sim = Simulator(seed=self.config.seed, logger=self.logger)
+        self.sim.obs.configure(
+            trace_spans=self.config.trace_spans,
+            wall_clock=self.config.obs_wall_clock,
+        )
         self.topology = self._build_topology(self.config.topology, self.config.world_size)
         self.latency_model = self._build_latency(self.config.latency)
         self.fabric = Fabric(self.sim, self.topology, self.latency_model)
         self.recorder = TraceRecorder(self.config.world_size, keep_values=self.config.trace_values)
-        self.report = RaceReport(self.config.signal_policy)
+        self.report = RaceReport(self.config.signal_policy, logger=self.logger)
         self.detector = DualClockRaceDetector(
             self.config.world_size, config=self.config.detector, report=self.report
         )
+        self.detector.bind_observability(self.sim.obs)
         self.public_memories: List[PublicMemory] = [
             PublicMemory(rank, self.config.public_memory_cells)
             for rank in range(self.config.world_size)
@@ -569,6 +591,8 @@ class DSMRuntime:
             clock_transport_stats=self.clock_transport_stats().as_dict(),
             clock_wire=self.config.clock_wire,
             cq_moderation=self.config.cq_moderation,
+            metrics=self.sim.obs.metrics.snapshot(),
+            detection_profile=self.sim.obs.profiler.snapshot(),
         )
 
     # -- post-run helpers -----------------------------------------------------------------------

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
 
+from repro.obs.observability import Observability
 from repro.sim.events import AllOf, AnyOf, Event, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
@@ -55,6 +56,10 @@ class Simulator:
         # Note: an empty SimLogger is falsy (len == 0), so test for None explicitly.
         self.logger = logger if logger is not None else SimLogger()
         self.logger.bind_clock(lambda: self._now)
+        #: The observability bundle (metrics registry, span tracer, detection
+        #: profiler) every attached component records into.  Always present;
+        #: metrics collection is unconditional, span tracing is opt-in.
+        self.obs = Observability()
 
     # -- time ----------------------------------------------------------------
 

@@ -6,12 +6,28 @@ records the *simulated* time of each event and keeps records in memory so that
 tests and the analysis package can assert on them; it can also echo to stdout
 for interactive debugging (the paper's recommendation is precisely that race
 reports go to standard output without aborting the run, Section IV-D).
+
+Records carry a severity level (``debug`` < ``info`` < ``warning`` <
+``error``); :meth:`SimLogger.to_jsonl` exports the collected records as JSON
+Lines for offline analysis, one canonical (sorted-keys) object per line.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import json
+from dataclasses import asdict, dataclass
 from typing import Callable, Iterable, List, Optional
+
+#: Severity names in ascending order; index == numeric level.
+LEVELS = ("debug", "info", "warning", "error")
+
+
+def level_number(level: str) -> int:
+    """Numeric value of a severity name (for threshold comparisons)."""
+    try:
+        return LEVELS.index(level)
+    except ValueError:
+        raise ValueError(f"unknown log level {level!r}; expected one of {LEVELS}")
 
 
 @dataclass(frozen=True)
@@ -28,12 +44,15 @@ class LogRecord:
         Human-readable message.
     rank:
         Rank of the process the record concerns, or ``None`` for global events.
+    level:
+        Severity: ``"debug"``, ``"info"``, ``"warning"`` or ``"error"``.
     """
 
     time: float
     category: str
     message: str
     rank: Optional[int] = None
+    level: str = "info"
 
 
 class SimLogger:
@@ -48,20 +67,54 @@ class SimLogger:
         """Attach the simulation clock used to timestamp records."""
         self._clock = clock
 
-    def log(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:
+    def log(
+        self,
+        category: str,
+        message: str,
+        rank: Optional[int] = None,
+        level: str = "info",
+    ) -> LogRecord:
         """Record a message under *category* at the current simulated time."""
-        record = LogRecord(time=self._clock(), category=category, message=message, rank=rank)
+        level_number(level)  # validate early: a typo'd level is a bug
+        record = LogRecord(
+            time=self._clock(), category=category, message=message, rank=rank,
+            level=level,
+        )
         self._records.append(record)
         if self._echo:
             where = f"P{record.rank}" if record.rank is not None else "--"
             print(f"[t={record.time:10.3f}] [{record.category:>6}] [{where}] {record.message}")
         return record
 
-    def records(self, category: Optional[str] = None) -> List[LogRecord]:
-        """Return all records, optionally filtered by *category*."""
-        if category is None:
-            return list(self._records)
-        return [r for r in self._records if r.category == category]
+    # -- severity shorthands -------------------------------------------------------
+
+    def debug(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:
+        """Record at ``debug`` severity."""
+        return self.log(category, message, rank=rank, level="debug")
+
+    def info(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:
+        """Record at ``info`` severity."""
+        return self.log(category, message, rank=rank, level="info")
+
+    def warning(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:
+        """Record at ``warning`` severity."""
+        return self.log(category, message, rank=rank, level="warning")
+
+    def error(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:
+        """Record at ``error`` severity."""
+        return self.log(category, message, rank=rank, level="error")
+
+    def records(
+        self, category: Optional[str] = None, min_level: Optional[str] = None
+    ) -> List[LogRecord]:
+        """Return all records, optionally filtered by *category* and severity."""
+        selected: Iterable[LogRecord] = self._records
+        if category is not None:
+            selected = [r for r in selected if r.category == category]
+        if min_level is not None:
+            threshold = level_number(min_level)
+            selected = [r for r in selected if level_number(r.level) >= threshold]
+        return list(selected)
 
     def categories(self) -> List[str]:
         """Return the distinct categories seen so far, in first-seen order."""
@@ -70,6 +123,17 @@ class SimLogger:
             if record.category not in seen:
                 seen.append(record.category)
         return seen
+
+    def to_jsonl(self, category: Optional[str] = None, min_level: Optional[str] = None) -> str:
+        """Export records as JSON Lines (one sorted-keys object per line).
+
+        Deterministic for deterministic runs: record order is emission order
+        and every object is canonical JSON, so equal runs export equal bytes.
+        """
+        return "\n".join(
+            json.dumps(asdict(record), sort_keys=True)
+            for record in self.records(category=category, min_level=min_level)
+        )
 
     def clear(self) -> None:
         """Drop all collected records."""
@@ -83,7 +147,21 @@ class SimLogger:
 
 
 class NullLogger(SimLogger):
-    """A logger that drops everything; used when tracing overhead matters."""
+    """A logger that drops everything; used when tracing overhead matters.
 
-    def log(self, category: str, message: str, rank: Optional[int] = None) -> LogRecord:  # noqa: D102
-        return LogRecord(time=0.0, category=category, message=message, rank=rank)
+    The returned record still carries the *real* bound-clock time (not a
+    fabricated ``0.0``) so call sites that inspect the return value see the
+    same timestamps they would with a recording logger.
+    """
+
+    def log(
+        self,
+        category: str,
+        message: str,
+        rank: Optional[int] = None,
+        level: str = "info",
+    ) -> LogRecord:  # noqa: D102
+        return LogRecord(
+            time=self._clock(), category=category, message=message, rank=rank,
+            level=level,
+        )

@@ -26,6 +26,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.memory.address import GlobalAddress
 from repro.net.nic import NIC
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.util.ids import IdAllocator
 from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
@@ -84,6 +85,9 @@ class VerbsContext:
         #: batched retirement clock is charged once per burst instead of
         #: once per completion.
         self.cq_moderation = cq_moderation
+        self._obs = Observability.of(sim)
+        #: Trace track for this rank's process-side verbs activity.
+        self.track = f"rank-P{self.rank}"
         self.registry = MemoryRegistry(self.rank)
         self.cq = CompletionQueue(sim, capacity=cq_capacity, name=f"cq-P{self.rank}")
         #: Receive completions (matched two-sided sends) land here, away from
@@ -279,9 +283,14 @@ class VerbsContext:
             self.recv_cq.push(completion)
         except CompletionQueueOverflow as error:
             self.async_errors.append((self.sim.now, str(error)))
+            self._obs.metrics.counter("verbs.cq_overflows", rank=self.rank).inc()
         else:
             self.nic.clock_transport.note_completion_event(
                 1, carries_clock=completion.sync_clock is not None
+            )
+            self._obs.metrics.counter("verbs.recv_completions", rank=self.rank).inc()
+            self._obs.metrics.gauge("verbs.recv_cq_depth", rank=self.rank).set(
+                self.recv_cq.depth
             )
 
     def _on_recv_retired(self, completion: WorkCompletion) -> None:
@@ -386,6 +395,7 @@ class VerbsContext:
                 self.rank, target.rank, time=self.sim.now, kind="wr_post"
             )
         self._outstanding[request.wr_id] = request
+        self._note_wr_posted(request, f"P{target.rank}")
         return request
 
     def post_put(
@@ -480,6 +490,7 @@ class VerbsContext:
                 self.rank, peer, time=self.sim.now, kind="send_post"
             )
         self._outstanding[request.wr_id] = request
+        self._note_wr_posted(request, f"P{peer}")
         return request
 
     # -- throttled posting (configurable backpressure) -----------------------------------
@@ -542,6 +553,7 @@ class VerbsContext:
         self.nic.clock_transport.note_completion_event(
             1, carries_clock=completion.sync_clock is not None
         )
+        self._obs.metrics.gauge("verbs.cq_depth", rank=self.rank).set(self.cq.depth)
 
     def deliver_burst(self, completions: List[WorkCompletion]) -> None:
         """Deliver a coalesced drain burst to the send CQ (CQ moderation).
@@ -564,6 +576,7 @@ class VerbsContext:
             len(completions),
             carries_clock=any(c.sync_clock is not None for c in completions),
         )
+        self._obs.metrics.gauge("verbs.cq_depth", rank=self.rank).set(self.cq.depth)
 
     def _on_wr_retired(self, completion: WorkCompletion) -> None:
         """Merge a retired one-sided completion's batched clock, once useful.
@@ -598,10 +611,49 @@ class VerbsContext:
                 clock=completion.sync_clock.frozen(),
             )
 
+    def _note_wr_posted(self, request: WorkRequest, destination: str) -> None:
+        """Observability hooks for one accepted post (counters, flow start)."""
+        self._obs.metrics.counter("verbs.wr_posted", rank=self.rank).inc()
+        self._obs.metrics.gauge("verbs.outstanding_wrs", rank=self.rank).set(
+            len(self._outstanding)
+        )
+        spans = self._obs.spans
+        spans.instant(
+            self.track,
+            "wr_post",
+            self.sim.now,
+            wr_id=request.wr_id,
+            opcode=request.opcode.value,
+            destination=destination,
+        )
+        # The flow is closed at retirement (same key, this rank's track) and,
+        # for two-sided sends, at the receiver's delivery (cross-rank track).
+        spans.flow_start(
+            self.track, "wr", self.sim.now, key=("wr", self.rank, request.wr_id)
+        )
+
     def _file(self, completions: Iterable[WorkCompletion]) -> None:
         for completion in completions:
             self._outstanding.pop(completion.wr_id, None)
             self._retired[completion.wr_id] = completion
+            self._obs.metrics.counter("verbs.wr_retired", rank=self.rank).inc()
+            self._obs.spans.flow_end(
+                self.track,
+                "wr",
+                self.sim.now,
+                key=("wr", self.rank, completion.wr_id),
+            )
+            self._obs.spans.instant(
+                self.track,
+                "wr_retire",
+                self.sim.now,
+                wr_id=completion.wr_id,
+                opcode=completion.opcode.value,
+                status=completion.status.value,
+            )
+        self._obs.metrics.gauge("verbs.outstanding_wrs", rank=self.rank).set(
+            len(self._outstanding)
+        )
 
     def poll(self) -> List[WorkCompletion]:
         """Retire whatever is ready, without blocking; claims the completions."""

@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Deque, Generator, Optional
 
 from repro.core.clocks import VectorClock
 from repro.net.nic import ReceiveLengthError, RnrRetryExceeded
+from repro.obs.observability import Observability
 from repro.util.validation import require_positive
 from repro.verbs.memory_registration import RemoteAccessError
 from repro.verbs.receive_queue import ReceiveQueue, SharedReceiveQueue
@@ -75,6 +76,7 @@ class QueuePair:
         require_positive(max_send_wr, "max_send_wr")
         self._context = context
         self._sim = context.sim
+        self._obs = Observability.of(context.sim)
         self.origin = context.rank
         self.peer = peer
         self.max_send_wr = max_send_wr
@@ -142,6 +144,9 @@ class QueuePair:
         request.posted_at = self._sim.now
         self.posted += 1
         self._pending.append(request)
+        self._obs.metrics.gauge(
+            "verbs.send_queue_depth", rank=self.origin, peer=self.peer
+        ).set(self.outstanding)
         if not self._draining:
             self._draining = True
             self._sim.process(
@@ -183,12 +188,18 @@ class QueuePair:
         would have kept within capacity.
         """
         burst: Optional[list] = [] if self._context.cq_moderation else None
+        drain_started = self._sim.now
+        serviced = 0
         while self._pending:
             request = self._pending.popleft()
             self._in_service = request
             completion = yield from self._execute(request)
             self._in_service = None
             self.completed += 1
+            serviced += 1
+            self._obs.metrics.gauge(
+                "verbs.send_queue_depth", rank=self.origin, peer=self.peer
+            ).set(self.outstanding)
             if burst is None:
                 self._context.deliver(completion)
             else:
@@ -211,6 +222,17 @@ class QueuePair:
         if burst:
             self._context.deliver_burst(burst)
         self._draining = False
+        self._obs.metrics.counter(
+            "verbs.drain_bursts", rank=self.origin, peer=self.peer
+        ).inc()
+        self._obs.spans.complete(
+            self._context.nic.engine_track,
+            "qp_drain",
+            drain_started,
+            self._sim.now,
+            peer=f"P{self.peer}",
+            serviced=serviced,
+        )
 
     def _execute(self, request: WorkRequest) -> Generator:
         """Run one work request through the NIC; returns its completion."""
@@ -390,6 +412,21 @@ class QueuePair:
                 completed_at=self._sim.now,
                 sync_clock=carried_clock,
             )
+        )
+        # The cross-rank half of the WR's flow: the sender's post (flow
+        # start on rank-P{origin}) links to the delivery at the receiver.
+        self._obs.spans.flow_end(
+            target_context.track,
+            "wr",
+            self._sim.now,
+            key=("wr", self.origin, request.wr_id),
+        )
+        self._obs.spans.instant(
+            target_context.track,
+            "send_delivered",
+            self._sim.now,
+            source=f"P{self.origin}",
+            cells=len(values),
         )
         return WorkCompletion(
             wr_id=request.wr_id,

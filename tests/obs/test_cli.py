@@ -1,0 +1,80 @@
+"""``python -m repro.obs`` CLI smoke tests (driven through ``main(argv)``)."""
+
+import json
+
+import pytest
+
+from repro.obs.__main__ import main
+
+
+def test_summarize_fresh_run_prints_instruments(capsys):
+    assert main(["summarize", "--seed", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "instruments" in out
+    assert "-- counters" in out
+    assert "races detected: 0" in out
+
+
+def test_summarize_reads_a_snapshot_file(tmp_path, capsys):
+    snapshot = {
+        "fabric.messages{category=data}": 7,
+        "verbs.cq_depth{rank=0}": {"high_watermark": 3, "value": 0},
+    }
+    path = tmp_path / "metrics.json"
+    path.write_text(json.dumps(snapshot))
+    assert main(["summarize", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "fabric.messages{category=data} = 7" in out
+    assert "(high 3)" in out
+
+
+def test_diff_exits_zero_on_identical_one_on_changed(tmp_path, capsys):
+    before = tmp_path / "before.json"
+    after = tmp_path / "after.json"
+    before.write_text(json.dumps({"a": 1, "b": 2}))
+    after.write_text(json.dumps({"a": 1, "b": 3, "c": 4}))
+    assert main(["diff", str(before), str(before)]) == 0
+    assert "identical" in capsys.readouterr().out
+    assert main(["diff", str(before), str(after)]) == 1
+    out = capsys.readouterr().out
+    assert "ADDED    c = 4" in out
+    assert "CHANGED  b: 2 -> 3" in out
+
+
+def test_export_trace_writes_valid_trace_and_metrics(tmp_path, capsys):
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    status = main([
+        "export-trace", "--racy", "--validate",
+        "--out", str(trace_path), "--metrics", str(metrics_path),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "trace validates" in out
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+    tracks = {
+        e["args"]["name"] for e in trace["traceEvents"] if e["ph"] == "M"
+    }
+    # Per-rank process tracks plus per-NIC engine tracks.
+    assert any(name.startswith("rank-P") for name in tracks)
+    assert any(name.startswith("nic-P") for name in tracks)
+    # Cross-rank flows: WR post (s) linked to retirement/delivery (f).
+    phases = {e["ph"] for e in trace["traceEvents"]}
+    assert {"s", "f"} <= phases
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics and list(metrics) == sorted(metrics)
+    # The exported trace passes the standalone validator too.
+    assert main(["validate", str(trace_path)]) == 0
+
+
+def test_validate_rejects_a_broken_trace(tmp_path, capsys):
+    path = tmp_path / "broken.json"
+    path.write_text(json.dumps({"traceEvents": [{"ph": "X"}]}))
+    assert main(["validate", str(path)]) == 1
+    assert "INVALID" in capsys.readouterr().out
+
+
+def test_unknown_subcommand_is_a_parser_error():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

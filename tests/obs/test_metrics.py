@@ -1,0 +1,122 @@
+"""Unit tests for the metrics registry: instruments, snapshots, diffs."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import BUCKET_LAYOUTS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("x")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_key_spelling_with_labels(self):
+        counter = Counter("nic.puts", (("peer", "1"), ("rank", "0")))
+        assert counter.key == "nic.puts{peer=1,rank=0}"
+
+    def test_key_without_labels_is_bare_name(self):
+        assert Counter("fabric.messages").key == "fabric.messages"
+
+
+class TestGauge:
+    def test_set_tracks_high_watermark(self):
+        gauge = Gauge("depth")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+        assert gauge.high_watermark == 3
+
+    def test_inc_dec(self):
+        gauge = Gauge("depth")
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 1
+        assert gauge.high_watermark == 2
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = Histogram("wait", layout="sim_time")
+        histogram.observe(0.3)   # <= 0.5
+        histogram.observe(7.0)   # <= 10
+        histogram.observe(1e9)   # overflow
+        summary = histogram.as_dict()
+        assert summary["count"] == 3
+        assert summary["sum"] == pytest.approx(0.3 + 7.0 + 1e9)
+        assert summary["buckets"]["le_0.5"] == 1
+        assert summary["buckets"]["le_10"] == 1
+        assert summary["buckets"]["le_inf"] == 1
+
+    def test_unknown_layout_is_an_error(self):
+        with pytest.raises(KeyError):
+            Histogram("wait", layout="nope")
+
+    def test_layouts_are_sorted(self):
+        for name, bounds in BUCKET_LAYOUTS.items():
+            assert list(bounds) == sorted(bounds), name
+
+
+class TestMetricsRegistry:
+    def test_instruments_are_memoized_by_name_and_labels(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", rank=0) is registry.counter("a", rank=0)
+        assert registry.counter("a", rank=0) is not registry.counter("a", rank=1)
+        assert registry.gauge("g") is registry.gauge("g")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_label_order_does_not_matter(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a", x=1, y=2) is registry.counter("a", y=2, x=1)
+
+    def test_snapshot_is_sorted_and_json_canonical(self):
+        registry = MetricsRegistry()
+        registry.counter("z.last").inc()
+        registry.counter("a.first").inc(2)
+        registry.gauge("m.middle", rank=1).set(4)
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["a.first"] == 2
+        assert snapshot["m.middle{rank=1}"] == {"high_watermark": 4, "value": 4}
+        # to_json is exactly the canonical dump of the snapshot.
+        assert registry.to_json() == json.dumps(snapshot, sort_keys=True)
+
+    def test_snapshot_prefix_filter(self):
+        registry = MetricsRegistry()
+        registry.counter("nic.puts", rank=0).inc()
+        registry.counter("fabric.messages").inc()
+        assert list(registry.snapshot(prefix="nic.")) == ["nic.puts{rank=0}"]
+
+    def test_snapshot_for_rank_slices_by_label(self):
+        registry = MetricsRegistry()
+        registry.counter("nic.puts", rank=0).inc()
+        registry.counter("nic.puts", rank=1).inc()
+        registry.counter("global.total").inc()
+        registry.counter("odd.case", note="rank=1x").inc()  # not an exact label
+        assert list(registry.snapshot_for_rank(1)) == ["nic.puts{rank=1}"]
+
+    def test_diff_reports_added_removed_changed(self):
+        before = {"a": 1, "b": 2, "gone": 3}
+        after = {"a": 1, "b": 5, "new": 7}
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["added"] == {"new": 7}
+        assert delta["removed"] == {"gone": 3}
+        assert delta["changed"] == {"b": {"after": 5, "before": 2}}
+
+    def test_reset_zeroes_but_preserves_identity(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc(9)
+        gauge = registry.gauge("g")
+        gauge.set(3)
+        histogram = registry.histogram("h")
+        histogram.observe(1.0)
+        registry.reset()
+        assert registry.counter("c") is counter and counter.value == 0
+        assert gauge.value == 0 and gauge.high_watermark == 0
+        assert histogram.count == 0 and histogram.total == 0.0
+        assert sum(histogram.bucket_counts) == 0

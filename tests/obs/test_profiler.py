@@ -1,0 +1,49 @@
+"""Unit tests for the detection profiler."""
+
+from repro.obs.profiler import CHECK_TYPES, DetectionProfiler
+
+
+class TestDetectionProfiler:
+    def test_check_types_cover_the_matrix(self):
+        assert set(CHECK_TYPES) == {
+            (kind, provenance)
+            for kind in ("read", "write", "rmw")
+            for provenance in ("live", "carried")
+        }
+
+    def test_record_accumulates_into_the_right_bucket(self):
+        profiler = DetectionProfiler()
+        profiler.record("write", live=True, compares=2, joins=3)
+        profiler.record("write", live=True, compares=0, joins=1)
+        profiler.record("read", live=False, compares=1, joins=2)
+        snapshot = profiler.snapshot()
+        assert snapshot["write_live"] == {"checks": 2, "compares": 2, "joins": 4}
+        assert snapshot["read_carried"] == {"checks": 1, "compares": 1, "joins": 2}
+        assert snapshot["rmw_live"] == {"checks": 0, "compares": 0, "joins": 0}
+
+    def test_snapshot_is_deterministic_without_wall_clock(self):
+        profiler = DetectionProfiler()
+        assert profiler.start() is None
+        profiler.record("read", live=True, started=None, compares=2, joins=1)
+        for entry in profiler.snapshot().values():
+            assert "wall_ns" not in entry
+
+    def test_wall_clock_mode_adds_wall_ns(self):
+        profiler = DetectionProfiler(wall_clock=True)
+        started = profiler.start()
+        assert isinstance(started, int)
+        profiler.record("rmw", live=False, started=started)
+        entry = profiler.snapshot()["rmw_carried"]
+        assert entry["checks"] == 1
+        assert entry["wall_ns"] >= 0
+
+    def test_totals_merge_and_reset(self):
+        left = DetectionProfiler()
+        left.record("write", live=True, compares=2, joins=3)
+        right = DetectionProfiler()
+        right.record("write", live=True, compares=1, joins=1)
+        right.record("read", live=False, joins=5)
+        assert left.merge(right) is left
+        assert left.totals() == {"checks": 3, "compares": 3, "joins": 9}
+        left.reset()
+        assert left.totals() == {"checks": 0, "compares": 0, "joins": 0}

@@ -1,0 +1,109 @@
+"""Unit tests for the span tracer and the Chrome trace-event validator."""
+
+from repro.obs.schema import validate_chrome_trace
+from repro.obs.spans import SIM_TIME_TO_US, SpanTracer
+
+
+def _events_of(tracer, phase=None):
+    events = [e for e in tracer.events() if e["ph"] != "M"]
+    if phase is not None:
+        events = [e for e in events if e["ph"] == phase]
+    return events
+
+
+class TestSpanTracer:
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        handle = tracer.begin("t", "span", 0.0)
+        tracer.end(handle, 1.0)
+        tracer.complete("t", "span", 0.0, 1.0)
+        tracer.instant("t", "tick", 0.5)
+        tracer.flow_start("t", "wr", 0.0, key="k")
+        tracer.flow_end("t", "wr", 1.0, key="k")
+        assert tracer.events() == []
+        assert tracer.tracks() == []
+
+    def test_complete_span_converts_sim_time(self):
+        tracer = SpanTracer(enabled=True)
+        tracer.complete("rank-P0", "qp_drain", 2.0, 5.0, peer="P1")
+        (event,) = _events_of(tracer)
+        assert event["ph"] == "X"
+        assert event["ts"] == 2.0 * SIM_TIME_TO_US
+        assert event["dur"] == 3.0 * SIM_TIME_TO_US
+        assert event["args"]["peer"] == "P1"
+
+    def test_begin_end_pair_drains_open_spans(self):
+        tracer = SpanTracer(enabled=True)
+        handle = tracer.begin("t", "span", 0.0, wr_id=3)
+        assert len(tracer.open_spans()) == 1
+        tracer.end(handle, 4.0)
+        assert tracer.open_spans() == []
+        (event,) = _events_of(tracer)
+        assert event["ph"] == "X"
+        assert event["ts"] == 0.0 and event["dur"] == 4.0 * SIM_TIME_TO_US
+        assert event["args"] == {"wr_id": 3}
+
+    def test_flow_ids_are_memoized_per_key(self):
+        tracer = SpanTracer(enabled=True)
+        tracer.flow_start("a", "wr", 0.0, key=("wr", 0, 1))
+        tracer.flow_end("b", "wr", 1.0, key=("wr", 0, 1))
+        tracer.flow_start("a", "wr", 2.0, key=("wr", 0, 2))
+        start1, end1, start2 = _events_of(tracer)
+        assert start1["ph"] == "s" and end1["ph"] == "f"
+        assert start1["id"] == end1["id"]
+        assert start2["id"] != start1["id"]
+
+    def test_tracks_get_stable_pids_and_metadata(self):
+        tracer = SpanTracer(enabled=True)
+        tracer.instant("rank-P0", "a", 0.0)
+        tracer.instant("nic-P0", "b", 0.0)
+        tracer.instant("rank-P0", "c", 1.0)
+        assert tracer.tracks() == ["rank-P0", "nic-P0"]
+        metadata = [e for e in tracer.events() if e["ph"] == "M"]
+        assert {m["args"]["name"] for m in metadata} == {"rank-P0", "nic-P0"}
+        by_track = {e["args"].get("name"): e["pid"] for e in metadata}
+        named = [e for e in _events_of(tracer)]
+        assert named[0]["pid"] == named[2]["pid"] == by_track["rank-P0"]
+
+    def test_to_chrome_trace_validates_and_clear_empties(self):
+        tracer = SpanTracer(enabled=True)
+        tracer.complete("t", "x", 0.0, 1.0)
+        tracer.flow_start("t", "wr", 0.0, key="k")
+        tracer.flow_end("t", "wr", 1.0, key="k")
+        assert validate_chrome_trace(tracer.to_chrome_trace()) == []
+        tracer.clear()
+        assert tracer.events() == []
+        assert tracer.tracks() == []
+
+
+class TestValidator:
+    def test_rejects_non_object_top_level(self):
+        assert validate_chrome_trace([]) != []
+        assert validate_chrome_trace({"noTraceEvents": 1}) != []
+
+    def test_flags_missing_required_keys(self):
+        trace = {"traceEvents": [{"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": 0}]}
+        problems = validate_chrome_trace(trace)
+        assert any("'dur'" in p for p in problems)
+
+    def test_flags_unmatched_flows_and_unbalanced_begins(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "s", "pid": 1, "tid": 1, "name": "wr", "ts": 0, "id": 7},
+                {"ph": "B", "pid": 1, "tid": 1, "name": "span", "ts": 0},
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("flow id 7" in p for p in problems)
+        assert any("unbalanced B/E" in p for p in problems)
+
+    def test_flags_unknown_phase_and_non_numeric_ts(self):
+        trace = {
+            "traceEvents": [
+                {"ph": "Q", "pid": 1, "tid": 1, "name": "x"},
+                {"ph": "i", "pid": 1, "tid": 1, "name": "y", "ts": "late"},
+            ]
+        }
+        problems = validate_chrome_trace(trace)
+        assert any("unknown phase 'Q'" in p for p in problems)
+        assert any("'ts' must be numeric" in p for p in problems)

@@ -1,9 +1,11 @@
 """Unit tests for id allocation and the simulation-time logger."""
 
+import json
+
 import pytest
 
 from repro.util.ids import IdAllocator, monotonic_id
-from repro.util.logging import NullLogger, SimLogger
+from repro.util.logging import LEVELS, NullLogger, SimLogger, level_number
 
 
 class TestIdAllocator:
@@ -76,3 +78,60 @@ class TestSimLogger:
         logger = NullLogger()
         logger.log("x", "ignored")
         assert len(logger) == 0
+
+    def test_null_logger_records_still_carry_the_bound_clock(self):
+        logger = NullLogger()
+        logger.bind_clock(lambda: 7.5)
+        record = logger.log("x", "ignored", rank=1)
+        assert record.time == 7.5
+        assert record.rank == 1
+
+
+class TestSeverity:
+    def test_levels_are_ordered(self):
+        assert LEVELS == ("debug", "info", "warning", "error")
+        assert [level_number(level) for level in LEVELS] == [0, 1, 2, 3]
+
+    def test_unknown_level_raises_early(self):
+        with pytest.raises(ValueError, match="unknown log level"):
+            level_number("fatal")
+        with pytest.raises(ValueError, match="unknown log level"):
+            SimLogger().log("x", "msg", level="fatal")
+
+    def test_shorthands_set_the_level(self):
+        logger = SimLogger()
+        assert logger.debug("c", "a").level == "debug"
+        assert logger.info("c", "b").level == "info"
+        assert logger.warning("c", "d").level == "warning"
+        assert logger.error("c", "e").level == "error"
+
+    def test_records_filter_by_min_level_and_category(self):
+        logger = SimLogger()
+        logger.debug("race", "noise")
+        logger.warning("race", "signal")
+        logger.error("nic", "bad")
+        assert [r.message for r in logger.records(min_level="warning")] == [
+            "signal", "bad",
+        ]
+        assert [r.message for r in logger.records("race", min_level="warning")] == [
+            "signal",
+        ]
+
+
+class TestJsonlExport:
+    def test_to_jsonl_is_canonical_and_filterable(self):
+        logger = SimLogger()
+        logger.info("race", "one", rank=0)
+        logger.warning("race", "two", rank=1)
+        logger.info("nic", "three")
+        lines = logger.to_jsonl().splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            payload = json.loads(line)
+            assert list(payload) == sorted(payload)
+            assert set(payload) == {"time", "category", "message", "rank", "level"}
+        filtered = logger.to_jsonl(category="race", min_level="warning")
+        assert json.loads(filtered)["message"] == "two"
+
+    def test_empty_logger_exports_empty_string(self):
+        assert SimLogger().to_jsonl() == ""

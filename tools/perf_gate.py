@@ -2,7 +2,8 @@
 """CI perf-regression gate over committed benchmark baselines.
 
 The benchmarks write machine-readable artifacts (``BENCH_clock_transport.json``,
-``BENCH_clock_wire.json``) from fully seeded, deterministic simulations, so
+``BENCH_clock_wire.json``, ``BENCH_overhead_detection.json``,
+``BENCH_obs_overhead.json``) from fully seeded, deterministic simulations, so
 their message/byte counts are stable run to run.  This gate compares a freshly
 produced artifact against the committed baseline under
 ``benchmarks/baselines/`` and fails the job when a *cost* metric regressed
@@ -17,9 +18,10 @@ Usage (what CI runs)::
 Semantics:
 
 * leaves whose key names a **cost** (``*messages*``, ``*bytes*``,
-  ``*_per_op``, ``*per_message*``, ``round_trips``, ``joins_performed``,
-  ``*events*``, ``races``) are gated: ``fresh > baseline * (1 + tolerance)``
-  is a regression (a zero baseline tolerates no growth at all);
+  ``*_per_op``, ``*per_message*``, ``round_trips``, ``*joins*``, ``*checks*``,
+  ``*compares*``, ``*events*``, ``races``, ``*instruments*``) are gated:
+  ``fresh > baseline * (1 + tolerance)`` is a regression (a zero baseline
+  tolerates no growth at all);
 * leaves whose key names a **benefit** (``*elided*``, ``*saved*``,
   ``*coalesced*``) are informational and never gated;
 * a metric present in the baseline but missing from the fresh artifact is a
@@ -48,9 +50,12 @@ COST_TOKENS = (
     "per_op",
     "per_message",
     "round_trips",
-    "joins_performed",
+    "joins",
+    "checks",
+    "compares",
     "events",
     "races",
+    "instruments",
 )
 
 #: Key substrings marking a leaf as a benefit metric (higher is better) —
