@@ -23,13 +23,38 @@ Charron-Bost's lower bound (Section IV-C of the paper) says vector clocks for
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Iterable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.util.validation import require_positive, require_rank, require_type
 
 ClockLike = Union["VectorClock", Sequence[int], np.ndarray]
+
+
+class Epoch(NamedTuple):
+    """A FastTrack-style ``(rank, scalar)`` annotation of one vector clock.
+
+    An epoch ``(r, s)`` attached to a clock ``C`` asserts the *epoch validity
+    invariant*: ``C[r] == s`` and every clock ``X`` the system can ever
+    compare against ``C`` with ``X[r] >= s`` dominates ``C`` component-wise.
+    Under the standard vector-clock protocol the invariant holds exactly when
+    ``C``'s content equals rank ``r``'s principal vector at its ``s``-th own
+    tick *as last captured before any copy of that state escaped* — a
+    component can only reach ``s`` by (transitively) merging a copy of that
+    state, and the principal row grows monotonically, so every escape
+    dominates the annotated capture.
+
+    The payoff is the O(1) exact test ``C <= X  iff  X[r] >= s``
+    (:func:`repro.core.comparator.epoch_precedes`), which replaces the O(n)
+    directional compares of the detection hot path wherever an annotation is
+    in hand.  Epochs are an *exact shortcut*, never a lossy state: when the
+    invariant cannot be established locally the annotation is simply dropped
+    and the full vector comparison runs, so verdicts cannot depend on them.
+    """
+
+    rank: int
+    scalar: int
 
 
 class LamportClock:

@@ -16,7 +16,7 @@ from __future__ import annotations
 import enum
 from typing import Union
 
-from repro.core.clocks import ClockLike, VectorClock
+from repro.core.clocks import ClockLike, Epoch, VectorClock
 
 
 class ClockOrdering(enum.Enum):
@@ -72,6 +72,21 @@ def concurrent(first: ClockLike, second: ClockLike) -> bool:
     """
     a, b = _as_clock(first), _as_clock(second)
     return a.concurrent_with(b)
+
+
+def epoch_precedes(epoch: Epoch, clock: VectorClock) -> bool:
+    """O(1) exact test: does the epoch-annotated clock happen-before-or-equal *clock*?
+
+    Given a clock ``C`` validly annotated with ``epoch == (r, s)`` (see
+    :class:`repro.core.clocks.Epoch` for the invariant this presumes), the
+    Mattern relation ``C <= clock`` holds **iff** ``clock[r] >= s``: the
+    forward direction is ``C[r] == s``, and the reverse is the invariant
+    itself — any clock that has absorbed rank ``r``'s ``s``-th tick absorbed
+    the whole annotated state with it.  This single-component probe is the
+    entire FastTrack fast path; both outcomes are exact, so callers never
+    need a confirming full compare.
+    """
+    return clock.component(epoch[0]) >= epoch[1]
 
 
 def ordering(first: ClockLike, second: ClockLike) -> ClockOrdering:

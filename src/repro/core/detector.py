@@ -57,8 +57,14 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.core.clocks import MatrixClock, VectorClock
-from repro.core.comparator import ClockOrdering, compare_clocks, compare_clocks_strict, ordering
+from repro.core.clocks import Epoch, MatrixClock, VectorClock
+from repro.core.comparator import (
+    ClockOrdering,
+    compare_clocks,
+    compare_clocks_strict,
+    epoch_precedes,
+    ordering,
+)
 from repro.core.races import RaceRecord, RaceReport, SignalPolicy
 from repro.memory.address import GlobalAddress
 from repro.memory.consistency import AccessKind
@@ -145,6 +151,20 @@ class DetectorConfig:
         Extra NIC messages charged per instrumented operation for fetching and
         writing back clocks (Algorithm 5 uses a get_clock + put_clock pair; a
         piggybacked implementation would use 0).  Used for overhead accounting.
+    epochs:
+        Enable the FastTrack-style epoch fast path: per-datum clocks whose
+        content is known to equal a single rank's captured principal vector
+        carry a ``(rank, scalar)`` annotation, and checks against an
+        annotated clock run as one O(1) component probe instead of O(n)
+        directional compares.  The annotation is dropped (promotion to a
+        full vector) whenever a merge produces content with no O(1) epoch
+        witness — the read-share case — and re-established by the next
+        owner-event write (demotion back to an epoch).  Verdicts, clock
+        contents, and join counts are identical with the knob on or off;
+        only ``compares`` drop (traded for ``epoch_hits`` in the
+        detection profile).  Only active under the Mattern comparison —
+        the STRICT ablation always runs the full-vector path.  Default on;
+        runtime-level gate: ``RuntimeConfig.detector_epochs``.
     """
 
     enabled: bool = True
@@ -157,6 +177,7 @@ class DetectorConfig:
     origin_learns_datum_after_write: bool = False
     treat_rmw_pairs_as_ordered: bool = False
     control_messages_per_check: int = 2
+    epochs: bool = True
 
     def compare(self, first: VectorClock, second: VectorClock) -> bool:
         """``compare_clocks`` under the configured comparison mode."""
@@ -206,6 +227,10 @@ class AccessCheckResult:
     datum_write_clock: Optional[Tuple[int, ...]]
     extra_control_messages: int = 0
     extra_clock_bytes: int = 0
+    #: Epoch annotation of ``datum_access_clock`` at result time, when the
+    #: fast path could establish one — lets downstream consumers (the queue
+    #: pair's drain) chain O(1) domination probes across a burst.
+    datum_epoch: Optional[Epoch] = None
 
     @property
     def raced(self) -> bool:
@@ -244,6 +269,15 @@ class _LastAccessInfo:
     last_plain_kind: AccessKind = AccessKind.WRITE
     last_plain_live: bool = True
     last_plain_component: int = 0
+    # FastTrack-style epoch annotations of the per-datum clocks: ``(r, s)``
+    # asserts the clock's content equals rank ``r``'s principal as captured
+    # at its ``s``-th own tick (see :class:`repro.core.clocks.Epoch`); None
+    # is the promoted-to-full-vector state.  Maintained in lockstep with the
+    # cell clock contents, which presumes the per-address MemoryCell identity
+    # the NIC maintains (the detector is the only cell-clock mutator).
+    access_epoch: Optional[Epoch] = None
+    write_epoch: Optional[Epoch] = None
+    plain_epoch: Optional[Epoch] = None
 
 
 class DualClockRaceDetector:
@@ -277,6 +311,12 @@ class DualClockRaceDetector:
         # runtime binds the simulator-wide one (bind_observability).
         self._profiler = DetectionProfiler()
         self._last_check_compares = 0
+        self._last_check_epoch_hits = 0
+        # Tri-state outcome of the last _check: True when it established
+        # ``reference <= event`` (virgin reference, or a non-racy verdict),
+        # False when racy, None when the check was skipped (same-origin
+        # program order) and nothing is known.
+        self._last_check_reference_covered: Optional[bool] = None
         self._spans = None
 
     def bind_observability(self, obs: object) -> None:
@@ -404,8 +444,47 @@ class DualClockRaceDetector:
             self._plain_clocks[address] = clock
         return clock
 
+    def _epochs_active(self) -> bool:
+        """Epoch annotations presume Mattern semantics (equality is ordered,
+        and the O(1) probe is exact for ``<=``); the STRICT ablation always
+        runs the full-vector path."""
+        return self.config.epochs and self.config.comparison is ComparisonMode.MATTERN
+
+    @staticmethod
+    def _covers(clock: VectorClock, epoch: Optional[Epoch]) -> bool:
+        """O(1) probe: does *clock* dominate the clock *epoch* annotates?"""
+        return epoch is not None and epoch_precedes(epoch, clock)
+
+    @staticmethod
+    def _merge_annotation(
+        current_epoch: Optional[Epoch],
+        covered: bool,
+        event_epoch: Optional[Epoch],
+        cell_clock: VectorClock,
+    ) -> Optional[Epoch]:
+        """Annotation for ``cell := cell ∪ event``, computed *before* the merge.
+
+        Three exact O(1) cases: the old content was *covered* by the event
+        (merged content == event, so the event's own epoch — if it has one —
+        annotates the result); the event was already contained in the cell
+        (witnessed by probing the event's epoch against the pre-merge cell:
+        content unchanged, the standing annotation survives); otherwise the
+        merge is a genuine join with no O(1) witness and the annotation drops
+        to the full-vector state.
+        """
+        if covered:
+            return event_epoch
+        if event_epoch is not None and (
+            cell_clock.component(event_epoch.rank) >= event_epoch.scalar
+        ):
+            return current_epoch
+        return None
+
     def _note_plain_access(
-        self, address: GlobalAddress, event_clock: VectorClock
+        self,
+        address: GlobalAddress,
+        event_clock: VectorClock,
+        event_epoch: Optional[Epoch] = None,
     ) -> int:
         """Fold a plain access into the per-datum non-RMW clock, when needed.
 
@@ -413,7 +492,16 @@ class DualClockRaceDetector:
         profiler can attribute the cost to the enclosing check.
         """
         if self.config.treat_rmw_pairs_as_ordered:
-            self._plain_clock(address).merge_in_place(event_clock)
+            clock = self._plain_clock(address)
+            if self._epochs_active():
+                info = self._info(address)
+                covered = clock.total() == 0 or self._covers(
+                    event_clock, info.plain_epoch
+                )
+                info.plain_epoch = self._merge_annotation(
+                    info.plain_epoch, covered, event_epoch, clock
+                )
+            clock.merge_in_place(event_clock)
             return 1
         return 0
 
@@ -507,6 +595,9 @@ class DualClockRaceDetector:
         assert reference is not None  # _ensure_cell_clocks ran
         info = self._info(address)
         use_access = self.config.write_check is WriteCheckMode.ACCESS_CLOCK
+        epochs = self._epochs_active()
+        pre_access_epoch = info.access_epoch if epochs else None
+        pre_write_epoch = info.write_epoch if epochs else None
         race = self._check(
             origin=origin,
             address=address,
@@ -529,18 +620,61 @@ class DualClockRaceDetector:
                 if use_access
                 else info.last_writer_component
             ),
+            reference_epoch=(pre_access_epoch if use_access else pre_write_epoch),
         )
         if carried_clock is None and self.config.origin_learns_on_put_check:
             # The writer fetched the datum clock for the check; it now knows it.
             self.process_clock(origin).observe_vector(reference)
             event_clock = self.current_clock(origin)
             joins += 1
+        event_epoch: Optional[Epoch] = None
+        access_covered = write_covered = False
+        new_access_epoch: Optional[Epoch] = None
+        new_write_epoch: Optional[Epoch] = None
+        if epochs:
+            if live:
+                # A freshly ticked (and possibly reference-enriched) live
+                # event clock IS the origin's principal at its current tick.
+                event_epoch = Epoch(origin, origin_component)
+            covered = self._last_check_reference_covered
+            if live and self.config.origin_learns_on_put_check:
+                # The observe above folded the checked reference into the
+                # event clock, so coverage holds even for a racy verdict.
+                covered = True
+            if use_access:
+                access_covered = (
+                    covered
+                    if covered is not None
+                    else self._covers(event_clock, pre_access_epoch)
+                )
+                # W(x) <= V(x) always (every write also advanced V), so
+                # access coverage implies write coverage.
+                write_covered = access_covered or self._covers(
+                    event_clock, pre_write_epoch
+                )
+            else:
+                write_covered = (
+                    covered
+                    if covered is not None
+                    else self._covers(event_clock, pre_write_epoch)
+                )
+                access_covered = self._covers(event_clock, pre_access_epoch)
+                write_covered = write_covered or access_covered
+            new_access_epoch = self._merge_annotation(
+                pre_access_epoch, access_covered, event_epoch, cell.access_clock
+            )
+            new_write_epoch = self._merge_annotation(
+                pre_write_epoch, write_covered, event_epoch, cell.write_clock
+            )
         # Algorithm 5 (update_clock / update_clock_W): merge the event clock
         # into both per-datum clocks; the write's effect at the owner's memory
         # additionally counts as an event of the owning process.
         cell.access_clock.merge_in_place(event_clock)
         cell.write_clock.merge_in_place(event_clock)
         joins += 2
+        if epochs:
+            info.access_epoch = new_access_epoch
+            info.write_epoch = new_write_epoch
         if (
             self.config.write_effect_ticks_owner
             and address.rank != origin
@@ -561,13 +695,34 @@ class DualClockRaceDetector:
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
+            owner_epoch = (
+                Epoch(address.rank, owner_view.component(address.rank))
+                if epochs
+                else None
+            )
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
-            joins += 3 + self._note_plain_access(address, owner_view)
+            joins += 3 + self._note_plain_access(address, owner_view, owner_epoch)
+            if epochs:
+                # The owner view dominates the event clock, so the cells now
+                # hold exactly ``owner_view`` whenever the pre-tick content
+                # was covered — by the event (covered flags) or by the owner
+                # view itself (O(1) probe of the post-event annotation).
+                # This is the demotion back to an epoch after a read-share.
+                info.access_epoch = (
+                    owner_epoch
+                    if access_covered or self._covers(owner_view, new_access_epoch)
+                    else None
+                )
+                info.write_epoch = (
+                    owner_epoch
+                    if write_covered or self._covers(owner_view, new_write_epoch)
+                    else None
+                )
         if carried_clock is None and self.config.origin_learns_datum_after_write:
             self.process_clock(origin).observe_vector(cell.access_clock)
             joins += 1
-        joins += self._note_plain_access(address, event_clock)
+        joins += self._note_plain_access(address, event_clock, event_epoch)
         info.last_writer = origin
         info.last_writer_live = live
         info.last_writer_component = origin_component
@@ -586,6 +741,7 @@ class DualClockRaceDetector:
             started=profile_started,
             compares=self._last_check_compares,
             joins=joins,
+            epoch_hits=self._last_check_epoch_hits,
         )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
@@ -595,6 +751,7 @@ class DualClockRaceDetector:
             datum_write_clock=cell.write_clock.frozen(),
             extra_control_messages=messages,
             extra_clock_bytes=clock_bytes,
+            datum_epoch=info.access_epoch,
         )
         self._charge_overhead(result)
         return result
@@ -640,6 +797,8 @@ class DualClockRaceDetector:
         live = carried_clock is None
         origin_component = event_clock.component(origin)
         info = self._info(address)
+        epochs = self._epochs_active()
+        pre_access_epoch = info.access_epoch if epochs else None
         race = self._check(
             origin=origin,
             address=address,
@@ -654,14 +813,34 @@ class DualClockRaceDetector:
             current_live=live,
             previous_live=info.last_writer_live,
             previous_component=info.last_writer_component,
+            reference_epoch=(info.write_epoch if epochs else None),
         )
         if carried_clock is None and self.config.origin_learns_on_get:
             # The data (and its causal history) flows back to the reader.
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
             joins += 1
+        event_epoch: Optional[Epoch] = None
+        access_covered = False
+        new_access_epoch: Optional[Epoch] = None
+        if epochs:
+            if live:
+                event_epoch = Epoch(origin, origin_component)
+            if live and self.config.origin_learns_on_get:
+                # The observe above folded V(x) itself into the event clock.
+                access_covered = True
+            else:
+                access_covered = self._covers(event_clock, pre_access_epoch)
+            new_access_epoch = self._merge_annotation(
+                pre_access_epoch, access_covered, event_epoch, cell.access_clock
+            )
         cell.access_clock.merge_in_place(event_clock)
         joins += 1
+        if epochs:
+            # A carried read whose coverage has no O(1) witness drops the
+            # annotation: this is the read-share promotion to a full vector.
+            # The write clock is untouched by a read, so its epoch stands.
+            info.access_epoch = new_access_epoch
         if (
             carried_clock is not None
             and self.config.write_effect_ticks_owner
@@ -674,9 +853,20 @@ class DualClockRaceDetector:
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
             owner_view = owner_clock.tick()
+            owner_epoch = (
+                Epoch(address.rank, owner_view.component(address.rank))
+                if epochs
+                else None
+            )
             cell.access_clock.merge_in_place(owner_view)
-            joins += 2 + self._note_plain_access(address, owner_view)
-        joins += self._note_plain_access(address, event_clock)
+            joins += 2 + self._note_plain_access(address, owner_view, owner_epoch)
+            if epochs:
+                info.access_epoch = (
+                    owner_epoch
+                    if access_covered or self._covers(owner_view, new_access_epoch)
+                    else None
+                )
+        joins += self._note_plain_access(address, event_clock, event_epoch)
         info.last_accessor = origin
         info.last_access_kind = AccessKind.READ
         info.last_accessor_live = live
@@ -692,6 +882,7 @@ class DualClockRaceDetector:
             started=profile_started,
             compares=self._last_check_compares,
             joins=joins,
+            epoch_hits=self._last_check_epoch_hits,
         )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
@@ -701,6 +892,7 @@ class DualClockRaceDetector:
             datum_write_clock=cell.write_clock.frozen() if cell.write_clock else None,
             extra_control_messages=messages,
             extra_clock_bytes=clock_bytes,
+            datum_epoch=info.access_epoch,
         )
         self._charge_overhead(result)
         return result
@@ -747,12 +939,16 @@ class DualClockRaceDetector:
         live = carried_clock is None
         origin_component = event_clock.component(origin)
         info = self._info(address)
+        epochs = self._epochs_active()
+        pre_access_epoch = info.access_epoch if epochs else None
+        pre_write_epoch = info.write_epoch if epochs else None
         if self.config.treat_rmw_pairs_as_ordered:
             reference: VectorClock = self._plain_clock(address)
             previous_rank = info.last_plain_accessor
             previous_kind = info.last_plain_kind
             previous_live = info.last_plain_live
             previous_component = info.last_plain_component
+            reference_epoch = info.plain_epoch if epochs else None
         else:
             assert cell.access_clock is not None  # _ensure_cell_clocks ran
             reference = cell.access_clock
@@ -760,6 +956,7 @@ class DualClockRaceDetector:
             previous_kind = info.last_access_kind
             previous_live = info.last_accessor_live
             previous_component = info.last_accessor_component
+            reference_epoch = pre_access_epoch
         race = self._check(
             origin=origin,
             address=address,
@@ -774,6 +971,7 @@ class DualClockRaceDetector:
             current_live=live,
             previous_live=previous_live,
             previous_component=previous_component,
+            reference_epoch=reference_epoch,
         )
         if carried_clock is None and self.config.origin_learns_on_get:
             # The old value flows back in the ATOMIC_REPLY, and with it the
@@ -781,12 +979,43 @@ class DualClockRaceDetector:
             self.process_clock(origin).observe_vector(cell.access_clock)
             event_clock = self.current_clock(origin)
             joins += 1
+        event_epoch: Optional[Epoch] = None
+        access_covered = write_covered = False
+        new_access_epoch: Optional[Epoch] = None
+        new_write_epoch: Optional[Epoch] = None
+        if epochs:
+            if live:
+                event_epoch = Epoch(origin, origin_component)
+            if live and self.config.origin_learns_on_get:
+                # The observe above folded V(x) itself into the event clock.
+                access_covered = True
+            elif not self.config.treat_rmw_pairs_as_ordered:
+                covered = self._last_check_reference_covered
+                access_covered = (
+                    covered
+                    if covered is not None
+                    else self._covers(event_clock, pre_access_epoch)
+                )
+            else:
+                access_covered = self._covers(event_clock, pre_access_epoch)
+            write_covered = access_covered or self._covers(
+                event_clock, pre_write_epoch
+            )
+            new_access_epoch = self._merge_annotation(
+                pre_access_epoch, access_covered, event_epoch, cell.access_clock
+            )
+            new_write_epoch = self._merge_annotation(
+                pre_write_epoch, write_covered, event_epoch, cell.write_clock
+            )
         # The RMW writes: both per-datum clocks advance, and the effect at the
         # owner's memory counts as an event of the owning process, exactly as
         # for a put.  The plain-access clock is deliberately *not* touched.
         cell.access_clock.merge_in_place(event_clock)
         cell.write_clock.merge_in_place(event_clock)
         joins += 2
+        if epochs:
+            info.access_epoch = new_access_epoch
+            info.write_epoch = new_write_epoch
         if self.config.write_effect_ticks_owner and address.rank != origin:
             owner_clock = self.process_clock(address.rank)
             owner_clock.observe_vector(event_clock)
@@ -794,6 +1023,20 @@ class DualClockRaceDetector:
             cell.access_clock.merge_in_place(owner_view)
             cell.write_clock.merge_in_place(owner_view)
             joins += 3
+            if epochs:
+                owner_epoch = Epoch(
+                    address.rank, owner_view.component(address.rank)
+                )
+                info.access_epoch = (
+                    owner_epoch
+                    if access_covered or self._covers(owner_view, new_access_epoch)
+                    else None
+                )
+                info.write_epoch = (
+                    owner_epoch
+                    if write_covered or self._covers(owner_view, new_write_epoch)
+                    else None
+                )
             if carried_clock is None and self.config.origin_learns_on_get:
                 # The reply leaves the owner after the reception event.
                 self.process_clock(origin).observe_vector(cell.access_clock)
@@ -813,6 +1056,7 @@ class DualClockRaceDetector:
             started=profile_started,
             compares=self._last_check_compares,
             joins=joins,
+            epoch_hits=self._last_check_epoch_hits,
         )
         messages, clock_bytes = self._overhead_for_check(wire_clock_bytes)
         result = AccessCheckResult(
@@ -822,6 +1066,7 @@ class DualClockRaceDetector:
             datum_write_clock=cell.write_clock.frozen(),
             extra_control_messages=messages,
             extra_clock_bytes=clock_bytes,
+            datum_epoch=info.access_epoch,
         )
         self._charge_overhead(result)
         return result
@@ -884,6 +1129,7 @@ class DualClockRaceDetector:
         current_live: bool = True,
         previous_live: bool = True,
         previous_component: int = 0,
+        reference_epoch: Optional[Epoch] = None,
     ) -> Optional[RaceRecord]:
         """Corollary 1: signal a race when the clocks are incomparable.
 
@@ -898,9 +1144,22 @@ class DualClockRaceDetector:
         followed by a live one is the async blind spot: nothing orders the
         NIC engine's effect against the process's later access, so the clock
         comparison runs.
+
+        When the caller holds a valid epoch annotation of the reference
+        clock, both provenance variants collapse to one O(1) probe.  For a
+        carried event ``reference_unknown`` is literally ``not (reference <=
+        event)``, which the probe decides exactly.  For a live event the
+        freshly ticked origin component cannot appear in the reference yet,
+        so ``event <= reference`` and equality are impossible and
+        ``clocks_unordered`` reduces to the same ``not (reference <= event)``
+        — identical verdicts by construction, no confirming full compare.
         """
         self._last_check_compares = 0
+        self._last_check_epoch_hits = 0
+        self._last_check_reference_covered = None
         if reference_clock.total() == 0:
+            # The zero clock precedes every event clock.
+            self._last_check_reference_covered = True
             return None
         if (
             self.config.same_origin_program_order
@@ -911,7 +1170,11 @@ class DualClockRaceDetector:
             )
         ):
             return None
-        if current_live:
+        if reference_epoch is not None:
+            # The FastTrack fast path: one O(1) component probe.
+            self._last_check_epoch_hits = 1
+            racy = not epoch_precedes(reference_epoch, event_clock)
+        elif current_live:
             # Two directional O(n) comparisons (neither clock precedes the other).
             self._last_check_compares = 2
             racy = self.config.clocks_unordered(event_clock, reference_clock)
@@ -919,6 +1182,11 @@ class DualClockRaceDetector:
             # One directional O(n) comparison (is the datum history in the snapshot?).
             self._last_check_compares = 1
             racy = self.config.reference_unknown(reference_clock, event_clock)
+        # A non-racy verdict establishes ``reference <= event`` in both
+        # provenances: directly for carried events, and by the fresh-tick
+        # argument (the other two Mattern outcomes are impossible) for live
+        # ones.  Consumed only by the epoch annotation maintenance.
+        self._last_check_reference_covered = not racy
         if not racy:
             return None
         record = RaceRecord(

@@ -17,8 +17,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.core.clocks import VectorClock
-from repro.core.comparator import concurrent
+from repro.core.clocks import Epoch, VectorClock
+from repro.core.comparator import concurrent, epoch_precedes
 from repro.detectors.base import BaselineDetector, DetectedRace, DetectionResult
 from repro.memory.address import GlobalAddress
 from repro.memory.consistency import AccessKind, MemoryAccess
@@ -29,11 +29,17 @@ class SingleClockDetector(BaselineDetector):
 
     name = "single-clock"
 
-    def __init__(self, origin_learns: bool = True) -> None:
+    def __init__(self, origin_learns: bool = True, epochs: bool = True) -> None:
         #: Whether the accessing process merges the datum clock into its own
         #: clock after each access (the same convention as the dual-clock
         #: detector); turning it off makes the baseline even noisier.
         self.origin_learns = origin_learns
+        #: FastTrack-style epoch fast path: when the datum clock's content is
+        #: known to equal a single rank's captured clock, the concurrency
+        #: test collapses to one O(1) component probe (the access's fresh
+        #: tick rules out every Mattern outcome except ``datum <= clock``).
+        #: Findings are identical either way; off runs the full compares.
+        self.epochs = epochs
 
     def detect(
         self, accesses: Sequence[MemoryAccess], world_size: int, syncs: Sequence = ()
@@ -45,6 +51,7 @@ class SingleClockDetector(BaselineDetector):
             rank: VectorClock.zeros(world_size) for rank in range(world_size)
         }
         datum_clocks: Dict[GlobalAddress, VectorClock] = {}
+        datum_epochs: Dict[GlobalAddress, Optional[Epoch]] = {}
         last_access: Dict[GlobalAddress, MemoryAccess] = {}
         findings: List[DetectedRace] = []
 
@@ -66,8 +73,21 @@ class SingleClockDetector(BaselineDetector):
             clock = process_clocks[access.rank]
             clock.tick(access.rank)
             datum_clock = datum_clocks.get(access.address)
+            # Does the pre-merge datum content precede this access's clock?
+            # True for a virgin datum; re-derived below from the verdict.
+            covered = True
             if datum_clock is not None and datum_clock.total() > 0:
-                if concurrent(clock, datum_clock):
+                epoch = datum_epochs.get(access.address) if self.epochs else None
+                if epoch is not None:
+                    # O(1) fast path: the just-ticked ``clock[access.rank]``
+                    # appears in no other clock yet, so ``clock <= datum``
+                    # and equality are impossible and ``concurrent`` reduces
+                    # to ``not (datum <= clock)`` — decided by the probe.
+                    is_race = not epoch_precedes(epoch, clock)
+                else:
+                    is_race = concurrent(clock, datum_clock)
+                covered = not is_race
+                if is_race:
                     previous = last_access.get(access.address)
                     findings.append(
                         DetectedRace(
@@ -94,8 +114,17 @@ class SingleClockDetector(BaselineDetector):
                 datum_clock = VectorClock.zeros(world_size)
                 datum_clocks[access.address] = datum_clock
             if self.origin_learns:
+                # The access absorbs the datum clock first, so the merge
+                # below always leaves the datum equal to this clock.
                 clock.merge_in_place(datum_clock)
+                covered = True
             datum_clock.merge_in_place(clock)
+            if self.epochs:
+                datum_epochs[access.address] = (
+                    Epoch(access.rank, int(clock.component(access.rank)))
+                    if covered
+                    else None
+                )
             last_access[access.address] = access
 
         return DetectionResult(

@@ -66,6 +66,12 @@ class CampaignConfig:
     (``True``) or off (``False``) on every built runtime; coalescing only
     changes completion-event accounting and CQ visibility timing, never a
     verdict.
+
+    ``detector_epochs`` — when not ``None``, force the detector's epoch
+    fast path ``"on"`` or ``"off"`` on every built runtime; the fast path
+    is an exact shortcut, so ``--expect-consistent`` must hold for every
+    combination (the CI knob-matrix gate runs the full 2 transports × 3
+    wires × 2 moderation × 2 epoch-mode cross product).
     """
 
     strategy: str = "fuzz"
@@ -88,6 +94,8 @@ class CampaignConfig:
     clock_wire: Optional[str] = None
     # completion-coalescing sweep
     cq_moderation: Optional[bool] = None
+    # detector epoch-fast-path sweep
+    detector_epochs: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.strategy not in ("fuzz", "systematic"):
@@ -100,6 +108,13 @@ class CampaignConfig:
             validate_clock_transport(self.clock_transport)
         if self.clock_wire is not None:
             validate_clock_wire(self.clock_wire)
+        if self.detector_epochs is not None and self.detector_epochs not in (
+            "on",
+            "off",
+        ):
+            raise ValueError(
+                f"detector_epochs must be 'on' or 'off', got {self.detector_epochs!r}"
+            )
 
 
 def _resolve_corpus(corpus: str):
@@ -124,12 +139,14 @@ def _knob_configure(
     clock_transport: Optional[str] = None,
     clock_wire: Optional[str] = None,
     cq_moderation: Optional[bool] = None,
+    detector_epochs: Optional[str] = None,
 ):
     if (
         treat_rmw_pairs_as_ordered is None
         and clock_transport is None
         and clock_wire is None
         and cq_moderation is None
+        and detector_epochs is None
     ):
         return None
 
@@ -144,6 +161,8 @@ def _knob_configure(
             runtime.set_clock_wire(clock_wire)
         if cq_moderation is not None:
             runtime.set_cq_moderation(cq_moderation)
+        if detector_epochs is not None:
+            runtime.set_detector_epochs(detector_epochs)
 
     return configure
 
@@ -160,6 +179,7 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
             config.clock_transport,
             config.clock_wire,
             config.cq_moderation,
+            config.detector_epochs,
         ),
     )
     if config.strategy == "systematic":
@@ -421,6 +441,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="force completion coalescing on or off for every explored "
         "runtime (default: the pattern's own configuration)",
     )
+    parser.add_argument(
+        "--detector-epochs",
+        default=None,
+        choices=("on", "off"),
+        help="force the detector's epoch fast path on or off for every "
+        "explored runtime (default: the pattern's own configuration)",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument("--markdown", dest="markdown_path", default=None)
     parser.add_argument(
@@ -446,6 +473,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cq_moderation=(
             None if args.cq_moderation is None else args.cq_moderation == "on"
         ),
+        detector_epochs=args.detector_epochs,
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
     if args.json_path:

@@ -113,7 +113,12 @@ class NICConfig:
         Algorithm 5's explicit clock messages per access, ``"piggyback"``
         rides the clock on every data message and batches origin-side joins
         per queue-pair drain.  The two modes produce byte-identical
-        detector verdicts; only the traffic differs.
+        detector verdicts; only the traffic differs.  Under the detector's
+        epoch fast path the carried-clock checks these paths run also
+        return a ``datum_epoch`` annotation on the post-check datum clock
+        (``AccessCheckResult.datum_epoch``), which lets the queue pair's
+        drain chain O(1) domination probes across a burst and amortize
+        the service-clock join to one per burst instead of one per access.
     clock_wire:
         How a clock is *encoded* when it crosses the wire (see
         :mod:`repro.net.clock_transport`): ``"full"`` ships the whole
@@ -404,7 +409,11 @@ class NIC:
         clock of a posted (verbs) put: the write is then checked with the
         carried snapshot instead of the origin's live clock, the landing
         still counts as an owner event, and the origin synchronizes only
-        when it retires the completion.  Returns a
+        when it retires the completion.  The check result's ``datum_epoch``
+        (the owner-tick annotation the epoch fast path re-establishes on
+        the datum clock) travels back with the completion, where the queue
+        pair uses it to replace — rather than re-join — its running
+        service clock across a drain burst.  Returns a
         :class:`RemoteOperationResult`.
         """
         require_type(target, GlobalAddress, "target")

@@ -29,12 +29,13 @@ CHECK_TYPES: Tuple[Tuple[str, str], ...] = tuple(
 
 
 class _Bucket:
-    __slots__ = ("checks", "compares", "joins", "wall_ns")
+    __slots__ = ("checks", "compares", "joins", "epoch_hits", "wall_ns")
 
     def __init__(self) -> None:
         self.checks = 0
         self.compares = 0
         self.joins = 0
+        self.epoch_hits = 0
         self.wall_ns = 0
 
 
@@ -58,12 +59,19 @@ class DetectionProfiler:
         started: Optional[int] = None,
         compares: int = 0,
         joins: int = 0,
+        epoch_hits: int = 0,
     ) -> None:
-        """Account one finished check of *kind* with *live*/carried provenance."""
+        """Account one finished check of *kind* with *live*/carried provenance.
+
+        ``epoch_hits`` counts full vector compares replaced by O(1) epoch
+        probes; it is always reported (zero when the fast path is off) so
+        snapshot shapes do not depend on configuration.
+        """
         bucket = self._buckets[(kind, "live" if live else "carried")]
         bucket.checks += 1
         bucket.compares += compares
         bucket.joins += joins
+        bucket.epoch_hits += epoch_hits
         if started is not None:
             bucket.wall_ns += _time.perf_counter_ns() - started
 
@@ -81,6 +89,7 @@ class DetectionProfiler:
                 "checks": bucket.checks,
                 "compares": bucket.compares,
                 "joins": bucket.joins,
+                "epoch_hits": bucket.epoch_hits,
             }
             if self.wall_clock:
                 entry["wall_ns"] = bucket.wall_ns
@@ -89,11 +98,12 @@ class DetectionProfiler:
 
     def totals(self) -> Dict[str, int]:
         """Summed counts across every check type."""
-        totals = {"checks": 0, "compares": 0, "joins": 0}
+        totals = {"checks": 0, "compares": 0, "joins": 0, "epoch_hits": 0}
         for bucket in self._buckets.values():
             totals["checks"] += bucket.checks
             totals["compares"] += bucket.compares
             totals["joins"] += bucket.joins
+            totals["epoch_hits"] += bucket.epoch_hits
         return totals
 
     def merge(self, other: "DetectionProfiler") -> "DetectionProfiler":
@@ -103,6 +113,7 @@ class DetectionProfiler:
             mine.checks += bucket.checks
             mine.compares += bucket.compares
             mine.joins += bucket.joins
+            mine.epoch_hits += bucket.epoch_hits
             mine.wall_ns += bucket.wall_ns
         return self
 
@@ -112,4 +123,5 @@ class DetectionProfiler:
             bucket.checks = 0
             bucket.compares = 0
             bucket.joins = 0
+            bucket.epoch_hits = 0
             bucket.wall_ns = 0

@@ -10,6 +10,7 @@ and overhead statistics, and the final contents of shared memory.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Union
 
@@ -93,6 +94,17 @@ class RuntimeConfig:
     clock_wire_resync:
         Channel messages between full-clock resync frames under the sparse
         wire formats (``None`` keeps ``nic.clock_wire_resync``).
+    detector_epochs:
+        The FastTrack-style epoch fast path of the detector (see
+        ``DetectorConfig.epochs``): ``"on"`` replaces full O(n) vector
+        compares with O(1) ``(rank, scalar)`` epoch probes wherever the
+        per-datum clock carries a valid annotation, falling back to the
+        full path on genuine read-share; ``"off"`` always runs the full
+        vector compares.  Verdicts, clock contents, metrics, and join
+        counts are identical in both modes — only ``compares`` vs
+        ``epoch_hits`` in the detection profile differ.  ``None`` (the
+        default) follows the ``REPRO_DETECTOR_EPOCHS`` environment
+        variable if set, else ``detector.epochs`` (on).
     cq_moderation:
         Completion coalescing: when true, each queue pair drain delivers
         its burst of work completions as ONE CQE event (as real NICs do
@@ -157,6 +169,7 @@ class RuntimeConfig:
     clock_transport: Optional[str] = None
     clock_wire: Optional[str] = None
     clock_wire_resync: Optional[int] = None
+    detector_epochs: Optional[str] = None
     cq_moderation: bool = False
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
@@ -199,6 +212,8 @@ class RunResult:
     clock_wire: str = "full"
     #: Whether completion coalescing (one CQE per drain burst) was active.
     cq_moderation: bool = False
+    #: Whether the detector's epoch fast path was active (``"on"``/``"off"``).
+    detector_epochs: str = "on"
     #: Canonical metric snapshot of the run (``sim.obs.metrics``): every
     #: counter/gauge/histogram keyed ``name{label=value,...}``, sorted.
     metrics: Dict[str, Any] = field(default_factory=dict)
@@ -349,6 +364,19 @@ class DSMRuntime:
         if self.config.clock_wire_resync is not None:
             require_positive(self.config.clock_wire_resync, "clock_wire_resync")
             self.config.nic.clock_wire_resync = self.config.clock_wire_resync
+        # Resolve the detector epoch fast path: an explicit runtime knob
+        # wins, else the REPRO_DETECTOR_EPOCHS environment variable (the CI
+        # matrix leg), else whatever the DetectorConfig already says.
+        if self.config.detector_epochs is None:
+            env_epochs = os.environ.get("REPRO_DETECTOR_EPOCHS")
+            if env_epochs is not None:
+                self.set_detector_epochs(env_epochs)
+            else:
+                self.config.detector_epochs = (
+                    "on" if self.config.detector.epochs else "off"
+                )
+        else:
+            self.set_detector_epochs(self.config.detector_epochs)
 
     # -- clock transport ----------------------------------------------------------------
 
@@ -397,6 +425,26 @@ class DSMRuntime:
             raise RuntimeError("set_clock_wire() must be called before run()")
         self.config.clock_wire = wire_format
         self.config.nic.clock_wire = wire_format
+
+    def set_detector_epochs(self, mode: str) -> None:
+        """Enable/disable the detector's epoch fast path (before :meth:`run`).
+
+        ``"on"`` or ``"off"`` — see ``RuntimeConfig.detector_epochs``.  The
+        fast path is an exact shortcut (verdicts and clock contents cannot
+        depend on it), so the knob exists for the differential harness and
+        the CI slow-path matrix leg, not for semantics.  The campaign
+        runner's configure hook uses this to sweep the knob on an
+        already-built runtime.
+        """
+        if mode not in ("on", "off"):
+            raise ValueError(
+                f"detector_epochs must be 'on' or 'off', got {mode!r}"
+            )
+        if self._ran:
+            raise RuntimeError("set_detector_epochs() must be called before run()")
+        self.config.detector_epochs = mode
+        # The detector shares this config object; no rebuild needed.
+        self.config.detector.epochs = mode == "on"
 
     def set_cq_moderation(self, enabled: bool) -> None:
         """Enable/disable completion coalescing (before :meth:`run`).
@@ -543,6 +591,7 @@ class DSMRuntime:
             clock_transport=self.config.clock_transport,
             clock_wire=self.config.clock_wire,
             cq_moderation=self.config.cq_moderation,
+            detector_epochs=self.config.detector_epochs,
         )
         ranks_without_program = [
             rank for rank in range(self.config.world_size) if rank not in self._programs
@@ -591,6 +640,7 @@ class DSMRuntime:
             clock_transport_stats=self.clock_transport_stats().as_dict(),
             clock_wire=self.config.clock_wire,
             cq_moderation=self.config.cq_moderation,
+            detector_epochs=self.config.detector_epochs,
             metrics=self.sim.obs.metrics.snapshot(),
             detection_profile=self.sim.obs.profiler.snapshot(),
         )

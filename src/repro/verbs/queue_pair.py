@@ -109,6 +109,18 @@ class QueuePair:
         #: pair has serviced (the batched clock-transport payload);
         #: completions carry a copy, the origin merges at retirement.
         self._serviced_clock: Optional[VectorClock] = None
+        #: Epoch annotation of ``_serviced_clock``'s content, when the last
+        #: serviced datum clock came back annotated and covered the running
+        #: join — the O(1) witness that lets the next service *replace* the
+        #: join instead of merging (one O(n) join per burst, amortized).
+        self._serviced_epoch = None
+        #: Whether the current ``_serviced_clock`` object has been handed to
+        #: a completion; consumers only read it, but a later fallback merge
+        #: must then build a new object instead of mutating the shared one.
+        self._serviced_shared = False
+        #: O(n) service-clock joins performed vs elided by the epoch chain.
+        self.sync_joins_performed = 0
+        self.sync_joins_elided = 0
         #: Service-order sequence stamped into completions (sync_seq).
         self._service_seq = 0
 
@@ -322,13 +334,47 @@ class QueuePair:
         """
         if snapshot is None or result.check is None or not result.check.datum_access_clock:
             return  # detection off, or an unsnapshotted (non-posted) path
-        datum_clock = VectorClock.from_entries(result.check.datum_access_clock)
+        check = result.check
+        prev_epoch = self._serviced_epoch
         if self._serviced_clock is None:
-            self._serviced_clock = datum_clock
+            self._serviced_clock = VectorClock.from_entries(check.datum_access_clock)
+            self._serviced_shared = False
+            self._serviced_epoch = check.datum_epoch
+        elif (
+            prev_epoch is not None
+            and check.datum_access_clock[prev_epoch[0]] >= prev_epoch[1]
+        ):
+            # The new datum clock dominates everything serviced so far (O(1)
+            # epoch probe — see repro.core.clocks.Epoch), so the join IS the
+            # new clock: replace instead of merging.  Back-to-back posted
+            # accesses to owner-ticked cells take this path for the whole
+            # burst, amortizing the O(n) join the slow path pays per access.
+            self._serviced_clock = VectorClock.from_entries(check.datum_access_clock)
+            self._serviced_shared = False
+            self._serviced_epoch = check.datum_epoch
+            self.sync_joins_elided += 1
         else:
-            self._serviced_clock.merge_in_place(datum_clock)
+            # Genuine join.  The running annotation survives only with the
+            # reverse O(1) witness (the datum was already inside the join);
+            # and if the current object is aliased by an earlier completion,
+            # merge into a fresh one — completions are immutable history.
+            self._serviced_epoch = (
+                prev_epoch
+                if check.datum_epoch is not None
+                and self._serviced_clock.component(check.datum_epoch[0])
+                >= check.datum_epoch[1]
+                else None
+            )
+            datum_clock = VectorClock.from_entries(check.datum_access_clock)
+            if self._serviced_shared:
+                self._serviced_clock = self._serviced_clock.merged(datum_clock)
+                self._serviced_shared = False
+            else:
+                self._serviced_clock.merge_in_place(datum_clock)
+            self.sync_joins_performed += 1
         self._service_seq += 1
-        completion.sync_clock = self._serviced_clock.copy()
+        completion.sync_clock = self._serviced_clock
+        self._serviced_shared = True
         completion.sync_seq = self._service_seq
 
     def _execute_send(self, request: WorkRequest) -> Generator:

@@ -14,12 +14,27 @@ class TestDetectionProfiler:
     def test_record_accumulates_into_the_right_bucket(self):
         profiler = DetectionProfiler()
         profiler.record("write", live=True, compares=2, joins=3)
-        profiler.record("write", live=True, compares=0, joins=1)
+        profiler.record("write", live=True, compares=0, joins=1, epoch_hits=1)
         profiler.record("read", live=False, compares=1, joins=2)
         snapshot = profiler.snapshot()
-        assert snapshot["write_live"] == {"checks": 2, "compares": 2, "joins": 4}
-        assert snapshot["read_carried"] == {"checks": 1, "compares": 1, "joins": 2}
-        assert snapshot["rmw_live"] == {"checks": 0, "compares": 0, "joins": 0}
+        assert snapshot["write_live"] == {
+            "checks": 2,
+            "compares": 2,
+            "joins": 4,
+            "epoch_hits": 1,
+        }
+        assert snapshot["read_carried"] == {
+            "checks": 1,
+            "compares": 1,
+            "joins": 2,
+            "epoch_hits": 0,
+        }
+        assert snapshot["rmw_live"] == {
+            "checks": 0,
+            "compares": 0,
+            "joins": 0,
+            "epoch_hits": 0,
+        }
 
     def test_snapshot_is_deterministic_without_wall_clock(self):
         profiler = DetectionProfiler()
@@ -41,9 +56,19 @@ class TestDetectionProfiler:
         left = DetectionProfiler()
         left.record("write", live=True, compares=2, joins=3)
         right = DetectionProfiler()
-        right.record("write", live=True, compares=1, joins=1)
+        right.record("write", live=True, compares=1, joins=1, epoch_hits=2)
         right.record("read", live=False, joins=5)
         assert left.merge(right) is left
-        assert left.totals() == {"checks": 3, "compares": 3, "joins": 9}
+        assert left.totals() == {
+            "checks": 3,
+            "compares": 3,
+            "joins": 9,
+            "epoch_hits": 2,
+        }
         left.reset()
-        assert left.totals() == {"checks": 0, "compares": 0, "joins": 0}
+        assert left.totals() == {
+            "checks": 0,
+            "compares": 0,
+            "joins": 0,
+            "epoch_hits": 0,
+        }

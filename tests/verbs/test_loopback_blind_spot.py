@@ -61,10 +61,12 @@ def make_factory(waited):
     return factory
 
 
-def explore(waited):
-    return Explorer(make_factory(waited), seed=0).explore_fuzzed(
-        BUDGET, quantum=2.0, tie_shuffle_probability=0.6
-    )
+def explore(waited, detector_epochs="on"):
+    return Explorer(
+        make_factory(waited),
+        seed=0,
+        configure=lambda runtime: runtime.set_detector_epochs(detector_epochs),
+    ).explore_fuzzed(BUDGET, quantum=2.0, tie_shuffle_probability=0.6)
 
 
 def test_ground_truth_the_loopback_race_is_real():
@@ -73,23 +75,29 @@ def test_ground_truth_the_loopback_race_is_real():
     assert "x" in explore(waited=False).ground_truth_racy_symbols()
 
 
+# Both epoch modes: the fast path is an exact shortcut, so it must neither
+# open the blind spot wider (flag fraction rising would XPASS strictly and
+# fail loudly) nor pretend to close it.
+@pytest.mark.parametrize("detector_epochs", ["on", "off"])
 @pytest.mark.xfail(
     strict=True,
     reason="verbs loopback blind spot (origin == owner): the poster and the "
     "owner share one clock identity, so the every-schedule guarantee does "
     "not yet cover posted operations on the poster's own memory — needs a "
-    "clock component per queue-pair engine (ROADMAP follow-up)",
+    "clock component per queue-pair engine (ROADMAP follow-up); holds in "
+    "both detector_epochs modes, the fast path cannot change it",
 )
-def test_unwaited_loopback_post_flagged_in_every_schedule():
-    result = explore(waited=False)
+def test_unwaited_loopback_post_flagged_in_every_schedule(detector_epochs):
+    result = explore(waited=False, detector_epochs=detector_epochs)
     assert "x" in result.ground_truth_racy_symbols()
     assert result.flag_fraction(MATRIX_CLOCK, "x") == 1.0
 
 
-def test_waited_loopback_post_is_silent_in_every_schedule():
+@pytest.mark.parametrize("detector_epochs", ["on", "off"])
+def test_waited_loopback_post_is_silent_in_every_schedule(detector_epochs):
     """The sound half works today: a properly waited loopback post never
     races, in any schedule — whatever closes the blind spot must keep this
     at zero false positives."""
-    result = explore(waited=True)
+    result = explore(waited=True, detector_epochs=detector_epochs)
     assert "x" not in result.ground_truth_racy_symbols()
     assert result.flag_fraction(MATRIX_CLOCK, "x") == 0.0

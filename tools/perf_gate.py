@@ -60,7 +60,10 @@ COST_TOKENS = (
 
 #: Key substrings marking a leaf as a benefit metric (higher is better) —
 #: checked first, so e.g. ``wire_bytes_saved`` is not gated as a cost.
-BENEFIT_TOKENS = ("elided", "saved", "coalesced")
+#: ``epoch_hits`` counts full vector compares replaced by O(1) epoch probes
+#: (the detector's FastTrack-style fast path): more hits means less work,
+#: so it must never be gated as if it were a cost.
+BENEFIT_TOKENS = ("elided", "saved", "coalesced", "epoch_hits")
 
 DEFAULT_TOLERANCE = 0.05
 DEFAULT_BASELINES_DIR = os.path.join("benchmarks", "baselines")
