@@ -1,0 +1,105 @@
+"""Critical-path extraction: exact attribution, gated end-to-end sim time.
+
+Runs a barrier-heavy, a lock-contended, and a pipeline-shaped workload from
+the racy-pattern corpus with span tracing on, extracts each run's critical
+path, and asserts the analyzer's exactness contract:
+
+* the path tiles ``[0, elapsed_sim_time]`` — its length equals the simulated
+  run time *exactly* (rational arithmetic, not within-epsilon);
+* per-category attribution sums to the path length exactly;
+* the what-if engine at factor 1.0 reproduces the run time exactly, and
+  shrinking the dominant category never predicts a slower run.
+
+Writes ``BENCH_critical_path.json`` with per-workload ``*_sim_time`` leaves
+(gated by ``tools/perf_gate.py`` — the end-to-end run time joins the perf
+trajectory) and ``critical_path`` sections the gate's regression explainer
+uses to attribute any future slowdown to its category.
+"""
+
+import json
+import os
+from fractions import Fraction
+
+from conftest import record
+
+from repro.obs.critical_path import CriticalPathAnalyzer
+from repro.obs.whatif import WhatIfEngine
+from repro.workloads.racy_patterns import pattern_corpus, rmw_pattern_corpus
+
+#: Where the per-push perf artifact lands (CI uploads it).
+BENCH_JSON = os.environ.get("REPRO_BENCH_JSON", "BENCH_critical_path.json")
+
+#: Corpus patterns exercising distinct path compositions: barrier fan-in,
+#: lock serialization, and a long send/recv pipeline.
+WORKLOADS = ("rmw-with-barriers", "stencil-no-barriers", "master-worker")
+
+SEED = 7
+
+
+def _patterns():
+    by_name = {p.name: p for p in pattern_corpus() + rmw_pattern_corpus()}
+    return [by_name[name] for name in WORKLOADS]
+
+
+def _traced_run(pattern, seed=SEED):
+    runtime = pattern.build(seed=seed)
+    runtime.sim.obs.configure(trace_spans=True)
+    result = runtime.run()
+    return runtime, result
+
+
+def test_critical_path_attribution_is_exact_and_gated(benchmark):
+    runs = {p.name: _traced_run(p) for p in _patterns()}
+
+    def analyze_all():
+        return {
+            name: CriticalPathAnalyzer.from_tracer(
+                runtime.sim.obs.spans, result.elapsed_sim_time
+            ).critical_path()
+            for name, (runtime, result) in runs.items()
+        }
+
+    paths = benchmark(analyze_all)
+
+    report = {}
+    for name, (runtime, result) in runs.items():
+        path = paths[name]
+        analyzer = CriticalPathAnalyzer.from_tracer(
+            runtime.sim.obs.spans, result.elapsed_sim_time
+        )
+        # Exactness contract: length == run time, attribution sums to length.
+        assert path.length_exact == Fraction(result.elapsed_sim_time), name
+        attribution = path.attribution_exact()
+        assert sum(attribution.values(), Fraction(0)) == path.length_exact, name
+        # What-if contract: factor 1.0 is a no-op; shrinking the dominant
+        # category cannot predict a slower run.
+        engine = WhatIfEngine(analyzer)
+        assert engine.predict_exact() == Fraction(result.elapsed_sim_time), name
+        dominant = path.dominant_category()
+        shrunk = engine.predict({dominant: 0.9})
+        assert shrunk <= result.elapsed_sim_time, name
+        summary = path.summary()
+        report[name] = {
+            "total_sim_time": result.elapsed_sim_time,
+            "whatif_dominant90_sim_time": shrunk,
+            "critical_path": {
+                "path_sim_time": summary["path_sim_time"],
+                "segments": summary["segments"],
+                "dominant": summary["dominant"],
+                "categories": summary["categories"],
+            },
+        }
+
+    _write_artifact(report)
+    record(benchmark, experiment="critical path", **{
+        f"{name}_{key}": stats[key]
+        for name, stats in report.items()
+        for key in ("total_sim_time", "whatif_dominant90_sim_time")
+    })
+
+
+def _write_artifact(report: dict) -> None:
+    payload = {"format": "repro-bench-critical-path", "version": 1, **report}
+    with open(BENCH_JSON, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -197,6 +197,73 @@ def test_epoch_fastpath_halves_compares_on_exclusive_access(benchmark):
     )
 
 
+def test_postmortem_replay_epoch_fastpath_on_large_trace(benchmark):
+    """Re-tune the postmortem replay path on a large recorded trace.
+
+    The wrapper/pre-compiler deployment route records accesses online and
+    analyses them later; its detector inherits ``DetectorConfig.epochs``.
+    This pins the fast path on the *offline* detector: replaying the largest
+    stencil trace in the suite with epochs on must reproduce the online race
+    verdict (none), match epochs-off verdicts and joins exactly, and at least
+    halve the full vector compares — the same acceptance bar the online
+    detector meets.  Replay totals join the gate artifact so postmortem
+    analysis cost cannot silently regress.
+    """
+    from repro.trace.replay import TraceReplayer
+
+    traced = StencilWorkload(
+        world_size=6, cells_per_rank=10, iterations=5, use_barriers=True
+    ).run(seed=0)
+    recorder = traced.runtime.recorder
+    accesses, syncs = recorder.accesses(), recorder.syncs()
+    world_size = traced.runtime.config.world_size
+
+    def replay_pair():
+        def replay(epochs):
+            return TraceReplayer(
+                world_size, config=DetectorConfig(epochs=epochs)
+            ).replay(accesses, syncs)
+
+        return replay(True), replay(False)
+
+    fast, slow = benchmark(replay_pair)
+
+    # Offline replay reproduces the online verdict, with and without epochs.
+    assert fast.race_count == slow.race_count == traced.run.race_count == 0
+    assert fast.accesses_replayed == slow.accesses_replayed == len(accesses)
+    assert fast.cells_touched == slow.cells_touched
+
+    totals = {
+        "epochs_on": _profile_totals(fast.detection_profile),
+        "epochs_off": _profile_totals(slow.detection_profile),
+    }
+    # The fast path changes replay cost, never replay semantics.
+    assert totals["epochs_on"]["checks"] == totals["epochs_off"]["checks"]
+    assert totals["epochs_on"]["joins"] == totals["epochs_off"]["joins"]
+    assert totals["epochs_off"]["epoch_hits"] == 0
+    assert totals["epochs_on"]["epoch_hits"] > 0
+    # Same acceptance bar as online: >= 2x fewer full vector compares.
+    assert totals["epochs_on"]["compares"] * 2 <= totals["epochs_off"]["compares"]
+    assert totals["epochs_off"]["compares"] > 0
+
+    report = {
+        "trace_accesses": len(accesses),
+        "trace_syncs": len(syncs),
+        **totals,
+    }
+    _write_artifact("postmortem_replay", report)
+    record(
+        benchmark,
+        experiment="E11 postmortem replay epoch fast path (large trace)",
+        trace_accesses=len(accesses),
+        **{
+            f"{mode}_{key}": value
+            for mode, total in totals.items()
+            for key, value in total.items()
+        },
+    )
+
+
 def _write_artifact(section: str, report: dict) -> None:
     """Write one section of the gate artifact, preserving sections already
     written by other tests in this benchmark run."""

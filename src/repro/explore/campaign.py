@@ -96,6 +96,10 @@ class CampaignConfig:
     cq_moderation: Optional[bool] = None
     # detector epoch-fast-path sweep
     detector_epochs: Optional[str] = None
+    #: Record each schedule's critical-path summary (span tracing on for
+    #: every explored run; pure post-processing, verdict-identical) and rank
+    #: schedules by path composition in the markdown report.
+    critical_path: bool = False
 
     def __post_init__(self) -> None:
         if self.strategy not in ("fuzz", "systematic"):
@@ -181,6 +185,7 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
             config.cq_moderation,
             config.detector_epochs,
         ),
+        critical_path=config.critical_path,
     )
     if config.strategy == "systematic":
         result = explorer.explore_systematic(
@@ -358,6 +363,19 @@ class CampaignReport:
                 f"| {sum(o['detection_bytes'] for o in outcomes)} "
                 f"| {instruments} |"
             )
+        composition = self._path_composition_rows()
+        if composition:
+            lines += [
+                "",
+                "## Schedules ranked by critical-path composition",
+                "",
+                "longest explored schedule per pattern, slowest first; the "
+                "category split says *why* that interleaving was slow",
+                "",
+                "| pattern | schedule | path sim time | dominant | composition |",
+                "|---|---|---|---|---|",
+            ]
+            lines += composition
         lines += [
             "",
             f"matrix-clock every-schedule guarantee: "
@@ -365,6 +383,41 @@ class CampaignReport:
             "",
         ]
         return "\n".join(lines)
+
+    def _path_composition_rows(self) -> List[str]:
+        """Markdown rows ranking patterns by their slowest schedule's path.
+
+        Empty when the campaign ran without ``critical_path`` (no summaries
+        were recorded).
+        """
+        ranked = []
+        for payload in self.per_pattern:
+            best = None
+            for outcome in payload.get("outcomes", []):
+                summary = outcome.get("critical_path") or {}
+                total = summary.get("path_sim_time")
+                if total is None:
+                    continue
+                if best is None or total > best[1]:
+                    best = (outcome.get("schedule_id", 0), total, summary)
+            if best is not None:
+                ranked.append((str(payload["pattern"]),) + best)
+        ranked.sort(key=lambda row: (-row[2], row[0]))
+        rows = []
+        for pattern, schedule_id, total, summary in ranked:
+            categories = summary.get("categories", {})
+            split = ", ".join(
+                f"{category} {value / total:.0%}"
+                for category, value in sorted(
+                    categories.items(), key=lambda item: (-item[1], item[0])
+                )
+                if value > 0
+            ) or "—"
+            rows.append(
+                f"| {pattern} | {schedule_id} | {total:.2f} "
+                f"| {summary.get('dominant', '—')} | {split} |"
+            )
+        return rows
 
 
 def run_campaign(
@@ -448,6 +501,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="force the detector's epoch fast path on or off for every "
         "explored runtime (default: the pattern's own configuration)",
     )
+    parser.add_argument(
+        "--critical-path",
+        action="store_true",
+        help="record each schedule's critical-path summary and rank "
+        "schedules by path composition in the report",
+    )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument("--markdown", dest="markdown_path", default=None)
     parser.add_argument(
@@ -474,6 +533,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             None if args.cq_moderation is None else args.cq_moderation == "on"
         ),
         detector_epochs=args.detector_epochs,
+        critical_path=args.critical_path,
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
     if args.json_path:

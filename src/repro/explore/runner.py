@@ -85,6 +85,11 @@ class ScheduleOutcome:
     #: per-schedule observability that campaign workers ship back verbatim,
     #: byte-identical for byte-identical schedules.
     metrics: Dict[str, object] = field(default_factory=dict)
+    #: Critical-path summary of the schedule (``CriticalPath.summary()``),
+    #: recorded only when the run opted into path analysis — pure
+    #: post-processing of the span trace, so verdicts/decisions/metrics are
+    #: unchanged whether it is on or off.
+    critical_path: Dict[str, object] = field(default_factory=dict)
 
     @property
     def racy(self) -> bool:
@@ -107,6 +112,7 @@ class ScheduleOutcome:
             "detection_messages": self.detection_messages,
             "detection_bytes": self.detection_bytes,
             "metrics": dict(self.metrics),
+            "critical_path": dict(self.critical_path),
         }
 
 
@@ -118,19 +124,33 @@ def run_schedule(
     offline_detectors: Optional[Sequence[BaselineDetector]] = None,
     max_ties: int = 8,
     configure: Optional[Callable[[DSMRuntime], None]] = None,
+    critical_path: bool = False,
 ) -> ScheduleOutcome:
     """Build, control and run one schedule; reduce it to its outcome.
 
     *configure*, when given, is applied to the freshly built runtime before
     the controller is installed (the campaign runner uses it to sweep
-    detector knobs without touching the factory).
+    detector knobs without touching the factory).  With *critical_path*,
+    span tracing is enabled for the run and the outcome carries the
+    schedule's critical-path summary — analysis is pure post-processing, so
+    verdicts, decision logs and metric snapshots are identical either way.
     """
     runtime = factory(seed)
     if configure is not None:
         configure(runtime)
+    if critical_path:
+        runtime.sim.obs.configure(trace_spans=True)
     controller = ScheduleController(strategy, max_ties=max_ties)
     runtime.sim.install_controller(controller)
     result = runtime.run()
+
+    path_summary: Dict[str, object] = {}
+    if critical_path:
+        from repro.obs.critical_path import CriticalPathAnalyzer
+
+        path_summary = CriticalPathAnalyzer.from_tracer(
+            runtime.sim.obs.spans, result.elapsed_sim_time
+        ).summary()
 
     flagged: Dict[str, Set[str]] = {
         MATRIX_CLOCK: {s for s in result.races.by_symbol() if s is not None}
@@ -177,6 +197,7 @@ def run_schedule(
         detection_messages=result.fabric_stats.detection_messages,
         detection_bytes=result.fabric_stats.detection_bytes,
         metrics=result.metrics,
+        critical_path=path_summary,
     )
 
 
@@ -305,12 +326,14 @@ class Explorer:
         offline_detectors: Optional[Sequence[BaselineDetector]] = None,
         max_ties: int = 8,
         configure: Optional[Callable[[DSMRuntime], None]] = None,
+        critical_path: bool = False,
     ) -> None:
         self._factory = factory
         self.seed = seed
         self._offline = offline_detectors
         self._max_ties = max_ties
         self._configure = configure
+        self._critical_path = critical_path
 
     def _run(self, strategy: ScheduleStrategy, schedule_id: int) -> ScheduleOutcome:
         return run_schedule(
@@ -321,6 +344,7 @@ class Explorer:
             offline_detectors=self._offline,
             max_ties=self._max_ties,
             configure=self._configure,
+            critical_path=self._critical_path,
         )
 
     # -- fuzzing ---------------------------------------------------------------------

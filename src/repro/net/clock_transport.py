@@ -508,6 +508,7 @@ class ClockTransport:
             or target_rank == self._nic.rank
         ):
             return 0, None
+        sync_started = self._nic._sim.now
         fetch, _ = self._nic.fabric.send(
             MessageKind.CLOCK_FETCH, self._nic.rank, target_rank,
             payload_bytes=0, operation_tag=tag,
@@ -527,6 +528,11 @@ class ClockTransport:
         )
         yield reply
         self.stats.round_trips += 1
+        self._nic._obs.spans.complete(
+            self._nic.engine_track, "clock_sync", sync_started,
+            self._nic._sim.now, target=f"P{target_rank}",
+            update_bytes=update_bytes,
+        )
         return 2, update_bytes
 
     # -- retirement joins and completion events ------------------------------------------

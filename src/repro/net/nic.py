@@ -823,7 +823,12 @@ class NIC:
                     backoff = controller.on_rnr_backoff(
                         self.rank, destination, retries, rnr_backoff
                     )
+                backoff_started = self._sim.now
                 yield self._sim.timeout(backoff, name=f"rnr-backoff:{tag}")
+                self._obs.spans.complete(
+                    self.engine_track, "rnr_backoff", backoff_started,
+                    self._sim.now, destination=f"P{destination}", retry=retries,
+                )
                 continue
             break
         if remote:

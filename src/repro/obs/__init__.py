@@ -18,22 +18,34 @@ hangs off the simulator (``sim.obs``):
   counts (and optional wall time) per check type (read/write/rmw ×
   live/carried), the before/after baseline for hot-path optimisation work.
 
+On top of the span data sit two pure post-processors:
+:mod:`repro.obs.critical_path` (critical-path extraction with exact
+per-category attribution) and :mod:`repro.obs.whatif` (causal what-if
+profiling — rescale a category, recompute the end-to-end time without
+rerunning).
+
 The hard rule, enforced by tests: observability never touches clocks,
 scheduling, or randomness — detector verdicts and decision logs are
 byte-identical with it on or off.
 """
 
+from repro.obs.critical_path import CriticalPath, CriticalPathAnalyzer, PathSegment
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.observability import Observability
 from repro.obs.profiler import DetectionProfiler
 from repro.obs.spans import SpanTracer
+from repro.obs.whatif import WhatIfEngine
 
 __all__ = [
     "Counter",
+    "CriticalPath",
+    "CriticalPathAnalyzer",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
     "DetectionProfiler",
+    "PathSegment",
     "SpanTracer",
+    "WhatIfEngine",
 ]

@@ -7,28 +7,87 @@ Subcommands::
         summarize it; without, run the RPC-echo example and summarize that.
 
     python -m repro.obs diff BEFORE.json AFTER.json
+                             [--trace-before T1.json --trace-after T2.json]
         Structural diff of two metric snapshots (added/removed/changed keys).
-        Exits 1 when the snapshots differ, 0 when byte-identical content.
+        With trace files, also attribute the run delta to critical-path
+        categories and print the ranked movement table.  Exits 1 when the
+        snapshots differ, 0 when byte-identical content.
 
     python -m repro.obs export-trace [--out TRACE.json] [--seed N] [--racy]
                                      [--validate] [--metrics METRICS.json]
         Run the RPC-echo workload with span tracing enabled and write the
         Chrome trace-event JSON (open it at https://ui.perfetto.dev).  With
-        ``--metrics`` also write the run's metric snapshot.
+        ``--metrics`` also write the run's metric snapshot (versioned
+        envelope).
 
     python -m repro.obs validate TRACE.json
-        Check a trace file against the Chrome trace-event schema subset.
+        Check a trace file against the Chrome trace-event schema subset;
+        reports the first failing event's index.
+
+    python -m repro.obs critical-path [--trace TRACE.json] [--seed N] [--racy]
+                                      [--top N] [--json OUT.json]
+        Extract the critical path (from an exported trace, or from a fresh
+        traced RPC-echo run) and print per-category attribution with the
+        longest segments.
+
+    python -m repro.obs whatif [--trace TRACE.json] [--seed N] [--racy]
+                               [--category CAT] [--factor F] [--curve]
+        Causal what-if profiling: predict the end-to-end sim time if one
+        category ran F× its recorded speed.  Without ``--category``, print
+        the ranked per-category profile (where optimization pays off most).
+
+All file-reading subcommands exit 2 with a one-line message on a missing or
+malformed input file — no tracebacks.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from typing import List, Optional
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.critical_path import (
+    CATEGORIES,
+    CriticalPathAnalyzer,
+    category_deltas,
+)
+from repro.obs.metrics import MetricsRegistry, load_snapshot
 from repro.obs.schema import validate_chrome_trace
+from repro.obs.whatif import WhatIfEngine
+
+
+class CliError(Exception):
+    """A user-facing one-line failure (bad input file, bad arguments)."""
+
+
+def _load_json(path: str, what: str = "input") -> object:
+    """Load a JSON file or raise :class:`CliError` with a one-line reason."""
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        raise CliError(f"{what} file not found: {path}")
+    except IsADirectoryError:
+        raise CliError(f"{what} path is a directory, not a file: {path}")
+    except json.JSONDecodeError as error:
+        raise CliError(
+            f"{what} file {path} is not valid JSON "
+            f"(line {error.lineno}, column {error.colno}: {error.msg})"
+        )
+    except OSError as error:
+        raise CliError(f"cannot read {what} file {path}: {error.strerror or error}")
+
+
+def _load_metrics(path: str) -> dict:
+    payload = _load_json(path, "metrics")
+    if not isinstance(payload, dict):
+        raise CliError(f"metrics file {path} must contain a JSON object")
+    try:
+        return load_snapshot(payload)
+    except ValueError as error:
+        raise CliError(f"metrics file {path}: {error}")
 
 
 def _run_rpc_echo(seed: int, racy: bool, trace_spans: bool):
@@ -42,6 +101,22 @@ def _run_rpc_echo(seed: int, racy: bool, trace_spans: bool):
         config=RuntimeConfig(trace_spans=trace_spans),
     )
     return workload.run(seed=seed)
+
+
+def _analyzer_for(args: argparse.Namespace) -> CriticalPathAnalyzer:
+    """An analyzer from ``--trace FILE`` or from a fresh traced RPC-echo run."""
+    if args.trace:
+        payload = _load_json(args.trace, "trace")
+        if not isinstance(payload, dict):
+            raise CliError(f"trace file {args.trace} must contain a JSON object")
+        try:
+            return CriticalPathAnalyzer.from_chrome_trace(payload)
+        except ValueError as error:
+            raise CliError(f"trace file {args.trace}: {error}")
+    result = _run_rpc_echo(args.seed, racy=args.racy, trace_spans=True)
+    return CriticalPathAnalyzer.from_tracer(
+        result.runtime.sim.obs.spans, result.run.elapsed_sim_time
+    )
 
 
 def _print_summary(snapshot: dict, title: str) -> None:
@@ -73,10 +148,24 @@ def _print_summary(snapshot: dict, title: str) -> None:
             print(f"   {key}: count={value['count']} sum={value['sum']:g}")
 
 
+def _print_attribution(summary: dict) -> None:
+    total = summary["path_sim_time"]
+    print(
+        f"critical path: {total:g} sim time over {summary['segments']} segments "
+        f"(dominant: {summary['dominant']})"
+    )
+    print(f"{'category':<18} {'sim time':>12} {'share':>8}")
+    for category in CATEGORIES:
+        value = summary["categories"].get(category, 0.0)
+        if not value:
+            continue
+        share = summary["fractions"].get(category, 0.0)
+        print(f"{category:<18} {value:>12.4f} {share:>7.1%}")
+
+
 def cmd_summarize(args: argparse.Namespace) -> int:
     if args.metrics_file:
-        with open(args.metrics_file) as handle:
-            snapshot = json.load(handle)
+        snapshot = _load_metrics(args.metrics_file)
         _print_summary(snapshot, args.metrics_file)
         return 0
     result = _run_rpc_echo(args.seed, racy=False, trace_spans=False)
@@ -88,28 +177,51 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    with open(args.before) as handle:
-        before = json.load(handle)
-    with open(args.after) as handle:
-        after = json.load(handle)
+    before = _load_metrics(args.before)
+    after = _load_metrics(args.after)
     delta = MetricsRegistry.diff(before, after)
     identical = not (delta["added"] or delta["removed"] or delta["changed"])
     if identical:
         print("snapshots are identical")
-        return 0
-    for key, value in delta["added"].items():
-        print(f"ADDED    {key} = {value}")
-    for key, value in delta["removed"].items():
-        print(f"REMOVED  {key} (was {value})")
-    for key, value in delta["changed"].items():
-        print(f"CHANGED  {key}: {value['before']} -> {value['after']}")
-    return 1
+    else:
+        for key, value in delta["added"].items():
+            print(f"ADDED    {key} = {value}")
+        for key, value in delta["removed"].items():
+            print(f"REMOVED  {key} (was {value})")
+        for key, value in delta["changed"].items():
+            print(f"CHANGED  {key}: {value['before']} -> {value['after']}")
+    if args.trace_before or args.trace_after:
+        if not (args.trace_before and args.trace_after):
+            raise CliError("--trace-before and --trace-after must be given together")
+        summaries = []
+        for path in (args.trace_before, args.trace_after):
+            payload = _load_json(path, "trace")
+            if not isinstance(payload, dict):
+                raise CliError(f"trace file {path} must contain a JSON object")
+            try:
+                analyzer = CriticalPathAnalyzer.from_chrome_trace(payload)
+            except ValueError as error:
+                raise CliError(f"trace file {path}: {error}")
+            summaries.append(analyzer.summary())
+        print("-- critical-path movement (before -> after)")
+        rows = category_deltas(summaries[0], summaries[1])
+        if not rows:
+            print("   no per-category path movement")
+        for row in rows:
+            print(
+                f"   {row['category']:<18} {row['before']:>10.4f} -> "
+                f"{row['after']:>10.4f}  ({row['delta']:+.4f})"
+            )
+    return 0 if identical else 1
 
 
 def cmd_export_trace(args: argparse.Namespace) -> int:
     result = _run_rpc_echo(args.seed, racy=args.racy, trace_spans=True)
     tracer = result.runtime.sim.obs.spans
     trace = tracer.to_chrome_trace()
+    # Record the run length so offline analysis (critical-path, what-if)
+    # knows where the path must end without guessing from the last event.
+    trace["otherData"]["elapsed_sim_time"] = result.run.elapsed_sim_time
     with open(args.out, "w") as handle:
         json.dump(trace, handle, indent=2, sort_keys=True)
     print(
@@ -118,8 +230,9 @@ def cmd_export_trace(args: argparse.Namespace) -> int:
         f"(open at https://ui.perfetto.dev)"
     )
     if args.metrics:
+        registry = result.runtime.sim.obs.metrics
         with open(args.metrics, "w") as handle:
-            handle.write(json.dumps(result.run.metrics, indent=2, sort_keys=True))
+            handle.write(json.dumps(registry.export(), indent=2, sort_keys=True))
         print(f"wrote {args.metrics}: {len(result.run.metrics)} instruments")
     if args.validate:
         problems = validate_chrome_trace(trace)
@@ -132,15 +245,80 @@ def cmd_export_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    with open(args.trace) as handle:
-        trace = json.load(handle)
+    trace = _load_json(args.trace, "trace")
     problems = validate_chrome_trace(trace)
     if problems:
+        first_index = None
+        for problem in problems:
+            match = re.match(r"traceEvents\[(\d+)\]", problem)
+            if match:
+                first_index = int(match.group(1))
+                break
+        if first_index is not None:
+            print(f"first failing event: traceEvents[{first_index}]")
         for problem in problems:
             print(f"INVALID: {problem}")
         return 1
-    events = trace.get("traceEvents", [])
+    events = trace.get("traceEvents", []) if isinstance(trace, dict) else []
     print(f"{args.trace}: valid ({len(events)} events)")
+    return 0
+
+
+def cmd_critical_path(args: argparse.Namespace) -> int:
+    analyzer = _analyzer_for(args)
+    path = analyzer.critical_path()
+    summary = path.summary(top_segments=args.top)
+    _print_attribution(summary)
+    print(f"-- longest segments (top {min(args.top, len(path))})")
+    for segment in summary["top_segments"]:
+        print(
+            f"   [{segment['start']:>10.4f}, {segment['end']:>10.4f}] "
+            f"{segment['duration']:>10.4f}  {segment['category']:<18} "
+            f"{segment['name']} (P{segment['rank']})"
+        )
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def cmd_whatif(args: argparse.Namespace) -> int:
+    analyzer = _analyzer_for(args)
+    engine = WhatIfEngine(analyzer)
+    baseline = analyzer.critical_path().length
+    if args.category:
+        if args.category not in CATEGORIES:
+            raise CliError(
+                f"unknown category {args.category!r} "
+                f"(valid: {', '.join(CATEGORIES)})"
+            )
+        if args.curve:
+            print(f"causal-profile curve for {args.category} (baseline {baseline:g})")
+            print(f"{'factor':>8} {'predicted':>12} {'speedup':>9}")
+            for point in engine.curve(args.category):
+                print(
+                    f"{point['factor']:>8.2f} {point['predicted_sim_time']:>12.4f} "
+                    f"{point['speedup']:>8.2%}"
+                )
+            return 0
+        predicted = engine.predict({args.category: args.factor})
+        speedup = engine.speedup({args.category: args.factor})
+        print(
+            f"{args.category} x{args.factor:g}: predicted {predicted:g} sim time "
+            f"(baseline {baseline:g}, end-to-end speedup {speedup:.2%})"
+        )
+        return 0
+    print(
+        f"what-if profile at factor {args.factor:g} (baseline {baseline:g}): "
+        f"best payoff first"
+    )
+    print(f"{'category':<18} {'path time':>12} {'predicted':>12} {'speedup':>9}")
+    for row in engine.profile(factor=args.factor):
+        print(
+            f"{row['category']:<18} {row['path_time']:>12.4f} "
+            f"{row['predicted_sim_time']:>12.4f} {row['speedup']:>8.2%}"
+        )
     return 0
 
 
@@ -162,6 +340,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_diff = subparsers.add_parser("diff", help="diff two metric snapshots")
     p_diff.add_argument("before")
     p_diff.add_argument("after")
+    p_diff.add_argument(
+        "--trace-before", default=None,
+        help="span trace of the BEFORE run (enables critical-path attribution)",
+    )
+    p_diff.add_argument(
+        "--trace-after", default=None,
+        help="span trace of the AFTER run (enables critical-path attribution)",
+    )
     p_diff.set_defaults(func=cmd_diff)
 
     p_export = subparsers.add_parser(
@@ -186,8 +372,50 @@ def main(argv: Optional[List[str]] = None) -> int:
     p_val.add_argument("trace")
     p_val.set_defaults(func=cmd_validate)
 
+    p_cp = subparsers.add_parser(
+        "critical-path",
+        help="extract and attribute the critical path of a traced run",
+    )
+    p_cp.add_argument(
+        "--trace", default=None,
+        help="exported trace JSON (default: run RPC echo with tracing)",
+    )
+    p_cp.add_argument("--seed", type=int, default=0)
+    p_cp.add_argument("--racy", action="store_true")
+    p_cp.add_argument("--top", type=int, default=5, help="longest segments to show")
+    p_cp.add_argument("--json", default=None, help="also write the summary JSON here")
+    p_cp.set_defaults(func=cmd_critical_path)
+
+    p_wi = subparsers.add_parser(
+        "whatif", help="causal what-if: rescale a category, predict the run time"
+    )
+    p_wi.add_argument(
+        "--trace", default=None,
+        help="exported trace JSON (default: run RPC echo with tracing)",
+    )
+    p_wi.add_argument("--seed", type=int, default=0)
+    p_wi.add_argument("--racy", action="store_true")
+    p_wi.add_argument(
+        "--category", default=None, help=f"one of: {', '.join(CATEGORIES)}"
+    )
+    p_wi.add_argument(
+        "--factor", type=float, default=0.9,
+        help="virtual speed factor (0.9 = 10%% faster)",
+    )
+    p_wi.add_argument(
+        "--curve", action="store_true",
+        help="print the whole causal-profile curve for --category",
+    )
+    p_wi.set_defaults(func=cmd_whatif)
+
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CliError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:  # e.g. `... | head`; not an error
+        return 0
 
 
 if __name__ == "__main__":

@@ -27,6 +27,11 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+#: Version of the exported metrics-file layout (the ``export()`` wrapper).
+#: Bumped on incompatible changes so loaders fail loudly instead of
+#: misreading a snapshot from a different era.
+METRICS_SCHEMA_VERSION = 1
+
 #: Named fixed bucket layouts for histograms.  Fixed layouts (rather than
 #: data-driven ones) keep snapshots byte-identical across runs and make
 #: baselines comparable across commits.
@@ -139,6 +144,32 @@ class Histogram:
         self.count += 1
         self.total += value
 
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 <= q <= 1) by bucket interpolation.
+
+        Prometheus-style: find the bucket holding the target rank and
+        interpolate linearly inside it (the overflow bucket clamps to its
+        lower bound — there is no upper edge to interpolate towards).
+        Returns 0.0 for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bucket_count in enumerate(self.bucket_counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative >= target and bucket_count:
+                if i >= len(self.bounds):
+                    return self.bounds[-1]
+                lower = self.bounds[i - 1] if i else 0.0
+                upper = self.bounds[i]
+                fraction = (target - previous) / bucket_count
+                return lower + (upper - lower) * fraction
+        return self.bounds[-1]
+
     @property
     def key(self) -> str:
         return self.name + _label_suffix(self.labels)
@@ -239,6 +270,18 @@ class MetricsRegistry:
         """Canonical JSON of :meth:`snapshot` — byte-identical for equal runs."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def export(self, prefix: Optional[str] = None) -> Dict[str, object]:
+        """The snapshot wrapped in the versioned file envelope.
+
+        This is what metrics *files* should contain; :func:`load_snapshot`
+        is the matching reader.  :meth:`snapshot` itself stays bare for
+        in-process use.
+        """
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": self.snapshot(prefix),
+        }
+
     @staticmethod
     def diff(
         before: Dict[str, object], after: Dict[str, object]
@@ -275,3 +318,24 @@ class MetricsRegistry:
         yield from self._counters.values()
         yield from self._gauges.values()
         yield from self._histograms.values()
+
+
+def load_snapshot(payload: Dict[str, object]) -> Dict[str, object]:
+    """Unwrap a metrics file payload into a bare snapshot dict.
+
+    Accepts both the versioned envelope (``{"schema_version": 1, "metrics":
+    {...}}``) and a bare pre-versioning snapshot.  Raises :class:`ValueError`
+    on an envelope whose version this reader does not understand.
+    """
+    if isinstance(payload, dict) and "schema_version" in payload:
+        version = payload["schema_version"]
+        if version != METRICS_SCHEMA_VERSION:
+            raise ValueError(
+                f"metrics schema_version {version!r} is not supported "
+                f"(this reader understands version {METRICS_SCHEMA_VERSION})"
+            )
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            raise ValueError("versioned metrics file has no 'metrics' object")
+        return metrics
+    return payload

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.obs.spans import TRACE_SCHEMA_VERSION
+
 #: Phases this repo emits, with the extra keys each requires.
 _REQUIRED_BY_PHASE: Dict[str, tuple] = {
     "X": ("ts", "dur"),
@@ -33,9 +35,17 @@ def validate_chrome_trace(trace: object) -> List[str]:
     problems: List[str] = []
     if not isinstance(trace, dict):
         return [f"top level must be an object, got {type(trace).__name__}"]
+    # Absent schema_version means a pre-versioning export and stays valid;
+    # present-and-wrong means a layout this checker does not understand.
+    version = trace.get("schema_version")
+    if version is not None and version != TRACE_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version!r} is not supported "
+            f"(this validator understands version {TRACE_SCHEMA_VERSION})"
+        )
     events = trace.get("traceEvents")
     if not isinstance(events, list):
-        return ["top level must contain a 'traceEvents' array"]
+        return problems + ["top level must contain a 'traceEvents' array"]
 
     flow_starts: Dict[object, int] = {}
     flow_ends: Dict[object, int] = {}

@@ -31,6 +31,12 @@ from typing import Dict, List, Optional, Tuple
 #: One simulated time unit == this many trace microseconds.
 SIM_TIME_TO_US = 1000.0
 
+#: Version of the exported span-trace layout.  Bumped whenever the event
+#: vocabulary or the ``otherData`` contract changes incompatibly, so loaders
+#: (the schema validator, :class:`~repro.obs.critical_path.CriticalPathAnalyzer`)
+#: fail loudly on a trace from a different era instead of misreading it.
+TRACE_SCHEMA_VERSION = 1
+
 
 class SpanHandle:
     """Returned by :meth:`SpanTracer.begin`; pass back to :meth:`SpanTracer.end`."""
@@ -133,13 +139,16 @@ class SpanTracer:
         if not self.enabled:
             return
         pid, tid = self._track(track)
+        # Stored in *sim* time; converted to trace microseconds at export.
+        # Analysis (the critical-path analyzer) reads the sim-native record,
+        # so its arithmetic never round-trips through the us scaling.
         event: Dict[str, object] = {
             "ph": "X",
             "name": name,
             "pid": pid,
             "tid": tid,
-            "ts": start * SIM_TIME_TO_US,
-            "dur": max(0.0, (end - start) * SIM_TIME_TO_US),
+            "ts": start,
+            "dur": max(0.0, end - start),
         }
         if args:
             event["args"] = args
@@ -156,7 +165,7 @@ class SpanTracer:
             "name": name,
             "pid": pid,
             "tid": tid,
-            "ts": sim_time * SIM_TIME_TO_US,
+            "ts": sim_time,
         }
         if args:
             event["args"] = args
@@ -182,7 +191,7 @@ class SpanTracer:
                 "id": self._flow_id(key),
                 "pid": pid,
                 "tid": tid,
-                "ts": sim_time * SIM_TIME_TO_US,
+                "ts": sim_time,
             }
         )
 
@@ -200,7 +209,7 @@ class SpanTracer:
                 "id": self._flow_id(key),
                 "pid": pid,
                 "tid": tid,
-                "ts": sim_time * SIM_TIME_TO_US,
+                "ts": sim_time,
             }
         )
 
@@ -210,9 +219,29 @@ class SpanTracer:
         """Spans begun but not yet ended (tests assert this drains to [])."""
         return list(self._open_spans)
 
+    @staticmethod
+    def _to_us(event: Dict[str, object]) -> Dict[str, object]:
+        """One internal (sim-time) event as its exported (microsecond) twin."""
+        if "ts" not in event:
+            return dict(event)
+        out = dict(event)
+        out["ts"] = out["ts"] * SIM_TIME_TO_US
+        if "dur" in out:
+            out["dur"] = out["dur"] * SIM_TIME_TO_US
+        return out
+
     def events(self) -> List[Dict[str, object]]:
-        """The raw recorded events, in recording order."""
-        return list(self._events)
+        """The recorded events in recording order, timestamps in trace us."""
+        return [self._to_us(event) for event in self._events]
+
+    def sim_events(self) -> List[Dict[str, object]]:
+        """The recorded events with ``ts``/``dur`` in *sim time*.
+
+        This is the lossless view the critical-path analyzer consumes: sim
+        times never round-trip through the microsecond scaling, so interval
+        arithmetic on them reproduces the simulator's own timestamps exactly.
+        """
+        return [dict(event) for event in self._events]
 
     def tracks(self) -> List[str]:
         """Track names in first-seen (deterministic) order."""
@@ -223,7 +252,8 @@ class SpanTracer:
         return {
             "displayTimeUnit": "ms",
             "otherData": {"time_base": "simulated", "sim_time_to_us": SIM_TIME_TO_US},
-            "traceEvents": list(self._events),
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "traceEvents": self.events(),
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:

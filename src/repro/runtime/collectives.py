@@ -63,6 +63,9 @@ class Barrier:
         self._merged: Optional[VectorClock] = None
         self._release_events: Dict[int, Event] = {}
         self._crossings = 0
+        #: generation -> (last-arriving rank, open sim time): the fan-in
+        #: edge the critical-path analyzer hops across.
+        self._open_info: Dict[int, tuple] = {}
         self._obs = Observability.of(sim)
 
     @property
@@ -102,26 +105,33 @@ class Barrier:
         )
         self._arrived += 1
         if self._arrived == self._world_size:
-            self._open(generation)
+            self._open(generation, rank)
         yield release
         # Every participant leaves knowing everything every participant knew.
         if self._detector is not None and self._merged is not None:
             self._detector.process_clock(rank).observe_vector(self._merged)
         # The fan-in span: from this rank's arrival to its release — the
         # straggler's span is ~zero, the first arrival's spans the longest.
+        # The opener args name the true fan-in edge: wait time before the
+        # open was the last arriver's fault, time after it is release flight.
+        opener, opened_at = self._open_info.get(generation, (None, None))
+        span_args: Dict[str, object] = {"generation": generation}
+        if opener is not None:
+            span_args["opener"] = f"P{opener}"
+            span_args["opened_at"] = opened_at
         self._obs.spans.complete(
             f"rank-P{rank}",
             "barrier_wait",
             arrived_at,
             self._sim.now,
-            generation=generation,
+            **span_args,
         )
         self._obs.metrics.histogram(
             "barrier.wait_time", layout="sim_time", rank=rank
         ).observe(self._sim.now - arrived_at)
         return generation
 
-    def _open(self, generation: int) -> None:
+    def _open(self, generation: int, opener: int) -> None:
         """Last arrival: release every waiter, after the release messages land.
 
         The merged clock is recomputed from every participant's *current*
@@ -144,6 +154,7 @@ class Barrier:
                 range(self._world_size), time=self._sim.now, kind="barrier"
             )
         merged = self._merged
+        self._open_info[generation] = (opener, self._sim.now)
         releases = dict(self._release_events)
         # Reset state for the next generation before any waiter resumes.
         self._generation = generation + 1

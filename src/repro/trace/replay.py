@@ -41,6 +41,11 @@ class ReplayOutcome:
     races: List[RaceRecord]
     accesses_replayed: int
     cells_touched: int
+    #: Per-check-type cost profile of the replay detector (same shape as the
+    #: online ``RunResult.detection_profile``), so postmortem replay cost —
+    #: compares, joins, epoch fast-path hits — is comparable across
+    #: ``DetectorConfig`` settings without rerunning the program.
+    detection_profile: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def race_count(self) -> int:
@@ -152,6 +157,7 @@ class TraceReplayer:
             races=detector.races(),
             accesses_replayed=replayed,
             cells_touched=len(cells),
+            detection_profile=detector.profiler.snapshot(),
         )
 
     @staticmethod

@@ -17,6 +17,11 @@ from repro.trace.events import OperationRecord, SyncEvent
 
 _JSON_SAFE = (str, int, float, bool, type(None))
 
+#: Schema version stamped into archived traces.  Loaders accept archives
+#: without the field (legacy producers) but reject a mismatching value —
+#: silently misreading a future schema would corrupt a replay.
+TRACE_ARCHIVE_SCHEMA_VERSION = 1
+
 
 def _safe_value(value: object) -> object:
     """Return *value* if JSON-safe, else its ``repr``."""
@@ -135,6 +140,7 @@ def trace_to_json(
     payload = {
         "format": "repro-dsm-trace",
         "version": 1,
+        "schema_version": TRACE_ARCHIVE_SCHEMA_VERSION,
         "world_size": world_size,
         "accesses": [access_to_dict(a) for a in accesses],
         "operations": [operation_to_dict(o) for o in (operations or [])],
@@ -160,6 +166,12 @@ def trace_from_json(
         )
     if int(payload.get("version", 0)) != 1:
         raise ValueError(f"unsupported trace version {payload.get('version')!r}")
+    schema_version = payload.get("schema_version")
+    if schema_version is not None and schema_version != TRACE_ARCHIVE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema_version {schema_version!r} "
+            f"(this loader reads version {TRACE_ARCHIVE_SCHEMA_VERSION})"
+        )
     accesses = [access_from_dict(a) for a in payload.get("accesses", [])]
     operations = [operation_from_dict(o) for o in payload.get("operations", [])]
     syncs = [sync_from_dict(s) for s in payload.get("syncs", [])]

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.verbs.work import WorkCompletion
@@ -163,14 +164,29 @@ class CompletionQueue:
         if count <= 0:
             raise ValueError(f"count must be positive, got {count}")
         retired: List[WorkCompletion] = []
+        spans = Observability.of(self._sim).spans
         while len(retired) < count:
             if self._ready:
                 retired.append(self._ready.pop(0))
                 continue
             gate = self._sim.event(name=f"{self.name}:wait")
             self._armed.append(gate)
+            wait_started = self._sim.now
             yield gate
+            # Blocked time on the process's own track: the critical-path
+            # analyzer treats this as elastic wait ending at the delivery
+            # that woke us.
+            spans.complete(
+                self._wait_track(), "cq_wait", wait_started, self._sim.now,
+                cq=self.name,
+            )
         return self._retire(retired)
+
+    def _wait_track(self) -> str:
+        """The rank track blocked waits render on (the CQ's own name if the
+        queue is not rank-suffixed)."""
+        tail = self.name.rsplit("P", 1)[-1] if "P" in self.name else ""
+        return f"rank-P{tail}" if tail.isdigit() else self.name
 
     # -- inspection ------------------------------------------------------------------
 

@@ -637,6 +637,15 @@ class VerbsContext:
             self._outstanding.pop(completion.wr_id, None)
             self._retired[completion.wr_id] = completion
             self._obs.metrics.counter("verbs.wr_retired", rank=self.rank).inc()
+            # Per-op latency split: post→completion is NIC service + transfer
+            # time; completion→retire is how long the CQE sat unclaimed.
+            opcode = completion.opcode.value
+            self._obs.metrics.histogram(
+                "verbs.latency.service", layout="sim_time", opcode=opcode
+            ).observe(completion.completed_at - completion.posted_at)
+            self._obs.metrics.histogram(
+                "verbs.latency.retire", layout="sim_time", opcode=opcode
+            ).observe(self.sim.now - completion.completed_at)
             self._obs.spans.flow_end(
                 self.track,
                 "wr",

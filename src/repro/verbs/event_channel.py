@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
+from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.sim.events import Event
 from repro.verbs.completion_queue import CompletionQueue
@@ -88,8 +89,19 @@ class EventChannel:
             return self._pending.pop(0)
         gate = self._sim.event(name=f"{self.name}:wait")
         self._waiters.append(gate)
+        wait_started = self._sim.now
         yield gate
+        Observability.of(self._sim).spans.complete(
+            self._wait_track(), "evch_wait", wait_started, self._sim.now,
+            channel=self.name,
+        )
         return gate.value
+
+    def _wait_track(self) -> str:
+        """The rank track blocked waits render on (the channel's own name if
+        it is not rank-suffixed)."""
+        tail = self.name.rsplit("P", 1)[-1] if "P" in self.name else ""
+        return f"rank-P{tail}" if tail.isdigit() else self.name
 
     def serve(
         self,

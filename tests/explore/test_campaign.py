@@ -87,3 +87,35 @@ def test_cli_smoke_with_expect_consistent(tmp_path, capsys):
     assert json.loads(json_path.read_text())["fully_consistent"] is True
     assert "HOLDS" in markdown_path.read_text()
     assert "Exploration campaign" in capsys.readouterr().out
+
+
+def test_campaign_critical_path_summaries_and_ranked_markdown():
+    """With ``critical_path=True`` every outcome carries a per-schedule path
+    summary (exact: path time == the schedule's elapsed sim time) and the
+    markdown report ranks schedules by path composition."""
+    report = run_campaign(
+        CampaignConfig(
+            strategy="systematic", budget=3, seed=0, quantum=4.0,
+            critical_path=True,
+        ),
+        patterns=["fig5a-concurrent-puts"],
+    )
+    (pattern,) = report.per_pattern
+    outcomes = pattern["outcomes"]
+    assert outcomes
+    for outcome in outcomes:
+        summary = outcome["critical_path"]
+        assert summary["path_sim_time"] == outcome["elapsed_sim_time"]
+        assert summary["dominant"] in summary["categories"]
+    markdown = report.to_markdown()
+    assert "## Schedules ranked by critical-path composition" in markdown
+
+
+def test_campaign_without_critical_path_records_no_summaries():
+    report = run_campaign(
+        CampaignConfig(strategy="systematic", budget=2, seed=0, quantum=4.0),
+        patterns=["fig5a-concurrent-puts"],
+    )
+    (pattern,) = report.per_pattern
+    assert all(not o["critical_path"] for o in pattern["outcomes"])
+    assert "ranked by critical-path" not in report.to_markdown()

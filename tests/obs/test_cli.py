@@ -78,3 +78,116 @@ def test_validate_rejects_a_broken_trace(tmp_path, capsys):
 def test_unknown_subcommand_is_a_parser_error():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+class TestInputErrorHandling:
+    """Missing or malformed inputs exit 2 with a one-line message, no traceback."""
+
+    def test_missing_metrics_file(self, capsys):
+        assert main(["summarize", "no/such/metrics.json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error: ")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_malformed_json_reports_line_and_column(self, tmp_path, capsys):
+        path = tmp_path / "broken.json"
+        path.write_text('{"traceEvents": [')
+        assert main(["validate", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "not valid JSON" in err
+        assert "line" in err
+
+    def test_directory_instead_of_file(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path)]) == 2
+        assert "directory" in capsys.readouterr().err
+
+    def test_missing_trace_for_critical_path(self, capsys):
+        assert main(["critical-path", "--trace", "no/such/trace.json"]) == 2
+        assert "not found" in capsys.readouterr().err
+
+    def test_wrong_metrics_schema_version(self, tmp_path, capsys):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({"schema_version": 99, "metrics": {}}))
+        assert main(["summarize", str(path)]) == 2
+        assert "schema_version" in capsys.readouterr().err
+
+    def test_diff_trace_flags_must_come_in_pairs(self, tmp_path, capsys):
+        snapshot = tmp_path / "m.json"
+        snapshot.write_text(json.dumps({"a": 1}))
+        status = main([
+            "diff", str(snapshot), str(snapshot),
+            "--trace-before", str(snapshot),
+        ])
+        assert status == 2
+        assert "must be given together" in capsys.readouterr().err
+
+
+def test_validate_reports_first_failing_event_index(tmp_path, capsys):
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps({
+        "traceEvents": [
+            {"name": "ok", "ph": "i", "ts": 1.0, "pid": 1, "tid": 1, "s": "t"},
+            {"ph": "X"},
+        ]
+    }))
+    assert main(["validate", str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "first failing event: traceEvents[1]" in out
+
+
+def _export(tmp_path, *extra):
+    trace_path = tmp_path / "trace.json"
+    assert main(["export-trace", "--out", str(trace_path), *extra]) == 0
+    return trace_path
+
+
+def test_critical_path_subcommand_from_exported_trace(tmp_path, capsys):
+    trace_path = _export(tmp_path)
+    out_json = tmp_path / "path.json"
+    capsys.readouterr()
+    status = main([
+        "critical-path", "--trace", str(trace_path), "--json", str(out_json),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "critical path:" in out
+    assert "longest segments" in out
+    summary = json.loads(out_json.read_text())
+    assert summary["schema_version"] == 1
+    assert summary["path_sim_time"] > 0
+    assert abs(sum(summary["fractions"].values()) - 1.0) < 1e-12
+
+
+def test_whatif_subcommand_profile_and_single_category(tmp_path, capsys):
+    trace_path = _export(tmp_path)
+    capsys.readouterr()
+    assert main(["whatif", "--trace", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "best payoff first" in out
+    assert main([
+        "whatif", "--trace", str(trace_path),
+        "--category", "network", "--factor", "0.5",
+    ]) == 0
+    assert "network x0.5" in capsys.readouterr().out
+    assert main([
+        "whatif", "--trace", str(trace_path), "--category", "bogus",
+    ]) == 2
+    assert "unknown category" in capsys.readouterr().err
+
+
+def test_diff_with_traces_prints_movement_table(tmp_path, capsys):
+    quiet = _export(tmp_path)
+    noisy = tmp_path / "racy.json"
+    assert main([
+        "export-trace", "--racy", "--seed", "1", "--out", str(noisy),
+    ]) == 0
+    snapshot = tmp_path / "m.json"
+    snapshot.write_text(json.dumps({"a": 1}))
+    capsys.readouterr()
+    status = main([
+        "diff", str(snapshot), str(snapshot),
+        "--trace-before", str(quiet), "--trace-after", str(noisy),
+    ])
+    assert status == 0
+    out = capsys.readouterr().out
+    assert "critical-path movement" in out

@@ -1,0 +1,200 @@
+"""Critical-path analysis and what-if profiling: the exactness contract.
+
+The analyzer is a pure post-processor over the span trace, so its guarantees
+are checked at full strength:
+
+* **Tiling** — on every corpus workload, the extracted path tiles
+  ``[0, elapsed_sim_time]``: its length equals the simulated run time
+  *exactly* (``fractions.Fraction``, not within-epsilon), and per-category
+  attribution sums to the path length exactly.
+* **What-if identity** — rescaling every category by 1.0 reproduces the run
+  time exactly; shrinking any single category never predicts a slower run.
+* **Zero footprint** — enabling tracing *and* running the analysis changes
+  no observable of the run (verdicts, final values, metric snapshots,
+  detection profiles), across the clock-transport × wire-format ×
+  CQ-moderation × epochs knob matrix.
+"""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.net.clock_transport import CLOCK_TRANSPORT_MODES, CLOCK_WIRE_FORMATS
+from repro.obs.critical_path import (
+    CATEGORIES,
+    CriticalPathAnalyzer,
+    category_deltas,
+)
+from repro.obs.whatif import WhatIfEngine
+from repro.runtime.runtime import RuntimeConfig
+from repro.workloads.racy_patterns import pattern_corpus, rmw_pattern_corpus
+from repro.workloads.stencil import StencilWorkload
+
+
+def _corpus():
+    return pattern_corpus() + rmw_pattern_corpus()
+
+
+def _traced(pattern, seed=0):
+    runtime = pattern.build(seed=seed)
+    runtime.sim.obs.configure(trace_spans=True)
+    result = runtime.run()
+    return runtime, result
+
+
+def _analyzer(runtime, result):
+    return CriticalPathAnalyzer.from_tracer(
+        runtime.sim.obs.spans, result.elapsed_sim_time
+    )
+
+
+class TestExactnessOnEveryCorpusWorkload:
+    @pytest.mark.parametrize(
+        "pattern", _corpus(), ids=[p.name for p in _corpus()]
+    )
+    def test_path_tiles_the_run_exactly(self, pattern):
+        runtime, result = _traced(pattern)
+        analyzer = _analyzer(runtime, result)
+        path = analyzer.critical_path()
+        elapsed = Fraction(result.elapsed_sim_time)
+        # Path length is the run time, exactly — no epsilon.
+        assert path.length_exact == elapsed, pattern.name
+        # Attribution is a partition of the path.
+        attribution = path.attribution_exact()
+        assert sum(attribution.values(), Fraction(0)) == elapsed, pattern.name
+        assert set(attribution) <= set(CATEGORIES), pattern.name
+        # Segments tile [0, end] contiguously, oldest first.
+        segments = path.segments
+        assert segments[0].start == 0.0
+        assert segments[-1].end == result.elapsed_sim_time
+        for older, newer in zip(segments, segments[1:]):
+            assert older.end == newer.start, pattern.name
+
+    @pytest.mark.parametrize(
+        "pattern", _corpus(), ids=[p.name for p in _corpus()]
+    )
+    def test_whatif_identity_and_monotone_shrink(self, pattern):
+        runtime, result = _traced(pattern)
+        engine = WhatIfEngine(_analyzer(runtime, result))
+        elapsed = Fraction(result.elapsed_sim_time)
+        # Factor 1.0 everywhere is an exact no-op.
+        assert engine.predict_exact() == elapsed
+        assert engine.predict_exact({c: 1.0 for c in CATEGORIES}) == elapsed
+        # Shrinking any one category never predicts a slower run.
+        for category in CATEGORIES:
+            assert engine.predict_exact({category: Fraction(9, 10)}) <= elapsed
+
+
+class TestAnalyzerSurface:
+    def test_summary_shape_and_fraction_sum(self):
+        runtime, result = _traced(_corpus()[0])
+        summary = _analyzer(runtime, result).critical_path().summary()
+        assert summary["schema_version"] == 1
+        assert summary["end_time"] == result.elapsed_sim_time
+        assert set(summary["categories"]) <= set(CATEGORIES)
+        assert summary["dominant"] in CATEGORIES
+        assert summary["segments"] > 0
+        assert len(summary["top_segments"]) <= 5
+        assert abs(sum(summary["fractions"].values()) - 1.0) < 1e-12
+
+    def test_roundtrip_through_chrome_trace_is_lossless(self):
+        runtime, result = _traced(_corpus()[0])
+        direct = _analyzer(runtime, result).critical_path()
+        trace = runtime.sim.obs.spans.to_chrome_trace()
+        reloaded = CriticalPathAnalyzer.from_chrome_trace(
+            trace, end_time=result.elapsed_sim_time
+        ).critical_path()
+        assert reloaded.length_exact == direct.length_exact
+        assert reloaded.attribution_exact() == direct.attribution_exact()
+
+    def test_chrome_trace_with_wrong_schema_version_is_rejected(self):
+        runtime, result = _traced(_corpus()[0])
+        trace = runtime.sim.obs.spans.to_chrome_trace()
+        trace["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            CriticalPathAnalyzer.from_chrome_trace(trace)
+
+    def test_whatif_rejects_unknown_categories(self):
+        runtime, result = _traced(_corpus()[0])
+        engine = WhatIfEngine(_analyzer(runtime, result))
+        with pytest.raises(KeyError):
+            engine.predict_exact({"warp_drive": 0.5})
+
+    def test_whatif_curve_and_profile_are_ranked(self):
+        runtime, result = _traced(_corpus()[0])
+        path = _analyzer(runtime, result).critical_path()
+        engine = WhatIfEngine(_analyzer(runtime, result))
+        dominant = path.dominant_category()
+        curve = engine.curve(dominant, factors=(0.5, 1.0, 1.5))
+        assert [point["factor"] for point in curve] == [0.5, 1.0, 1.5]
+        # Predictions are nondecreasing in the factor; 1.0 is the run time.
+        predictions = [point["predicted_sim_time"] for point in curve]
+        assert predictions == sorted(predictions)
+        assert predictions[1] == result.elapsed_sim_time
+        profile = engine.profile(factor=0.9)
+        speedups = [row["speedup"] for row in profile]
+        assert speedups == sorted(speedups, reverse=True)
+        assert all(row["category"] in CATEGORIES for row in profile)
+
+    def test_category_deltas_ranks_the_biggest_mover_first(self):
+        before = {"categories": {"network": 10.0, "compute": 5.0}}
+        after = {"categories": {"network": 22.0, "compute": 6.0}}
+        rows = category_deltas(before, after)
+        assert rows[0]["category"] == "network"
+        assert rows[0]["delta"] == 12.0
+        assert [abs(row["delta"]) for row in rows] == sorted(
+            [abs(row["delta"]) for row in rows], reverse=True
+        )
+
+
+def _verdict(run):
+    return sorted(
+        (r.address.rank, r.address.offset, r.current_rank, r.current_kind.value,
+         r.previous_rank, r.symbol)
+        for r in run.race_records()
+    )
+
+
+@pytest.mark.parametrize("transport", CLOCK_TRANSPORT_MODES)
+@pytest.mark.parametrize("wire", CLOCK_WIRE_FORMATS)
+@pytest.mark.parametrize("moderation", [False, True])
+@pytest.mark.parametrize("epochs", ["on", "off"])
+class TestZeroFootprintWithAnalysis:
+    def test_analysis_never_changes_the_run(
+        self, transport, wire, moderation, epochs
+    ):
+        def build(analyze):
+            workload = StencilWorkload(
+                world_size=3, cells_per_rank=4, iterations=2,
+                use_barriers=False,
+                config=RuntimeConfig(
+                    clock_transport=transport,
+                    clock_wire=wire,
+                    cq_moderation=moderation,
+                    detector_epochs=epochs,
+                    trace_spans=analyze,
+                ),
+            )
+            outcome = workload.run(seed=0)
+            if analyze:
+                # The full post-processing pipeline runs against the live
+                # tracer — it must observe, never perturb.
+                analyzer = CriticalPathAnalyzer.from_tracer(
+                    outcome.runtime.sim.obs.spans,
+                    outcome.run.elapsed_sim_time,
+                )
+                path = analyzer.critical_path()
+                assert path.length_exact == Fraction(
+                    outcome.run.elapsed_sim_time
+                )
+                WhatIfEngine(analyzer).profile()
+            return outcome.run
+
+        plain, analyzed = build(False), build(True)
+        assert _verdict(analyzed) == _verdict(plain)
+        assert analyzed.final_shared_values == plain.final_shared_values
+        assert json.dumps(analyzed.metrics, sort_keys=True) == json.dumps(
+            plain.metrics, sort_keys=True
+        )
+        assert analyzed.detection_profile == plain.detection_profile

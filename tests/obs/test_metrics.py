@@ -120,3 +120,70 @@ class TestMetricsRegistry:
         assert gauge.value == 0 and gauge.high_watermark == 0
         assert histogram.count == 0 and histogram.total == 0.0
         assert sum(histogram.bucket_counts) == 0
+
+
+class TestHistogramQuantiles:
+    def test_quantile_interpolates_inside_a_bucket(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", layout="sim_time")
+        # 10 samples all in the (1.0, 2.0] bucket.
+        for _ in range(10):
+            histogram.observe(1.5)
+        # The whole mass is in one bucket; quantiles interpolate across it.
+        assert histogram.quantile(0.0) == 1.0
+        assert histogram.quantile(0.5) == 1.5
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_quantile_spans_buckets_by_rank(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", layout="depth")
+        for value in (1, 1, 1, 3, 3, 3, 3, 3):  # 3 in le_1, 5 in le_4
+            histogram.observe(value)
+        # Rank 4 of 8 lands in the (2.0, 4.0] bucket.
+        assert 2.0 <= histogram.quantile(0.5) <= 4.0
+
+    def test_overflow_bucket_clamps_to_last_bound(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h", layout="bytes")
+        histogram.observe(10_000.0)
+        assert histogram.quantile(0.99) == 1024.0
+
+    def test_empty_histogram_and_bad_q(self):
+        from repro.obs.metrics import Histogram
+
+        histogram = Histogram("h")
+        assert histogram.quantile(0.5) == 0.0
+        import pytest
+
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+
+class TestVersionedExport:
+    def test_export_wraps_the_snapshot_in_a_versioned_envelope(self):
+        from repro.obs.metrics import METRICS_SCHEMA_VERSION, load_snapshot
+
+        registry = MetricsRegistry()
+        registry.counter("c", rank=0).inc(3)
+        payload = registry.export()
+        assert payload["schema_version"] == METRICS_SCHEMA_VERSION
+        assert payload["metrics"] == registry.snapshot()
+        # Loaders unwrap the envelope ...
+        assert load_snapshot(payload) == registry.snapshot()
+        # ... and still accept a bare legacy snapshot.
+        assert load_snapshot(registry.snapshot()) == registry.snapshot()
+
+    def test_load_snapshot_rejects_wrong_version_or_shape(self):
+        import pytest
+
+        from repro.obs.metrics import load_snapshot
+
+        with pytest.raises(ValueError, match="schema_version"):
+            load_snapshot({"schema_version": 99, "metrics": {}})
+        with pytest.raises(ValueError, match="metrics"):
+            load_snapshot({"schema_version": 1})

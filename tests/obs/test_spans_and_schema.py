@@ -107,3 +107,45 @@ class TestValidator:
         problems = validate_chrome_trace(trace)
         assert any("unknown phase 'Q'" in p for p in problems)
         assert any("'ts' must be numeric" in p for p in problems)
+
+
+class TestTraceSchemaVersion:
+    def test_exported_traces_are_stamped(self):
+        from repro.obs.spans import TRACE_SCHEMA_VERSION, SpanTracer
+
+        tracer = SpanTracer(enabled=True)
+        tracer.instant("rank-P0", "tick", sim_time=0.0)
+        trace = tracer.to_chrome_trace()
+        assert trace["schema_version"] == TRACE_SCHEMA_VERSION
+        assert validate_chrome_trace(trace) == []
+
+    def test_validator_accepts_legacy_traces_without_the_field(self):
+        # Traces exported before versioning carry no schema_version; they
+        # must keep validating (absent is legacy, not broken).
+        assert validate_chrome_trace({"traceEvents": []}) == []
+
+    def test_validator_rejects_a_mismatching_version(self):
+        problems = validate_chrome_trace(
+            {"schema_version": 99, "traceEvents": []}
+        )
+        assert problems
+        assert any("schema_version" in problem for problem in problems)
+
+
+class TestVerbLatencyHistograms:
+    def test_traced_run_records_per_op_service_and_retire_latency(self):
+        from repro.workloads.verbs_stencil import VerbsStencilWorkload
+
+        outcome = VerbsStencilWorkload(
+            world_size=3, cells_per_rank=4, iterations=2, use_barriers=True
+        ).run(seed=0)
+        metrics = outcome.run.metrics
+        service = [k for k in metrics if k.startswith("verbs.latency.service{")]
+        retire = [k for k in metrics if k.startswith("verbs.latency.retire{")]
+        assert service and retire
+        # Labelled per verb opcode, with real observations in each.
+        assert any("opcode=" in key for key in service)
+        for key in service + retire:
+            entry = metrics[key]
+            assert entry["count"] > 0
+            assert sum(entry["buckets"].values()) == entry["count"]

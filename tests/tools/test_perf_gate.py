@@ -156,3 +156,88 @@ class TestCliGate:
             )
             == 0
         )
+
+
+#: A critical-path-bearing artifact in the shape BENCH_critical_path.json
+#: writes: total run time plus per-category path attribution.
+PATH_BASELINE = {
+    "format": "repro-bench-critical-path",
+    "version": 1,
+    "rmw-with-barriers": {
+        "total_sim_time": 100.0,
+        "critical_path": {
+            "path_sim_time": 100.0,
+            "segments": 40,
+            "dominant": "network",
+            "categories": {
+                "network": 60.0,
+                "barrier_wait": 25.0,
+                "compute": 15.0,
+            },
+        },
+    },
+}
+
+
+class TestRegressionExplainer:
+    """Acceptance: a deliberately injected slowdown is correctly attributed."""
+
+    def _inject_network_slowdown(self, factor=1.2):
+        fresh = copy.deepcopy(PATH_BASELINE)
+        section = fresh["rmw-with-barriers"]
+        extra = section["critical_path"]["categories"]["network"] * (factor - 1.0)
+        section["critical_path"]["categories"]["network"] += extra
+        section["critical_path"]["path_sim_time"] += extra
+        section["total_sim_time"] += extra
+        return fresh, extra
+
+    def test_explainer_attributes_the_injected_category(self):
+        fresh, extra = self._inject_network_slowdown()
+        lines = perf_gate.explain_regression(fresh, PATH_BASELINE)
+        assert lines, "a moved critical path must produce an explanation"
+        # Header names the section and the total movement.
+        assert "critical_path" in lines[0]
+        assert f"+{extra:g}" in lines[0]
+        # The injected category is the first (biggest) mover, owning 100%
+        # of the delta; untouched categories do not appear.
+        assert lines[1].split()[0] == "network"
+        assert "100% of the delta" in lines[1]
+        assert all("barrier_wait" not in line for line in lines)
+        assert all("compute" not in line for line in lines)
+
+    def test_explainer_is_silent_when_nothing_moved(self):
+        assert perf_gate.explain_regression(PATH_BASELINE, PATH_BASELINE) == []
+
+    def test_gate_prints_the_explanation_on_a_path_regression(
+        self, tmp_path, capsys
+    ):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        (baselines / "BENCH_cp.json").write_text(json.dumps(PATH_BASELINE))
+        fresh, _ = self._inject_network_slowdown()
+        fresh_path = tmp_path / "BENCH_cp.json"
+        fresh_path.write_text(json.dumps(fresh))
+        assert perf_gate.main([str(fresh_path), "--baselines", str(baselines)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "sim_time" in out
+        assert "EXPLAIN" in out and "network" in out
+
+    def test_explain_flag_prints_even_when_the_gate_passes(
+        self, tmp_path, capsys
+    ):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        (baselines / "BENCH_cp.json").write_text(json.dumps(PATH_BASELINE))
+        improved = copy.deepcopy(PATH_BASELINE)
+        section = improved["rmw-with-barriers"]
+        section["critical_path"]["categories"]["network"] = 50.0
+        section["critical_path"]["path_sim_time"] = 90.0
+        section["total_sim_time"] = 90.0
+        fresh_path = tmp_path / "BENCH_cp.json"
+        fresh_path.write_text(json.dumps(improved))
+        status = perf_gate.main(
+            [str(fresh_path), "--baselines", str(baselines), "--explain"]
+        )
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out and "network" in out

@@ -1,5 +1,7 @@
 """Unit tests for trace recording, serialization and replay."""
 
+import json
+
 import pytest
 
 from repro.core.detector import DetectorConfig
@@ -145,3 +147,53 @@ class TestReplay:
         recorder.record_access(2, a, AccessKind.READ, time=2.0, operation="get")
         default = TraceReplayer(3).replay(recorder.accesses())
         assert default.race_count == 0  # read-read is never a race
+
+
+class TestArchiveSchemaVersion:
+    def test_archives_are_stamped_and_legacy_loads(self):
+        from repro.trace.serialization import TRACE_ARCHIVE_SCHEMA_VERSION
+
+        recorder = TraceRecorder(2)
+        recorder.record_access(0, GlobalAddress(1, 0), AccessKind.WRITE, value=1)
+        text = trace_to_json(2, recorder.accesses())
+        payload = json.loads(text)
+        assert payload["schema_version"] == TRACE_ARCHIVE_SCHEMA_VERSION
+        # Legacy archives (no schema_version) still load.
+        del payload["schema_version"]
+        world, accesses, _ops, _syncs = trace_from_json(json.dumps(payload))
+        assert world == 2 and len(accesses) == 1
+
+    def test_wrong_schema_version_fails_loudly(self):
+        text = trace_to_json(2, [])
+        payload = json.loads(text)
+        payload["schema_version"] = 99
+        with pytest.raises(ValueError, match="schema_version"):
+            trace_from_json(json.dumps(payload))
+
+
+class TestReplayDetectionProfile:
+    def test_replay_outcome_carries_the_detectors_cost_profile(self):
+        from repro.core.detector import DetectorConfig
+
+        recorder = TraceRecorder(3)
+        a = GlobalAddress(1, 0)
+        recorder.record_access(0, a, AccessKind.WRITE, value=1, time=1.0, operation="put")
+        recorder.record_access(2, a, AccessKind.WRITE, value=2, time=2.0, operation="put")
+        outcome = TraceReplayer(3).replay(recorder.accesses())
+        totals = {
+            key: sum(entry[key] for entry in outcome.detection_profile.values())
+            for key in ("checks", "compares", "joins", "epoch_hits")
+        }
+        assert totals["checks"] == outcome.accesses_replayed == 2
+        # Epochs default on: identical verdicts, epoch hits possible; with
+        # epochs off the same replay reports the same races and zero hits.
+        slow = TraceReplayer(3, config=DetectorConfig(epochs=False)).replay(
+            recorder.accesses()
+        )
+        assert slow.race_count == outcome.race_count == 1
+        slow_totals = {
+            key: sum(entry[key] for entry in slow.detection_profile.values())
+            for key in ("checks", "compares", "joins", "epoch_hits")
+        }
+        assert slow_totals["epoch_hits"] == 0
+        assert slow_totals["checks"] == totals["checks"]

@@ -44,6 +44,8 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Key substrings marking a leaf as a gated cost metric (higher is worse).
+#: ``sim_time`` gates end-to-end simulated run time (``total_sim_time``,
+#: ``path_sim_time``) — the metric the critical-path benchmarks exist for.
 COST_TOKENS = (
     "messages",
     "bytes",
@@ -56,6 +58,7 @@ COST_TOKENS = (
     "events",
     "races",
     "instruments",
+    "sim_time",
 )
 
 #: Key substrings marking a leaf as a benefit metric (higher is better) —
@@ -144,6 +147,74 @@ def compare_trees(
     return regressions, improvements
 
 
+def _critical_path_sections(
+    tree: object, prefix: str = ""
+) -> Iterator[Tuple[str, Dict]]:
+    """Yield every ``critical_path`` summary object in a benchmark tree.
+
+    Benchmarks that record path attribution embed
+    ``{"critical_path": {"path_sim_time": ..., "categories": {...}}}``
+    sections; the explainer matches them by dotted path across the fresh
+    and baseline artifacts.  (Deliberately dependency-free — this script
+    must run without the package on ``sys.path``.)
+    """
+    if not isinstance(tree, dict):
+        return
+    for key in sorted(tree):
+        child = f"{prefix}.{key}" if prefix else str(key)
+        node = tree[key]
+        if (
+            key == "critical_path"
+            and isinstance(node, dict)
+            and isinstance(node.get("categories"), dict)
+        ):
+            yield child, node
+        else:
+            yield from _critical_path_sections(node, child)
+
+
+def explain_regression(fresh: Dict, baseline: Dict) -> List[str]:
+    """Attribute the run-time delta to critical-path categories, ranked.
+
+    For every ``critical_path`` section present in both artifacts, compare
+    per-category path time and emit a table with the biggest absolute mover
+    first — the "why" behind a ``*_sim_time`` regression.  Returns printable
+    lines (empty when there is nothing to explain).
+    """
+    lines: List[str] = []
+    baseline_sections = dict(_critical_path_sections(baseline))
+    for path, section in _critical_path_sections(fresh):
+        base = baseline_sections.get(path)
+        if base is None:
+            continue
+        fresh_total = float(section.get("path_sim_time", 0.0) or 0.0)
+        base_total = float(base.get("path_sim_time", 0.0) or 0.0)
+        fresh_cats = section.get("categories", {})
+        base_cats = base.get("categories", {})
+        rows = []
+        for category in sorted(set(fresh_cats) | set(base_cats)):
+            before = float(base_cats.get(category, 0.0) or 0.0)
+            after = float(fresh_cats.get(category, 0.0) or 0.0)
+            if after != before:
+                rows.append((category, before, after, after - before))
+        if not rows:
+            continue
+        rows.sort(key=lambda row: (-abs(row[3]), row[0]))
+        total_delta = fresh_total - base_total
+        lines.append(
+            f"{path}: {base_total:g} -> {fresh_total:g} sim time "
+            f"({'+' if total_delta >= 0 else ''}{total_delta:g})"
+        )
+        for category, before, after, delta in rows:
+            share = (delta / total_delta * 100.0) if total_delta else float("inf")
+            lines.append(
+                f"    {category:<18} {before:>10.4f} -> {after:>10.4f}  "
+                f"({'+' if delta >= 0 else ''}{delta:.4f}"
+                + (f", {share:.0f}% of the delta)" if total_delta else ")")
+            )
+    return lines
+
+
 def gate_artifact(
     fresh_path: str,
     baselines_dir: str = DEFAULT_BASELINES_DIR,
@@ -191,6 +262,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         help=f"allowed relative growth per cost metric "
         f"(default: {DEFAULT_TOLERANCE})",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print critical-path attribution tables even when the gate "
+        "passes (they always print on a regression)",
+    )
     args = parser.parse_args(argv)
 
     failed = False
@@ -215,6 +292,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"OK        [{name}] no cost metric grew beyond "
                 f"{args.tolerance:.0%} of baseline"
             )
+        if regressions or args.explain:
+            with open(artifact) as handle:
+                fresh = json.load(handle)
+            baseline_path = os.path.join(args.baselines, os.path.basename(artifact))
+            with open(baseline_path) as handle:
+                baseline = json.load(handle)
+            explanation = explain_regression(fresh, baseline)
+            if explanation:
+                print(f"EXPLAIN   [{name}] critical-path movement, biggest first:")
+                for line in explanation:
+                    print(f"          {line}")
     if failed:
         print(
             "\nperf gate FAILED — if a regression is intended and justified, "
