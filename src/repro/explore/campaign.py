@@ -40,7 +40,10 @@ from repro.net.clock_transport import (
     CLOCK_WIRE_FORMATS,
     validate_clock_transport,
     validate_clock_wire,
+    validate_clock_wire_resync,
 )
+from repro.net.flow_control import FLOW_CONTROL_MODES
+from repro.verbs.completion_queue import validate_cq_moderation_timer
 
 
 @dataclass(frozen=True)
@@ -70,8 +73,23 @@ class CampaignConfig:
     ``detector_epochs`` — when not ``None``, force the detector's epoch
     fast path ``"on"`` or ``"off"`` on every built runtime; the fast path
     is an exact shortcut, so ``--expect-consistent`` must hold for every
-    combination (the CI knob-matrix gate runs the full 2 transports × 3
-    wires × 2 moderation × 2 epoch-mode cross product).
+    combination (the CI knob-matrix gate runs the full transports × wires
+    × moderation × flow-control × epoch-mode cross product).
+
+    ``flow_control`` — when not ``None``, select the two-sided admission
+    protocol on every built runtime (``"rnr"`` or ``"credit"``); both
+    protocols admit sends in the same FIFO order, so
+    ``--expect-consistent`` must hold for every combination.
+
+    ``cq_moderation_timer`` — when not ``None``, install
+    ``(cq_count, cq_usec)`` timer moderation on every built runtime (the
+    string ``"COUNT,USEC"``, e.g. ``"4,2.0"``, or ``"off"`` to force the
+    timer off); pure delivery-timing policy, never a verdict.
+
+    ``clock_wire_resync`` — when not ``None``, set the sparse-wire resync
+    cadence on every built runtime (a decimal message count or
+    ``"adaptive"``); every frame decodes to the exact clock, so verdicts
+    never depend on the cadence.
     """
 
     strategy: str = "fuzz"
@@ -96,6 +114,12 @@ class CampaignConfig:
     cq_moderation: Optional[bool] = None
     # detector epoch-fast-path sweep
     detector_epochs: Optional[str] = None
+    # two-sided admission-protocol sweep ("rnr" / "credit")
+    flow_control: Optional[str] = None
+    # (cq_count, cq_usec) timer-moderation sweep ("COUNT,USEC" / "off")
+    cq_moderation_timer: Optional[str] = None
+    # sparse-wire resync-cadence sweep (decimal count / "adaptive")
+    clock_wire_resync: Optional[str] = None
     #: Record each schedule's critical-path summary (span tracing on for
     #: every explored run; pure post-processing, verdict-identical) and rank
     #: schedules by path composition in the markdown report.
@@ -119,6 +143,58 @@ class CampaignConfig:
             raise ValueError(
                 f"detector_epochs must be 'on' or 'off', got {self.detector_epochs!r}"
             )
+        if self.flow_control is not None and self.flow_control not in (
+            FLOW_CONTROL_MODES
+        ):
+            raise ValueError(
+                f"flow_control must be one of {FLOW_CONTROL_MODES}, "
+                f"got {self.flow_control!r}"
+            )
+        parse_cq_moderation_timer(self.cq_moderation_timer)
+        parse_clock_wire_resync(self.clock_wire_resync)
+
+
+def parse_cq_moderation_timer(text: Optional[str]):
+    """Parse the CLI's ``"COUNT,USEC"`` form into a validated pair.
+
+    ``None`` means "leave the pattern's own configuration alone" and
+    ``"off"`` forces the timer off — both map through unchanged for
+    :meth:`~repro.runtime.runtime.DSMRuntime.set_cq_moderation_timer`'s
+    ``None`` convention to handle.  The campaign config keeps the string
+    (picklable, hashable) and parses at configure time.
+    """
+    if text is None:
+        return None
+    if text == "off":
+        return "off"
+    parts = text.split(",")
+    if len(parts) != 2:
+        raise ValueError(
+            f"cq_moderation_timer must be 'COUNT,USEC' or 'off', got {text!r}"
+        )
+    try:
+        pair = (int(parts[0]), float(parts[1]))
+    except ValueError:
+        raise ValueError(
+            f"cq_moderation_timer must be 'COUNT,USEC' or 'off', got {text!r}"
+        ) from None
+    return validate_cq_moderation_timer(pair)
+
+
+def parse_clock_wire_resync(text: Optional[str]):
+    """Parse the CLI's resync cadence: a decimal count or ``"adaptive"``."""
+    if text is None:
+        return None
+    if text == "adaptive":
+        return text
+    try:
+        value = int(text)
+    except ValueError:
+        raise ValueError(
+            f"clock_wire_resync must be a decimal count or 'adaptive', "
+            f"got {text!r}"
+        ) from None
+    return validate_clock_wire_resync(value)
 
 
 def _resolve_corpus(corpus: str):
@@ -144,6 +220,9 @@ def _knob_configure(
     clock_wire: Optional[str] = None,
     cq_moderation: Optional[bool] = None,
     detector_epochs: Optional[str] = None,
+    flow_control: Optional[str] = None,
+    cq_moderation_timer: Optional[str] = None,
+    clock_wire_resync: Optional[str] = None,
 ):
     if (
         treat_rmw_pairs_as_ordered is None
@@ -151,6 +230,9 @@ def _knob_configure(
         and clock_wire is None
         and cq_moderation is None
         and detector_epochs is None
+        and flow_control is None
+        and cq_moderation_timer is None
+        and clock_wire_resync is None
     ):
         return None
 
@@ -167,6 +249,15 @@ def _knob_configure(
             runtime.set_cq_moderation(cq_moderation)
         if detector_epochs is not None:
             runtime.set_detector_epochs(detector_epochs)
+        if flow_control is not None:
+            runtime.set_flow_control(flow_control)
+        if cq_moderation_timer is not None:
+            parsed = parse_cq_moderation_timer(cq_moderation_timer)
+            runtime.set_cq_moderation_timer(None if parsed == "off" else parsed)
+        if clock_wire_resync is not None:
+            runtime.set_clock_wire_resync(
+                parse_clock_wire_resync(clock_wire_resync)
+            )
 
     return configure
 
@@ -184,6 +275,9 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
             config.clock_wire,
             config.cq_moderation,
             config.detector_epochs,
+            config.flow_control,
+            config.cq_moderation_timer,
+            config.clock_wire_resync,
         ),
         critical_path=config.critical_path,
     )
@@ -502,6 +596,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "explored runtime (default: the pattern's own configuration)",
     )
     parser.add_argument(
+        "--flow-control",
+        default=None,
+        choices=FLOW_CONTROL_MODES,
+        help="two-sided admission protocol for every explored runtime "
+        "(default: the pattern's own configuration)",
+    )
+    parser.add_argument(
+        "--cq-moderation-timer",
+        default=None,
+        metavar="COUNT,USEC|off",
+        help="(cq_count, cq_usec) CQ-moderation timer for every explored "
+        "runtime, e.g. 4,2.0, or 'off' to force the timer off (default: "
+        "the pattern's own configuration)",
+    )
+    parser.add_argument(
+        "--clock-wire-resync",
+        default=None,
+        metavar="COUNT|adaptive",
+        help="sparse-wire full-clock resync cadence for every explored "
+        "runtime: a message count, or 'adaptive' for the per-channel "
+        "self-tuning cadence (default: the pattern's own configuration)",
+    )
+    parser.add_argument(
         "--critical-path",
         action="store_true",
         help="record each schedule's critical-path summary and rank "
@@ -533,6 +650,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             None if args.cq_moderation is None else args.cq_moderation == "on"
         ),
         detector_epochs=args.detector_epochs,
+        flow_control=args.flow_control,
+        cq_moderation_timer=args.cq_moderation_timer,
+        clock_wire_resync=args.clock_wire_resync,
         critical_path=args.critical_path,
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)

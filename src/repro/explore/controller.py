@@ -17,6 +17,13 @@ sits at the two places where a run's interleaving is decided:
   with the configured backoff; the controller may stretch it, which decides
   how a storm of retransmissions interleaves with the receiver's reposts.
 
+The adaptive control plane adds four more owned choice points: **credit
+grant timing** (:meth:`on_credit_grant`, credit-based flow control's wake-up
+of a stalled sender), **CQ moderation timer expiry** (:meth:`on_cq_timer`,
+the ``(cq_count, cq_usec)`` protocol's armed timer), **adaptive clock-wire
+resync deferral** (:meth:`on_clock_resync`) and **barrier fan-out order**
+(:meth:`on_barrier_release`, the last previously-uncontrolled ordering).
+
 Every resolution is appended to a :class:`~repro.explore.decisions.DecisionLog`,
 and what the resolution *is* comes from a pluggable
 :class:`ScheduleStrategy` — passthrough (baseline schedule), fuzzing
@@ -85,6 +92,26 @@ class ScheduleStrategy:
     ) -> Tuple[float, int]:
         """Extra delay added to one RNR retry backoff (default: none)."""
         return 0.0, 1
+
+    def choose_credit(
+        self, key: str, receiver: int, sender: int
+    ) -> Tuple[float, int]:
+        """Extra delay before a credit grant wakes a stalled sender."""
+        return 0.0, 1
+
+    def choose_cq_timer(self, key: str, base_usec: float) -> Tuple[float, int]:
+        """Extra delay added to one armed CQ moderation timer."""
+        return 0.0, 1
+
+    def choose_resync(
+        self, key: str, since_resync: int, period: int
+    ) -> Tuple[int, int]:
+        """Messages to defer a due adaptive clock-wire resync by."""
+        return 0, 1
+
+    def choose_barrier(self, key: str, remaining: int) -> Tuple[int, int]:
+        """Index of the barrier waiter released next (default: arrival order)."""
+        return 0, remaining
 
     def describe(self) -> str:
         """One-line description used in exploration reports."""
@@ -165,6 +192,36 @@ class ReplayStrategy(ScheduleStrategy):
         entry = self._next("rnr", key)
         return (float(entry.choice), 1) if entry is not None else (0.0, 1)
 
+    def choose_credit(
+        self, key: str, receiver: int, sender: int
+    ) -> Tuple[float, int]:
+        entry = self._next("credit", key)
+        return (float(entry.choice), 1) if entry is not None else (0.0, 1)
+
+    def choose_cq_timer(self, key: str, base_usec: float) -> Tuple[float, int]:
+        entry = self._next("cq_timer", key)
+        return (float(entry.choice), 1) if entry is not None else (0.0, 1)
+
+    def choose_resync(
+        self, key: str, since_resync: int, period: int
+    ) -> Tuple[int, int]:
+        entry = self._next("resync", key)
+        return (int(entry.choice), 1) if entry is not None else (0, 1)
+
+    def choose_barrier(self, key: str, remaining: int) -> Tuple[int, int]:
+        entry = self._next("barrier", key)
+        if entry is None:
+            return 0, remaining
+        index = int(entry.choice)
+        if index >= remaining:
+            if self.strict:
+                raise ReplayDivergence(
+                    f"decision log diverged at {key}: recorded barrier index "
+                    f"{index} but only {remaining} waiters remain"
+                )
+            return 0, remaining
+        return index, remaining
+
     def describe(self) -> str:
         return f"replay({len(self._entries)} decisions)"
 
@@ -191,6 +248,10 @@ class ScheduleController:
         self._latency_index = 0
         self._tie_index = 0
         self._rnr_index = 0
+        self._credit_index = 0
+        self._cq_timer_index = 0
+        self._resync_index = 0
+        self._barrier_index = 0
         self._sim = None
 
     def bind(self, sim: Any) -> None:
@@ -232,6 +293,94 @@ class ScheduleController:
             raise ValueError(f"strategy produced a negative RNR delay at {key}: {extra}")
         self.log.append(Decision("rnr", key, float(extra), alternatives=alternatives))
         return base_backoff + extra
+
+    # -- credit grant timing (called by CreditGate.on_posted) ---------------------------
+
+    def on_credit_grant(self, receiver: int, sender: int) -> float:
+        """Resolve one credit grant's wake-up delay; returns the extra delay.
+
+        Called when a receive post grants a credit to a sender stalled under
+        credit-based flow control.  Stretching the grant decides which of
+        several stalled senders claims a contested buffer first — the
+        credit-mode analogue of stretching an RNR backoff.
+        """
+        key = f"credit:{receiver}->{sender}#{self._credit_index}"
+        self._credit_index += 1
+        extra, alternatives = self.strategy.choose_credit(key, receiver, sender)
+        if extra < 0:
+            raise ValueError(
+                f"strategy produced a negative credit delay at {key}: {extra}"
+            )
+        self.log.append(
+            Decision("credit", key, float(extra), alternatives=alternatives)
+        )
+        return extra
+
+    # -- CQ moderation timer expiry (called by CqModerationTimer.arm) -------------------
+
+    def on_cq_timer(self, rank: int, base_usec: float) -> float:
+        """Resolve one armed CQ moderation timer; returns the controlled delay.
+
+        The strategy may stretch the configured ``cq_usec`` (never shrink) —
+        timer-expiry boundaries against arriving completions are exactly
+        where lost-wakeup bugs live, so they are explorable choice points.
+        """
+        key = f"cq_timer:P{rank}#{self._cq_timer_index}"
+        self._cq_timer_index += 1
+        extra, alternatives = self.strategy.choose_cq_timer(key, base_usec)
+        if extra < 0:
+            raise ValueError(
+                f"strategy produced a negative CQ timer delay at {key}: {extra}"
+            )
+        self.log.append(
+            Decision("cq_timer", key, float(extra), alternatives=alternatives)
+        )
+        return base_usec + extra
+
+    # -- adaptive clock-wire resync (called by ClockWireEncoder) ------------------------
+
+    def on_clock_resync(
+        self, source: int, destination: int, since_resync: int, period: int
+    ) -> int:
+        """Resolve one due adaptive resync; returns the deferral in messages.
+
+        ``0`` resyncs now (the default); ``k`` sends ``k`` more sparse
+        frames before the cadence re-arms.  Sparse frames always decode to
+        the exact clock, so deferral perturbs only byte accounting — it is
+        logged so adaptive runs stay replayable byte for byte.
+        """
+        key = f"resync:{source}->{destination}#{self._resync_index}"
+        self._resync_index += 1
+        defer, alternatives = self.strategy.choose_resync(key, since_resync, period)
+        if defer < 0:
+            raise ValueError(
+                f"strategy produced a negative resync deferral at {key}: {defer}"
+            )
+        self.log.append(
+            Decision("resync", key, int(defer), alternatives=alternatives)
+        )
+        return defer
+
+    # -- barrier fan-out order (called by Barrier._open) --------------------------------
+
+    def on_barrier_release(self, generation: int, remaining: int) -> int:
+        """Pick which of *remaining* barrier waiters is released next.
+
+        Called once per pick while more than one waiter remains, so a full
+        fan-out of *n* ranks produces ``n - 1`` decisions.  Index ``0`` (the
+        default) releases in arrival order — the uncontrolled behaviour.
+        """
+        key = f"barrier:g{generation}#{self._barrier_index}"
+        self._barrier_index += 1
+        index, alternatives = self.strategy.choose_barrier(key, remaining)
+        if not (0 <= index < remaining):
+            raise ValueError(
+                f"strategy picked barrier index {index} of {remaining} at {key}"
+            )
+        self.log.append(
+            Decision("barrier", key, int(index), alternatives=alternatives)
+        )
+        return index
 
     # -- same-time scheduling (called by Simulator.step) --------------------------------
 

@@ -8,7 +8,7 @@ byte for byte, and *truncating* it replays a prefix with every later choice
 point falling back to its uncontrolled default.  That prefix property is
 what the racing-schedule minimizer delta-debugs over.
 
-Three decision kinds exist:
+Seven decision kinds exist:
 
 ``latency``
     The controller stretched (or left alone) one message's flight time.
@@ -25,6 +25,29 @@ Three decision kinds exist:
     ``0.0`` is the default.  Owning this timer lets the searchers branch on
     retry-storm interleavings — which retransmission lands before which
     repost — that delivery latencies alone cannot reach.
+``credit``
+    Under credit-based flow control a stalled sender was granted a credit by
+    a receive post; the controller stretched (or left alone) the grant's
+    wake-up.  ``choice`` is the extra delay before the sender resumes;
+    ``0.0`` is the default (wake at the post).  Grant timing decides which
+    of several stalled senders claims a contested buffer first.
+``cq_timer``
+    A CQ moderation timer was armed (the ``(cq_count, cq_usec)`` protocol);
+    the controller stretched (or left alone) its expiry.  ``choice`` is the
+    extra delay on top of the configured ``cq_usec``; ``0.0`` is the
+    default.  Timer expiry boundaries are exactly where lost-wakeup bugs
+    live, so the searchers branch on them.
+``resync``
+    An adaptive clock-wire channel reached its full-frame resync cadence;
+    the controller deferred (or did not defer) the resync.  ``choice`` is
+    the number of additional sparse messages before the resync re-arms;
+    ``0`` is the default (resync now).  Every frame still decodes to the
+    exact clock, so this is pure byte-accounting nondeterminism.
+``barrier``
+    A barrier opened and the controller picked which waiting rank's release
+    fires next (one decision per pick while more than one waiter remains).
+    ``choice`` is the index into the remaining waiters (arrival order);
+    ``0`` is the default (arrival order fan-out).
 
 A log serializes to plain JSON (the artifact the minimizer emits), and a
 sparse log — entries replaced by ``None`` — replays those choice points at
@@ -37,7 +60,15 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Union
 
 #: The controlled choice-point kinds.
-DECISION_KINDS = ("latency", "tie", "rnr")
+DECISION_KINDS = (
+    "latency",
+    "tie",
+    "rnr",
+    "credit",
+    "cq_timer",
+    "resync",
+    "barrier",
+)
 
 
 @dataclass(frozen=True)

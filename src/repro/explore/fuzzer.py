@@ -97,6 +97,46 @@ class ScheduleFuzzer(ScheduleStrategy):
         extra = self._rng.uniform(0.0, self.reorder_aggressiveness * self.quantum)
         return extra, 2
 
+    def choose_credit(
+        self, key: str, receiver: int, sender: int
+    ) -> Tuple[float, int]:
+        # Credit grants are the credit-mode analogue of RNR backoffs:
+        # stretching a grant explores which stalled sender claims a
+        # contested receive buffer first.
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0.0, 2
+        extra = self._rng.uniform(0.0, self.reorder_aggressiveness * self.quantum)
+        return extra, 2
+
+    def choose_cq_timer(self, key: str, base_usec: float) -> Tuple[float, int]:
+        # Stretching a moderation timer races its expiry against arriving
+        # completions — the flush-boundary interleavings where lost-wakeup
+        # bugs live.
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0.0, 2
+        extra = self._rng.uniform(0.0, self.reorder_aggressiveness * self.quantum)
+        return extra, 2
+
+    def choose_resync(
+        self, key: str, since_resync: int, period: int
+    ) -> Tuple[int, int]:
+        # Deferring a due adaptive resync perturbs only byte accounting
+        # (sparse frames still decode exactly), but it must be drawn from
+        # the same RNG stream to keep fuzzed schedules seed-pure.
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0, 2
+        return self._rng.randrange(1, 4), 2
+
+    def choose_barrier(self, key: str, remaining: int) -> Tuple[int, int]:
+        # Barrier fan-out order is shuffled like a scheduling tie.
+        roll = self._rng.random()
+        if roll >= self.tie_shuffle_probability:
+            return 0, remaining
+        return self._rng.randrange(remaining), remaining
+
     def describe(self) -> str:
         return (
             f"fuzz(seed={self.seed}, p={self.reorder_probability}, "

@@ -129,12 +129,46 @@ class SystematicStrategy(ScheduleStrategy):
         # receiver's reposts.
         return self._branch(key)
 
+    def choose_credit(
+        self, key: str, receiver: int, sender: int
+    ) -> Tuple[float, int]:
+        # Credit grants branch like RNR backoffs: slot k delays the grant's
+        # wake-up by k quanta, enumerating which stalled sender claims a
+        # contested receive buffer first.
+        return self._branch(key)
+
+    def choose_cq_timer(self, key: str, base_usec: float) -> Tuple[float, int]:
+        # Moderation timers branch on their expiry boundary: slot k
+        # stretches the timer by k quanta, racing the flush against
+        # arriving completions.
+        return self._branch(key)
+
+    def choose_resync(
+        self, key: str, since_resync: int, period: int
+    ) -> Tuple[int, int]:
+        # Resync deferrals are integer-valued: slot k defers the due
+        # full-frame resync by k more sparse messages.
+        return self._branch_slot(key)
+
+    def choose_barrier(self, key: str, remaining: int) -> Tuple[int, int]:
+        # Barrier fan-out branches on which waiter is released next; the
+        # slot is the waiter index, clamped to the remaining set.
+        return self._branch_slot(key, limit=remaining)
+
     def _branch(self, key: str) -> Tuple[float, int]:
+        slot, alternatives = self._branch_slot(key)
+        return slot * self.quantum, alternatives
+
+    def _branch_slot(self, key: str, limit: int = None) -> Tuple[int, int]:
         branchable = len(self.branch_points) < self.max_branch_points
         if branchable:
             self.branch_points.append(key)
         slot = self.forced.get(key, 0)
-        return slot * self.quantum, self.branch_factor if branchable else 1
+        alternatives = self.branch_factor if branchable else 1
+        if limit is not None:
+            slot = min(slot, limit - 1)
+            alternatives = min(alternatives, limit)
+        return slot, alternatives
 
     def describe(self) -> str:
         return (

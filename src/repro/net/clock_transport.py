@@ -119,6 +119,31 @@ def validate_clock_wire(wire_format: str) -> str:
     return wire_format
 
 
+#: Adaptive resync cadence bounds and starting point (messages per channel).
+ADAPTIVE_RESYNC_MIN = 8
+ADAPTIVE_RESYNC_MAX = 512
+ADAPTIVE_RESYNC_START = 64
+#: Realized sparse/full byte-ratio thresholds: below the low mark the
+#: channel is stable (stretch the cadence — resyncs are the dominant cost);
+#: above the high mark sparse frames are nearly full-sized anyway (tighten
+#: the cadence — a resync costs little extra and keeps the delta state
+#: fresh).
+ADAPTIVE_RATIO_LOW = 0.25
+ADAPTIVE_RATIO_HIGH = 0.75
+
+
+def validate_clock_wire_resync(value):
+    """Validate a resync cadence: a positive message count, or ``"adaptive"``."""
+    if value == "adaptive":
+        return value
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise ValueError(
+            f"clock_wire_resync must be a positive integer or 'adaptive', "
+            f"got {value!r}"
+        )
+    return value
+
+
 @dataclass(frozen=True)
 class ClockWireFrame:
     """One encoded clock as it would travel on a directed channel.
@@ -142,6 +167,18 @@ class ClockWireEncoder:
     sparse frame covering the components that changed since then, or a full
     resync frame — on the first message, every ``resync_period`` messages,
     and whenever the sparse encoding would not beat the full one.
+
+    With ``adaptive=True`` the cadence tunes itself per channel from the
+    realized sparse/full byte ratio of each resync window: a channel whose
+    sparse frames are tiny (ratio ≤ :data:`ADAPTIVE_RATIO_LOW`) doubles its
+    period — the periodic full frames are its dominant clock cost — and a
+    channel whose sparse frames are nearly full-sized anyway (ratio ≥
+    :data:`ADAPTIVE_RATIO_HIGH`) halves it, within
+    [:data:`ADAPTIVE_RESYNC_MIN`, :data:`ADAPTIVE_RESYNC_MAX`].  A due
+    adaptive resync additionally consults *resync_decider* — the schedule
+    controller's hook — which may defer it by a few more sparse messages, a
+    logged, replayable decision (always sound: sparse frames decode to the
+    exact clock regardless of when the resync lands).
     """
 
     def __init__(
@@ -150,6 +187,8 @@ class ClockWireEncoder:
         wire_format: str,
         resync_period: int = 64,
         entry_bytes: int = BYTES_PER_ENTRY,
+        adaptive: bool = False,
+        resync_decider=None,
     ) -> None:
         if world_size <= 0:
             raise ValueError(f"world_size must be positive, got {world_size}")
@@ -159,8 +198,17 @@ class ClockWireEncoder:
         self.wire_format = validate_clock_wire(wire_format)
         self.resync_period = resync_period
         self.entry_bytes = entry_bytes
+        self.adaptive = adaptive
+        self._resync_decider = resync_decider
         self._last_sent: Optional[List[int]] = None
         self._since_resync = 0
+        #: Realized sparse bytes and frame count of the current resync window.
+        self._window_sparse_bytes = 0
+        self._window_frames = 0
+        #: Adaptation history, for tests and benchmarks.
+        self.period_raises = 0
+        self.period_lowers = 0
+        self.resyncs_deferred = 0
 
     def _full_frame(self, clock: Tuple[int, ...], tagged: bool) -> ClockWireFrame:
         return ClockWireFrame(
@@ -183,9 +231,19 @@ class ClockWireEncoder:
             # The legacy untagged layout: nothing to resync, nothing saved.
             self._last_sent = list(entries)
             return self._full_frame(entries, tagged=False)
-        resync_due = (
-            self._last_sent is None or self._since_resync >= self.resync_period
+        period_reached = (
+            self._last_sent is not None
+            and self._since_resync >= self.resync_period
         )
+        if period_reached and self.adaptive and self._resync_decider is not None:
+            # A due adaptive resync is a controlled choice point: the
+            # controller may defer it by a few more sparse messages.
+            defer = self._resync_decider(self._since_resync, self.resync_period)
+            if defer > 0:
+                self.resyncs_deferred += 1
+                self._since_resync = max(0, self.resync_period - int(defer))
+                period_reached = False
+        resync_due = self._last_sent is None or period_reached
         if not resync_due:
             changed = [
                 (rank, value - self._last_sent[rank])
@@ -204,6 +262,8 @@ class ClockWireEncoder:
             if sparse_bytes < full_bytes:
                 self._last_sent = list(entries)
                 self._since_resync += 1
+                self._window_sparse_bytes += sparse_bytes
+                self._window_frames += 1
                 return ClockWireFrame(
                     wire_format=self.wire_format,
                     full=False,
@@ -211,9 +271,30 @@ class ClockWireEncoder:
                     wire_bytes=sparse_bytes,
                 )
         # Resync: first message, period reached, or sparse would not pay.
+        if self.adaptive:
+            self._adapt_period()
         self._last_sent = list(entries)
         self._since_resync = 0
         return self._full_frame(entries, tagged=True)
+
+    def _adapt_period(self) -> None:
+        """Re-tune the cadence from the closing window's realized byte ratio."""
+        if not self._window_frames:
+            return
+        full_bytes = WIRE_TAG_BYTES + self.world_size * self.entry_bytes
+        ratio = self._window_sparse_bytes / (self._window_frames * full_bytes)
+        self._window_sparse_bytes = 0
+        self._window_frames = 0
+        if ratio <= ADAPTIVE_RATIO_LOW:
+            raised = min(self.resync_period * 2, ADAPTIVE_RESYNC_MAX)
+            if raised != self.resync_period:
+                self.resync_period = raised
+                self.period_raises += 1
+        elif ratio >= ADAPTIVE_RATIO_HIGH:
+            lowered = max(self.resync_period // 2, ADAPTIVE_RESYNC_MIN)
+            if lowered != self.resync_period:
+                self.resync_period = lowered
+                self.period_lowers += 1
 
 
 class ClockWireDecoder:
@@ -406,19 +487,62 @@ class ClockTransport:
 
     # -- wire format (per-destination codecs) ----------------------------------------
 
+    @property
+    def adaptive_resync(self) -> bool:
+        """True when the resync cadence self-tunes per channel."""
+        return self._nic.config.clock_wire_resync == "adaptive"
+
+    def _resync_decider(self, destination: int):
+        """The controller hook deciding whether a due resync is deferred."""
+
+        def decide(since_resync: int, period: int) -> int:
+            controller = getattr(self._nic._sim, "controller", None)
+            if controller is not None and hasattr(controller, "on_clock_resync"):
+                return controller.on_clock_resync(
+                    self._nic.rank, destination, since_resync, period
+                )
+            return 0
+
+        return decide
+
     def _codec(self, destination: int) -> Tuple[ClockWireEncoder, ClockWireDecoder]:
         encoder = self._encoders.get(destination)
-        if encoder is None or encoder.wire_format != self.wire_format:
+        adaptive = self.adaptive_resync
+        if (
+            encoder is None
+            or encoder.wire_format != self.wire_format
+            or encoder.adaptive != adaptive
+        ):
             encoder = ClockWireEncoder(
                 self._nic.detector.world_size,
                 self.wire_format,
-                resync_period=self._nic.config.clock_wire_resync,
+                resync_period=(
+                    ADAPTIVE_RESYNC_START
+                    if adaptive
+                    else self._nic.config.clock_wire_resync
+                ),
+                adaptive=adaptive,
+                resync_decider=(
+                    self._resync_decider(destination) if adaptive else None
+                ),
             )
             self._encoders[destination] = encoder
             self._decoders[destination] = ClockWireDecoder(
                 encoder.world_size, self.wire_format
             )
         return encoder, self._decoders[destination]
+
+    def wire_resync_state(self) -> Dict[int, Dict[str, int]]:
+        """Per-destination resync cadence state (tests and benchmarks)."""
+        return {
+            destination: {
+                "resync_period": encoder.resync_period,
+                "period_raises": encoder.period_raises,
+                "period_lowers": encoder.period_lowers,
+                "resyncs_deferred": encoder.resyncs_deferred,
+            }
+            for destination, encoder in sorted(self._encoders.items())
+        }
 
     def encode_clock(self, clock_entries, destination: int) -> int:
         """Run one clock through *destination*'s channel codec; returns bytes.

@@ -35,7 +35,17 @@ so user programs remain ordinary sequential-looking code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Generator,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.core.clocks import VectorClock
 from repro.core.detector import AccessCheckResult, DualClockRaceDetector
@@ -129,7 +139,9 @@ class NICConfig:
         clock, so verdicts never depend on this knob; only bytes do.
     clock_wire_resync:
         Messages between full-clock resync frames on each directed channel
-        under the sparse wire formats.
+        under the sparse wire formats, or ``"adaptive"`` to let each
+        channel tune its own cadence from the realized sparse/full byte
+        ratio (see :data:`~repro.net.clock_transport.ADAPTIVE_RESYNC_START`).
     cell_bytes:
         Modelled size of one memory cell's value on the wire.
     """
@@ -139,7 +151,7 @@ class NICConfig:
     charge_detection_messages: bool = True
     clock_transport: str = "roundtrip"
     clock_wire: str = "full"
-    clock_wire_resync: int = 64
+    clock_wire_resync: Union[int, str] = 64
     cell_bytes: int = 8
 
 
@@ -723,6 +735,31 @@ class NIC:
 
     # -- two-sided send (matched against posted receives) --------------------------------
 
+    def _acquire_credit(self, gate: Any, destination: int, tag: str) -> Generator:
+        """Claim one receive credit, stalling locally until a post grants one.
+
+        The no-contention path claims without yielding (and without a
+        span); a stalled sender parks on the gate and renders the blocked
+        time as a ``credit_stall`` span on the engine track — the
+        credit-mode counterpart of ``rnr_backoff``, except it costs no
+        messages.  A woken sender re-checks the claim: a grant can be
+        "stolen" by a sender that never parked, in which case we re-park.
+        """
+        if gate.try_claim():
+            return True
+        stall_started = self._sim.now
+        while True:
+            wake = self._sim.event(name=f"credit-wait:{tag}")
+            gate.enqueue_waiter(wake, self.rank)
+            yield wake
+            if gate.try_claim():
+                break
+        self._obs.spans.complete(
+            self.engine_track, "credit_stall", stall_started, self._sim.now,
+            destination=f"P{destination}",
+        )
+        return True
+
     def send_payload(
         self,
         destination: int,
@@ -733,6 +770,8 @@ class NIC:
         clock_snapshot: Any = None,
         rnr_backoff: float = 1.0,
         rnr_retry_limit: Optional[int] = None,
+        flow_control: str = "rnr",
+        credit_gate: Any = None,
     ) -> Generator:
         """Two-sided SEND of *values* to *destination* (``IBV_WR_SEND``).
 
@@ -750,7 +789,13 @@ class NIC:
           back off ``rnr_backoff``, retransmit (charged as a fresh message),
           and after ``rnr_retry_limit`` retries give up with
           :class:`RnrRetryExceeded` (``None`` retries forever, like the
-          InfiniBand ``rnr_retry=7`` encoding);
+          InfiniBand ``rnr_retry=7`` encoding).  Under credit-based flow
+          control (``flow_control="credit"`` with a *credit_gate*) the NIC
+          instead claims one receive credit *before* the first
+          transmission, stalling locally — zero bytes on the wire, a
+          ``credit_stall`` span on the engine track — until the receiver's
+          next post grants one, so the match never hits the RNR condition
+          and every payload is transmitted exactly once;
         * a payload longer than the matched buffer consumes the receive but
           touches no memory — :class:`ReceiveLengthError` (``IBV_WC_LOC_LEN_ERR``);
         * the delivery carries the happens-before of message passing: the
@@ -779,6 +824,12 @@ class NIC:
         remote = destination != self.rank
         data_messages = 0
         control_messages = 0
+
+        claimed = False
+        if flow_control == "credit" and credit_gate is not None:
+            # Proactive admission control: reserve the receive buffer this
+            # SEND will consume before spending any fabric bytes on it.
+            claimed = yield from self._acquire_credit(credit_gate, destination, tag)
 
         retries = 0
         while True:
@@ -831,6 +882,10 @@ class NIC:
                 )
                 continue
             break
+        if claimed:
+            # The match consumed the exact buffer the claim reserved; the
+            # claim and the buffer leave the pool together.
+            credit_gate.settle()
         if remote:
             target_nic.remote_ops_serviced += 1
 

@@ -52,7 +52,9 @@ CATEGORIES = (
     "nic_serialization",
     "lock_wait",
     "rnr_backoff",
+    "credit_stall",
     "cq_wait",
+    "timer_wait",
     "clock_transport",
     "barrier_wait",
     "compute",
@@ -60,8 +62,11 @@ CATEGORIES = (
 
 #: Categories that are *waits* — elastic time that exists only because some
 #: other activity had not finished yet.  The what-if engine excludes them
-#: from the per-rank rigid-work floors.
-WAIT_CATEGORIES = frozenset({"lock_wait", "cq_wait", "barrier_wait"})
+#: from the per-rank rigid-work floors.  ``credit_stall`` is a wait (the
+#: sender parks until the receiver posts a buffer); ``timer_wait`` is NOT —
+#: the moderation timer's accumulation window is a policy delay the what-if
+#: engine can rescale directly, like a backoff.
+WAIT_CATEGORIES = frozenset({"lock_wait", "cq_wait", "barrier_wait", "credit_stall"})
 
 #: Span name -> category.  Names absent here attribute to ``compute``.
 SPAN_CATEGORY: Dict[str, str] = {
@@ -73,8 +78,10 @@ SPAN_CATEGORY: Dict[str, str] = {
     "qp_drain": "nic_serialization",
     "lock_wait": "lock_wait",
     "rnr_backoff": "rnr_backoff",
+    "credit_stall": "credit_stall",
     "cq_wait": "cq_wait",
     "evch_wait": "cq_wait",
+    "timer_wait": "timer_wait",
     "clock_sync": "clock_transport",
     "barrier_wait": "barrier_wait",
 }
@@ -86,11 +93,13 @@ SPAN_CATEGORY: Dict[str, str] = {
 _CATEGORY_PRIORITY: Dict[str, int] = {
     "lock_wait": 6,
     "rnr_backoff": 6,
+    "credit_stall": 6,
     "clock_transport": 5,
     "network": 4,
     "nic_serialization": 3,
     "barrier_wait": 2,
     "cq_wait": 1,
+    "timer_wait": 1,
     "compute": 0,
 }
 

@@ -162,7 +162,21 @@ class Barrier:
         self._release_events = {}
         self._crossings += 1
         self._obs.metrics.counter("barrier.crossings").inc()
-        for rank, release in releases.items():
+        # Barrier fan-out order is a controlled choice point: with a
+        # schedule controller installed, which waiter's release fires (or is
+        # put on the wire) next is a logged, replayable decision — the last
+        # previously-uncontrolled ordering.  The default (index 0 at every
+        # pick) reproduces arrival order, the uncontrolled behaviour.
+        order = list(releases.items())
+        controller = getattr(self._sim, "controller", None)
+        controlled = controller is not None and hasattr(
+            controller, "on_barrier_release"
+        )
+        while order:
+            index = 0
+            if controlled and len(order) > 1:
+                index = controller.on_barrier_release(generation, len(order))
+            rank, release = order.pop(index)
             if rank != self._root and self._charge_messages:
                 event, _ = self._fabric.send(
                     MessageKind.NOTIFY, self._root, rank,

@@ -26,8 +26,10 @@ from repro.net.clock_transport import (
     ClockTransportStats,
     validate_clock_transport,
     validate_clock_wire,
+    validate_clock_wire_resync,
 )
 from repro.net.fabric import Fabric, FabricStats
+from repro.net.flow_control import validate_flow_control
 from repro.net.latency import ConstantLatency, LatencyModel, LogGPLatency, UniformLatency
 from repro.net.nic import NIC, NICConfig
 from repro.net.topology import Topology
@@ -39,6 +41,7 @@ from repro.trace.events import TraceSummary
 from repro.trace.recorder import TraceRecorder
 from repro.util.logging import SimLogger
 from repro.util.validation import require_positive
+from repro.verbs.completion_queue import validate_cq_moderation_timer
 from repro.verbs.context import VerbsContext
 
 
@@ -93,7 +96,13 @@ class RuntimeConfig:
         formats here and on the NIC config is an error.
     clock_wire_resync:
         Channel messages between full-clock resync frames under the sparse
-        wire formats (``None`` keeps ``nic.clock_wire_resync``).
+        wire formats: a positive count for a fixed cadence, or
+        ``"adaptive"`` to let each directed channel tune its own period
+        from the realized sparse/full byte ratio (doubling when sparse
+        frames stay cheap, halving when they bloat; see
+        :mod:`repro.net.clock_transport`).  Every format decodes to the
+        exact clock regardless of cadence, so verdicts never depend on
+        this knob.  ``None`` keeps ``nic.clock_wire_resync``.
     detector_epochs:
         The FastTrack-style epoch fast path of the detector (see
         ``DetectorConfig.epochs``): ``"on"`` replaces full O(n) vector
@@ -113,6 +122,26 @@ class RuntimeConfig:
         Consumer semantics (wait/wait_all/poll, backpressure, event
         channels) are unchanged, so verdicts cannot depend on it; only the
         completion-traffic accounting and CQ visibility timing do.
+    cq_moderation_timer:
+        InfiniBand-style ``(cq_count, cq_usec)`` interrupt moderation of
+        each rank's send CQ (see
+        :class:`~repro.verbs.completion_queue.CqModerationTimer`):
+        completions accumulate and flush as one CQE event on whichever
+        bound trips first — the count, or a timer armed when the batch
+        opened.  Coalesces *across* drain bursts (unlike ``cq_moderation``)
+        and bounds the added retirement latency by ``cq_usec``.  Takes
+        precedence over ``cq_moderation`` when both are set.  ``None``
+        (the default) disables the timer.
+    flow_control:
+        Admission protocol for two-sided SENDs: ``"rnr"`` (the default RC
+        retry protocol — transmit, discover the empty receive queue, back
+        off, retransmit) or ``"credit"`` (claim a posted receive buffer
+        *before* transmitting and stall locally until one is granted, so
+        every payload crosses the wire exactly once and no RNR traffic
+        exists).  Both protocols admit sends in the same FIFO order, so
+        detector verdicts are byte-identical; only message counts, RNR
+        retries and stall accounting differ.  See
+        :mod:`repro.net.flow_control`.
     signal_policy:
         What to do when a race is signalled (collect / warn / abort).
     trace_values:
@@ -168,9 +197,11 @@ class RuntimeConfig:
     nic: NICConfig = field(default_factory=NICConfig)
     clock_transport: Optional[str] = None
     clock_wire: Optional[str] = None
-    clock_wire_resync: Optional[int] = None
+    clock_wire_resync: Optional[Union[int, str]] = None
     detector_epochs: Optional[str] = None
     cq_moderation: bool = False
+    cq_moderation_timer: Optional[Any] = None
+    flow_control: str = "rnr"
     signal_policy: SignalPolicy = SignalPolicy.COLLECT
     trace_values: bool = True
     trace_spans: bool = False
@@ -212,6 +243,12 @@ class RunResult:
     clock_wire: str = "full"
     #: Whether completion coalescing (one CQE per drain burst) was active.
     cq_moderation: bool = False
+    #: The ``(cq_count, cq_usec)`` moderation timer, if one was active.
+    cq_moderation_timer: Optional[Any] = None
+    #: Which two-sided admission protocol the run used (``"rnr"``/``"credit"``).
+    flow_control: str = "rnr"
+    #: The clock-wire resync cadence (message count or ``"adaptive"``).
+    clock_wire_resync: Union[int, str] = 64
     #: Whether the detector's epoch fast path was active (``"on"``/``"off"``).
     detector_epochs: str = "on"
     #: Canonical metric snapshot of the run (``sim.obs.metrics``): every
@@ -302,6 +339,8 @@ class DSMRuntime:
                 rnr_retry_limit=self.config.verbs_rnr_retry_limit,
                 backpressure=self.config.verbs_backpressure,
                 cq_moderation=self.config.cq_moderation,
+                cq_moderation_timer=self.config.cq_moderation_timer,
+                flow_control=self.config.flow_control,
             )
             for rank in range(self.config.world_size)
         ]
@@ -362,8 +401,17 @@ class DSMRuntime:
                 )
         self.set_clock_wire(wire)
         if self.config.clock_wire_resync is not None:
-            require_positive(self.config.clock_wire_resync, "clock_wire_resync")
-            self.config.nic.clock_wire_resync = self.config.clock_wire_resync
+            self.set_clock_wire_resync(self.config.clock_wire_resync)
+        else:
+            self.config.clock_wire_resync = validate_clock_wire_resync(
+                self.config.nic.clock_wire_resync
+            )
+        # Validate the control-plane knobs even when they arrived through
+        # the config rather than a set_* call.
+        validate_flow_control(self.config.flow_control)
+        self.config.cq_moderation_timer = validate_cq_moderation_timer(
+            self.config.cq_moderation_timer
+        )
         # Resolve the detector epoch fast path: an explicit runtime knob
         # wins, else the REPRO_DETECTOR_EPOCHS environment variable (the CI
         # matrix leg), else whatever the DetectorConfig already says.
@@ -458,6 +506,59 @@ class DSMRuntime:
         self.config.cq_moderation = bool(enabled)
         for context in self.verbs_contexts:
             context.cq_moderation = bool(enabled)
+
+    def set_cq_moderation_timer(self, value: Optional[Any]) -> None:
+        """Install ``(cq_count, cq_usec)`` CQ moderation (before :meth:`run`).
+
+        ``None`` removes the timer — see ``RuntimeConfig.cq_moderation_timer``
+        and :class:`~repro.verbs.completion_queue.CqModerationTimer`.  Pure
+        delivery-timing policy: every completion still reaches the CQ and
+        every retirement merges the same clock, so verdicts cannot depend on
+        it.  The campaign runner's configure hook uses this to sweep the
+        knob on an already-built runtime.
+        """
+        value = validate_cq_moderation_timer(value)
+        if self._ran:
+            raise RuntimeError(
+                "set_cq_moderation_timer() must be called before run()"
+            )
+        self.config.cq_moderation_timer = value
+        for context in self.verbs_contexts:
+            context.set_cq_moderation_timer(value)
+
+    def set_flow_control(self, mode: str) -> None:
+        """Select the two-sided admission protocol (before :meth:`run`).
+
+        ``"rnr"`` or ``"credit"`` — see ``RuntimeConfig.flow_control`` and
+        :mod:`repro.net.flow_control`.  Both protocols admit sends in the
+        same FIFO order, so verdicts are byte-identical; only the message
+        and retry accounting differ.  The campaign runner's configure hook
+        uses this to sweep the knob on an already-built runtime.
+        """
+        mode = validate_flow_control(mode)
+        if self._ran:
+            raise RuntimeError("set_flow_control() must be called before run()")
+        self.config.flow_control = mode
+        for context in self.verbs_contexts:
+            context.set_flow_control(mode)
+
+    def set_clock_wire_resync(self, value: Union[int, str]) -> None:
+        """Set the sparse-wire resync cadence (before :meth:`run`).
+
+        A positive message count, or ``"adaptive"`` for the per-channel
+        self-tuning cadence — see ``RuntimeConfig.clock_wire_resync``.
+        Purely a byte-accounting policy (every frame decodes to the exact
+        clock), so switching it can never change a verdict.  The campaign
+        runner's configure hook uses this to sweep the knob on an
+        already-built runtime.
+        """
+        value = validate_clock_wire_resync(value)
+        if self._ran:
+            raise RuntimeError(
+                "set_clock_wire_resync() must be called before run()"
+            )
+        self.config.clock_wire_resync = value
+        self.config.nic.clock_wire_resync = value
 
     def clock_transport_stats(self) -> ClockTransportStats:
         """Whole-machine clock-transport accounting (summed over ranks)."""
@@ -592,6 +693,9 @@ class DSMRuntime:
             clock_wire=self.config.clock_wire,
             cq_moderation=self.config.cq_moderation,
             detector_epochs=self.config.detector_epochs,
+            flow_control=self.config.flow_control,
+            cq_moderation_timer=self.config.cq_moderation_timer,
+            clock_wire_resync=self.config.clock_wire_resync,
         )
         ranks_without_program = [
             rank for rank in range(self.config.world_size) if rank not in self._programs
@@ -640,6 +744,9 @@ class DSMRuntime:
             clock_transport_stats=self.clock_transport_stats().as_dict(),
             clock_wire=self.config.clock_wire,
             cq_moderation=self.config.cq_moderation,
+            cq_moderation_timer=self.config.cq_moderation_timer,
+            flow_control=self.config.flow_control,
+            clock_wire_resync=self.config.clock_wire_resync,
             detector_epochs=self.config.detector_epochs,
             metrics=self.sim.obs.metrics.snapshot(),
             detection_profile=self.sim.obs.profiler.snapshot(),

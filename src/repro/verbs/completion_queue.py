@@ -17,11 +17,22 @@ analogue): :meth:`CompletionQueue.arm` requests *one* notification
 (``ibv_req_notify_cq``), delivered to the channel when the next completion
 arrives — or immediately, if completions are already waiting, closing the
 classic arm/poll race window.
+
+:class:`CqModerationTimer` is the InfiniBand ``(cq_count, cq_usec)``
+interrupt-moderation protocol (``ibv_modify_cq`` moderation attributes):
+completions accumulate and flush as one CQE event on whichever bound trips
+first — the count, or a timer armed when the batch opened.  Unlike the
+per-drain-burst coalescing of ``cq_moderation=True``, the timer coalesces
+*across* drain bursts and bounds the added retirement latency by
+``cq_usec``.  Each armed timer's expiry routes through
+:meth:`~repro.explore.controller.ScheduleController.on_cq_timer` as a
+logged, replayable decision point — timer-expiry boundaries against
+arriving completions are where lost-wakeup bugs live.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
@@ -220,3 +231,107 @@ class CompletionQueue:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<CompletionQueue {self.name} depth={self.depth}>"
+
+
+def validate_cq_moderation_timer(value) -> Optional[Tuple[int, float]]:
+    """Validate a ``(cq_count, cq_usec)`` pair; ``None`` disables the timer."""
+    if value is None:
+        return None
+    try:
+        count, usec = value
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"cq_moderation_timer must be a (cq_count, cq_usec) pair, got {value!r}"
+        ) from None
+    if isinstance(count, bool) or not isinstance(count, int) or count < 1:
+        raise ValueError(f"cq_count must be a positive integer, got {count!r}")
+    usec = float(usec)
+    if usec <= 0:
+        raise ValueError(f"cq_usec must be positive, got {usec!r}")
+    return count, usec
+
+
+class CqModerationTimer:
+    """``(cq_count, cq_usec)`` moderation over one context's send CQ.
+
+    Completions delivered while the timer runs accumulate in a batch; the
+    batch flushes as ONE completion event (via the context's
+    ``deliver_burst``) when the *count* bound is reached, when the armed
+    timer expires, or when a bounded CQ could not absorb one more pending
+    completion.  The time a flushed batch spent accumulating is rendered as
+    a ``timer_wait`` span on the rank's track, so the critical-path
+    analyzer can attribute — and ``whatif`` rescale — moderation-added
+    latency.
+    """
+
+    def __init__(self, context, count: int, usec: float) -> None:
+        self._context = context
+        self._sim = context.sim
+        self.count = count
+        self.usec = usec
+        self._pending: List[WorkCompletion] = []
+        self._generation = 0
+        self._armed_at: Optional[float] = None
+        #: Flushes by trigger, for tests and benchmarks.
+        self.flushes = {"count": 0, "timer": 0, "capacity": 0}
+
+    @property
+    def pending(self) -> int:
+        """Completions accumulated and not yet flushed."""
+        return len(self._pending)
+
+    def submit(self, completion: WorkCompletion) -> None:
+        """Accept one completion; flush on whichever bound trips first."""
+        cq = self._context.cq
+        if (
+            cq.capacity is not None
+            and self._pending
+            and len(self._pending) >= cq.capacity - cq.depth
+        ):
+            # A bounded CQ cannot absorb the batch plus this completion:
+            # flush early rather than overflow at the eventual timer.
+            self._flush("capacity")
+        if not self._pending:
+            self._armed_at = self._sim.now
+            self._arm()
+        self._pending.append(completion)
+        if len(self._pending) >= self.count:
+            self._flush("count")
+
+    def _arm(self) -> None:
+        delay = self.usec
+        controller = getattr(self._sim, "controller", None)
+        if controller is not None and hasattr(controller, "on_cq_timer"):
+            # The schedule controller owns the timer's expiry: stretching it
+            # races the flush against arriving completions (a logged,
+            # replayable decision), exactly as it owns RNR backoffs.
+            delay = controller.on_cq_timer(self._context.rank, self.usec)
+        generation = self._generation
+        self._sim.call_after(
+            delay,
+            lambda: self._on_timer(generation),
+            name=f"cq-timer:P{self._context.rank}",
+        )
+
+    def _on_timer(self, generation: int) -> None:
+        if generation != self._generation:
+            return  # the batch this timer was armed for already flushed
+        self._flush("timer")
+
+    def _flush(self, reason: str) -> None:
+        self._generation += 1  # logically cancel the armed timer
+        batch, self._pending = self._pending, []
+        armed_at, self._armed_at = self._armed_at, None
+        if not batch:
+            return
+        self.flushes[reason] += 1
+        obs = Observability.of(self._sim)
+        if armed_at is not None and self._sim.now > armed_at:
+            obs.spans.complete(
+                self._context.track, "timer_wait", armed_at, self._sim.now,
+                reason=reason, coalesced=len(batch),
+            )
+        obs.metrics.counter(
+            "verbs.cq_timer_flushes", rank=self._context.rank, reason=reason
+        ).inc()
+        self._context.deliver_burst(batch)

@@ -25,11 +25,17 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.memory.address import GlobalAddress
+from repro.net.flow_control import credit_gate_for, validate_flow_control
 from repro.net.nic import NIC
 from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.util.ids import IdAllocator
-from repro.verbs.completion_queue import CompletionQueue, CompletionQueueOverflow
+from repro.verbs.completion_queue import (
+    CompletionQueue,
+    CompletionQueueOverflow,
+    CqModerationTimer,
+    validate_cq_moderation_timer,
+)
 from repro.verbs.event_channel import EventChannel
 from repro.verbs.memory_registration import (
     MemoryRegistry,
@@ -59,11 +65,15 @@ class VerbsContext:
         rnr_retry_limit: Optional[int] = None,
         backpressure: str = "raise",
         cq_moderation: bool = False,
+        cq_moderation_timer=None,
+        flow_control: str = "rnr",
     ) -> None:
         if backpressure not in ("raise", "block"):
             raise ValueError(
                 f"backpressure must be 'raise' or 'block', got {backpressure!r}"
             )
+        validate_flow_control(flow_control)
+        cq_moderation_timer = validate_cq_moderation_timer(cq_moderation_timer)
         self.sim = sim
         self.nic = nic
         self.rank = nic.rank
@@ -85,6 +95,19 @@ class VerbsContext:
         #: batched retirement clock is charged once per burst instead of
         #: once per completion.
         self.cq_moderation = cq_moderation
+        #: Admission control for two-sided sends: ``"rnr"`` (the RC retry
+        #: protocol, the default) or ``"credit"`` (claim a posted receive
+        #: buffer before transmitting; stall locally instead of retrying).
+        self.flow_control = flow_control
+        #: ``(cq_count, cq_usec)`` send-CQ moderation; ``None`` disables the
+        #: timer (the moderator is created only when the knob is on, so the
+        #: default path carries zero extra footprint).
+        self.cq_moderation_timer = cq_moderation_timer
+        self._cq_moderator: Optional[CqModerationTimer] = (
+            CqModerationTimer(self, *cq_moderation_timer)
+            if cq_moderation_timer is not None
+            else None
+        )
         self._obs = Observability.of(sim)
         #: Trace track for this rank's process-side verbs activity.
         self.track = f"rank-P{self.rank}"
@@ -197,6 +220,33 @@ class VerbsContext:
     def receive_queue_from(self, source: int) -> ReceiveQueue:
         """The queue incoming SENDs from *source* consume posted buffers from."""
         return self.queue_pair(source).recv_queue
+
+    def set_flow_control(self, mode: str) -> None:
+        """Select the two-sided admission protocol (``"rnr"`` or ``"credit"``)."""
+        self.flow_control = validate_flow_control(mode)
+
+    def set_cq_moderation_timer(self, value) -> None:
+        """Install (or remove, with ``None``) ``(cq_count, cq_usec)`` moderation."""
+        value = validate_cq_moderation_timer(value)
+        self.cq_moderation_timer = value
+        self._cq_moderator = (
+            CqModerationTimer(self, *value) if value is not None else None
+        )
+
+    @property
+    def cq_moderator(self) -> Optional[CqModerationTimer]:
+        """The active timer moderator, if the knob is on (for tests/benchmarks)."""
+        return self._cq_moderator
+
+    def credit_gate(self, source: int):
+        """The credit gate guarding the receive queue facing *source*.
+
+        Created (and wired to the queue's posts) on first use, so RNR-mode
+        runs never allocate one.  A queue pair draining from the SRQ shares
+        the SRQ's gate with every attached peer — the credit pool aggregates
+        exactly like the buffer pool it mirrors.
+        """
+        return credit_gate_for(self.receive_queue_from(source), self.sim)
 
     def _make_recv_wr(
         self,
@@ -545,6 +595,11 @@ class VerbsContext:
         operation's effect — until then, poster and effect stay causally
         unordered.
         """
+        if self._cq_moderator is not None:
+            # Timer-based moderation: the completion accumulates and lands
+            # via deliver_burst when the (count, usec) protocol flushes.
+            self._cq_moderator.submit(completion)
+            return
         if completion.sync_clock is not None:
             completion.on_retire = self._on_wr_retired
         self.cq.push(completion)

@@ -199,7 +199,14 @@ class QueuePair:
         delivery (whose consumer retires between distinct delivery times)
         would have kept within capacity.
         """
-        burst: Optional[list] = [] if self._context.cq_moderation else None
+        # Timer-based (count, usec) moderation coalesces *across* drain
+        # bursts inside the context's moderator, so the drain delivers
+        # per-completion and lets the timer decide the batching.
+        burst: Optional[list] = (
+            []
+            if self._context.cq_moderation and self._context.cq_moderator is None
+            else None
+        )
         drain_started = self._sim.now
         serviced = 0
         while self._pending:
@@ -387,6 +394,12 @@ class QueuePair:
         nic = self._context.nic
         target_context = self._context.peer_context(self.peer)
         recv_queue = target_context.receive_queue_from(self.origin)
+        flow_control = self._context.flow_control
+        credit_gate = (
+            target_context.credit_gate(self.origin)
+            if flow_control == "credit"
+            else None
+        )
         values = list(request.payload or ())
         if request.gather_from:
             # The gather half of scatter/gather: read the local cells through
@@ -404,6 +417,8 @@ class QueuePair:
                 clock_snapshot=request.clock_snapshot,
                 rnr_backoff=self._context.rnr_backoff,
                 rnr_retry_limit=self._context.rnr_retry_limit,
+                flow_control=flow_control,
+                credit_gate=credit_gate,
             )
         except RnrRetryExceeded as error:
             return WorkCompletion(

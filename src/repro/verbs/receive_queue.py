@@ -98,6 +98,16 @@ class ReceiveQueue:
         self.matched = 0
         #: Buffers consumed per sending rank (who actually drained us).
         self.matched_by: Dict[int, int] = {}
+        self._post_listener = None
+
+    def set_post_listener(self, listener) -> None:
+        """Install a callback fired after every successful post.
+
+        Credit-based flow control hooks this: each posted buffer is one
+        credit, and the listener is where a stalled sender's grant is
+        scheduled (see :class:`repro.net.flow_control.CreditGate`).
+        """
+        self._post_listener = listener
 
     # -- posting (receiver side) ---------------------------------------------------
 
@@ -120,6 +130,8 @@ class ReceiveQueue:
             )
         self._pending.append(request)
         self.posted += 1
+        if self._post_listener is not None:
+            self._post_listener()
         return request
 
     # -- matching (target NIC side) --------------------------------------------------

@@ -163,3 +163,55 @@ class TestZeroFootprint:
             finish = event["ts"] + event.get("dur", 0.0)
             assert finish >= last_finish.get(track, 0.0) - 1e-9, event
             last_finish[track] = max(last_finish.get(track, 0.0), finish)
+
+
+@pytest.mark.parametrize("flow_control", ["rnr", "credit"])
+@pytest.mark.parametrize("timer", [None, (2, 1.5)])
+@pytest.mark.parametrize("resync", [16, "adaptive"])
+class TestControlPlaneZeroFootprint:
+    """The adaptive control plane joins the zero-footprint matrix: span
+    tracing cannot change verdicts, final values or the metric snapshot
+    under any flow-control × moderation-timer × resync-cadence setting."""
+
+    def test_tracing_never_changes_the_run(self, flow_control, timer, resync):
+        def build(trace_spans):
+            workload = RPCEchoWorkload(
+                num_clients=2,
+                requests_per_client=2,
+                racy_buffer_reuse=True,
+                config=RuntimeConfig(
+                    clock_transport="piggyback",
+                    clock_wire="delta",
+                    clock_wire_resync=resync,
+                    flow_control=flow_control,
+                    cq_moderation_timer=timer,
+                    trace_spans=trace_spans,
+                ),
+            )
+            return workload.run(seed=0)
+
+        plain, traced = build(False), build(True)
+        assert _verdict(traced.run) == _verdict(plain.run)
+        assert traced.run.final_shared_values == plain.run.final_shared_values
+        assert traced.run.race_count > 0
+        assert json.dumps(traced.run.metrics, sort_keys=True) == json.dumps(
+            plain.run.metrics, sort_keys=True
+        )
+        assert traced.run.detection_profile == plain.run.detection_profile
+        assert validate_chrome_trace(
+            traced.runtime.sim.obs.spans.to_chrome_trace()
+        ) == []
+        assert plain.runtime.sim.obs.spans.events() == []
+
+    def test_default_mode_snapshot_untouched_by_knob_instruments(
+        self, flow_control, timer, resync
+    ):
+        """Lazy instruments: a default-mode run's metric snapshot carries no
+        credit or timer instruments, whatever this leg's knobs would add."""
+        del flow_control, timer, resync  # the default run ignores the leg
+        workload = RPCEchoWorkload(
+            num_clients=2, requests_per_client=2, racy_buffer_reuse=True
+        )
+        snapshot = workload.run(seed=0).run.metrics
+        assert not any("credit" in key for key in snapshot)
+        assert not any("cq_timer" in key for key in snapshot)
