@@ -43,6 +43,7 @@ from repro.net.clock_transport import (
     validate_clock_wire_resync,
 )
 from repro.net.flow_control import FLOW_CONTROL_MODES
+from repro.net.ud_transport import TRANSPORT_MODES, validate_transport
 from repro.verbs.completion_queue import validate_cq_moderation_timer
 
 
@@ -90,6 +91,15 @@ class CampaignConfig:
     cadence on every built runtime (a decimal message count or
     ``"adaptive"``); every frame decodes to the exact clock, so verdicts
     never depend on the cadence.
+
+    ``transport`` — when not ``None``, select the data-message service
+    level on every built runtime (``"rc"`` or ``"ud"``); the detector
+    always stamps the in-process carried clock and a gapped/stale UD frame
+    forces a receiver resync before the verdict, so
+    ``--expect-consistent`` must hold for every combination — including
+    ``"ud"`` with nonzero ``drop_probability``/``duplicate_probability``,
+    where the fuzzer drops, duplicates and reorders the clock-carrying
+    datagrams themselves.
     """
 
     strategy: str = "fuzz"
@@ -101,6 +111,9 @@ class CampaignConfig:
     reorder_aggressiveness: float = 2.0
     quantum: float = 1.0
     tie_shuffle_probability: float = 0.15
+    # UD datagram-fate fuzz knobs (only bite under transport="ud")
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
     # systematic knobs
     branch_factor: int = 2
     max_branch_points: int = 8
@@ -120,6 +133,8 @@ class CampaignConfig:
     cq_moderation_timer: Optional[str] = None
     # sparse-wire resync-cadence sweep (decimal count / "adaptive")
     clock_wire_resync: Optional[str] = None
+    # data-message service-level sweep ("rc" / "ud")
+    transport: Optional[str] = None
     #: Record each schedule's critical-path summary (span tracing on for
     #: every explored run; pure post-processing, verdict-identical) and rank
     #: schedules by path composition in the markdown report.
@@ -152,6 +167,16 @@ class CampaignConfig:
             )
         parse_cq_moderation_timer(self.cq_moderation_timer)
         parse_clock_wire_resync(self.clock_wire_resync)
+        if self.transport is not None:
+            validate_transport(self.transport)
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.drop_probability + self.duplicate_probability > 1.0:
+            raise ValueError(
+                "drop_probability + duplicate_probability must not exceed 1"
+            )
 
 
 def parse_cq_moderation_timer(text: Optional[str]):
@@ -223,6 +248,7 @@ def _knob_configure(
     flow_control: Optional[str] = None,
     cq_moderation_timer: Optional[str] = None,
     clock_wire_resync: Optional[str] = None,
+    transport: Optional[str] = None,
 ):
     if (
         treat_rmw_pairs_as_ordered is None
@@ -233,6 +259,7 @@ def _knob_configure(
         and flow_control is None
         and cq_moderation_timer is None
         and clock_wire_resync is None
+        and transport is None
     ):
         return None
 
@@ -258,6 +285,8 @@ def _knob_configure(
             runtime.set_clock_wire_resync(
                 parse_clock_wire_resync(clock_wire_resync)
             )
+        if transport is not None:
+            runtime.set_transport(transport)
 
     return configure
 
@@ -278,6 +307,7 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
             config.flow_control,
             config.cq_moderation_timer,
             config.clock_wire_resync,
+            config.transport,
         ),
         critical_path=config.critical_path,
     )
@@ -295,6 +325,8 @@ def _explore_pattern_task(task: Dict[str, object]) -> Dict[str, object]:
             reorder_aggressiveness=config.reorder_aggressiveness,
             quantum=config.quantum,
             tie_shuffle_probability=config.tie_shuffle_probability,
+            drop_probability=config.drop_probability,
+            duplicate_probability=config.duplicate_probability,
         )
     payload = result.as_dict()
     payload["pattern"] = pattern.name
@@ -551,6 +583,90 @@ def run_campaign(
     return CampaignReport(config=config, corpus=corpus, per_pattern=payloads)
 
 
+def minimize_campaign_artifacts(
+    config: CampaignConfig,
+    out_dir: str,
+    patterns: Optional[Sequence[Union[str, object]]] = None,
+    corpus: str = "default",
+) -> List[str]:
+    """Delta-debug one racing schedule per racy pattern into an artifact.
+
+    For every labelled-racy selected pattern, re-explore a small fuzzed
+    budget under the campaign's knobs, take the first schedule on which
+    matrix-clock flagged a labelled symbol, shrink its decision log with
+    :func:`~repro.explore.minimize.minimize_racing_schedule`, and write the
+    self-contained replayable artifact to
+    ``<out_dir>/minimized-<pattern>.json``.  Returns the written paths.
+
+    The nightly CI fuzz campaign uploads these next to the report: a failure
+    investigated days later starts from a minimal racing recipe, not a
+    thousand-decision fuzz log.
+    """
+    import os
+
+    from repro.explore.minimize import minimize_racing_schedule, save_artifact
+
+    configure = _knob_configure(
+        config.treat_rmw_pairs_as_ordered,
+        config.clock_transport,
+        config.clock_wire,
+        config.cq_moderation,
+        config.detector_epochs,
+        config.flow_control,
+        config.cq_moderation_timer,
+        config.clock_wire_resync,
+        config.transport,
+    )
+    if patterns is None:
+        selected = [p for p in _resolve_corpus(corpus) if p.racy]
+    else:
+        names = {p if isinstance(p, str) else p.name for p in patterns}
+        selected = [
+            p for p in _resolve_corpus(corpus) if p.name in names and p.racy
+        ]
+    os.makedirs(out_dir, exist_ok=True)
+    written: List[str] = []
+    for pattern in selected:
+        if configure is None:
+            factory = pattern.build
+        else:
+            # The minimizer replays through the bare factory, so the
+            # campaign's knob overrides must be baked in, not passed along.
+            def factory(seed, _build=pattern.build, _configure=configure):
+                runtime = _build(seed)
+                _configure(runtime)
+                return runtime
+
+        explorer = Explorer(factory, seed=config.seed, offline_detectors=[])
+        result = explorer.explore_fuzzed(
+            max(config.budget, 2),
+            reorder_probability=config.reorder_probability,
+            reorder_aggressiveness=config.reorder_aggressiveness,
+            quantum=config.quantum,
+            tie_shuffle_probability=config.tie_shuffle_probability,
+            drop_probability=config.drop_probability,
+            duplicate_probability=config.duplicate_probability,
+        )
+        labels = set(pattern.racy_symbols)
+        chosen = None
+        for outcome in result.outcomes:
+            flagged = outcome.flagged.get(MATRIX_CLOCK, set())
+            targets = (flagged & labels) or flagged
+            if targets:
+                chosen = (outcome, targets)
+                break
+        if chosen is None:  # pragma: no cover - racy corpus always flags
+            continue
+        outcome, targets = chosen
+        minimized = minimize_racing_schedule(
+            factory, config.seed, outcome.decisions, targets
+        )
+        path = os.path.join(out_dir, f"minimized-{pattern.name}.json")
+        save_artifact(minimized, factory, config.seed, path, pattern=pattern.name)
+        written.append(path)
+    return written
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point (``python -m repro.explore.campaign``)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -619,6 +735,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "self-tuning cadence (default: the pattern's own configuration)",
     )
     parser.add_argument(
+        "--transport",
+        default=None,
+        choices=TRANSPORT_MODES,
+        help="data-message service level for every explored runtime: rc "
+        "(reliable connected) or ud (droppable/reorderable datagrams with "
+        "receiver-driven clock resync) (default: the pattern's own "
+        "configuration)",
+    )
+    parser.add_argument(
+        "--drop-rate",
+        type=float,
+        default=0.0,
+        help="per-datagram drop probability for fuzzed schedules (UD only; "
+        "schedule 0 stays the drop-free baseline)",
+    )
+    parser.add_argument(
+        "--duplicate-rate",
+        type=float,
+        default=0.0,
+        help="per-datagram duplication probability for fuzzed schedules "
+        "(UD only)",
+    )
+    parser.add_argument(
         "--critical-path",
         action="store_true",
         help="record each schedule's critical-path summary and rank "
@@ -626,6 +765,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument("--json", dest="json_path", default=None)
     parser.add_argument("--markdown", dest="markdown_path", default=None)
+    parser.add_argument(
+        "--minimize-dir",
+        default=None,
+        metavar="DIR",
+        help="after the report, delta-debug one racing schedule per racy "
+        "pattern (under the same knobs) and write replayable "
+        "minimized-<pattern>.json artifacts into DIR",
+    )
     parser.add_argument(
         "--expect-consistent",
         action="store_true",
@@ -653,6 +800,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         flow_control=args.flow_control,
         cq_moderation_timer=args.cq_moderation_timer,
         clock_wire_resync=args.clock_wire_resync,
+        transport=args.transport,
+        drop_probability=args.drop_rate,
+        duplicate_probability=args.duplicate_rate,
         critical_path=args.critical_path,
     )
     report = run_campaign(config, patterns=args.patterns, corpus=args.corpus)
@@ -664,6 +814,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.markdown_path, "w") as handle:
             handle.write(markdown)
     print(markdown)
+    if args.minimize_dir:
+        for path in minimize_campaign_artifacts(
+            config, args.minimize_dir, patterns=args.patterns, corpus=args.corpus
+        ):
+            print(f"minimized racing schedule: {path}")
     if args.expect_consistent and not report.fully_consistent():
         print("ERROR: matrix-clock missed a labelled race in some schedule")
         return 1

@@ -24,6 +24,12 @@ the ``(cq_count, cq_usec)`` protocol's armed timer), **adaptive clock-wire
 resync deferral** (:meth:`on_clock_resync`) and **barrier fan-out order**
 (:meth:`on_barrier_release`, the last previously-uncontrolled ordering).
 
+The UD transport adds the final two: **datagram fate**
+(:meth:`on_datagram_fate` — deliver, drop, or deliver-plus-duplicate; the
+``drop`` decision kind) and **datagram delay** (:meth:`on_datagram_delay` —
+extra flight time applied by :class:`~repro.net.ud_transport.UdChannel`
+*without* a FIFO clamp; the ``reorder`` decision kind).
+
 Every resolution is appended to a :class:`~repro.explore.decisions.DecisionLog`,
 and what the resolution *is* comes from a pluggable
 :class:`ScheduleStrategy` — passthrough (baseline schedule), fuzzing
@@ -38,7 +44,10 @@ One safety rule lives here rather than in any strategy: two deliveries on
 the same ordered channel are never reordered by the tie hook.  The channel
 layer guarantees FIFO per (source, destination) pair and the detectors rely
 on it; the controller therefore only offers the strategy the *earliest*
-pending delivery of each channel as a candidate.
+pending delivery of each channel as a candidate.  UD datagrams
+(``message.ud_seq is not None``) are exempt — an unreliable channel makes
+no ordering promise, so same-time datagram deliveries are freely
+reorderable ties.
 """
 
 from __future__ import annotations
@@ -47,7 +56,7 @@ import heapq
 from typing import Any, List, Optional, Tuple
 
 from repro.explore.decisions import Decision, DecisionLog
-from repro.net.message import Message
+from repro.net.message import Message, MessageKind
 from repro.sim.events import Timeout
 
 
@@ -112,6 +121,18 @@ class ScheduleStrategy:
     def choose_barrier(self, key: str, remaining: int) -> Tuple[int, int]:
         """Index of the barrier waiter released next (default: arrival order)."""
         return 0, remaining
+
+    def choose_datagram_fate(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[int, int]:
+        """Fate of one UD datagram: 0 deliver, 1 drop, 2 duplicate."""
+        return 0, 1
+
+    def choose_datagram_delay(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[float, int]:
+        """Extra unclamped flight time for one UD datagram (default: none)."""
+        return 0.0, 1
 
     def describe(self) -> str:
         """One-line description used in exploration reports."""
@@ -222,6 +243,18 @@ class ReplayStrategy(ScheduleStrategy):
             return 0, remaining
         return index, remaining
 
+    def choose_datagram_fate(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[int, int]:
+        entry = self._next("drop", key)
+        return (int(entry.choice), 1) if entry is not None else (0, 1)
+
+    def choose_datagram_delay(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[float, int]:
+        entry = self._next("reorder", key)
+        return (float(entry.choice), 1) if entry is not None else (0.0, 1)
+
     def describe(self) -> str:
         return f"replay({len(self._entries)} decisions)"
 
@@ -252,6 +285,8 @@ class ScheduleController:
         self._cq_timer_index = 0
         self._resync_index = 0
         self._barrier_index = 0
+        self._drop_index = 0
+        self._reorder_index = 0
         self._sim = None
 
     def bind(self, sim: Any) -> None:
@@ -382,13 +417,72 @@ class ScheduleController:
         )
         return index
 
+    # -- UD datagram fate (called by Fabric.send_datagram) ------------------------------
+
+    def on_datagram_fate(
+        self, message: Message, source: int, destination: int
+    ) -> int:
+        """Resolve one UD datagram's fate: 0 deliver, 1 drop, 2 duplicate.
+
+        A drop arms the sender's retransmission timer (the datagram is
+        re-sent with a fresh sequence number and a freshly encoded clock
+        frame — the RNR re-ride idiom); a duplicate schedules a second,
+        later arrival of the same stamped datagram, which the receiver must
+        absorb idempotently.
+        """
+        key = f"drop:{source}->{destination}#{self._drop_index}"
+        self._drop_index += 1
+        fate, alternatives = self.strategy.choose_datagram_fate(
+            key, message, source, destination
+        )
+        if fate not in (0, 1, 2):
+            raise ValueError(f"strategy picked datagram fate {fate} at {key}")
+        self.log.append(Decision("drop", key, int(fate), alternatives=alternatives))
+        return fate
+
+    # -- UD datagram delay (called by UdChannel.transmit) -------------------------------
+
+    def on_datagram_delay(
+        self, message: Message, source: int, destination: int
+    ) -> float:
+        """Resolve one UD datagram's extra flight time (no FIFO clamp).
+
+        Unlike ``on_message_latency``, the UD channel applies the result
+        without clamping to the channel's previous delivery time — a
+        stretched datagram genuinely overtakes nothing and is overtaken by
+        everything, which is how sparse clock frames arrive stale and
+        exercise the resync path.
+        """
+        key = f"reorder:{source}->{destination}#{self._reorder_index}"
+        self._reorder_index += 1
+        extra, alternatives = self.strategy.choose_datagram_delay(
+            key, message, source, destination
+        )
+        if extra < 0:
+            raise ValueError(
+                f"strategy produced a negative datagram delay at {key}: {extra}"
+            )
+        self.log.append(
+            Decision("reorder", key, float(extra), alternatives=alternatives)
+        )
+        return extra
+
     # -- same-time scheduling (called by Simulator.step) --------------------------------
 
     @staticmethod
     def _delivery_channel(event: Any) -> Optional[Tuple[int, int]]:
-        """The (source, destination) pair of a delivery timeout, else ``None``."""
+        """The (source, destination) pair of a delivery timeout, else ``None``.
+
+        UD datagrams report no channel: the unreliable service level makes
+        no FIFO promise, so their same-time deliveries stay eligible ties.
+        """
         if isinstance(event, Timeout) and isinstance(event._value, Message):
             message = event._value
+            if message.ud_seq is not None or message.kind in (
+                MessageKind.UD_RESYNC_REQUEST,
+                MessageKind.UD_RESYNC_FULL,
+            ):
+                return None
             return (message.source, message.destination)
         return None
 

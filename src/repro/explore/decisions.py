@@ -8,7 +8,7 @@ byte for byte, and *truncating* it replays a prefix with every later choice
 point falling back to its uncontrolled default.  That prefix property is
 what the racing-schedule minimizer delta-debugs over.
 
-Seven decision kinds exist:
+Nine decision kinds exist:
 
 ``latency``
     The controller stretched (or left alone) one message's flight time.
@@ -48,6 +48,19 @@ Seven decision kinds exist:
     fires next (one decision per pick while more than one waiter remains).
     ``choice`` is the index into the remaining waiters (arrival order);
     ``0`` is the default (arrival order fan-out).
+``drop``
+    Under the UD transport the fabric resolved one datagram's fate.
+    ``choice`` is ``0`` (deliver, the default), ``1`` (drop — the sender's
+    retransmission timer fires and the datagram is re-sent with a fresh
+    sequence number) or ``2`` (deliver *and* deliver a duplicate copy
+    later).  Drops are where sequence gaps — and therefore receiver-driven
+    clock resyncs — come from.
+``reorder``
+    Under the UD transport the controller stretched (or left alone) one
+    datagram's flight time — the UD twin of ``latency``, except the channel
+    applies **no FIFO clamp**, so a stretched datagram genuinely arrives
+    after later-sent ones.  ``choice`` is the extra delay; ``0.0`` is the
+    default.
 
 A log serializes to plain JSON (the artifact the minimizer emits), and a
 sparse log — entries replaced by ``None`` — replays those choice points at
@@ -68,6 +81,8 @@ DECISION_KINDS = (
     "cq_timer",
     "resync",
     "barrier",
+    "drop",
+    "reorder",
 )
 
 

@@ -14,7 +14,12 @@ Two independent knobs shape the search:
   per-channel FIFO does not already forbid, and additive delays already
   reach every cross-channel arrival order;
 * ``tie_shuffle_probability`` — how often a same-time scheduling tie is
-  resolved against insertion order (process-scheduling perturbation).
+  resolved against insertion order (process-scheduling perturbation);
+* ``drop_probability`` / ``duplicate_probability`` — under the UD
+  transport, how often a datagram is dropped (forcing a sender
+  retransmission and usually a receiver-driven clock resync) or delivered
+  twice.  Both default to 0 so RC runs spend no rolls on them; datagram
+  *delays* reuse ``reorder_probability``/``reorder_aggressiveness``.
 
 By default only *reorderable* messages are perturbed — data messages and
 the lock requests that decide which conflicting access the target NIC
@@ -44,6 +49,8 @@ class ScheduleFuzzer(ScheduleStrategy):
         quantum: float = 1.0,
         tie_shuffle_probability: float = 0.15,
         reorderable_only: bool = True,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
     ) -> None:
         if not (0.0 <= reorder_probability <= 1.0):
             raise ValueError(
@@ -59,12 +66,27 @@ class ScheduleFuzzer(ScheduleStrategy):
             )
         if quantum <= 0:
             raise ValueError(f"quantum must be positive, got {quantum}")
+        if not (0.0 <= drop_probability <= 1.0):
+            raise ValueError(
+                f"drop_probability must be in [0, 1], got {drop_probability}"
+            )
+        if not (0.0 <= duplicate_probability <= 1.0):
+            raise ValueError(
+                f"duplicate_probability must be in [0, 1], got {duplicate_probability}"
+            )
+        if drop_probability + duplicate_probability > 1.0:
+            raise ValueError(
+                "drop_probability + duplicate_probability must not exceed 1, got "
+                f"{drop_probability} + {duplicate_probability}"
+            )
         self.seed = seed
         self.reorder_probability = reorder_probability
         self.reorder_aggressiveness = reorder_aggressiveness
         self.quantum = quantum
         self.tie_shuffle_probability = tie_shuffle_probability
         self.reorderable_only = reorderable_only
+        self.drop_probability = drop_probability
+        self.duplicate_probability = duplicate_probability
         self._rng = random.Random(seed)
 
     def choose_latency(
@@ -136,6 +158,29 @@ class ScheduleFuzzer(ScheduleStrategy):
         if roll >= self.tie_shuffle_probability:
             return 0, remaining
         return self._rng.randrange(remaining), remaining
+
+    def choose_datagram_fate(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[int, int]:
+        # One roll decides the fate so the stream stays seed-pure whatever
+        # the configured rates: [0, drop) drops, [drop, drop+dup) duplicates.
+        roll = self._rng.random()
+        if roll < self.drop_probability:
+            return 1, 3
+        if roll < self.drop_probability + self.duplicate_probability:
+            return 2, 3
+        return 0, 3
+
+    def choose_datagram_delay(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[float, int]:
+        # Datagram delays reuse the reorder knobs; the UD channel applies
+        # them without a FIFO clamp, so every stretch is a real reorder.
+        roll = self._rng.random()
+        if roll >= self.reorder_probability:
+            return 0.0, 2
+        extra = self._rng.uniform(0.0, self.reorder_aggressiveness * self.quantum)
+        return extra, 2
 
     def describe(self) -> str:
         return (

@@ -356,13 +356,18 @@ class Explorer:
         reorder_aggressiveness: float = 2.0,
         quantum: float = 1.0,
         tie_shuffle_probability: float = 0.15,
+        drop_probability: float = 0.0,
+        duplicate_probability: float = 0.0,
     ) -> ExplorationResult:
         """Run the baseline plus ``budget - 1`` fuzzed schedules.
 
         Fuzz seeds are derived deterministically from the exploration seed,
         so the whole exploration is a pure function of ``(program, seed,
         budget, knobs)`` — re-running it reproduces identical schedules and
-        verdicts.
+        verdicts.  *drop_probability* / *duplicate_probability* govern the
+        per-datagram ``drop`` fate decisions and only bite under the
+        ``"ud"`` transport (RC schedules never consult them); schedule 0
+        stays the uncontrolled baseline where every datagram delivers.
         """
         if budget < 1:
             raise ValueError(f"budget must be at least 1, got {budget}")
@@ -377,6 +382,8 @@ class Explorer:
                     reorder_aggressiveness=reorder_aggressiveness,
                     quantum=quantum,
                     tie_shuffle_probability=tie_shuffle_probability,
+                    drop_probability=drop_probability,
+                    duplicate_probability=duplicate_probability,
                 )
             result.outcomes.append(self._run(strategy, schedule_id))
         return result

@@ -155,6 +155,20 @@ class SystematicStrategy(ScheduleStrategy):
         # slot is the waiter index, clamped to the remaining set.
         return self._branch_slot(key, limit=remaining)
 
+    def choose_datagram_fate(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[int, int]:
+        # Datagram fate branches over {deliver, drop, duplicate}: slot 1
+        # drops (sequence gap → receiver-driven resync), slot 2 duplicates.
+        return self._branch_slot(key, limit=3)
+
+    def choose_datagram_delay(
+        self, key: str, message: Message, source: int, destination: int
+    ) -> Tuple[float, int]:
+        # Datagram delays branch like reorderable deliveries, but the UD
+        # channel applies the slot's delay without a FIFO clamp.
+        return self._branch(key)
+
     def _branch(self, key: str) -> Tuple[float, int]:
         slot, alternatives = self._branch_slot(key)
         return slot * self.quantum, alternatives

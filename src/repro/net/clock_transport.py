@@ -344,6 +344,15 @@ class ClockWireDecoder:
 #: clocks; ``completion_events``/``completions_coalesced`` — CQEs delivered
 #: and completions that shared one; ``completion_clock_bytes`` — clock bytes
 #: riding on completion events.
+#: The ``ud_*`` family accounts the unreliable transport:
+#: ``ud_datagrams`` — sequenced datagrams sent (retransmissions included);
+#: ``ud_dropped`` — datagrams the fabric lost; ``ud_retransmits`` —
+#: re-sends after a drop timer; ``ud_duplicates`` — spurious second
+#: arrivals absorbed idempotently; ``ud_resyncs`` — receiver-driven resync
+#: round trips completed; ``ud_resync_requests`` — UD_RESYNC_REQUEST
+#: messages issued (re-requests after a lost request/reply included);
+#: ``ud_stale_frames`` — sparse frames that arrived behind the receiver's
+#: view (a reorder across a resync boundary).
 CLOCK_TRANSPORT_FIELDS = (
     "round_trips",
     "piggybacked_messages",
@@ -356,6 +365,13 @@ CLOCK_TRANSPORT_FIELDS = (
     "completion_events",
     "completions_coalesced",
     "completion_clock_bytes",
+    "ud_datagrams",
+    "ud_dropped",
+    "ud_retransmits",
+    "ud_duplicates",
+    "ud_resyncs",
+    "ud_resync_requests",
+    "ud_stale_frames",
 )
 
 
@@ -414,6 +430,13 @@ class ClockTransportStats:
     completion_events = _transport_field("completion_events")
     completions_coalesced = _transport_field("completions_coalesced")
     completion_clock_bytes = _transport_field("completion_clock_bytes")
+    ud_datagrams = _transport_field("ud_datagrams")
+    ud_dropped = _transport_field("ud_dropped")
+    ud_retransmits = _transport_field("ud_retransmits")
+    ud_duplicates = _transport_field("ud_duplicates")
+    ud_resyncs = _transport_field("ud_resyncs")
+    ud_resync_requests = _transport_field("ud_resync_requests")
+    ud_stale_frames = _transport_field("ud_stale_frames")
 
     def merge(self, other: "ClockTransportStats") -> "ClockTransportStats":
         """Accumulate *other* into this record (whole-machine totals)."""
@@ -544,8 +567,8 @@ class ClockTransport:
             for destination, encoder in sorted(self._encoders.items())
         }
 
-    def encode_clock(self, clock_entries, destination: int) -> int:
-        """Run one clock through *destination*'s channel codec; returns bytes.
+    def encode_frame(self, clock_entries, destination: int) -> ClockWireFrame:
+        """Run one clock through *destination*'s channel codec; returns the frame.
 
         The frame is immediately decoded and verified against the input —
         the "verdict-identical by construction" guarantee: whatever the wire
@@ -566,7 +589,11 @@ class ClockTransport:
         else:
             self.stats.wire_frames_sparse += 1
         self.stats.wire_bytes_saved += max(0, self.clock_bytes() - frame.wire_bytes)
-        return frame.wire_bytes
+        return frame
+
+    def encode_clock(self, clock_entries, destination: int) -> int:
+        """Like :meth:`encode_frame`, returning only the wire byte count."""
+        return self.encode_frame(clock_entries, destination).wire_bytes
 
     # -- wire traffic --------------------------------------------------------------
 
@@ -597,21 +624,35 @@ class ClockTransport:
         Under roundtrip, *request* messages add nothing and data messages
         add the legacy ``charge_detection_messages=False`` allowance.
         """
+        frozen, wire_bytes, _ = self.ride_frame(clock, destination, request=request)
+        return frozen, wire_bytes
+
+    def ride_frame(
+        self, clock, destination: int, request: bool = False
+    ) -> Tuple[Optional[tuple], int, Optional[str]]:
+        """Like :meth:`ride`, also reporting the frame's wire shape.
+
+        The third element is ``"full"`` (self-contained frame), ``"sparse"``
+        (sequence-dependent patch) or ``None`` (no frame rode).  The UD
+        transport stamps it into :attr:`Message.ud_frame` so the receiver
+        can tell whether a gapped or stale datagram needs a resync before
+        its clock could have been reconstructed from the wire.
+        """
         if not self._active():
-            return None, 0
+            return None, 0, None
         if self.piggyback:
             if clock is None:
-                return None, 0
+                return None, 0, None
             frozen = (
                 clock.frozen()
                 if hasattr(clock, "frozen")
                 else tuple(int(entry) for entry in clock)
             )
-            wire_bytes = self.encode_clock(frozen, destination)
+            frame = self.encode_frame(frozen, destination)
             self.stats.piggybacked_messages += 1
-            self.stats.piggybacked_bytes += wire_bytes
-            return frozen, wire_bytes
-        return None, (0 if request else self.data_overhead_bytes())
+            self.stats.piggybacked_bytes += frame.wire_bytes
+            return frozen, frame.wire_bytes, ("full" if frame.full else "sparse")
+        return None, (0 if request else self.data_overhead_bytes()), None
 
     def round_trip(self, target_rank: int, tag: str) -> Generator:
         """Charge Algorithm 5's CLOCK_FETCH/CLOCK_UPDATE pair, when owed.

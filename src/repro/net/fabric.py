@@ -16,6 +16,7 @@ from repro.net.channel import Channel
 from repro.net.latency import ConstantLatency, LatencyModel
 from repro.net.message import Message, MessageKind
 from repro.net.topology import Topology
+from repro.net.ud_transport import UdChannel
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
@@ -168,6 +169,7 @@ class Fabric:
         self._latency_model = latency_model or ConstantLatency(base=1.0)
         self._bandwidth = bandwidth_bytes_per_time
         self._channels: Dict[Tuple[int, int], Channel] = {}
+        self._ud_channels: Dict[Tuple[int, int], UdChannel] = {}
         self._ids = IdAllocator("msg")
         self.stats = FabricStats(registry=Observability.of(sim).metrics)
 
@@ -203,6 +205,28 @@ class Fabric:
                 bandwidth_bytes_per_time=self._bandwidth,
             )
         return self._channels[key]
+
+    def ud_channel(self, source: int, destination: int) -> UdChannel:
+        """Return (creating lazily) the unreliable channel for the pair.
+
+        UD and RC channels for the same pair are distinct objects — real
+        fabrics multiplex service levels over the same link, but keeping the
+        FIFO clamp state separate means switching a message class to UD
+        never perturbs the ordering promise the remaining RC traffic keeps.
+        """
+        require_rank(source, self.world_size, "source")
+        require_rank(destination, self.world_size, "destination")
+        key = (source, destination)
+        if key not in self._ud_channels:
+            self._ud_channels[key] = UdChannel(
+                self._sim,
+                source,
+                destination,
+                self._latency_model,
+                hops=self._topology.hops(source, destination),
+                bandwidth_bytes_per_time=self._bandwidth,
+            )
+        return self._ud_channels[key]
 
     # -- sending -----------------------------------------------------------------
 
@@ -246,6 +270,68 @@ class Fabric:
         self.stats.record(stamped)
         return event, stamped
 
+    def send_datagram(
+        self,
+        kind: MessageKind,
+        source: int,
+        destination: int,
+        payload: Any = None,
+        payload_bytes: int = 8,
+        operation_tag: Optional[str] = None,
+        carried_clock: Optional[tuple] = None,
+        clock_wire_bytes: int = 0,
+        ud_seq: Optional[int] = None,
+        ud_frame: Optional[str] = None,
+        retransmit_timeout: float = 8.0,
+    ) -> Tuple[Event, Message, str, Optional[Event]]:
+        """Send one UD datagram; returns ``(event, stamped, fate, dup_event)``.
+
+        The datagram's fate is a logged/replayable ``drop`` decision
+        resolved by the installed schedule controller (no controller means
+        every datagram delivers):
+
+        * ``"deliver"`` — *event* is the delivery event (fired with the
+          stamped message), exactly like :meth:`send`;
+        * ``"drop"`` — the bytes left the sender and are accounted, but no
+          delivery exists; *event* is the sender's retransmission timer,
+          firing after *retransmit_timeout*;
+        * ``"duplicate"`` — delivered, **and** *dup_event* fires a second
+          arrival of the same stamped datagram one flight later.
+
+        Self-datagrams never drop: loopback does not cross the fabric.
+        """
+        message = Message(
+            message_id=self._ids.next_int(),
+            kind=kind,
+            source=source,
+            destination=destination,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            operation_tag=operation_tag,
+            carried_clock=carried_clock,
+            clock_wire_bytes=clock_wire_bytes,
+            ud_seq=ud_seq,
+            ud_frame=ud_frame,
+        )
+        if source == destination:
+            event = self._sim.timeout(0.0, value=message, name=f"local:{kind.value}")
+            self.stats.record(message)
+            return event, message, "deliver", None
+        controller = self._sim.controller
+        fate_code = 0
+        if controller is not None and hasattr(controller, "on_datagram_fate"):
+            fate_code = controller.on_datagram_fate(message, source, destination)
+        channel = self.ud_channel(source, destination)
+        if fate_code == 1:
+            event, stamped = channel.drop(message, retransmit_timeout)
+            self.stats.record(stamped)
+            return event, stamped, "drop", None
+        event, stamped = channel.transmit(message)
+        self.stats.record(stamped)
+        if fate_code == 2:
+            return event, stamped, "duplicate", channel.duplicate(stamped)
+        return event, stamped, "deliver", None
+
     # -- accounting ----------------------------------------------------------------
 
     def message_count(self, kind: Optional[MessageKind] = None) -> int:
@@ -257,6 +343,10 @@ class Fabric:
     def channels(self) -> Dict[Tuple[int, int], Channel]:
         """All channels created so far."""
         return dict(self._channels)
+
+    def ud_channels(self) -> Dict[Tuple[int, int], UdChannel]:
+        """All unreliable channels created so far."""
+        return dict(self._ud_channels)
 
     def reset_stats(self) -> None:
         """Zero the counters (channels and ids are preserved)."""

@@ -31,6 +31,10 @@ class MessageKind(enum.Enum):
     UNLOCK = "unlock"
     CLOCK_FETCH = "clock_fetch"    # detection: read a remote datum clock (Alg. 5)
     CLOCK_UPDATE = "clock_update"  # detection: write back a merged clock (Alg. 5)
+    UD_RESYNC_REQUEST = "ud_resync_request"  # UD: receiver asks for a full frame
+    #                                          after a sequence gap / stale frame
+    UD_RESYNC_FULL = "ud_resync_full"        # UD: sender answers with the tagged
+    #                                          full clock frame for that sequence
     NOTIFY = "notify"              # runtime-level notification (barrier, join)
 
     @property
@@ -48,7 +52,12 @@ class MessageKind(enum.Enum):
     @property
     def is_detection(self) -> bool:
         """True for messages that exist only because detection is enabled."""
-        return self in (MessageKind.CLOCK_FETCH, MessageKind.CLOCK_UPDATE)
+        return self in (
+            MessageKind.CLOCK_FETCH,
+            MessageKind.CLOCK_UPDATE,
+            MessageKind.UD_RESYNC_REQUEST,
+            MessageKind.UD_RESYNC_FULL,
+        )
 
     @property
     def is_lock(self) -> bool:
@@ -96,6 +105,18 @@ class Message:
         active ``clock_wire`` format (full vector, or a delta/truncated
         sparse frame against the channel's last-acknowledged view).  Zero
         when no clock rides this message.
+    ud_seq:
+        Under the ``"ud"`` transport, the per-(source, destination) sequence
+        number of this datagram (1-based).  ``None`` on RC messages and on
+        out-of-band UD traffic (resync requests/replies), which is also how
+        the schedule controller recognises that a delivery makes no FIFO
+        promise.
+    ud_frame:
+        ``"full"`` or ``"sparse"`` — whether the datagram's clock rider is a
+        self-contained full frame or a sequence-dependent sparse frame
+        (``None`` when no frame rides).  Receivers use it to decide whether
+        a gapped or stale datagram needs a resync before its clock can be
+        trusted.
     """
 
     message_id: int
@@ -109,6 +130,8 @@ class Message:
     operation_tag: Optional[str] = None
     carried_clock: Optional[tuple] = None
     clock_wire_bytes: int = 0
+    ud_seq: Optional[int] = None
+    ud_frame: Optional[str] = None
 
     @property
     def total_bytes(self) -> int:

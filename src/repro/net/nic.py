@@ -53,9 +53,10 @@ from repro.memory.address import GlobalAddress
 from repro.memory.consistency import AccessKind, MemoryAccess
 from repro.memory.locks import LockRequest, MemoryLockTable
 from repro.memory.public import PublicMemory
-from repro.net.clock_transport import ClockTransport
+from repro.net.clock_transport import WIRE_TAG_BYTES, ClockTransport
 from repro.net.fabric import Fabric
 from repro.net.message import MessageKind
+from repro.net.ud_transport import UdDeliveryExceeded, UdEndpoint, validate_transport
 from repro.obs.observability import Observability
 from repro.sim.engine import Simulator
 from repro.util.ids import IdAllocator
@@ -142,6 +143,25 @@ class NICConfig:
         under the sparse wire formats, or ``"adaptive"`` to let each
         channel tune its own cadence from the realized sparse/full byte
         ratio (see :data:`~repro.net.clock_transport.ADAPTIVE_RESYNC_START`).
+    transport:
+        The service level clock-carrying data messages ride on (see
+        :mod:`repro.net.ud_transport`): ``"rc"`` (reliable connected — per
+        pair FIFO, no loss, the default and the paper's implicit model) or
+        ``"ud"`` (unreliable datagrams — each data message becomes a
+        sequence-numbered datagram the fabric may drop, duplicate or
+        reorder, with receiver-driven clock resync repairing sequence
+        gaps).  Verdicts never depend on this knob — only traffic, latency
+        and resync costs do.  Lock and roundtrip clock control traffic
+        stays RC in either mode, as on real fabrics where connection
+        management rides a reliable QP.
+    ud_retransmit_timeout:
+        Simulated time a UD sender waits for a datagram it cannot see
+        delivered before retransmitting (also the receiver's re-request
+        deadline for lost resync traffic).
+    ud_max_retransmits:
+        Retransmissions of one datagram (or resync re-requests of one
+        sequence) before the operation fails with
+        :class:`~repro.net.ud_transport.UdDeliveryExceeded`.
     cell_bytes:
         Modelled size of one memory cell's value on the wire.
     """
@@ -152,6 +172,9 @@ class NICConfig:
     clock_transport: str = "roundtrip"
     clock_wire: str = "full"
     clock_wire_resync: Union[int, str] = 64
+    transport: str = "rc"
+    ud_retransmit_timeout: float = 8.0
+    ud_max_retransmits: int = 16
     cell_bytes: int = 8
 
 
@@ -247,6 +270,7 @@ class NIC:
         self.locks = locks
         self.detector = detector
         self.config = config or NICConfig()
+        validate_transport(self.config.transport)
         self.recorder = recorder
         #: Observability bundle shared by everything on this simulator; the
         #: issue/service tallies live in its metrics registry.
@@ -258,6 +282,9 @@ class NIC:
         #: The clock-transport policy (roundtrip vs piggyback) shared by every
         #: instrumented path through this NIC.
         self.clock_transport = ClockTransport(self)
+        #: UD datagram state: per-destination tx sequences + resync history,
+        #: per-source rx view (only consulted when ``config.transport == "ud"``).
+        self.ud = UdEndpoint(rank)
         self._peers: Dict[int, "NIC"] = {rank: self}
         self._tags = IdAllocator(f"op-P{rank}")
 
@@ -405,6 +432,168 @@ class NIC:
                 kind="wr_transfer", clock=clock_snapshot.frozen(),
             )
 
+    # -- clocked transmission (RC vs UD service levels) ----------------------------------
+
+    def _transmit_clocked(
+        self,
+        kind: MessageKind,
+        destination: int,
+        *,
+        payload: Any = None,
+        base_payload_bytes: int = 0,
+        tag: str,
+        clock_provider: Callable[[], Any],
+        request: bool = False,
+    ) -> Generator:
+        """Transmit one clock-carrying data message on the configured transport.
+
+        The single choke point every remote data message (PUT_DATA,
+        GET_REQUEST/REPLY, ATOMIC_REQUEST/REPLY, SEND_REQUEST) goes
+        through.  Under RC this is one reliable FIFO transmission, exactly
+        as before the transport knob existed.  Under UD each transmission
+        becomes a sequence-numbered datagram whose fate is a logged
+        ``drop`` decision: a dropped datagram arms the retransmission timer
+        and is re-sent with a *fresh* rider and sequence number (so the
+        lost sequence is a permanent gap that exactly one receiver resync
+        repairs); a delivered datagram is absorbed into the receiver's wire
+        view, with the receiver-driven resync subprotocol
+        (:meth:`_ud_resync`) run inline when the frame arrived gapped or
+        stale.  *clock_provider* is re-invoked per transmission, mirroring
+        the RNR re-ride idiom — under the sparse wire formats a
+        retransmission of an unchanged clock costs only an empty sparse
+        frame.
+
+        Returns ``(transmissions, carried, clock_wire_bytes)`` for the
+        transmission that was finally delivered.
+        """
+        if self.config.transport != "ud":
+            carried, clock_wire_bytes = self.clock_transport.ride(
+                clock_provider(), destination, request=request
+            )
+            event, _ = self.fabric.send(
+                kind, self.rank, destination,
+                payload=payload,
+                payload_bytes=base_payload_bytes + clock_wire_bytes,
+                operation_tag=tag,
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
+            )
+            yield event
+            return 1, carried, clock_wire_bytes
+
+        target_nic = self.peer(destination)
+        stats = self.clock_transport.stats
+        attempts = 0
+        while True:
+            carried, clock_wire_bytes, frame = self.clock_transport.ride_frame(
+                clock_provider(), destination, request=request
+            )
+            seq = self.ud.assign_seq(destination, carried)
+            stats.ud_datagrams += 1
+            event, _, fate, dup_event = self.fabric.send_datagram(
+                kind, self.rank, destination,
+                payload=payload,
+                payload_bytes=base_payload_bytes + clock_wire_bytes,
+                operation_tag=tag,
+                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
+                ud_seq=seq, ud_frame=frame,
+                retransmit_timeout=self.config.ud_retransmit_timeout,
+            )
+            attempts += 1
+            yield event
+            if fate == "drop":
+                stats.ud_dropped += 1
+                if attempts > self.config.ud_max_retransmits:
+                    raise UdDeliveryExceeded(
+                        f"{kind.value} P{self.rank}->P{destination}: datagram "
+                        f"dropped {attempts} times (retransmission budget "
+                        f"{self.config.ud_max_retransmits})"
+                    )
+                stats.ud_retransmits += 1
+                continue
+            if dup_event is not None:
+                # The copy may land while the resync below is still in
+                # flight, so the idempotent absorb must already be armed.
+                dup_event.callbacks.append(
+                    lambda _ev, s=seq, f=frame: self._absorb_duplicate(
+                        target_nic, s, f
+                    )
+                )
+            verdict = target_nic.ud.absorb(self.rank, seq, frame)
+            if verdict in ("gap", "stale"):
+                if verdict == "stale":
+                    target_nic.clock_transport.stats.ud_stale_frames += 1
+                yield from target_nic._ud_resync(self, seq, tag)
+            return attempts, carried, clock_wire_bytes
+
+    def _absorb_duplicate(
+        self, target_nic: "NIC", seq: int, frame: Optional[str]
+    ) -> None:
+        """Second arrival of a duplicated datagram: an idempotent absorb."""
+        target_nic.ud.absorb(self.rank, seq, frame)
+        target_nic.clock_transport.stats.ud_duplicates += 1
+
+    def _ud_resync(self, sender_nic: "NIC", seq: int, tag: str) -> Generator:
+        """Receiver-driven clock resync: recover the full frame for *seq*.
+
+        Runs on the receiving NIC after a sparse frame arrived gapped (its
+        predecessor was dropped or is still in flight) or stale (a reorder
+        across an earlier resync boundary): one UD_RESYNC_REQUEST naming
+        the sequence, answered by the sender with a tagged full clock frame
+        — the *historical* clock that sequence carried, served from the
+        sender's tx history, never its current clock (a newer clock would
+        add happens-before edges the receiver never observed and silently
+        mask races).  Both legs are themselves droppable datagrams; a lost
+        request or reply is re-requested after the retransmission deadline,
+        within the same budget as data datagrams.  The blocked time renders
+        as a ``resync_wait`` span on this NIC's engine track.
+        """
+        started = self._sim.now
+        stats = self.clock_transport.stats
+        attempts = 0
+        while True:
+            attempts += 1
+            if attempts > self.config.ud_max_retransmits:
+                raise UdDeliveryExceeded(
+                    f"resync P{self.rank}<-P{sender_nic.rank} seq={seq}: no "
+                    f"full frame after {attempts - 1} requests (budget "
+                    f"{self.config.ud_max_retransmits})"
+                )
+            stats.ud_resync_requests += 1
+            event, _, fate, _ = self.fabric.send_datagram(
+                MessageKind.UD_RESYNC_REQUEST, self.rank, sender_nic.rank,
+                payload=seq, payload_bytes=8, operation_tag=tag,
+                retransmit_timeout=self.config.ud_retransmit_timeout,
+            )
+            yield event
+            if fate == "drop":
+                # The request was lost: re-request after the deadline.
+                continue
+            # The request landed; the sender serves the frame from its tx
+            # history (a wire tag plus the full vector on the wire).
+            entries = sender_nic.ud.historical_clock(self.rank, seq)
+            reply_bytes = (
+                WIRE_TAG_BYTES + sender_nic._clock_bytes()
+                if entries is not None
+                else 0
+            )
+            event, _, fate, _ = self.fabric.send_datagram(
+                MessageKind.UD_RESYNC_FULL, sender_nic.rank, self.rank,
+                payload=entries, payload_bytes=reply_bytes, operation_tag=tag,
+                carried_clock=entries, clock_wire_bytes=reply_bytes,
+                retransmit_timeout=sender_nic.config.ud_retransmit_timeout,
+            )
+            yield event
+            if fate != "drop":
+                break
+            # The reply was lost: the receiver cannot tell a lost request
+            # from a lost reply, so it simply re-requests.
+        self.ud.mark_resynced(sender_nic.rank, seq)
+        stats.ud_resyncs += 1
+        self._obs.spans.complete(
+            self.engine_track, "resync_wait", started, self._sim.now,
+            source=f"P{sender_nic.rank}", seq=seq,
+        )
+
     # -- one-sided operations ------------------------------------------------------------
 
     def rdma_put(
@@ -443,18 +632,19 @@ class NIC:
         control_messages += round_trips
 
         if target.rank != self.rank:
-            carried, clock_wire_bytes = self.clock_transport.ride(
-                self._wire_clock(clock_snapshot), target.rank
-            )
-            event, _ = self.fabric.send(
-                MessageKind.PUT_DATA, self.rank, target.rank,
-                payload=value,
-                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
-                operation_tag=tag,
-                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
-            )
-            yield event
-            data_messages += 1
+            try:
+                sent, _, _ = yield from self._transmit_clocked(
+                    MessageKind.PUT_DATA, target.rank,
+                    payload=value, base_payload_bytes=self.config.cell_bytes,
+                    tag=tag,
+                    clock_provider=lambda: self._wire_clock(clock_snapshot),
+                )
+            except UdDeliveryExceeded:
+                # The operation aborts mid-flight: the target cell lock must
+                # not stay held (quiescence), and no memory was touched.
+                self._release_lock(target_nic, lock_request, tag)
+                raise
+            data_messages += sent
             target_nic.remote_ops_serviced += 1
 
         self._record_wr_transfer(target.rank, clock_snapshot)
@@ -520,17 +710,17 @@ class NIC:
             # clock, so it must physically travel on the request (the reply
             # then carries the datum's history back — two riders per get,
             # mirroring Algorithm 5's fetch + update pair).
-            carried, clock_wire_bytes = self.clock_transport.ride(
-                self._wire_clock(clock_snapshot), target.rank, request=True
-            )
-            request_event, _ = self.fabric.send(
-                MessageKind.GET_REQUEST, self.rank, target.rank,
-                payload_bytes=clock_wire_bytes,
-                operation_tag=tag,
-                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
-            )
-            yield request_event
-            data_messages += 1
+            try:
+                sent, _, _ = yield from self._transmit_clocked(
+                    MessageKind.GET_REQUEST, target.rank,
+                    tag=tag,
+                    clock_provider=lambda: self._wire_clock(clock_snapshot),
+                    request=True,
+                )
+            except UdDeliveryExceeded:
+                self._release_lock(target_nic, lock_request, tag)
+                raise
+            data_messages += sent
             target_nic.remote_ops_serviced += 1
 
         self._record_wr_transfer(target.rank, clock_snapshot)
@@ -546,19 +736,21 @@ class NIC:
 
         if target.rank != self.rank:
             # The reply is the target's message: its rider goes through the
-            # target's channel codec towards this rank.
-            carried, clock_wire_bytes = target_nic.clock_transport.ride(
-                check.datum_access_clock if check is not None else None, self.rank
-            )
-            reply_event, _ = self.fabric.send(
-                MessageKind.GET_REPLY, target.rank, self.rank,
-                payload=value,
-                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
-                operation_tag=tag,
-                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
-            )
-            yield reply_event
-            data_messages += 1
+            # target's channel codec (and the target's UD sequence space)
+            # towards this rank.
+            try:
+                sent, _, _ = yield from target_nic._transmit_clocked(
+                    MessageKind.GET_REPLY, self.rank,
+                    payload=value, base_payload_bytes=self.config.cell_bytes,
+                    tag=tag,
+                    clock_provider=lambda: (
+                        check.datum_access_clock if check is not None else None
+                    ),
+                )
+            except UdDeliveryExceeded:
+                self._release_lock(target_nic, lock_request, tag)
+                raise
+            data_messages += sent
 
         self._release_lock(target_nic, lock_request, tag)
         self._obs.spans.complete(
@@ -671,18 +863,18 @@ class NIC:
         control_messages += round_trips
 
         if remote:
-            carried, clock_wire_bytes = self.clock_transport.ride(
-                self._wire_clock(clock_snapshot), target.rank, request=True
-            )
-            event, _ = self.fabric.send(
-                MessageKind.ATOMIC_REQUEST, self.rank, target.rank,
-                payload=operand,
-                payload_bytes=operand_bytes + clock_wire_bytes,
-                operation_tag=tag,
-                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
-            )
-            yield event
-            data_messages += 1
+            try:
+                sent, _, _ = yield from self._transmit_clocked(
+                    MessageKind.ATOMIC_REQUEST, target.rank,
+                    payload=operand, base_payload_bytes=operand_bytes,
+                    tag=tag,
+                    clock_provider=lambda: self._wire_clock(clock_snapshot),
+                    request=True,
+                )
+            except UdDeliveryExceeded:
+                self._release_lock(target_nic, lock_request, tag)
+                raise
+            data_messages += sent
             target_nic.remote_ops_serviced += 1
 
         self._record_wr_transfer(target.rank, clock_snapshot)
@@ -702,18 +894,19 @@ class NIC:
         )
 
         if remote:
-            carried, clock_wire_bytes = target_nic.clock_transport.ride(
-                check.datum_access_clock if check is not None else None, self.rank
-            )
-            reply_event, _ = self.fabric.send(
-                MessageKind.ATOMIC_REPLY, target.rank, self.rank,
-                payload=old_value,
-                payload_bytes=self.config.cell_bytes + clock_wire_bytes,
-                operation_tag=tag,
-                carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
-            )
-            yield reply_event
-            data_messages += 1
+            try:
+                sent, _, _ = yield from target_nic._transmit_clocked(
+                    MessageKind.ATOMIC_REPLY, self.rank,
+                    payload=old_value, base_payload_bytes=self.config.cell_bytes,
+                    tag=tag,
+                    clock_provider=lambda: (
+                        check.datum_access_clock if check is not None else None
+                    ),
+                )
+            except UdDeliveryExceeded:
+                self._release_lock(target_nic, lock_request, tag)
+                raise
+            data_messages += sent
 
         self._release_lock(target_nic, lock_request, tag)
         self._obs.spans.complete(
@@ -837,19 +1030,13 @@ class NIC:
                 # Each transmission (including RNR retransmits) stamps its
                 # own rider: under the sparse wire formats a retransmission
                 # of an unchanged clock costs only an empty sparse frame.
-                carried, clock_wire_bytes = self.clock_transport.ride(
-                    clock_snapshot, destination
-                )
-                event, _ = self.fabric.send(
-                    MessageKind.SEND_REQUEST, self.rank, destination,
+                sent, _, _ = yield from self._transmit_clocked(
+                    MessageKind.SEND_REQUEST, destination,
                     payload=tuple(values),
-                    payload_bytes=len(values) * self.config.cell_bytes
-                    + clock_wire_bytes,
-                    operation_tag=tag,
-                    carried_clock=carried, clock_wire_bytes=clock_wire_bytes,
+                    base_payload_bytes=len(values) * self.config.cell_bytes,
+                    tag=tag, clock_provider=lambda: clock_snapshot,
                 )
-                yield event
-                data_messages += 1
+                data_messages += sent
             try:
                 recv_wr = match_receive()
             except ReceiverNotReady as error:

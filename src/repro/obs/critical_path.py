@@ -53,6 +53,7 @@ CATEGORIES = (
     "lock_wait",
     "rnr_backoff",
     "credit_stall",
+    "resync_wait",
     "cq_wait",
     "timer_wait",
     "clock_transport",
@@ -79,6 +80,7 @@ SPAN_CATEGORY: Dict[str, str] = {
     "lock_wait": "lock_wait",
     "rnr_backoff": "rnr_backoff",
     "credit_stall": "credit_stall",
+    "resync_wait": "resync_wait",
     "cq_wait": "cq_wait",
     "evch_wait": "cq_wait",
     "timer_wait": "timer_wait",
@@ -94,6 +96,7 @@ _CATEGORY_PRIORITY: Dict[str, int] = {
     "lock_wait": 6,
     "rnr_backoff": 6,
     "credit_stall": 6,
+    "resync_wait": 5,
     "clock_transport": 5,
     "network": 4,
     "nic_serialization": 3,

@@ -33,6 +33,7 @@ from repro.net.flow_control import validate_flow_control
 from repro.net.latency import ConstantLatency, LatencyModel, LogGPLatency, UniformLatency
 from repro.net.nic import NIC, NICConfig
 from repro.net.topology import Topology
+from repro.net.ud_transport import validate_transport
 from repro.runtime.api import ProcessAPI
 from repro.runtime.collectives import Barrier
 from repro.runtime.program import ProcessProgram, ProgramFunction, replicate_program
@@ -103,6 +104,18 @@ class RuntimeConfig:
         :mod:`repro.net.clock_transport`).  Every format decodes to the
         exact clock regardless of cadence, so verdicts never depend on
         this knob.  ``None`` keeps ``nic.clock_wire_resync``.
+    transport:
+        The service level clock-carrying data messages ride on (see
+        :mod:`repro.net.ud_transport`): ``"rc"`` (reliable connected —
+        per-pair FIFO delivery, no loss; the paper's implicit model) or
+        ``"ud"`` (unreliable datagrams — each data message becomes a
+        sequence-numbered datagram the explored schedule may drop,
+        duplicate or reorder, with receiver-driven clock resync repairing
+        sequence gaps so a stale clock is never stamped).  Detector
+        verdicts never depend on this knob — only traffic, latency and
+        resync accounting do.  ``None`` (the default) follows
+        ``nic.transport``; naming *conflicting* modes here and on the NIC
+        config is an error.
     detector_epochs:
         The FastTrack-style epoch fast path of the detector (see
         ``DetectorConfig.epochs``): ``"on"`` replaces full O(n) vector
@@ -198,6 +211,7 @@ class RuntimeConfig:
     clock_transport: Optional[str] = None
     clock_wire: Optional[str] = None
     clock_wire_resync: Optional[Union[int, str]] = None
+    transport: Optional[str] = None
     detector_epochs: Optional[str] = None
     cq_moderation: bool = False
     cq_moderation_timer: Optional[Any] = None
@@ -249,6 +263,8 @@ class RunResult:
     flow_control: str = "rnr"
     #: The clock-wire resync cadence (message count or ``"adaptive"``).
     clock_wire_resync: Union[int, str] = 64
+    #: Which service level data messages rode on (``"rc"``/``"ud"``).
+    transport: str = "rc"
     #: Whether the detector's epoch fast path was active (``"on"``/``"off"``).
     detector_epochs: str = "on"
     #: Canonical metric snapshot of the run (``sim.obs.metrics``): every
@@ -400,6 +416,21 @@ class DSMRuntime:
                     f"but NICConfig says {self.config.nic.clock_wire!r}"
                 )
         self.set_clock_wire(wire)
+        # Resolve the transport service level the same way: ``None``
+        # follows the NIC config; naming two different modes is an error.
+        if self.config.transport is None:
+            service = validate_transport(self.config.nic.transport)
+        else:
+            service = validate_transport(self.config.transport)
+            if (
+                self.config.nic.transport != "rc"
+                and self.config.nic.transport != service
+            ):
+                raise ValueError(
+                    f"conflicting transports: RuntimeConfig says {service!r} "
+                    f"but NICConfig says {self.config.nic.transport!r}"
+                )
+        self.set_transport(service)
         if self.config.clock_wire_resync is not None:
             self.set_clock_wire_resync(self.config.clock_wire_resync)
         else:
@@ -541,6 +572,23 @@ class DSMRuntime:
         self.config.flow_control = mode
         for context in self.verbs_contexts:
             context.set_flow_control(mode)
+
+    def set_transport(self, mode: str) -> None:
+        """Select the data-message service level (before :meth:`run`).
+
+        ``"rc"`` or ``"ud"`` — see ``RuntimeConfig.transport`` and
+        :mod:`repro.net.ud_transport`.  The detector always stamps the
+        in-process carried clock, and a gapped or stale UD frame triggers a
+        charged receiver resync before the verdict, so switching the
+        service level can never change a verdict — only traffic, latency
+        and resync accounting.  The campaign runner's configure hook uses
+        this to sweep the knob on an already-built runtime.
+        """
+        mode = validate_transport(mode)
+        if self._ran:
+            raise RuntimeError("set_transport() must be called before run()")
+        self.config.transport = mode
+        self.config.nic.transport = mode
 
     def set_clock_wire_resync(self, value: Union[int, str]) -> None:
         """Set the sparse-wire resync cadence (before :meth:`run`).
@@ -696,6 +744,7 @@ class DSMRuntime:
             flow_control=self.config.flow_control,
             cq_moderation_timer=self.config.cq_moderation_timer,
             clock_wire_resync=self.config.clock_wire_resync,
+            transport=self.config.transport,
         )
         ranks_without_program = [
             rank for rank in range(self.config.world_size) if rank not in self._programs
@@ -747,6 +796,7 @@ class DSMRuntime:
             cq_moderation_timer=self.config.cq_moderation_timer,
             flow_control=self.config.flow_control,
             clock_wire_resync=self.config.clock_wire_resync,
+            transport=self.config.transport,
             detector_epochs=self.config.detector_epochs,
             metrics=self.sim.obs.metrics.snapshot(),
             detection_profile=self.sim.obs.profiler.snapshot(),

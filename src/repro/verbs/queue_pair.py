@@ -49,6 +49,7 @@ from typing import TYPE_CHECKING, Deque, Generator, Optional
 
 from repro.core.clocks import VectorClock
 from repro.net.nic import ReceiveLengthError, RnrRetryExceeded
+from repro.net.ud_transport import UdDeliveryExceeded
 from repro.obs.observability import Observability
 from repro.util.validation import require_positive
 from repro.verbs.memory_registration import RemoteAccessError
@@ -254,7 +255,31 @@ class QueuePair:
         )
 
     def _execute(self, request: WorkRequest) -> Generator:
-        """Run one work request through the NIC; returns its completion."""
+        """Run one work request through the NIC; returns its completion.
+
+        A UD delivery failure anywhere inside the operation — the data
+        datagram or its resync subprotocol burnt the retransmission budget
+        — surfaces as a failed UD_DELIVERY_EXCEEDED completion, exactly
+        like RNR-retry exhaustion: the initiator learns at retirement,
+        never through an exception at the post site.
+        """
+        try:
+            completion = yield from self._execute_op(request)
+        except UdDeliveryExceeded as error:
+            return WorkCompletion(
+                wr_id=request.wr_id,
+                opcode=request.opcode,
+                status=CompletionStatus.UD_DELIVERY_EXCEEDED,
+                origin=self.origin,
+                peer=self.peer,
+                posted_at=request.posted_at,
+                completed_at=self._sim.now,
+                detail=str(error),
+            )
+        return completion
+
+    def _execute_op(self, request: WorkRequest) -> Generator:
+        """Opcode dispatch of :meth:`_execute` (everything but UD failure)."""
         if request.opcode is Opcode.SEND:
             completion = yield from self._execute_send(request)
             return completion

@@ -119,3 +119,67 @@ def test_campaign_without_critical_path_records_no_summaries():
     (pattern,) = report.per_pattern
     assert all(not o["critical_path"] for o in pattern["outcomes"])
     assert "ranked by critical-path" not in report.to_markdown()
+
+
+def test_minimize_dir_writes_replayable_artifacts_per_racy_pattern(tmp_path):
+    """The nightly leg's contract: --minimize-dir emits one self-contained,
+    replayable minimized racing schedule per racy pattern, under the
+    campaign's own knobs (here: UD with drop/duplicate fuzzing)."""
+    from repro.explore.campaign import minimize_campaign_artifacts
+    from repro.explore.minimize import load_artifact, replay_artifact
+    from repro.explore.runner import MATRIX_CLOCK
+    from repro.workloads.racy_patterns import pattern_corpus
+
+    config = CampaignConfig(
+        strategy="fuzz",
+        budget=3,
+        seed=0,
+        quantum=4.0,
+        clock_transport="piggyback",
+        clock_wire="delta",
+        transport="ud",
+        drop_probability=0.25,
+        duplicate_probability=0.1,
+    )
+    written = minimize_campaign_artifacts(
+        config, str(tmp_path), patterns=PATTERNS
+    )
+    assert len(written) == len(PATTERNS)
+    by_name = {p.name: p for p in pattern_corpus()}
+    for path in written:
+        artifact = load_artifact(path)
+        pattern = by_name[artifact["pattern"]]
+        assert artifact["target_symbols"], path
+        assert set(artifact["target_symbols"]) <= set(pattern.racy_symbols)
+
+        # Replaying the artifact recipe must need the same knobs baked in.
+        def factory(seed, _build=pattern.build):
+            runtime = _build(seed)
+            runtime.set_clock_transport("piggyback")
+            runtime.set_clock_wire("delta")
+            runtime.set_transport("ud")
+            return runtime
+
+        outcome = replay_artifact(path, factory)
+        assert set(artifact["target_symbols"]) <= outcome.flagged[MATRIX_CLOCK]
+
+
+def test_minimize_dir_cli_flag_prints_artifact_paths(tmp_path, capsys):
+    out_dir = tmp_path / "minimized"
+    code = main(
+        [
+            "--patterns",
+            "fig5a-concurrent-puts",
+            "--strategy",
+            "fuzz",
+            "--budget",
+            "2",
+            "--quantum",
+            "4.0",
+            "--minimize-dir",
+            str(out_dir),
+        ]
+    )
+    assert code == 0
+    assert (out_dir / "minimized-fig5a-concurrent-puts.json").exists()
+    assert "minimized racing schedule" in capsys.readouterr().out

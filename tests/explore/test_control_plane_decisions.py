@@ -122,9 +122,10 @@ def barrier_factory(seed):
 
 
 class TestDecisionKinds:
-    def test_all_seven_kinds_registered(self):
+    def test_all_nine_kinds_registered(self):
         assert DECISION_KINDS == (
-            "latency", "tie", "rnr", "credit", "cq_timer", "resync", "barrier"
+            "latency", "tie", "rnr", "credit", "cq_timer", "resync", "barrier",
+            "drop", "reorder",
         )
 
 

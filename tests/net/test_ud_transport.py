@@ -1,0 +1,449 @@
+"""The UD service level: drops, duplicates, reorders — and sound verdicts.
+
+The transport knob's contracts:
+
+* **Validation** — ``transport`` is ``"rc"`` or ``"ud"``; the runtime knob
+  follows the NIC config and conflicting explicit values are rejected.
+* **Quiet-fabric equivalence** — UD under a fabric that drops nothing is
+  byte-for-byte the RC execution: same verdicts, same final memory, same
+  elapsed sim-time, on the whole labelled pattern corpus.
+* **Drop/retransmit** — a dropped datagram arms the retransmission timer
+  and is re-sent with a fresh sequence number; the lost sequence is a
+  permanent gap that exactly one receiver-driven resync repairs.
+* **Resync edge cases** — a dropped resync *request* is re-requested after
+  the deadline; a dropped resync *reply* likewise; duplicated frames are
+  absorbed idempotently; a sparse frame reordered across a resync boundary
+  arrives stale and triggers its own recovery — and through all of it the
+  verdict matches the RC run of the same program.
+* **Exhaustion** — burning the whole retransmission budget surfaces as a
+  failed ``UD_DELIVERY_EXCEEDED`` work completion, and the failed
+  operation's cell lock is released (no quiescence leak).
+"""
+
+import pytest
+
+from repro.explore.controller import PassthroughStrategy, ScheduleController
+from repro.net.ud_transport import (
+    TRANSPORT_MODES,
+    UdEndpoint,
+    validate_transport,
+)
+from repro.runtime.runtime import DSMRuntime, RuntimeConfig
+from repro.verbs.work import CompletionStatus
+from repro.workloads.racy_patterns import pattern_corpus, rmw_pattern_corpus
+
+from tests.detectors.differential import race_digest
+
+
+# -- forcing strategies --------------------------------------------------------------
+
+
+class ForcedFates(PassthroughStrategy):
+    """Script datagram fates per message kind: ``{kind: {index: fate}}``.
+
+    Indices count datagrams of that kind in fate-decision order; unlisted
+    datagrams deliver.  ``delays`` scripts the reorder decision the same
+    way (extra unclamped flight time).
+    """
+
+    def __init__(self, fates=None, delays=None):
+        self.fates = fates or {}
+        self.delays = delays or {}
+        self._fate_counts = {}
+        self._delay_counts = {}
+
+    def _scripted(self, table, counts, message, default):
+        kind = message.kind.value
+        index = counts.get(kind, 0)
+        counts[kind] = index + 1
+        return table.get(kind, {}).get(index, default)
+
+    def choose_datagram_fate(self, key, message, source, destination):
+        return self._scripted(self.fates, self._fate_counts, message, 0), 3
+
+    def choose_datagram_delay(self, key, message, source, destination):
+        return self._scripted(self.delays, self._delay_counts, message, 0.0), 2
+
+    def describe(self):
+        return "forced-fates"
+
+
+def controlled(runtime, strategy):
+    runtime.sim.install_controller(ScheduleController(strategy))
+    return runtime
+
+
+# -- workloads -----------------------------------------------------------------------
+
+
+def sparse_wire_factory(seed=0, transport="ud"):
+    """Puts on a sparse clock wire, plus one guaranteed race.
+
+    Rank 0's put storm on a delta-encoded clock wire means every datagram
+    carries a sparse frame, so a dropped or reordered datagram genuinely
+    breaks the receiver's wire view and forces the resync subprotocol (not
+    just byte shuffling).  The race: rank 0 reads ``shared[0]`` before the
+    storm, rank 2 overwrites it afterwards — and since rank 2 receives no
+    message at all, no causal chain can ever order the write after the
+    read, whatever the fabric does to rank 0's datagrams."""
+    runtime = DSMRuntime(
+        RuntimeConfig(
+            world_size=3,
+            seed=seed,
+            latency="constant",
+            clock_transport="piggyback",
+            clock_wire="delta",
+            transport=transport,
+        )
+    )
+    runtime.declare_array("cells", 4, owner=1, initial=0)
+    runtime.declare_array("shared", 1, owner=1, initial=0)
+
+    def prober(api):
+        seen = yield from api.get("shared", index=0)
+        api.private.write("observed", seen)
+        for step in range(6):
+            yield from api.put("cells", step, index=step % 4)
+
+    def owner(api):
+        yield from api.compute(1.0)
+
+    def late_writer(api):
+        yield from api.compute(300.0)
+        yield from api.put("shared", 7, index=0)
+
+    runtime.set_program(0, prober)
+    runtime.set_program(1, owner)
+    runtime.set_program(2, late_writer)
+    return runtime
+
+
+def verdict(result):
+    """The transport-invariant view: races (times excluded) + final memory."""
+    races = []
+    for record in result.races.records():
+        fields = race_digest(record)
+        del fields["time"]
+        races.append(fields)
+    return {
+        "races": races,
+        "final": {s: [repr(v) for v in vals]
+                  for s, vals in sorted(result.final_shared_values.items())},
+    }
+
+
+# -- validation ----------------------------------------------------------------------
+
+
+class TestValidation:
+    def test_accepts_both_service_levels(self):
+        assert validate_transport("rc") == "rc"
+        assert validate_transport("ud") == "ud"
+        assert TRANSPORT_MODES == ("rc", "ud")
+
+    @pytest.mark.parametrize("bad", ["uc", "RC", "", None, 3])
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError, match="transport"):
+            validate_transport(bad)
+
+    def test_runtime_knob_follows_the_nic_config(self):
+        runtime = DSMRuntime(RuntimeConfig(world_size=2))
+        assert runtime.config.transport == "rc"
+        assert runtime.config.nic.transport == "rc"
+
+    def test_runtime_knob_propagates_to_the_nic(self):
+        runtime = DSMRuntime(RuntimeConfig(world_size=2, transport="ud"))
+        assert runtime.config.nic.transport == "ud"
+        for nic in runtime.nics:
+            assert nic.config.transport == "ud"
+
+    def test_conflicting_explicit_values_are_rejected(self):
+        from repro.net.nic import NICConfig
+
+        with pytest.raises(ValueError, match="conflicting transports"):
+            DSMRuntime(
+                RuntimeConfig(
+                    world_size=2, transport="rc", nic=NICConfig(transport="ud")
+                )
+            )
+
+    def test_run_result_records_the_transport(self):
+        result = sparse_wire_factory(transport="ud").run()
+        assert result.transport == "ud"
+        assert sparse_wire_factory(transport="rc").run().transport == "rc"
+
+
+# -- quiet-fabric equivalence --------------------------------------------------------
+
+
+class TestQuietFabricEquivalence:
+    """UD with nothing dropped/duplicated/reordered IS the RC execution."""
+
+    @pytest.mark.parametrize(
+        "pattern",
+        pattern_corpus() + rmw_pattern_corpus(),
+        ids=lambda p: p.name,
+    )
+    def test_corpus_verdicts_and_timing_match_rc(self, pattern):
+        rc = pattern.build(0)
+        ud = pattern.build(0)
+        ud.set_transport("ud")
+        rc_result, ud_result = rc.run(), ud.run()
+        assert verdict(ud_result) == verdict(rc_result)
+        assert ud_result.elapsed_sim_time == rc_result.elapsed_sim_time
+
+    def test_sequences_are_assigned_but_nothing_is_dropped(self):
+        runtime = sparse_wire_factory()
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_datagrams > 0
+        assert stats.ud_dropped == 0
+        assert stats.ud_retransmits == 0
+        assert stats.ud_resyncs == 0
+        assert result.race_count >= 1  # the seeded shared[0] race
+
+    def test_rc_mode_sends_no_datagrams(self):
+        runtime = sparse_wire_factory(transport="rc")
+        runtime.run()
+        assert runtime.clock_transport_stats().ud_datagrams == 0
+
+
+# -- drop / retransmit / resync ------------------------------------------------------
+
+
+class TestDropAndResync:
+    def test_dropped_datagram_is_retransmitted_with_a_fresh_sequence(self):
+        runtime = controlled(
+            sparse_wire_factory(), ForcedFates(fates={"put_data": {0: 1}})
+        )
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_dropped == 1
+        assert stats.ud_retransmits == 1
+        # The retransmission carries a fresh sparse frame patched against
+        # the dropped (never-seen) one, so the receiver sees a gap and runs
+        # exactly one recovery round trip.
+        assert stats.ud_resyncs == 1
+        assert stats.ud_resync_requests == 1
+        assert verdict(result) == verdict(sparse_wire_factory(transport="rc").run())
+
+    def test_drop_charges_the_fabric_and_arms_the_timer(self):
+        runtime = controlled(
+            sparse_wire_factory(), ForcedFates(fates={"put_data": {0: 1}})
+        )
+        baseline = sparse_wire_factory()
+        runtime.run(), baseline.run()
+        channel = runtime.fabric.ud_channels()[(0, 1)]
+        quiet = baseline.fabric.ud_channels()[(0, 1)]
+        assert channel.stats.dropped == 1
+        # The lost datagram's bytes left the sender: the channel accounts
+        # the extra retransmission plus the resync's full-frame reply
+        # (the request travels the reverse channel).
+        assert channel.stats.messages == quiet.stats.messages + 2
+        assert channel.stats.bytes > quiet.stats.bytes
+
+    def test_resync_stamps_the_historical_clock_not_the_current_one(self):
+        """The verdict on the racy cell must survive the recovery: a resync
+        answered with the sender's *current* clock would manufacture a
+        happens-before edge and silently mask the race."""
+        runtime = controlled(
+            sparse_wire_factory(),
+            ForcedFates(fates={"put_data": {0: 1, 3: 1, 5: 1}}),
+        )
+        result = runtime.run()
+        assert runtime.clock_transport_stats().ud_resyncs >= 1
+        assert verdict(result) == verdict(sparse_wire_factory(transport="rc").run())
+
+    def test_decision_log_records_drops_and_replays(self):
+        from repro.explore.runner import run_schedule
+        from repro.explore.controller import ReplayStrategy
+
+        forced = run_schedule(
+            lambda seed: sparse_wire_factory(seed),
+            0,
+            ForcedFates(fates={"put_data": {0: 1}}),
+        )
+        drops = [d for d in forced.decisions.entries
+                 if d is not None and d.kind == "drop"]
+        assert any(d.choice == 1 for d in drops)
+        assert all(d.key.startswith("drop:") for d in drops)
+        replayed = run_schedule(
+            lambda seed: sparse_wire_factory(seed), 0,
+            ReplayStrategy(forced.decisions),
+        )
+        assert replayed.fingerprint == forced.fingerprint
+        assert replayed.decisions == forced.decisions
+
+
+class TestResyncEdgeCases:
+    def test_dropped_resync_request_is_rerequested_after_the_deadline(self):
+        runtime = controlled(
+            sparse_wire_factory(),
+            ForcedFates(fates={
+                "put_data": {0: 1},          # force the gap
+                "ud_resync_request": {0: 1},  # then lose the first request
+            }),
+        )
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_resync_requests == 2
+        assert stats.ud_resyncs == 1
+        assert verdict(result) == verdict(sparse_wire_factory(transport="rc").run())
+
+    def test_dropped_resync_reply_is_recovered_by_rerequesting(self):
+        runtime = controlled(
+            sparse_wire_factory(),
+            ForcedFates(fates={
+                "put_data": {0: 1},
+                "ud_resync_full": {0: 1},     # lose the first full frame
+            }),
+        )
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        # The receiver cannot tell a lost request from a lost reply: it
+        # simply re-requests, and the second round trip lands.
+        assert stats.ud_resync_requests == 2
+        assert stats.ud_resyncs == 1
+        assert verdict(result) == verdict(sparse_wire_factory(transport="rc").run())
+
+    def test_duplicated_full_frames_are_absorbed_idempotently(self):
+        runtime = controlled(
+            sparse_wire_factory(),
+            ForcedFates(fates={"put_data": {0: 2, 2: 2}}),
+        )
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_duplicates == 2
+        assert stats.ud_resyncs == 0, "a duplicate must not look like a gap"
+        channel = runtime.fabric.ud_channels()[(0, 1)]
+        assert channel.stats.duplicated == 2
+        assert verdict(result) == verdict(sparse_wire_factory(transport="rc").run())
+
+    def test_reorder_across_a_resync_boundary_arrives_stale(self):
+        """Delay a sparse frame past a later frame's gap-resync: when the
+        laggard finally lands its sequence is *behind* the resynced view.
+        It must be recovered through its own round trip — never stamped as
+        a patch against the wrong base — and the verdict must hold."""
+
+        def factory(seed=0, transport="ud"):
+            runtime = DSMRuntime(
+                RuntimeConfig(
+                    world_size=2,
+                    seed=seed,
+                    latency="constant",
+                    clock_transport="piggyback",
+                    clock_wire="delta",
+                    transport=transport,
+                )
+            )
+            runtime.declare_array("cells", 4, owner=0, initial=0)
+            runtime.declare_array("mine", 2, owner=1, initial=7)
+
+            def reader(api):
+                yield from api.compute(3.0)
+                yield from api.get("mine", index=0)
+
+            def writer(api):
+                # Two puts on the P1->P0 channel: the first full frame
+                # lands, the second (sparse, seq 2) is delayed past the
+                # GET_REPLY (sparse, seq 3) the reader's get triggers.
+                yield from api.put("cells", 10, index=0)
+                yield from api.put("cells", 20, index=1)
+
+            runtime.set_program(0, reader)
+            runtime.set_program(1, writer)
+            return runtime
+
+        runtime = controlled(
+            factory(), ForcedFates(delays={"put_data": {1: 50.0}})
+        )
+        result = runtime.run()
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_stale_frames == 1
+        # Two recoveries: the reply's gap (seq 3 over the in-flight seq 2),
+        # then the stale laggard itself.
+        assert stats.ud_resyncs == 2
+        channel = runtime.fabric.ud_channels()[(1, 0)]
+        assert channel.stats.reordered >= 1
+        assert verdict(result) == verdict(factory(transport="rc").run())
+
+    def test_view_never_rewinds_below_a_resynced_sequence(self):
+        endpoint = UdEndpoint(0)
+        assert endpoint.absorb(1, 1, "full") == "exact"
+        assert endpoint.absorb(1, 3, "sparse") == "gap"
+        endpoint.mark_resynced(1, 3)
+        assert endpoint.view_seq(1) == 3
+        # The reordered straggler from before the boundary: stale, and
+        # recovering it must not rewind the view later frames patch.
+        assert endpoint.absorb(1, 2, "sparse") == "stale"
+        endpoint.mark_resynced(1, 2)
+        assert endpoint.view_seq(1) == 3
+        assert endpoint.absorb(1, 4, "sparse") == "exact"
+
+    def test_duplicate_absorb_is_an_idempotent_noop(self):
+        endpoint = UdEndpoint(0)
+        assert endpoint.absorb(1, 1, "full") == "exact"
+        assert endpoint.absorb(1, 1, "full") == "duplicate"
+        assert endpoint.absorb(1, 1, "sparse") == "duplicate"
+        assert endpoint.view_seq(1) == 1
+
+
+# -- retransmission exhaustion -------------------------------------------------------
+
+
+class TestExhaustion:
+    def _exhausting_runtime(self):
+        """A verbs put whose every datagram the fabric eats."""
+        runtime = DSMRuntime(
+            RuntimeConfig(
+                world_size=2,
+                seed=0,
+                latency="constant",
+                clock_transport="piggyback",
+                clock_wire="delta",
+                transport="ud",
+            )
+        )
+        runtime.config.nic.ud_max_retransmits = 2
+        runtime.declare_array("x", 2, owner=1, initial=0)
+
+        def producer(api):
+            doomed = api.iput("x", 111, index=0)
+            (completion,) = yield from api.wait(doomed, raise_on_error=False)
+            api.private.write("status", completion.status.value)
+            # The failed put's cell lock must have been released: a fresh
+            # put to the SAME cell (fabric now quiet) completes.
+            healthy = api.iput("x", 222, index=0)
+            (retry,) = yield from api.wait(healthy, raise_on_error=False)
+            api.private.write("retry_status", retry.status.value)
+
+        def idle(api):
+            yield from api.compute(1.0)
+
+        runtime.set_program(0, producer)
+        runtime.set_program(1, idle)
+        return runtime
+
+    def test_exhaustion_surfaces_as_a_failed_completion(self):
+        runtime = controlled(
+            self._exhausting_runtime(),
+            # Budget 2: initial send + 2 retransmits all dropped => fail.
+            ForcedFates(fates={"put_data": {0: 1, 1: 1, 2: 1}}),
+        )
+        result = runtime.run()
+        private = runtime.private_memories[0].snapshot()
+        assert private["status"] == CompletionStatus.UD_DELIVERY_EXCEEDED.value
+        assert private["retry_status"] == CompletionStatus.SUCCESS.value
+        assert result.final_shared_values["x"] == [222, 0]
+        stats = runtime.clock_transport_stats()
+        assert stats.ud_dropped == 3
+        assert stats.ud_retransmits == 2
+
+    def test_budget_spent_one_short_of_exhaustion_succeeds(self):
+        runtime = controlled(
+            self._exhausting_runtime(),
+            ForcedFates(fates={"put_data": {0: 1, 1: 1}}),
+        )
+        runtime.run()
+        private = runtime.private_memories[0].snapshot()
+        assert private["status"] == CompletionStatus.SUCCESS.value

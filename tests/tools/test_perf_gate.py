@@ -25,6 +25,12 @@ sys.modules["perf_gate"] = perf_gate
 spec.loader.exec_module(perf_gate)
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_step_summary(monkeypatch):
+    """Keep test invocations of main() out of the real CI run summary."""
+    monkeypatch.delenv("GITHUB_STEP_SUMMARY", raising=False)
+
+
 BASELINE = {
     "format": "repro-bench-clock-wire",
     "version": 1,
@@ -241,3 +247,71 @@ class TestRegressionExplainer:
         assert status == 0
         out = capsys.readouterr().out
         assert "EXPLAIN" in out and "network" in out
+
+
+class TestStepSummary:
+    """Acceptance: the verdict table lands in $GITHUB_STEP_SUMMARY."""
+
+    def _setup(self, tmp_path, fresh_tree):
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        (baselines / "BENCH_cp.json").write_text(json.dumps(PATH_BASELINE))
+        fresh_path = tmp_path / "BENCH_cp.json"
+        fresh_path.write_text(json.dumps(fresh_tree))
+        return fresh_path, baselines
+
+    def test_passing_gate_appends_an_ok_row(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        fresh_path, baselines = self._setup(tmp_path, PATH_BASELINE)
+        assert perf_gate.main([str(fresh_path), "--baselines", str(baselines)]) == 0
+        text = summary.read_text()
+        assert "## Perf gate" in text
+        assert "| `BENCH_cp.json` | ✅ OK | 0 | 0 | — |" in text
+
+    def test_regression_row_names_the_worst_offender_and_explains(
+        self, tmp_path, monkeypatch
+    ):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        fresh = copy.deepcopy(PATH_BASELINE)
+        section = fresh["rmw-with-barriers"]
+        section["critical_path"]["categories"]["network"] = 90.0
+        section["critical_path"]["path_sim_time"] = 130.0
+        section["total_sim_time"] = 130.0
+        fresh_path, baselines = self._setup(tmp_path, fresh)
+        assert perf_gate.main([str(fresh_path), "--baselines", str(baselines)]) == 1
+        text = summary.read_text()
+        assert "❌ REGRESSED" in text
+        assert "total_sim_time" in text
+        # The --explain attribution rides along on a regression.
+        assert "critical-path movement" in text and "network" in text
+
+    def test_appends_rather_than_overwrites(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        summary.write_text("## Earlier step\n")
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        fresh_path, baselines = self._setup(tmp_path, PATH_BASELINE)
+        perf_gate.main([str(fresh_path), "--baselines", str(baselines)])
+        text = summary.read_text()
+        assert text.startswith("## Earlier step\n")
+        assert "## Perf gate" in text
+
+    def test_missing_artifact_becomes_an_error_row(self, tmp_path, monkeypatch):
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        baselines = tmp_path / "baselines"
+        baselines.mkdir()
+        assert (
+            perf_gate.main(
+                [str(tmp_path / "BENCH_gone.json"), "--baselines", str(baselines)]
+            )
+            == 1
+        )
+        text = summary.read_text()
+        assert "⚠️ ERROR" in text and "BENCH_gone.json" in text
+
+    def test_no_env_var_writes_nothing(self, tmp_path):
+        fresh_path, baselines = self._setup(tmp_path, PATH_BASELINE)
+        assert perf_gate.main([str(fresh_path), "--baselines", str(baselines)]) == 0
+        assert not (tmp_path / "summary.md").exists()

@@ -244,6 +244,60 @@ def gate_artifact(
     return compare_trees(fresh, baseline, tolerance)
 
 
+def render_step_summary(
+    verdicts: List[Tuple[str, str, List[Finding], List[Finding], List[str]]],
+    tolerance: float,
+) -> str:
+    """Render the per-artifact verdict table as GitHub-flavoured markdown.
+
+    One row per gated artifact — status, regression/improvement counts and
+    the worst offender — followed by the detailed findings and any
+    ``--explain`` critical-path attribution, ready to append to the file
+    named by ``$GITHUB_STEP_SUMMARY`` so the verdict shows up on the run
+    page without digging through logs.
+    """
+    lines = [
+        "## Perf gate",
+        "",
+        f"Tolerance: cost metrics may grow up to {tolerance:.0%} over the "
+        "committed baseline.",
+        "",
+        "| artifact | verdict | regressions | improvements | worst offender |",
+        "| --- | --- | --- | --- | --- |",
+    ]
+    for name, status, regressions, improvements, _explanation in verdicts:
+        worst = max(
+            regressions,
+            key=lambda f: float("inf")
+            if f.missing or not f.baseline
+            else (f.fresh - f.baseline) / f.baseline,
+            default=None,
+        )
+        icon = {"OK": "✅ OK", "REGRESSED": "❌ REGRESSED", "ERROR": "⚠️ ERROR"}[
+            status
+        ]
+        lines.append(
+            f"| `{name}` | {icon} | {len(regressions)} | {len(improvements)} "
+            f"| {('`' + worst.describe() + '`') if worst else '—'} |"
+        )
+    lines.append("")
+    for name, status, regressions, improvements, explanation in verdicts:
+        details = [
+            *(f"- ❌ {finding.describe()}" for finding in regressions),
+            *(f"- ⬇️ improved: {finding.describe()}" for finding in improvements),
+        ]
+        if explanation and status == "ERROR":
+            details.extend(f"- ⚠️ {line}" for line in explanation)
+        elif explanation:
+            details.append("- critical-path movement, biggest first:")
+            details.extend(f"  - `{line.strip()}`" for line in explanation)
+        if details:
+            lines.append(f"### `{name}`")
+            lines.extend(details)
+            lines.append("")
+    return "\n".join(lines) + "\n"
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -271,7 +325,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     failed = False
+    verdicts: List[Tuple[str, str, List[Finding], List[Finding], List[str]]] = []
     for artifact in args.artifacts:
+        name = os.path.basename(artifact)
         try:
             regressions, improvements = gate_artifact(
                 artifact, baselines_dir=args.baselines, tolerance=args.tolerance
@@ -279,8 +335,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         except FileNotFoundError as error:
             print(f"ERROR: {error}")
             failed = True
+            verdicts.append((name, "ERROR", [], [], [str(error)]))
             continue
-        name = os.path.basename(artifact)
         for finding in improvements:
             print(f"IMPROVED  [{name}] {finding.describe()}")
         for finding in regressions:
@@ -292,6 +348,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"OK        [{name}] no cost metric grew beyond "
                 f"{args.tolerance:.0%} of baseline"
             )
+        explanation: List[str] = []
         if regressions or args.explain:
             with open(artifact) as handle:
                 fresh = json.load(handle)
@@ -303,6 +360,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"EXPLAIN   [{name}] critical-path movement, biggest first:")
                 for line in explanation:
                     print(f"          {line}")
+        verdicts.append(
+            (
+                name,
+                "REGRESSED" if regressions else "OK",
+                regressions,
+                improvements,
+                explanation,
+            )
+        )
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(render_step_summary(verdicts, args.tolerance))
     if failed:
         print(
             "\nperf gate FAILED — if a regression is intended and justified, "
